@@ -1,0 +1,81 @@
+//! Criterion micro-benchmarks of the GEMM kernels (host time of the
+//! simulation — how fast the library itself runs) plus the ablation sweeps
+//! called out in DESIGN.md: unroll factor (including the spilling 32-row
+//! case of §VI-A) and blocking/packing on/off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lva_isa::{Machine, MachineConfig};
+use lva_kernels::gemm::{gemm, GemmWorkspace};
+use lva_kernels::{BlockSizes, GemmVariant};
+use lva_tensor::Matrix;
+
+const M: usize = 32;
+const N: usize = 256;
+const K: usize = 64;
+
+fn run_variant(variant: GemmVariant, vlen: usize) -> u64 {
+    let mut m = Machine::new(MachineConfig::rvv_gem5(vlen, 8, 1 << 20));
+    let a = Matrix::random(&mut m, M, K, 1);
+    let b = Matrix::random(&mut m, K, N, 2);
+    let c = Matrix::alloc(&mut m, M, N);
+    let ws = match variant {
+        GemmVariant::Opt6 { blocks, .. } => Some(GemmWorkspace::alloc(&mut m, blocks)),
+        _ => None,
+    };
+    gemm(&mut m, variant, M, N, K, 1.0, a.buf, b.buf, c.buf, ws.as_ref());
+    m.cycles()
+}
+
+fn bench_variants(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemm_variants");
+    g.sample_size(10);
+    for (name, variant) in [
+        ("naive", GemmVariant::Naive),
+        ("opt3", GemmVariant::opt3()),
+        ("opt6", GemmVariant::opt6()),
+    ] {
+        g.bench_function(name, |bench| {
+            bench.iter(|| std::hint::black_box(run_variant(variant, 2048)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_unroll_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("opt3_unroll_ablation");
+    g.sample_size(10);
+    for unroll in [1usize, 4, 16, 32] {
+        g.bench_with_input(BenchmarkId::from_parameter(unroll), &unroll, |bench, &u| {
+            bench.iter(|| std::hint::black_box(run_variant(GemmVariant::Opt3 { unroll: u }, 2048)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_vlen_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("opt3_vlen_ablation");
+    g.sample_size(10);
+    for vlen in [512usize, 2048, 8192] {
+        g.bench_with_input(BenchmarkId::from_parameter(vlen), &vlen, |bench, &v| {
+            bench.iter(|| std::hint::black_box(run_variant(GemmVariant::opt3(), v)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_block_sizes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("opt6_block_ablation");
+    g.sample_size(10);
+    for blocks in [BlockSizes { m: 8, n: 64, k: 16 }, BlockSizes::TABLE2_BEST] {
+        let id = format!("{}x{}x{}", blocks.m, blocks.n, blocks.k);
+        g.bench_with_input(BenchmarkId::from_parameter(id), &blocks, |bench, &bl| {
+            bench.iter(|| {
+                std::hint::black_box(run_variant(GemmVariant::Opt6 { unroll: 16, blocks: bl }, 2048))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_variants, bench_unroll_ablation, bench_vlen_ablation, bench_block_sizes);
+criterion_main!(benches);

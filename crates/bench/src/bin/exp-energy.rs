@@ -1,0 +1,60 @@
+//! Extension — energy per inference and energy-delay product across the
+//! co-design grid.
+//!
+//! The paper motivates long-vector CPUs by energy efficiency (§I) and notes
+//! that large caches "occupy significant die area" (§V), but evaluates
+//! performance only. This experiment re-runs the Fig. 6/7 grid under a
+//! documented event-energy model: longer vectors save instruction-issue
+//! energy; ever-larger caches keep saving DRAM energy but eventually lose
+//! on leakage, so the EDP-optimal cache is *finite* even though performance
+//! alone keeps (weakly) improving to 256 MB.
+
+use lva_bench::*;
+use lva_core::EnergyModel;
+
+fn main() {
+    let opts = Opts::parse(4, "Energy/EDP across the RVV vector-length x L2 grid");
+    let workload = Workload {
+        model: ModelId::Yolov3,
+        input_hw: scaled_input(ModelId::Yolov3, opts.div),
+        layer_limit: Some(opts.layers.unwrap_or(20)),
+    };
+    let policy = ConvPolicy::gemm_only(GemmVariant::opt3());
+    let model = EnergyModel::default();
+
+    let mut table = Table::new(
+        format!("Energy per inference and EDP, {}", workload.describe()),
+        &["vlen_bits", "l2", "cycles", "energy_mJ", "compute_mJ", "mem_mJ", "static_mJ", "edp_uJ_s"],
+    );
+    let mut best: Option<(f64, String)> = None;
+    for vlen in [512usize, 2048, 8192] {
+        for l2 in L2_SIZES {
+            let e = Experiment::new(
+                HwTarget::RvvGem5 { vlen_bits: vlen, lanes: 8, l2_bytes: l2 },
+                policy,
+                workload,
+            );
+            let s = run_logged(&e);
+            let rep = model.estimate(&s, l2);
+            let label = format!("{vlen}b / {}", lva_core::experiment::fmt_bytes(l2));
+            let edp = rep.edp();
+            if best.as_ref().map_or(true, |(b, _)| edp < *b) {
+                best = Some((edp, label));
+            }
+            table.row(vec![
+                vlen.to_string(),
+                lva_core::experiment::fmt_bytes(l2),
+                fmt_cycles(s.cycles),
+                format!("{:.2}", rep.total_j() * 1e3),
+                format!("{:.2}", rep.compute_j * 1e3),
+                format!("{:.2}", rep.memory_j * 1e3),
+                format!("{:.2}", rep.static_j * 1e3),
+                format!("{:.1}", edp * 1e6),
+            ]);
+        }
+    }
+    if let Some((edp, label)) = best {
+        println!("\nEDP-optimal design point: {label} ({:.1} uJ*s)\n", edp * 1e6);
+    }
+    emit(&table, "energy_grid", opts.csv);
+}

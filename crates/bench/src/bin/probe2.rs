@@ -1,0 +1,61 @@
+//! Developer probe: one standalone conv layer, GEMM vs Winograd, with
+//! phase breakdown. Usage: `probe2 <ic> <oc> <hw> <stride> [sve_vlen_bits]`
+//! (5th arg selects SVE@gem5 with that vector length; default A64FX)
+
+use lva_core::MachineConfig;
+use lva_isa::Machine;
+use lva_kernels::gemm::GemmWorkspace;
+use lva_kernels::{conv_im2col_gemm, ConvParams, GemmVariant};
+use lva_tensor::{Matrix, Shape, Tensor};
+use lva_winograd::{winograd_conv_vla, WinogradPlan};
+
+fn main() {
+    let args: Vec<usize> =
+        std::env::args().skip(1).map(|a| a.parse().expect("usage: probe2 ic oc hw stride")).collect();
+    let (ic, oc, hw, stride) = (
+        args.first().copied().unwrap_or(256),
+        args.get(1).copied().unwrap_or(256),
+        args.get(2).copied().unwrap_or(40),
+        args.get(3).copied().unwrap_or(1),
+    );
+    let sve = args.get(4).copied();
+    let p = ConvParams { in_c: ic, in_h: hw, in_w: hw, out_c: oc, k: 3, stride, pad: 1 };
+    let (mm, nn, kk) = p.gemm_mnk();
+    println!("layer: ic={ic} oc={oc} {hw}x{hw} s{stride}  M={mm} N={nn} K={kk} flops={}", p.flops());
+
+    // GEMM path.
+    let mut cfg = match sve {
+        Some(vlen) => MachineConfig::sve_gem5(vlen, 1 << 20),
+        None => MachineConfig::a64fx(),
+    };
+    cfg.arena_mib = ((ic * hw * hw + mm * kk + kk * nn + mm * nn) * 8 / (1 << 20) + 64).max(128);
+    let mut m = Machine::new(cfg.clone());
+    let img = Tensor::random(&mut m, Shape::new(ic, hw, hw), 1);
+    let w = Matrix::random(&mut m, mm, kk, 2);
+    let col = m.mem.alloc(p.workspace_words().max(1));
+    let out = m.mem.alloc(mm * nn);
+    let ws = GemmWorkspace::alloc(&mut m, lva_kernels::BlockSizes::TABLE2_BEST);
+    m.reset_timing();
+    conv_im2col_gemm(&mut m, GemmVariant::opt6(), &p, &img, w.buf, col, out, Some(&ws));
+    println!("-- gemm_opt6: {} cycles", m.cycles());
+    for (ph, c) in m.phases.breakdown() {
+        println!("   {:<16} {:>14}", ph.name(), c);
+    }
+
+    // Winograd path.
+    let mut m = Machine::new(cfg);
+    let img = Tensor::random(&mut m, Shape::new(ic, hw, hw), 1);
+    let w = Matrix::random(&mut m, mm, kk, 2);
+    let out = m.mem.alloc(mm * nn);
+    let mut plan = WinogradPlan::new(&mut m, p, w.buf);
+    m.reset_timing();
+    winograd_conv_vla(&mut m, &mut plan, &img, out);
+    println!("-- winograd: {} cycles", m.cycles());
+    for (ph, c) in m.phases.breakdown() {
+        println!("   {:<16} {:>14}", ph.name(), c);
+    }
+    let st = m.sys.stats();
+    println!("   L1 acc {} miss {} ({:.1}%) pf_fill {} pf_hit {} | L2 miss {:.1}% | dram {}",
+        st.l1.accesses, st.l1.misses, 100.0*st.l1.miss_rate(), st.l1.prefetch_fills,
+        st.l1.prefetch_hits, 100.0*st.l2.miss_rate(), st.dram_reads);
+}

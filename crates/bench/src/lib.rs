@@ -1,0 +1,92 @@
+//! Shared plumbing for the `exp-*` experiment binaries: command-line
+//! parsing (`--div`, `--layers`, `--csv`) and common sweep axes.
+//!
+//! Every binary regenerates one table or figure of the paper; see
+//! EXPERIMENTS.md at the workspace root for the full index and the
+//! paper-vs-measured record.
+
+use std::env;
+
+pub use lva_core::report::{fmt_cycles, fmt_speedup};
+pub use lva_core::{
+    scaled_input, BlockSizes, ConvPolicy, Experiment, GemmVariant, HwTarget, ModelId, RunSummary,
+    Table, Workload,
+};
+
+/// The vector lengths swept on RISC-V Vector (Fig. 6/7, Table III).
+pub const RVV_VLENS: [usize; 6] = [512, 1024, 2048, 4096, 8192, 16384];
+/// The vector lengths swept on ARM-SVE (Fig. 8/9/10).
+pub const SVE_VLENS: [usize; 3] = [512, 1024, 2048];
+/// The L2 capacities swept (1 MB .. 256 MB, Figs. 7-10).
+pub const L2_SIZES: [usize; 6] =
+    [1 << 20, 4 << 20, 16 << 20, 64 << 20, 128 << 20, 256 << 20];
+
+/// Common options for experiment binaries.
+#[derive(Debug, Clone)]
+pub struct Opts {
+    /// Linear input down-scale divisor (1 = paper-native resolution).
+    pub div: usize,
+    /// Override the layer prefix length.
+    pub layers: Option<usize>,
+    /// Write a CSV under `results/`.
+    pub csv: bool,
+}
+
+impl Opts {
+    /// Parse `--div N`, `--layers N`, `--csv`, `--help` from `std::env`.
+    /// `default_div` is the experiment's default scale.
+    pub fn parse(default_div: usize, what: &str) -> Opts {
+        let mut opts = Opts { div: default_div, layers: None, csv: true };
+        let mut args = env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--div" => {
+                    opts.div = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--div needs an integer");
+                }
+                "--layers" => {
+                    opts.layers = Some(
+                        args.next()
+                            .and_then(|v| v.parse().ok())
+                            .expect("--layers needs an integer"),
+                    );
+                }
+                "--no-csv" => opts.csv = false,
+                "--csv" => opts.csv = true,
+                "--help" | "-h" => {
+                    eprintln!(
+                        "{what}\n\nOptions:\n  --div N      input down-scale divisor (default {default_div}; 1 = paper size)\n  --layers N   layer prefix override\n  --csv/--no-csv  write results/<exp>.csv (default on)"
+                    );
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown option {other}; try --help");
+                    std::process::exit(2);
+                }
+            }
+        }
+        opts
+    }
+}
+
+/// Finish an experiment binary: print the table and optionally save CSV.
+pub fn emit(table: &Table, name: &str, csv: bool) {
+    table.print();
+    if csv {
+        match table.save_csv(name) {
+            Ok(p) => println!("[saved {}]", p.display()),
+            Err(e) => eprintln!("could not save CSV: {e}"),
+        }
+    }
+}
+
+/// Run an experiment, logging the design point to stderr.
+pub fn run_logged(e: &Experiment) -> RunSummary {
+    eprintln!(".. {} | {}", e.hw.describe(), e.workload.describe());
+    let s = e.run();
+    eprintln!("   {} cycles, avg VL {:.0}b, L2 miss {:.1}%",
+        fmt_cycles(s.cycles), s.avg_vlen_bits, 100.0 * s.l2_miss_rate);
+    s
+}

@@ -1,0 +1,314 @@
+//! Experiment definition and execution.
+
+use lva_isa::{Machine, MachineConfig};
+use lva_nn::network::{estimate_arena_words, Network};
+use lva_nn::{ConvPolicy, ModelId, NetReport};
+use lva_tensor::host_random;
+
+/// A hardware design point of the co-design space (§V).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HwTarget {
+    /// RISC-V Vector @ gem5: vector length (bits), lanes (2..8), L2 bytes.
+    RvvGem5 { vlen_bits: usize, lanes: usize, l2_bytes: usize },
+    /// ARM-SVE @ gem5: vector length (bits, 512..2048), L2 bytes; lanes are
+    /// proportional to the vector length on this platform (§VI-D).
+    SveGem5 { vlen_bits: usize, l2_bytes: usize },
+    /// The Fujitsu A64FX profile (fixed 512-bit, 8 MB L2, prefetch).
+    A64fx,
+}
+
+impl HwTarget {
+    /// Build the machine configuration (arena capacity set separately).
+    pub fn machine_config(&self) -> MachineConfig {
+        match *self {
+            HwTarget::RvvGem5 { vlen_bits, lanes, l2_bytes } => {
+                MachineConfig::rvv_gem5(vlen_bits, lanes, l2_bytes)
+            }
+            HwTarget::SveGem5 { vlen_bits, l2_bytes } => {
+                MachineConfig::sve_gem5(vlen_bits, l2_bytes)
+            }
+            HwTarget::A64fx => MachineConfig::a64fx(),
+        }
+    }
+
+    pub fn describe(&self) -> String {
+        match *self {
+            HwTarget::RvvGem5 { vlen_bits, lanes, l2_bytes } => format!(
+                "RVV@gem5 vlen={vlen_bits}b lanes={lanes} L2={}",
+                fmt_bytes(l2_bytes)
+            ),
+            HwTarget::SveGem5 { vlen_bits, l2_bytes } => {
+                format!("SVE@gem5 vlen={vlen_bits}b L2={}", fmt_bytes(l2_bytes))
+            }
+            HwTarget::A64fx => "A64FX".into(),
+        }
+    }
+}
+
+/// Human-readable byte count.
+pub fn fmt_bytes(b: usize) -> String {
+    if b >= (1 << 20) {
+        format!("{}MB", b >> 20)
+    } else if b >= (1 << 10) {
+        format!("{}kB", b >> 10)
+    } else {
+        format!("{b}B")
+    }
+}
+
+/// The network (prefix) an experiment runs.
+#[derive(Debug, Clone, Copy)]
+pub struct Workload {
+    pub model: ModelId,
+    /// Square input resolution. Use [`scaled_input`] for the paper's sizes
+    /// scaled down for simulation speed.
+    pub input_hw: usize,
+    /// Run only the first `n` layers (e.g. Table II uses 4, Figs. 6-9 use
+    /// 20); `None` runs the full network.
+    pub layer_limit: Option<usize>,
+}
+
+impl Workload {
+    pub fn describe(&self) -> String {
+        match self.layer_limit {
+            Some(n) => format!("{} ({n} layers) @ {}px", self.model.name(), self.input_hw),
+            None => format!("{} @ {}px", self.model.name(), self.input_hw),
+        }
+    }
+}
+
+/// Input resolution for a model at a linear down-scale divisor, rounded up
+/// to the model's structural alignment (YOLOv3 variants need multiples of
+/// 32 for the upsample/route joins to meet).
+///
+/// `div = 1` is the paper's native size (608 / 416 / 224).
+pub fn scaled_input(model: ModelId, div: usize) -> usize {
+    assert!(div >= 1);
+    let native = model.native_input();
+    let raw = (native + div - 1) / div;
+    ((raw + 31) / 32 * 32).max(32)
+}
+
+/// One co-design experiment: hardware point x software setup x workload.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    pub hw: HwTarget,
+    pub policy: ConvPolicy,
+    pub workload: Workload,
+    pub seed: u64,
+}
+
+/// Measurements from one experiment run (one simulated inference, after
+/// network setup is excluded, matching §VI's methodology).
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    pub cycles: u64,
+    /// Mathematical flops of the executed layers.
+    pub flops: u64,
+    /// Average consumed vector length in bits (Table III).
+    pub avg_vlen_bits: f64,
+    pub l1_miss_rate: f64,
+    pub l2_miss_rate: f64,
+    pub report: NetReport,
+}
+
+impl RunSummary {
+    /// gem5-`stats.txt`-flavoured dump of the run's counters (the same
+    /// format as `Machine::dump_stats`, reconstructed from the summary).
+    pub fn dump_stats(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let v = &self.report.vpu;
+        let st = &self.report.mem;
+        let mut line = |k: &str, val: String| {
+            let _ = writeln!(out, "{k:<48} {val}");
+        };
+        line("sim_cycles", self.cycles.to_string());
+        line("sim_flops", self.flops.to_string());
+        line("system.cpu.vpu.vec_instrs", v.vec_instrs.to_string());
+        line("system.cpu.vpu.vec_mem_instrs", v.vec_mem_instrs.to_string());
+        line("system.cpu.vpu.avg_vlen_bits", format!("{:.1}", self.avg_vlen_bits));
+        line("system.cpu.scalar_ops", v.scalar_ops.to_string());
+        for (name, c) in [("l1d", &st.l1), ("l2", &st.l2), ("vcache", &st.vcache)] {
+            if c.accesses == 0 && c.prefetch_fills == 0 {
+                continue;
+            }
+            line(&format!("system.{name}.overall_accesses"), c.accesses.to_string());
+            line(&format!("system.{name}.overall_misses"), c.misses.to_string());
+            line(&format!("system.{name}.overall_miss_rate"), format!("{:.6}", c.miss_rate()));
+        }
+        line("system.mem.reads", st.dram_reads.to_string());
+        line("system.mem.writes", st.dram_writes.to_string());
+        out
+    }
+}
+
+/// Result of a multi-image streaming run (§VI: "continuously running
+/// inference over a stream of images" is the paper's deployment model —
+/// setup is paid once, caches stay warm between frames).
+#[derive(Debug, Clone)]
+pub struct StreamSummary {
+    /// Cycles per frame, in order. The first frame runs on cold caches.
+    pub per_frame_cycles: Vec<u64>,
+    /// The final frame's summary (steady state).
+    pub steady: RunSummary,
+}
+
+impl StreamSummary {
+    /// Cold-start (first frame) cycles.
+    pub fn cold_cycles(&self) -> u64 {
+        *self.per_frame_cycles.first().expect("at least one frame")
+    }
+
+    /// Steady-state cycles: the last frame.
+    pub fn steady_cycles(&self) -> u64 {
+        *self.per_frame_cycles.last().expect("at least one frame")
+    }
+}
+
+impl Experiment {
+    pub fn new(hw: HwTarget, policy: ConvPolicy, workload: Workload) -> Self {
+        Experiment { hw, policy, workload, seed: 42 }
+    }
+
+    fn build(&self) -> (Machine, Network, lva_tensor::Shape) {
+        let (specs, shape) = self.workload.model.build(self.workload.input_hw);
+        let specs = match self.workload.layer_limit {
+            Some(n) => specs[..n.min(specs.len())].to_vec(),
+            None => specs,
+        };
+        let mut cfg = self.hw.machine_config();
+        let words = estimate_arena_words(&specs, shape, &self.policy);
+        cfg.arena_mib = (words * 4 / (1 << 20) + 32).max(64);
+        let mut m = Machine::new(cfg);
+        let net = Network::build(&mut m, &specs, shape, self.policy, self.seed);
+        (m, net, shape)
+    }
+
+    fn summarize(m: &Machine, report: lva_nn::NetReport) -> RunSummary {
+        let mem = m.sys.stats();
+        RunSummary {
+            cycles: report.cycles,
+            flops: report.flops(),
+            avg_vlen_bits: m.stats.avg_vlen_bits(),
+            l1_miss_rate: mem.l1.miss_rate(),
+            l2_miss_rate: mem.l2.miss_rate(),
+            report,
+        }
+    }
+
+    /// Build the machine and network, run one inference, return summary.
+    pub fn run(&self) -> RunSummary {
+        let (mut m, mut net, shape) = self.build();
+        // Exclude setup, like the paper.
+        m.reset_timing();
+        let image = host_random(shape.len(), self.seed ^ 0x1533);
+        let report = net.run(&mut m, &image);
+        Self::summarize(&m, report)
+    }
+
+    /// Run `frames` inferences back-to-back on the same machine (caches
+    /// stay warm across frames), resetting the clock per frame.
+    ///
+    /// # Panics
+    /// Panics if `frames == 0`.
+    pub fn run_stream(&self, frames: usize) -> StreamSummary {
+        assert!(frames > 0, "need at least one frame");
+        let (mut m, mut net, shape) = self.build();
+        let mut per_frame = Vec::with_capacity(frames);
+        let mut last = None;
+        for f in 0..frames {
+            m.reset_timing();
+            let image = host_random(shape.len(), self.seed ^ (0x1533 + f as u64));
+            let report = net.run(&mut m, &image);
+            per_frame.push(report.cycles);
+            last = Some(Self::summarize(&m, report));
+        }
+        StreamSummary { per_frame_cycles: per_frame, steady: last.expect("frames > 0") }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lva_kernels::GemmVariant;
+
+    #[test]
+    fn scaled_inputs_are_aligned() {
+        assert_eq!(scaled_input(ModelId::Yolov3, 1), 608);
+        assert_eq!(scaled_input(ModelId::Yolov3, 4), 160);
+        assert_eq!(scaled_input(ModelId::Yolov3, 8), 96);
+        assert_eq!(scaled_input(ModelId::Vgg16, 4), 64);
+        assert!(scaled_input(ModelId::Yolov3Tiny, 2) % 32 == 0);
+    }
+
+    #[test]
+    fn experiment_runs_and_measures() {
+        let e = Experiment::new(
+            HwTarget::RvvGem5 { vlen_bits: 1024, lanes: 8, l2_bytes: 1 << 20 },
+            ConvPolicy::gemm_only(GemmVariant::opt3()),
+            Workload { model: ModelId::Yolov3, input_hw: 32, layer_limit: Some(4) },
+        );
+        let s = e.run();
+        assert!(s.cycles > 0);
+        assert!(s.flops > 0);
+        assert!(s.avg_vlen_bits > 0.0);
+        assert_eq!(s.report.layers.len(), 4);
+    }
+
+    #[test]
+    fn longer_vectors_fewer_cycles_same_flops() {
+        let run = |vlen| {
+            Experiment::new(
+                HwTarget::RvvGem5 { vlen_bits: vlen, lanes: 8, l2_bytes: 1 << 20 },
+                ConvPolicy::gemm_only(GemmVariant::opt3()),
+                Workload { model: ModelId::Yolov3, input_hw: 32, layer_limit: Some(4) },
+            )
+            .run()
+        };
+        let a = run(512);
+        let b = run(4096);
+        assert_eq!(a.flops, b.flops);
+        assert!(b.cycles < a.cycles);
+    }
+
+    #[test]
+    fn streaming_runs_are_warm_after_frame_one() {
+        let e = Experiment::new(
+            HwTarget::RvvGem5 { vlen_bits: 1024, lanes: 8, l2_bytes: 64 << 20 },
+            ConvPolicy::gemm_only(GemmVariant::opt3()),
+            Workload { model: ModelId::Yolov3, input_hw: 32, layer_limit: Some(4) },
+        );
+        let s = e.run_stream(3);
+        assert_eq!(s.per_frame_cycles.len(), 3);
+        assert!(s.steady_cycles() <= s.cold_cycles(), "warm caches cannot be slower");
+        // Frames 2 and 3 are identical (steady state, deterministic).
+        assert_eq!(s.per_frame_cycles[1], s.per_frame_cycles[2]);
+    }
+
+    #[test]
+    fn run_summary_stats_dump() {
+        let e = Experiment::new(
+            HwTarget::SveGem5 { vlen_bits: 512, l2_bytes: 1 << 20 },
+            ConvPolicy::gemm_only(GemmVariant::opt3()),
+            Workload { model: ModelId::Yolov3, input_hw: 32, layer_limit: Some(2) },
+        );
+        let s = e.run();
+        let dump = s.dump_stats();
+        assert!(dump.contains("sim_cycles"));
+        assert!(dump.contains("system.l1d.overall_miss_rate"));
+        assert!(!dump.contains("vcache"), "SVE has no vector cache");
+        for l in dump.lines() {
+            let v = l.split_whitespace().nth(1).expect("value column");
+            assert!(v.parse::<f64>().is_ok(), "{l}");
+        }
+    }
+
+    #[test]
+    fn describes() {
+        let hw = HwTarget::SveGem5 { vlen_bits: 2048, l2_bytes: 256 << 20 };
+        assert_eq!(hw.describe(), "SVE@gem5 vlen=2048b L2=256MB");
+        let w = Workload { model: ModelId::Vgg16, input_hw: 64, layer_limit: None };
+        assert_eq!(w.describe(), "VGG16 @ 64px");
+    }
+}

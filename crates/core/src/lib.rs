@@ -1,0 +1,24 @@
+//! # lva-core — the co-design experiment API
+//!
+//! This crate is the paper's methodology as a library: it pairs a hardware
+//! design point (ISA, vector length, lanes, L2 capacity — §V) with a
+//! software setup (GEMM variant, unroll factor, block sizes, algorithm
+//! selection — §IV) and a workload (a network prefix at some input scale),
+//! runs the workload on the simulated machine, and returns the measurements
+//! the paper reports: execution cycles, average consumed vector length,
+//! cache miss rates, per-layer breakdowns and kernel-phase attribution.
+//!
+//! The `exp-*` binaries in `lva-bench` are thin drivers over this API, one
+//! per table/figure of the paper.
+
+pub mod energy;
+pub mod experiment;
+pub mod report;
+
+pub use energy::{EnergyModel, EnergyReport};
+pub use experiment::{scaled_input, Experiment, HwTarget, RunSummary, StreamSummary, Workload};
+pub use report::Table;
+
+pub use lva_isa::{IsaKind, MachineConfig, Platform};
+pub use lva_kernels::{BlockSizes, GemmVariant};
+pub use lva_nn::{ConvPolicy, ModelId};

@@ -1,0 +1,266 @@
+//! Host reference FFT and FFT convolution (the correctness ground truth
+//! for the simulated implementation).
+
+use lva_kernels::ConvParams;
+
+/// A complex number over `f32` (kept local: the workspace has no external
+/// numerics dependencies).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    pub re: f32,
+    pub im: f32,
+}
+
+impl Complex {
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+
+    pub fn new(re: f32, im: f32) -> Self {
+        Complex { re, im }
+    }
+
+    pub fn mul(self, o: Complex) -> Complex {
+        Complex {
+            re: self.re * o.re - self.im * o.im,
+            im: self.re * o.im + self.im * o.re,
+        }
+    }
+
+    pub fn add(self, o: Complex) -> Complex {
+        Complex { re: self.re + o.re, im: self.im + o.im }
+    }
+
+    pub fn sub(self, o: Complex) -> Complex {
+        Complex { re: self.re - o.re, im: self.im - o.im }
+    }
+
+    /// `e^(i * theta)`.
+    pub fn cis(theta: f64) -> Complex {
+        Complex { re: theta.cos() as f32, im: theta.sin() as f32 }
+    }
+}
+
+/// Naive O(n^2) DFT (forward for `sign = -1.0`), for validating the FFT.
+pub fn dft_naive(x: &[Complex], sign: f64) -> Vec<Complex> {
+    let n = x.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex::ZERO;
+            for (j, &v) in x.iter().enumerate() {
+                let w = Complex::cis(sign * 2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64);
+                acc = acc.add(v.mul(w));
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Bit-reversal permutation (shared with the VLA implementation).
+pub fn bit_reverse_permute<T>(x: &mut [T]) {
+    let n = x.len();
+    debug_assert!(n.is_power_of_two());
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u32).reverse_bits() >> (32 - bits);
+        let j = j as usize;
+        if j > i {
+            x.swap(i, j);
+        }
+    }
+}
+
+/// In-place iterative radix-2 FFT; `sign = -1.0` forward, `+1.0` inverse
+/// (inverse is unscaled: divide by `n` yourself).
+///
+/// # Panics
+/// Panics unless the length is a power of two.
+pub fn fft_inplace(x: &mut [Complex], sign: f64) {
+    let n = x.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    if n <= 1 {
+        return;
+    }
+    bit_reverse_permute(x);
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        for start in (0..n).step_by(len) {
+            for j in 0..len / 2 {
+                let w = Complex::cis(ang * j as f64);
+                let a = x[start + j];
+                let b = x[start + j + len / 2].mul(w);
+                x[start + j] = a.add(b);
+                x[start + j + len / 2] = a.sub(b);
+            }
+        }
+        len *= 2;
+    }
+}
+
+/// 2D FFT of a `p x p` row-major grid (rows then columns).
+pub fn fft2_inplace(x: &mut [Complex], p: usize, sign: f64) {
+    assert_eq!(x.len(), p * p);
+    for row in x.chunks_mut(p) {
+        fft_inplace(row, sign);
+    }
+    let mut col = vec![Complex::ZERO; p];
+    for c in 0..p {
+        for r in 0..p {
+            col[r] = x[r * p + c];
+        }
+        fft_inplace(&mut col, sign);
+        for r in 0..p {
+            x[r * p + c] = col[r];
+        }
+    }
+}
+
+/// Padded FFT grid size for a convolution: next power of two that holds the
+/// full linear convolution `in + k - 1`.
+pub fn fft_grid(p: &ConvParams) -> usize {
+    let need = p.in_h.max(p.in_w) + p.k - 1;
+    need.next_power_of_two()
+}
+
+/// Host FFT convolution with [`ConvParams`] semantics (any stride; output
+/// identical to `conv_direct_ref` up to float error).
+///
+/// Correlation (what CNNs call convolution) is computed as a cyclic
+/// convolution with the kernel conjugate-reversed: we transform the kernel
+/// *flipped*, multiply spectra, inverse-transform, and read the valid
+/// region starting at offset `k - 1 - pad`.
+pub fn conv_fft_ref(p: &ConvParams, image: &[f32], weights: &[f32]) -> Vec<f32> {
+    assert_eq!(image.len(), p.in_c * p.in_h * p.in_w);
+    assert_eq!(weights.len(), p.out_c * p.in_c * p.k * p.k);
+    let (oh, ow) = p.out_hw();
+    let grid = fft_grid(p);
+    let n2 = grid * grid;
+
+    // Transform every input channel once.
+    let xhat: Vec<Vec<Complex>> = (0..p.in_c)
+        .map(|ci| {
+            let mut g = vec![Complex::ZERO; n2];
+            for y in 0..p.in_h {
+                for x in 0..p.in_w {
+                    g[y * grid + x].re = image[(ci * p.in_h + y) * p.in_w + x];
+                }
+            }
+            fft2_inplace(&mut g, grid, -1.0);
+            g
+        })
+        .collect();
+
+    let mut out = vec![0.0f32; p.out_c * oh * ow];
+    let mut acc = vec![Complex::ZERO; n2];
+    for oc in 0..p.out_c {
+        acc.fill(Complex::ZERO);
+        for ci in 0..p.in_c {
+            // Flipped kernel -> correlation.
+            let mut wk = vec![Complex::ZERO; n2];
+            for ky in 0..p.k {
+                for kx in 0..p.k {
+                    wk[(p.k - 1 - ky) * grid + (p.k - 1 - kx)].re =
+                        weights[((oc * p.in_c + ci) * p.k + ky) * p.k + kx];
+                }
+            }
+            fft2_inplace(&mut wk, grid, -1.0);
+            for (a, (x, w)) in acc.iter_mut().zip(xhat[ci].iter().zip(wk.iter())) {
+                *a = a.add(x.mul(*w));
+            }
+        }
+        fft2_inplace(&mut acc, grid, 1.0);
+        let scale = 1.0 / n2 as f32;
+        // Valid correlation output (oy, ox) lives at cyclic position
+        // (oy*s - pad + k - 1, ...).
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let y = (oy * p.stride + p.k - 1) as isize - p.pad as isize;
+                let x = (ox * p.stride + p.k - 1) as isize - p.pad as isize;
+                debug_assert!(y >= 0 && x >= 0, "pad <= k-1 for the studied layers");
+                out[(oc * oh + oy) * ow + ox] = acc[y as usize * grid + x as usize].re * scale;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lva_kernels::reference::conv_direct_ref;
+    use lva_tensor::host_random;
+
+    fn cvec(re: &[f32]) -> Vec<Complex> {
+        re.iter().map(|&r| Complex::new(r, 0.0)).collect()
+    }
+
+    #[test]
+    fn fft_matches_naive_dft() {
+        for n in [2usize, 4, 8, 32, 64] {
+            let data = cvec(&host_random(n, n as u64));
+            let mut got = data.clone();
+            fft_inplace(&mut got, -1.0);
+            let want = dft_naive(&data, -1.0);
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g.re - w.re).abs() < 1e-3 && (g.im - w.im).abs() < 1e-3, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_fft_roundtrips() {
+        let data = cvec(&host_random(128, 7));
+        let mut x = data.clone();
+        fft_inplace(&mut x, -1.0);
+        fft_inplace(&mut x, 1.0);
+        for (g, w) in x.iter().zip(&data) {
+            assert!((g.re / 128.0 - w.re).abs() < 1e-4);
+            assert!((g.im / 128.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn fft2_roundtrips() {
+        let p = 16;
+        let data = cvec(&host_random(p * p, 9));
+        let mut x = data.clone();
+        fft2_inplace(&mut x, p, -1.0);
+        fft2_inplace(&mut x, p, 1.0);
+        let scale = (p * p) as f32;
+        for (g, w) in x.iter().zip(&data) {
+            assert!((g.re / scale - w.re).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn bit_reverse_is_involution() {
+        let mut v: Vec<usize> = (0..64).collect();
+        bit_reverse_permute(&mut v);
+        bit_reverse_permute(&mut v);
+        assert_eq!(v, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn conv_fft_matches_direct_various() {
+        for p in [
+            ConvParams { in_c: 2, in_h: 9, in_w: 9, out_c: 3, k: 3, stride: 1, pad: 1 },
+            ConvParams { in_c: 1, in_h: 12, in_w: 12, out_c: 2, k: 5, stride: 1, pad: 2 },
+            ConvParams { in_c: 3, in_h: 10, in_w: 10, out_c: 2, k: 7, stride: 1, pad: 3 },
+            ConvParams { in_c: 2, in_h: 12, in_w: 12, out_c: 2, k: 3, stride: 2, pad: 1 },
+            ConvParams { in_c: 1, in_h: 8, in_w: 8, out_c: 1, k: 1, stride: 1, pad: 0 },
+        ] {
+            let img = host_random(p.in_c * p.in_h * p.in_w, 3);
+            let w = host_random(p.out_c * p.in_c * p.k * p.k, 4);
+            let got = conv_fft_ref(&p, &img, &w);
+            let want = conv_direct_ref(&p, &img, &w);
+            for (i, (g, d)) in got.iter().zip(&want).enumerate() {
+                assert!((g - d).abs() < 5e-3, "{p:?} idx {i}: {g} vs {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn grid_size_covers_linear_convolution() {
+        let p = ConvParams { in_c: 1, in_h: 20, in_w: 20, out_c: 1, k: 11, stride: 1, pad: 5 };
+        assert_eq!(fft_grid(&p), 32);
+    }
+}

@@ -1,0 +1,26 @@
+//! # lva-fft — FFT convolution, the paper's large-kernel algorithm
+//!
+//! §II-C of the paper: "FFT works best with layers with large kernel
+//! sizes". This crate completes the algorithm menu (im2col+GEMM, Winograd,
+//! Direct, FFT) with a from-scratch implementation:
+//!
+//! * [`host`] — a reference radix-2 complex FFT (validated against a naive
+//!   DFT), 2D transforms, and a host FFT-convolution used as ground truth;
+//! * [`vla`] — the simulated implementation: a **split-complex** layout
+//!   (separate real/imaginary planes, the standard choice for vector
+//!   machines because every butterfly stage becomes unit-stride vector
+//!   arithmetic over precomputed twiddle tables), 2D transforms with
+//!   strided column passes, per-frequency channel accumulation using
+//!   `vfmacc`/`vfnmsac` pairs, and offline (untimed) weight transforms —
+//!   the same methodology as the Winograd path.
+//!
+//! FFT convolution trades multiplications for a padded frequency image of
+//! `P x P >= (in + k - 1)` per channel, so its memory footprint is the
+//! largest of the four algorithms — one reason the paper's networks (1x1 /
+//! 3x3 kernels) never choose it, exactly as §II-C prescribes.
+
+pub mod host;
+pub mod vla;
+
+pub use host::{conv_fft_ref, dft_naive, fft_inplace, Complex};
+pub use vla::{conv_fft_vla, FftConvPlan};

@@ -1,0 +1,361 @@
+//! Machine configuration: ISA profiles, vector unit, scalar core, and the
+//! platform presets matching Table I of the paper.
+
+use lva_sim::{
+    l2_latency_cycles, CacheConfig, LatencyModel, MemSystemConfig, StridePrefetcherConfig, VpuPath,
+};
+
+/// Default L1 data cache capacity (Table I: 64 kB, 4-way).
+pub const DEFAULT_L1_BYTES: usize = 64 * 1024;
+/// Default simulated L2 capacity (Table I: 1 MB, 8-way).
+pub const DEFAULT_L2_BYTES: usize = 1 << 20;
+/// A64FX L2 capacity (Table I: 8 MB, 16-way).
+pub const A64FX_L2_BYTES: usize = 8 << 20;
+
+/// Vector ISA family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IsaKind {
+    /// RISC-V Vector extension: MVL 16384 bits, `vsetvl` semantics.
+    Rvv,
+    /// ARM Scalable Vector Extension: MVL 2048 bits, predicate-driven tails.
+    Sve,
+}
+
+impl IsaKind {
+    /// Architectural maximum vector length in bits.
+    pub fn max_vlen_bits(self) -> usize {
+        match self {
+            IsaKind::Rvv => 16384,
+            IsaKind::Sve => 2048,
+        }
+    }
+}
+
+/// Vector processing unit parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct VpuConfig {
+    pub isa: IsaKind,
+    /// Hardware vector register length in bits (a hardware design parameter
+    /// under a VLA ISA; the co-design sweeps vary it).
+    pub vlen_bits: usize,
+    /// On-chip parallelism: single-precision elements processed per cycle.
+    pub lanes: usize,
+    /// Fixed pipeline depth contributing to start-up time.
+    pub pipe_depth: u32,
+    /// Memory-level parallelism: outstanding line fills that overlap within
+    /// one vector memory instruction.
+    pub mlp: u32,
+    /// Register-file fill bandwidth in bytes per cycle (unit-stride ops
+    /// charge `bytes_moved / bus_bytes` occupancy; misses are charged per
+    /// line on top).
+    pub bus_bytes: u32,
+    /// Per-element cost of indexed (gather/scatter) accesses, in cycles.
+    pub gather_elem_cycles: u32,
+    /// Dead cycles between consecutive vector instructions on the unit
+    /// (issue/queue/start-up overhead that pipelining cannot hide). This is
+    /// the §V start-up overhead that "becomes minimal" with longer vectors:
+    /// short vector lengths need many more instructions and pay it often.
+    pub inter_instr_gap: u32,
+}
+
+impl VpuConfig {
+    /// Register length in single-precision elements.
+    #[inline]
+    pub fn vlen_elems(&self) -> usize {
+        self.vlen_bits / 32
+    }
+
+    /// Start-up overhead of a vector instruction: pipeline depth plus lane
+    /// fill (§V: "adding more pipelines increases the start-up overhead").
+    #[inline]
+    pub fn startup(&self) -> u64 {
+        self.pipe_depth as u64 + self.lanes as u64
+    }
+
+    /// Execution chime: cycles the unit is occupied computing `n` elements.
+    #[inline]
+    pub fn chime(&self, n: usize) -> u64 {
+        ((n + self.lanes - 1) / self.lanes).max(1) as u64
+    }
+
+    fn validate(&self) {
+        assert!(self.vlen_bits.is_power_of_two(), "vector length must be a power of two");
+        assert!(self.vlen_bits >= 128, "vector length below 128 bits");
+        assert!(
+            self.vlen_bits <= self.isa.max_vlen_bits(),
+            "vlen {} exceeds MVL {} of {:?}",
+            self.vlen_bits,
+            self.isa.max_vlen_bits(),
+            self.isa
+        );
+        assert!(self.lanes >= 1 && self.lanes <= 64, "lane count out of range");
+        assert!(self.mlp >= 1);
+    }
+}
+
+/// Scalar core parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct CoreConfig {
+    /// Out-of-order cores (A64FX) hide dependency stalls within a window of
+    /// this many cycles; in-order cores (gem5 MinorCPU) use 0.
+    pub ooo_window: u64,
+    /// Average cycles charged per scalar arithmetic/control operation unit
+    /// in bulk-charged scalar code (the `-fno-vectorize` baseline).
+    pub scalar_cpi: f64,
+    /// Cycles per scalar load/store issued *inside vector kernels* (the A
+    /// operand broadcasts and address bookkeeping of the micro-kernels).
+    /// These dual-issue with vector work on real cores, so they are cheaper
+    /// than stand-alone scalar code.
+    pub kernel_scalar_cpi: f64,
+    /// Front-end cycles consumed per vector instruction issued (1.0 on the
+    /// single-issue in-order gem5 cores; below 1 on the wide-decode A64FX).
+    pub issue_cycles: f64,
+    /// Fraction of a scalar miss latency actually exposed (models limited
+    /// scalar MLP / store buffering).
+    pub scalar_miss_exposure: f64,
+}
+
+/// Platform identity used by reports and presets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Platform {
+    /// RISC-V Vector on the gem5 fork: in-order, decoupled VPU at L2.
+    RvvGem5,
+    /// ARM-SVE on public gem5: in-order, vector accesses through L1,
+    /// prefetch instructions are no-ops, lanes proportional to vector length.
+    SveGem5,
+    /// Fujitsu A64FX: out-of-order, 512-bit SVE, HW + SW prefetch, 8 MB L2.
+    A64fx,
+}
+
+impl Platform {
+    pub fn name(self) -> &'static str {
+        match self {
+            Platform::RvvGem5 => "RISC-V Vector @ gem5",
+            Platform::SveGem5 => "ARM-SVE @ gem5",
+            Platform::A64fx => "A64FX",
+        }
+    }
+}
+
+/// Complete machine description: scalar core + VPU + memory system.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    pub platform: Platform,
+    pub core: CoreConfig,
+    pub vpu: VpuConfig,
+    pub mem: MemSystemConfig,
+    /// Simulated memory arena capacity in MiB.
+    pub arena_mib: usize,
+}
+
+impl MachineConfig {
+    /// RISC-V Vector @ gem5 (Table I): in-order MinorCPU, VPU decoupled at
+    /// the L2 behind a 2 KB vector cache, no prefetching, 64 B lines,
+    /// L1 64 kB/4-way, L2 `l2_bytes`/8-way at the paper's constant 12-cycle
+    /// latency, vector length `vlen_bits` (512..16384), `lanes` in 2..8.
+    pub fn rvv_gem5(vlen_bits: usize, lanes: usize, l2_bytes: usize) -> Self {
+        let cfg = MachineConfig {
+            platform: Platform::RvvGem5,
+            core: CoreConfig { ooo_window: 0, scalar_cpi: 1.6, kernel_scalar_cpi: 0.5, issue_cycles: 1.0, scalar_miss_exposure: 0.5 },
+            vpu: VpuConfig {
+                isa: IsaKind::Rvv,
+                vlen_bits,
+                lanes,
+                pipe_depth: 8,
+                mlp: 2,
+                bus_bytes: 32,
+                gather_elem_cycles: 2,
+                inter_instr_gap: 3,
+            },
+            mem: MemSystemConfig {
+                l1: CacheConfig {
+                    name: "L1D",
+                    bytes: DEFAULT_L1_BYTES,
+                    line_bytes: 64,
+                    assoc: 4,
+                    hit_latency: 4,
+                },
+                l2: CacheConfig {
+                    name: "L2",
+                    bytes: l2_bytes,
+                    line_bytes: 64,
+                    assoc: 8,
+                    hit_latency: l2_latency_cycles(l2_bytes, LatencyModel::Constant),
+                },
+                mem_latency: 110,
+                vpu_path: VpuPath::DecoupledL2 { vcache_bytes: 2048 },
+                hw_prefetch: None,
+                sw_prefetch_effective: false,
+            },
+            arena_mib: 512,
+        };
+        cfg.validate();
+        cfg
+    }
+
+    /// ARM-SVE @ gem5 (Table I): in-order, vector accesses through L1,
+    /// prefetch instructions dropped, serial miss handling (`mlp = 1`, an
+    /// in-order core without prefetchers exposes its misses).
+    ///
+    /// Table I describes gem5's lanes as "proportional to vector length",
+    /// but the paper's own measurement — only 1.34x from 512-bit to
+    /// 2048-bit (Fig. 8) — is incompatible with per-element throughput
+    /// growing 4x; this profile therefore models a fixed-width datapath,
+    /// where longer vectors win by amortizing per-instruction overheads,
+    /// which reproduces the measured scaling.
+    pub fn sve_gem5(vlen_bits: usize, l2_bytes: usize) -> Self {
+        let lanes = 8; // fixed datapath width; see doc comment
+        let cfg = MachineConfig {
+            platform: Platform::SveGem5,
+            core: CoreConfig { ooo_window: 0, scalar_cpi: 1.6, kernel_scalar_cpi: 0.5, issue_cycles: 1.0, scalar_miss_exposure: 0.5 },
+            vpu: VpuConfig {
+                isa: IsaKind::Sve,
+                vlen_bits,
+                lanes,
+                pipe_depth: 8,
+                mlp: 1,
+                bus_bytes: 32,
+                gather_elem_cycles: 2,
+                inter_instr_gap: 1,
+            },
+            mem: MemSystemConfig {
+                l1: CacheConfig {
+                    name: "L1D",
+                    bytes: DEFAULT_L1_BYTES,
+                    line_bytes: 64,
+                    assoc: 4,
+                    hit_latency: 4,
+                },
+                l2: CacheConfig {
+                    name: "L2",
+                    bytes: l2_bytes,
+                    line_bytes: 64,
+                    assoc: 8,
+                    hit_latency: l2_latency_cycles(l2_bytes, LatencyModel::Constant),
+                },
+                mem_latency: 110,
+                vpu_path: VpuPath::ThroughL1,
+                hw_prefetch: None,
+                sw_prefetch_effective: false,
+            },
+            arena_mib: 512,
+        };
+        cfg.validate();
+        cfg
+    }
+
+    /// Fujitsu A64FX (Table I): out-of-order, 512-bit SVE, 256 B lines,
+    /// 8 MB/16-way L2, effective software prefetch plus a hardware stride
+    /// prefetcher. Lane width chosen so single-core peak is 32 SP flops per
+    /// cycle = 64 GFLOP/s @ 2 GHz, matching the paper's 62.5 GFLOP/s figure.
+    pub fn a64fx() -> Self {
+        let cfg = MachineConfig {
+            platform: Platform::A64fx,
+            core: CoreConfig { ooo_window: 96, scalar_cpi: 1.3, kernel_scalar_cpi: 0.2, issue_cycles: 0.6, scalar_miss_exposure: 0.35 },
+            vpu: VpuConfig {
+                isa: IsaKind::Sve,
+                vlen_bits: 512,
+                lanes: 16,
+                pipe_depth: 9,
+                mlp: 1,
+                bus_bytes: 64,
+                gather_elem_cycles: 2,
+                inter_instr_gap: 0,
+            },
+            mem: MemSystemConfig {
+                l1: CacheConfig {
+                    name: "L1D",
+                    bytes: DEFAULT_L1_BYTES,
+                    line_bytes: 256,
+                    assoc: 4,
+                    hit_latency: 5,
+                },
+                l2: CacheConfig {
+                    name: "L2",
+                    bytes: A64FX_L2_BYTES,
+                    line_bytes: 256,
+                    assoc: 16,
+                    hit_latency: 37,
+                },
+                mem_latency: 180,
+                vpu_path: VpuPath::ThroughL1,
+                hw_prefetch: Some(StridePrefetcherConfig { streams: 8, degree: 6, confidence: 2 }),
+                sw_prefetch_effective: true,
+            },
+            arena_mib: 512,
+        };
+        cfg.validate();
+        cfg
+    }
+
+    /// Peak single-precision flops per cycle (FMA counts two).
+    pub fn peak_flops_per_cycle(&self) -> f64 {
+        2.0 * self.vpu.lanes as f64
+    }
+
+    fn validate(&self) {
+        self.vpu.validate();
+        match self.vpu.isa {
+            IsaKind::Rvv => assert!(matches!(self.mem.vpu_path, VpuPath::DecoupledL2 { .. })),
+            IsaKind::Sve => assert!(matches!(self.mem.vpu_path, VpuPath::ThroughL1)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mvl_limits() {
+        assert_eq!(IsaKind::Rvv.max_vlen_bits(), 16384);
+        assert_eq!(IsaKind::Sve.max_vlen_bits(), 2048);
+    }
+
+    #[test]
+    fn rvv_preset_matches_table1() {
+        let c = MachineConfig::rvv_gem5(16384, 8, DEFAULT_L2_BYTES);
+        assert_eq!(c.vpu.vlen_elems(), 512);
+        assert!(matches!(c.mem.vpu_path, VpuPath::DecoupledL2 { vcache_bytes: 2048 }));
+        assert!(!c.mem.sw_prefetch_effective);
+        assert!(c.mem.hw_prefetch.is_none());
+        assert_eq!(c.mem.l2.hit_latency, 12);
+    }
+
+    #[test]
+    fn sve_fixed_datapath_means_constant_per_element_throughput() {
+        // See the sve_gem5 doc comment: the datapath width is fixed, so the
+        // chime grows with the vector length and per-element compute time is
+        // constant — longer vectors win only by amortizing per-instruction
+        // overheads, which is what bounds Fig. 8's 1.34x.
+        let a = MachineConfig::sve_gem5(512, DEFAULT_L2_BYTES);
+        let b = MachineConfig::sve_gem5(2048, DEFAULT_L2_BYTES);
+        assert_eq!(a.vpu.lanes, b.vpu.lanes);
+        assert_eq!(4 * a.vpu.chime(a.vpu.vlen_elems()), b.vpu.chime(b.vpu.vlen_elems()));
+    }
+
+    #[test]
+    fn a64fx_profile() {
+        let c = MachineConfig::a64fx();
+        assert_eq!(c.vpu.vlen_bits, 512);
+        assert!(c.mem.sw_prefetch_effective);
+        assert!(c.mem.hw_prefetch.is_some());
+        assert_eq!(c.mem.l1.line_bytes, 256);
+        // Peak ~62.5 GFLOP/s at 2 GHz in the paper => 32 flops/cycle here.
+        assert_eq!(c.peak_flops_per_cycle(), 32.0);
+    }
+
+    #[test]
+    fn startup_grows_with_lanes() {
+        let a = MachineConfig::rvv_gem5(4096, 2, DEFAULT_L2_BYTES);
+        let b = MachineConfig::rvv_gem5(4096, 8, DEFAULT_L2_BYTES);
+        assert!(b.vpu.startup() > a.vpu.startup());
+        assert!(b.vpu.chime(128) < a.vpu.chime(128));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds MVL")]
+    fn sve_vlen_capped() {
+        let _ = MachineConfig::sve_gem5(4096, DEFAULT_L2_BYTES);
+    }
+}

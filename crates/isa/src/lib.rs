@@ -1,0 +1,41 @@
+//! # lva-isa — a vector-length-agnostic vector engine
+//!
+//! This crate is the reproduction's substitute for the RISC-V Vector / ARM-SVE
+//! intrinsics plus the gem5 CPU models used by the paper. Kernels are written
+//! against an *intrinsics-level* API ([`Machine`]): `setvl`, unit-strided and
+//! strided vector loads/stores, gather/scatter, broadcast, fused multiply-add,
+//! predication (`whilelt`), and software prefetch. Every operation
+//!
+//! 1. **executes functionally** on `f32` data in the simulated memory arena,
+//!    so optimized kernels can be validated bit-for-bit (modulo reassociation)
+//!    against scalar references, and
+//! 2. **advances a cycle-approximate timing model**: an in-order front end, a
+//!    vector unit with `lanes` elements/cycle, start-up overhead that grows
+//!    with the lane count (§V of the paper), a per-register scoreboard (so
+//!    loop unrolling across independent accumulators genuinely hides pipeline
+//!    latency, as in Fig. 2/3), and line-granular traffic into the
+//!    [`lva_sim::MemSystem`] cache hierarchy.
+//!
+//! The two ISA profiles mirror the paper's platforms:
+//!
+//! * [`IsaKind::Rvv`] — max vector length 16384 bits, decoupled VPU attached
+//!   to L2 through a 2 KB vector cache, no effective prefetch instructions.
+//! * [`IsaKind::Sve`] — max vector length 2048 bits, vector accesses through
+//!   L1, per-lane predication; lanes proportional to the vector length on the
+//!   gem5 profile, and an A64FX-like out-of-order profile with hardware +
+//!   software prefetch.
+
+pub mod config;
+pub mod machine;
+pub mod pred;
+pub mod stats;
+
+pub use config::{
+    CoreConfig, IsaKind, MachineConfig, Platform, VpuConfig, A64FX_L2_BYTES, DEFAULT_L1_BYTES,
+    DEFAULT_L2_BYTES,
+};
+pub use machine::{Machine, VReg, NUM_VREGS};
+pub use pred::Pred;
+pub use stats::{KernelPhase, PhaseTimer, VpuStats};
+
+pub use lva_sim::{Buf, Memory, PrefetchTarget};

@@ -1,0 +1,1157 @@
+//! The simulated machine: scalar core + VLA vector unit + memory hierarchy.
+//!
+//! All kernel code in this workspace is written against this API, in the
+//! shape of the paper's pseudocode (Figs. 1–4): `setvl`/`whilelt`, vector
+//! loads/stores, broadcast, `vfmacc`, software prefetch, and bulk-charged
+//! scalar work for the non-vectorized baseline.
+//!
+//! ## Timing model
+//!
+//! * A front-end clock `now` advances by one cycle per issued vector
+//!   instruction (plus explicitly charged scalar work).
+//! * The vector unit is busy until `unit_free`; an instruction occupies it
+//!   for its *chime* (`ceil(active/lanes)` for arithmetic, line-transfer plus
+//!   exposed miss time for memory ops).
+//! * Each destination register has a scoreboard entry `ready[r]`; an
+//!   instruction cannot start before its sources are ready (in-order cores)
+//!   or before `ready - ooo_window` (the A64FX-like out-of-order profile).
+//!   Unrolling over independent accumulators therefore hides the
+//!   `startup = pipe_depth + lanes` latency exactly as §IV-A describes.
+//! * Vector memory operations charge the cache hierarchy per distinct line
+//!   touched; miss latencies beyond the first-level hit overlap with a
+//!   memory-level-parallelism factor `mlp`.
+
+use crate::config::{IsaKind, MachineConfig};
+use crate::pred::Pred;
+use crate::stats::{KernelPhase, PhaseTimer, VpuStats};
+use lva_sim::{AccessKind, MemSystem, Memory, PrefetchTarget, VpuPath};
+
+/// Number of architectural vector registers (both RVV and SVE have 32).
+pub const NUM_VREGS: usize = 32;
+
+/// A vector register name (0..32).
+pub type VReg = usize;
+
+/// The simulated machine. See module docs.
+pub struct Machine {
+    cfg: MachineConfig,
+    pub mem: Memory,
+    pub sys: MemSystem,
+    /// Register file: `NUM_VREGS * vlen_elems` elements, row per register.
+    regs: Vec<f32>,
+    vlen_elems: usize,
+    now: u64,
+    unit_free: u64,
+    ready: [u64; NUM_VREGS],
+    /// Fractional scalar cycles not yet committed to `now`.
+    scalar_frac: f64,
+    /// Recent missed lines (ring), for sequential-miss overlap on
+    /// prefetching platforms: a miss on the next line of any recent miss
+    /// stream is a *late prefetch* whose fill is already in flight.
+    recent_misses: [u64; 8],
+    recent_miss_pos: usize,
+    pub stats: VpuStats,
+    pub phases: PhaseTimer,
+}
+
+impl Machine {
+    pub fn new(cfg: MachineConfig) -> Self {
+        let vlen_elems = cfg.vpu.vlen_elems();
+        Machine {
+            mem: Memory::with_mib(cfg.arena_mib),
+            sys: MemSystem::new(cfg.mem.clone()),
+            regs: vec![0.0; NUM_VREGS * vlen_elems],
+            vlen_elems,
+            now: 0,
+            unit_free: 0,
+            ready: [0; NUM_VREGS],
+            scalar_frac: 0.0,
+            recent_misses: [u64::MAX - 1; 8],
+            recent_miss_pos: 0,
+            stats: VpuStats::default(),
+            phases: PhaseTimer::default(),
+            cfg,
+        }
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Hardware vector length in single-precision elements.
+    #[inline]
+    pub fn vlen_elems(&self) -> usize {
+        self.vlen_elems
+    }
+
+    /// Current cycle count: the time at which all issued work has completed.
+    pub fn cycles(&self) -> u64 {
+        let rmax = self.ready.iter().copied().max().unwrap_or(0);
+        self.now.max(self.unit_free).max(rmax)
+    }
+
+    /// Reset the clock, scoreboard and statistics (cache contents survive,
+    /// like the paper's exclusion of the network-setup phase).
+    pub fn reset_timing(&mut self) {
+        self.now = 0;
+        self.unit_free = 0;
+        self.ready = [0; NUM_VREGS];
+        self.scalar_frac = 0.0;
+        self.stats = VpuStats::default();
+        self.phases = PhaseTimer::default();
+        self.sys.reset_stats();
+    }
+
+    /// Run `f` attributing its cycles to kernel phase `p` (§II-B breakdown).
+    pub fn phase<R>(&mut self, p: KernelPhase, f: impl FnOnce(&mut Self) -> R) -> R {
+        let t0 = self.cycles();
+        let r = f(self);
+        let dt = self.cycles() - t0;
+        self.phases.add(p, dt);
+        r
+    }
+
+    // ------------------------------------------------------------------
+    // Register file access (functional state)
+    // ------------------------------------------------------------------
+
+    /// Read-only view of register `r` (full hardware length).
+    #[inline]
+    pub fn vreg(&self, r: VReg) -> &[f32] {
+        debug_assert!(r < NUM_VREGS);
+        &self.regs[r * self.vlen_elems..(r + 1) * self.vlen_elems]
+    }
+
+    /// Two distinct registers, the first mutable (for `vd op= vs` forms).
+    #[inline]
+    fn vreg_pair(&mut self, vd: VReg, vs: VReg) -> (&mut [f32], &[f32]) {
+        debug_assert!(vd != vs, "vd must differ from vs");
+        let n = self.vlen_elems;
+        if vd < vs {
+            let (lo, hi) = self.regs.split_at_mut(vs * n);
+            (&mut lo[vd * n..(vd + 1) * n], &hi[..n])
+        } else {
+            let (lo, hi) = self.regs.split_at_mut(vd * n);
+            (&mut hi[..n], &lo[vs * n..(vs + 1) * n])
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Timing primitives
+    // ------------------------------------------------------------------
+
+    /// Commit fractional scalar cycles into the front-end clock.
+    #[inline]
+    fn commit_scalar(&mut self) {
+        if self.scalar_frac >= 1.0 {
+            let whole = self.scalar_frac as u64;
+            self.now += whole;
+            self.scalar_frac -= whole as f64;
+        }
+    }
+
+    /// Source readiness as seen by the issue stage (OoO window applies).
+    #[inline]
+    fn src_ready(&self, r: VReg) -> u64 {
+        self.ready[r].saturating_sub(self.cfg.core.ooo_window)
+    }
+
+    /// Issue one vector instruction.
+    ///
+    /// `occupancy`: cycles the vector unit stays busy; `result_latency`:
+    /// cycles from start until `dst` (if any) is ready.
+    #[inline]
+    fn issue(&mut self, srcs: [Option<VReg>; 2], dst: Option<VReg>, occupancy: u64, result_latency: u64) {
+        self.commit_scalar();
+        let mut start = self.now.max(self.unit_free);
+        for s in srcs.into_iter().flatten() {
+            start = start.max(self.src_ready(s));
+        }
+        self.unit_free = start + occupancy + self.cfg.vpu.inter_instr_gap as u64;
+        if let Some(d) = dst {
+            self.ready[d] = start + result_latency.max(occupancy);
+        }
+        self.now = start;
+        self.scalar_frac += self.cfg.core.issue_cycles;
+        self.stats.vec_instrs += 1;
+    }
+
+    /// Miss-latency adjustment: on platforms with a hardware prefetcher, a
+    /// miss whose line directly follows the previous missed line is a late
+    /// prefetch — most of its fill latency is already in flight — so only a
+    /// quarter of it is exposed.
+    #[inline]
+    fn miss_extra(&mut self, line: u64, raw_extra: u64) -> u64 {
+        let seq = self.recent_misses.iter().any(|&m| line == m.wrapping_add(1));
+        self.recent_misses[self.recent_miss_pos] = line;
+        self.recent_miss_pos = (self.recent_miss_pos + 1) % self.recent_misses.len();
+        if seq && self.cfg.mem.hw_prefetch.is_some() {
+            raw_extra / 4
+        } else {
+            raw_extra
+        }
+    }
+
+    /// Aggregate the cache cost of one vector memory instruction.
+    ///
+    /// Returns `(occupancy, result_latency)` for [`Self::issue`]. Visits
+    /// each line in `lines` (byte addresses, one representative per line).
+    #[inline]
+    fn mem_instr_cost<I: Iterator<Item = u64>>(
+        &mut self,
+        lines: I,
+        kind: AccessKind,
+        bytes: u64,
+    ) -> (u64, u64) {
+        let vpu = self.cfg.vpu;
+        let base_lat = match self.cfg.mem.vpu_path {
+            VpuPath::ThroughL1 => self.cfg.mem.l1.hit_latency,
+            VpuPath::DecoupledL2 { .. } => 2,
+        } as u64;
+        let mut extra: u64 = 0;
+        let mut n_lines: u64 = 0;
+        let lb = self.sys.line_bytes() as u64;
+        for addr in lines {
+            let (_lvl, lat) = self.sys.demand_vector(addr, kind);
+            let raw = (lat as u64).saturating_sub(base_lat);
+            extra += if raw > 0 { self.miss_extra(addr / lb, raw) } else { 0 };
+            n_lines += 1;
+        }
+        // Long accesses expose more line fills to overlap: effective MLP
+        // grows with the number of lines in flight (capped).
+        let eff_mlp = (vpu.mlp as u64).max(n_lines / 2).min(8);
+        let exposed = extra / eff_mlp;
+        let tx = (bytes + vpu.bus_bytes as u64 - 1) / vpu.bus_bytes as u64;
+        let occ = tx + exposed;
+        let lat = vpu.pipe_depth as u64 + base_lat + occ;
+        (occ.max(1), lat)
+    }
+
+    // ------------------------------------------------------------------
+    // Vector length / predication
+    // ------------------------------------------------------------------
+
+    /// RVV `vsetvl`: granted vector length for a requested `rvl` elements.
+    #[inline]
+    pub fn setvl(&mut self, rvl: usize) -> usize {
+        self.charge_scalar_ops(1);
+        rvl.min(self.vlen_elems)
+    }
+
+    /// SVE `whilelt`: predicate for lanes `i..n`.
+    #[inline]
+    pub fn whilelt(&mut self, i: usize, n: usize) -> Pred {
+        self.charge_scalar_ops(1);
+        Pred::whilelt(i, n, self.vlen_elems)
+    }
+
+    /// SVE `svcntw`: number of 32-bit lanes (Fig. 4 line 3).
+    #[inline]
+    pub fn svcntw(&self) -> usize {
+        self.vlen_elems
+    }
+
+    // ------------------------------------------------------------------
+    // Vector memory operations
+    // ------------------------------------------------------------------
+
+    /// Unit-stride vector load of `vl` elements from byte address `addr`.
+    pub fn vle(&mut self, vd: VReg, addr: u64, vl: usize) {
+        debug_assert!(vl <= self.vlen_elems);
+        if vl == 0 {
+            return;
+        }
+        // Functional.
+        let src_ptr = addr;
+        {
+            let n = self.vlen_elems;
+            // Copy out of memory into the register row. Split borrows: the
+            // register file and arena are distinct fields.
+            let words = self.mem.words(src_ptr, vl);
+            let dst = &mut self.regs[vd * n..vd * n + vl];
+            dst.copy_from_slice(words);
+        }
+        // Timing.
+        let lb = self.sys.line_bytes() as u64;
+        let first = addr / lb;
+        let last = (addr + 4 * vl as u64 - 1) / lb;
+        let (occ, lat) =
+            self.mem_instr_cost((first..=last).map(move |l| l * lb), AccessKind::Read, 4 * vl as u64);
+        self.issue([None, None], Some(vd), occ, lat);
+        self.stats.vec_mem_instrs += 1;
+        self.stats.active_elems += vl as u64;
+    }
+
+    /// Unit-stride vector store of `vl` elements to byte address `addr`.
+    pub fn vse(&mut self, vs: VReg, addr: u64, vl: usize) {
+        debug_assert!(vl <= self.vlen_elems);
+        if vl == 0 {
+            return;
+        }
+        {
+            let n = self.vlen_elems;
+            let reg_row = vd_row(&self.regs, vs, n, vl);
+            self.mem.words_mut(addr, vl).copy_from_slice(reg_row);
+        }
+        let lb = self.sys.line_bytes() as u64;
+        let first = addr / lb;
+        let last = (addr + 4 * vl as u64 - 1) / lb;
+        let (occ, _lat) =
+            self.mem_instr_cost((first..=last).map(move |l| l * lb), AccessKind::Write, 4 * vl as u64);
+        // Stores retire through the store buffer: they occupy the unit but
+        // the source register is already available; no new result.
+        self.issue([Some(vs), None], None, occ, occ);
+        self.stats.vec_mem_instrs += 1;
+        self.stats.active_elems += vl as u64;
+    }
+
+    /// Strided vector load: element `i` comes from `addr + i * stride_bytes`.
+    pub fn vlse(&mut self, vd: VReg, addr: u64, stride_bytes: u64, vl: usize) {
+        debug_assert!(vl <= self.vlen_elems);
+        if vl == 0 {
+            return;
+        }
+        for i in 0..vl {
+            let v = self.mem.read_addr(addr + i as u64 * stride_bytes);
+            let n = self.vlen_elems;
+            self.regs[vd * n + i] = v;
+        }
+        let (occ, lat) = self.strided_cost(addr, stride_bytes, vl, AccessKind::Read);
+        self.issue([None, None], Some(vd), occ, lat);
+        self.stats.vec_mem_instrs += 1;
+        self.stats.active_elems += vl as u64;
+    }
+
+    /// Strided vector store: element `i` goes to `addr + i * stride_bytes`.
+    pub fn vsse(&mut self, vs: VReg, addr: u64, stride_bytes: u64, vl: usize) {
+        debug_assert!(vl <= self.vlen_elems);
+        if vl == 0 {
+            return;
+        }
+        for i in 0..vl {
+            let n = self.vlen_elems;
+            let v = self.regs[vs * n + i];
+            self.mem.write_addr(addr + i as u64 * stride_bytes, v);
+        }
+        let (occ, _) = self.strided_cost(addr, stride_bytes, vl, AccessKind::Write);
+        self.issue([Some(vs), None], None, occ, occ);
+        self.stats.vec_mem_instrs += 1;
+        self.stats.active_elems += vl as u64;
+    }
+
+    /// Cost of a strided/indexed access: per-element issue plus line traffic
+    /// (consecutive duplicate lines deduplicated, as a coalescing LSU would).
+    fn strided_cost(&mut self, addr: u64, stride_bytes: u64, vl: usize, kind: AccessKind) -> (u64, u64) {
+        let lb = self.sys.line_bytes() as u64;
+        let vpu = self.cfg.vpu;
+        let base_lat = match self.cfg.mem.vpu_path {
+            VpuPath::ThroughL1 => self.cfg.mem.l1.hit_latency,
+            VpuPath::DecoupledL2 { .. } => 2,
+        } as u64;
+        let mut extra: u64 = 0;
+        let mut last_line = u64::MAX;
+        let mut n_lines: u64 = 0;
+        for i in 0..vl {
+            let a = addr + i as u64 * stride_bytes;
+            let line = a / lb;
+            if line != last_line {
+                let (_lvl, lat) = self.sys.demand_vector_opts(a, kind, false);
+                extra += (lat as u64).saturating_sub(base_lat);
+                n_lines += 1;
+                last_line = line;
+            }
+        }
+        let exposed = extra / vpu.mlp as u64;
+        let _ = n_lines;
+        let occ = vl as u64 * vpu.gather_elem_cycles as u64 + exposed;
+        let lat = vpu.pipe_depth as u64 + base_lat + occ;
+        (occ, lat)
+    }
+
+    /// Indexed gather load: element `i` comes from `base + 4 * idx[i]`
+    /// (indices in elements, as RVV `vluxei32` / SVE gather with a vector of
+    /// offsets). A sentinel index of `u32::MAX` marks an inactive lane
+    /// (predicated out): the lane loads 0.0 and is not charged.
+    pub fn vgather(&mut self, vd: VReg, base: u64, idx: &[u32], vl: usize) {
+        debug_assert!(vl <= idx.len() && vl <= self.vlen_elems);
+        if vl == 0 {
+            return;
+        }
+        for i in 0..vl {
+            let n = self.vlen_elems;
+            self.regs[vd * n + i] = if idx[i] == u32::MAX {
+                0.0
+            } else {
+                self.mem.read_addr(base + 4 * idx[i] as u64)
+            };
+        }
+        let (occ, lat) = self.indexed_cost(base, &idx[..vl], AccessKind::Read);
+        self.issue([None, None], Some(vd), occ, lat);
+        self.stats.vec_mem_instrs += 1;
+        self.stats.active_elems += vl as u64;
+    }
+
+    /// Indexed scatter store: element `i` goes to `base + 4 * idx[i]`.
+    /// Lanes whose index is `u32::MAX` are predicated out (not stored, not
+    /// charged).
+    pub fn vscatter(&mut self, vs: VReg, base: u64, idx: &[u32], vl: usize) {
+        debug_assert!(vl <= idx.len() && vl <= self.vlen_elems);
+        if vl == 0 {
+            return;
+        }
+        for i in 0..vl {
+            if idx[i] == u32::MAX {
+                continue;
+            }
+            let n = self.vlen_elems;
+            let v = self.regs[vs * n + i];
+            self.mem.write_addr(base + 4 * idx[i] as u64, v);
+        }
+        let (occ, _) = self.indexed_cost(base, &idx[..vl], AccessKind::Write);
+        self.issue([Some(vs), None], None, occ, occ);
+        self.stats.vec_mem_instrs += 1;
+        self.stats.active_elems += vl as u64;
+    }
+
+    /// Structured gather where lanes come in contiguous groups of four
+    /// elements (SVE "create tuples of four vectors and transpose" — LD1 of
+    /// 16-byte chunks plus ZIP/TRN register permutes, §VII). Functionally
+    /// identical to [`Self::vgather`], but charged per 4-element group plus
+    /// a fixed permute overhead instead of per element. RISC-V Vector has
+    /// no such instructions, which is why the paper excludes it from the
+    /// Winograd analysis.
+    pub fn vgather4(&mut self, vd: VReg, base: u64, idx: &[u32], vl: usize) {
+        debug_assert!(vl <= idx.len() && vl <= self.vlen_elems);
+        if vl == 0 {
+            return;
+        }
+        for i in 0..vl {
+            let n = self.vlen_elems;
+            self.regs[vd * n + i] = if idx[i] == u32::MAX {
+                0.0
+            } else {
+                self.mem.read_addr(base + 4 * idx[i] as u64)
+            };
+        }
+        let (occ, lat) = self.grouped_cost(base, &idx[..vl], AccessKind::Read);
+        self.issue([None, None], Some(vd), occ, lat);
+        self.stats.vec_mem_instrs += 1;
+        self.stats.active_elems += vl as u64;
+    }
+
+    /// Structured scatter, the store-side counterpart of [`Self::vgather4`]
+    /// (register transpose + ST1 of 16-byte chunks).
+    pub fn vscatter4(&mut self, vs: VReg, base: u64, idx: &[u32], vl: usize) {
+        debug_assert!(vl <= idx.len() && vl <= self.vlen_elems);
+        if vl == 0 {
+            return;
+        }
+        for i in 0..vl {
+            if idx[i] == u32::MAX {
+                continue;
+            }
+            let n = self.vlen_elems;
+            let v = self.regs[vs * n + i];
+            self.mem.write_addr(base + 4 * idx[i] as u64, v);
+        }
+        let (occ, _) = self.grouped_cost(base, &idx[..vl], AccessKind::Write);
+        self.issue([Some(vs), None], None, occ, occ);
+        self.stats.vec_mem_instrs += 1;
+        self.stats.active_elems += vl as u64;
+    }
+
+    /// Cost of a structured group-of-4 indexed access: one issue slot per
+    /// group plus a fixed permute cost, with line-granular cache charging.
+    fn grouped_cost(&mut self, base: u64, idx: &[u32], kind: AccessKind) -> (u64, u64) {
+        let lb = self.sys.line_bytes() as u64;
+        let vpu = self.cfg.vpu;
+        let base_lat = match self.cfg.mem.vpu_path {
+            VpuPath::ThroughL1 => self.cfg.mem.l1.hit_latency,
+            VpuPath::DecoupledL2 { .. } => 2,
+        } as u64;
+        let mut extra: u64 = 0;
+        let mut last_line = u64::MAX;
+        let mut active: u64 = 0;
+        for &ix in idx {
+            if ix == u32::MAX {
+                continue;
+            }
+            active += 1;
+            let a = base + 4 * ix as u64;
+            let line = a / lb;
+            if line != last_line {
+                let (_lvl, lat) = self.sys.demand_vector_opts(a, kind, false);
+                let raw = (lat as u64).saturating_sub(base_lat);
+                extra += if raw > 0 { self.miss_extra(line, raw) } else { 0 };
+                last_line = line;
+            }
+        }
+        let exposed = extra / vpu.mlp as u64;
+        // One slot per 4-element group + 2 cycles of ZIP/TRN permutes.
+        let occ = ((active + 3) / 4).max(1) + 2 + exposed;
+        let lat = vpu.pipe_depth as u64 + base_lat + occ;
+        (occ, lat)
+    }
+
+    fn indexed_cost(&mut self, base: u64, idx: &[u32], kind: AccessKind) -> (u64, u64) {
+        let lb = self.sys.line_bytes() as u64;
+        let vpu = self.cfg.vpu;
+        let base_lat = match self.cfg.mem.vpu_path {
+            VpuPath::ThroughL1 => self.cfg.mem.l1.hit_latency,
+            VpuPath::DecoupledL2 { .. } => 2,
+        } as u64;
+        let mut extra: u64 = 0;
+        let mut last_line = u64::MAX;
+        let mut active: u64 = 0;
+        for &ix in idx {
+            if ix == u32::MAX {
+                continue;
+            }
+            active += 1;
+            let a = base + 4 * ix as u64;
+            let line = a / lb;
+            if line != last_line {
+                let (_lvl, lat) = self.sys.demand_vector_opts(a, kind, false);
+                extra += (lat as u64).saturating_sub(base_lat);
+                last_line = line;
+            }
+        }
+        let exposed = extra / vpu.mlp as u64;
+        let occ = (active * vpu.gather_elem_cycles as u64).max(1) + exposed;
+        let lat = vpu.pipe_depth as u64 + base_lat + occ;
+        (occ, lat)
+    }
+
+    /// Software prefetch of the line at `addr` (§IV-A: dropped by the RVV
+    /// compiler, a no-op on SVE@gem5, effective on A64FX).
+    pub fn prefetch(&mut self, addr: u64, target: PrefetchTarget) {
+        self.stats.sw_prefetches += 1;
+        if self.cfg.mem.sw_prefetch_effective {
+            self.sys.sw_prefetch(addr, target);
+            self.charge_scalar_ops(1);
+        } else if self.cfg.vpu.isa == IsaKind::Sve {
+            // gem5 executes the instruction as a no-op: one issue slot.
+            self.charge_scalar_ops(1);
+        }
+        // RVV: the compiler drops the intrinsic entirely — zero cost.
+    }
+
+    // ------------------------------------------------------------------
+    // Vector arithmetic
+    // ------------------------------------------------------------------
+
+    #[inline]
+    fn arith_cost(&self, vl: usize) -> (u64, u64) {
+        let chime = self.cfg.vpu.chime(vl);
+        (chime, self.cfg.vpu.startup() + chime)
+    }
+
+    #[inline]
+    fn count_arith(&mut self, vl: usize, flops_per_elem: u64) {
+        self.stats.active_elems += vl as u64;
+        self.stats.vec_flops += vl as u64 * flops_per_elem;
+    }
+
+    /// Broadcast a scalar into all lanes (RVV `vfmv.v.f` / SVE `svdup`).
+    pub fn vbroadcast(&mut self, vd: VReg, x: f32, vl: usize) {
+        let n = self.vlen_elems;
+        self.regs[vd * n..vd * n + vl.max(1)].fill(x);
+        let (occ, lat) = self.arith_cost(1);
+        self.issue([None, None], Some(vd), occ, lat);
+        self.count_arith(vl, 0);
+    }
+
+    /// Register move `vd = vs`.
+    pub fn vmv(&mut self, vd: VReg, vs: VReg, vl: usize) {
+        if vd == vs {
+            return;
+        }
+        let (d, s) = self.vreg_pair(vd, vs);
+        d[..vl].copy_from_slice(&s[..vl]);
+        let (occ, lat) = self.arith_cost(vl);
+        self.issue([Some(vs), None], Some(vd), occ, lat);
+        self.count_arith(vl, 0);
+    }
+
+    /// `vd[i] += a * vs[i]` — RVV `vfmacc.vf` / SVE `svmla_n` (Fig. 2 l.11).
+    pub fn vfmacc_vf(&mut self, vd: VReg, a: f32, vs: VReg, vl: usize) {
+        {
+            let (d, s) = self.vreg_pair(vd, vs);
+            for i in 0..vl {
+                d[i] = a.mul_add(s[i], d[i]);
+            }
+        }
+        let (occ, lat) = self.arith_cost(vl);
+        self.issue([Some(vs), Some(vd)], Some(vd), occ, lat);
+        self.count_arith(vl, 2);
+    }
+
+    /// `vd[i] -= va[i] * vb[i]` — RVV `vfnmsac.vv` / SVE `FMLS`.
+    pub fn vfnmsac_vv(&mut self, vd: VReg, va: VReg, vb: VReg, vl: usize) {
+        debug_assert!(vd != va && vd != vb);
+        {
+            let n = self.vlen_elems;
+            for i in 0..vl {
+                let x = self.regs[va * n + i];
+                let y = self.regs[vb * n + i];
+                let d = &mut self.regs[vd * n + i];
+                *d = (-x).mul_add(y, *d);
+            }
+        }
+        let (occ, lat) = self.arith_cost(vl);
+        self.issue([Some(va), Some(vb)], Some(vd), occ, lat);
+        self.count_arith(vl, 2);
+    }
+
+    /// `vd[i] += va[i] * vb[i]` — RVV `vfmacc.vv`.
+    pub fn vfmacc_vv(&mut self, vd: VReg, va: VReg, vb: VReg, vl: usize) {
+        debug_assert!(vd != va && vd != vb);
+        {
+            let n = self.vlen_elems;
+            for i in 0..vl {
+                let x = self.regs[va * n + i];
+                let y = self.regs[vb * n + i];
+                let d = &mut self.regs[vd * n + i];
+                *d = x.mul_add(y, *d);
+            }
+        }
+        let (occ, lat) = self.arith_cost(vl);
+        self.issue([Some(va), Some(vb)], Some(vd), occ, lat);
+        self.count_arith(vl, 2);
+    }
+
+    /// `vd[i] = va[i] * b + vc_scalar`-style helpers are composed from the
+    /// primitives below.
+    /// `vd[i] = vs[i] * a`.
+    pub fn vfmul_vf(&mut self, vd: VReg, vs: VReg, a: f32, vl: usize) {
+        if vd == vs {
+            let n = self.vlen_elems;
+            for x in &mut self.regs[vd * n..vd * n + vl] {
+                *x *= a;
+            }
+        } else {
+            let (d, s) = self.vreg_pair(vd, vs);
+            for i in 0..vl {
+                d[i] = s[i] * a;
+            }
+        }
+        let (occ, lat) = self.arith_cost(vl);
+        self.issue([Some(vs), None], Some(vd), occ, lat);
+        self.count_arith(vl, 1);
+    }
+
+    /// `vd[i] = va[i] * vb[i]`.
+    pub fn vfmul_vv(&mut self, vd: VReg, va: VReg, vb: VReg, vl: usize) {
+        let n = self.vlen_elems;
+        for i in 0..vl {
+            self.regs[vd * n + i] = self.regs[va * n + i] * self.regs[vb * n + i];
+        }
+        let (occ, lat) = self.arith_cost(vl);
+        self.issue([Some(va), Some(vb)], Some(vd), occ, lat);
+        self.count_arith(vl, 1);
+    }
+
+    /// `vd[i] = va[i] + vb[i]`.
+    pub fn vfadd_vv(&mut self, vd: VReg, va: VReg, vb: VReg, vl: usize) {
+        let n = self.vlen_elems;
+        for i in 0..vl {
+            self.regs[vd * n + i] = self.regs[va * n + i] + self.regs[vb * n + i];
+        }
+        let (occ, lat) = self.arith_cost(vl);
+        self.issue([Some(va), Some(vb)], Some(vd), occ, lat);
+        self.count_arith(vl, 1);
+    }
+
+    /// `vd[i] = vs[i] + a`.
+    pub fn vfadd_vf(&mut self, vd: VReg, vs: VReg, a: f32, vl: usize) {
+        let n = self.vlen_elems;
+        for i in 0..vl {
+            self.regs[vd * n + i] = self.regs[vs * n + i] + a;
+        }
+        let (occ, lat) = self.arith_cost(vl);
+        self.issue([Some(vs), None], Some(vd), occ, lat);
+        self.count_arith(vl, 1);
+    }
+
+    /// `vd[i] = va[i] - vb[i]`.
+    pub fn vfsub_vv(&mut self, vd: VReg, va: VReg, vb: VReg, vl: usize) {
+        let n = self.vlen_elems;
+        for i in 0..vl {
+            self.regs[vd * n + i] = self.regs[va * n + i] - self.regs[vb * n + i];
+        }
+        let (occ, lat) = self.arith_cost(vl);
+        self.issue([Some(va), Some(vb)], Some(vd), occ, lat);
+        self.count_arith(vl, 1);
+    }
+
+    /// `vd[i] = max(vs[i], a)` (leaky/ReLU building block).
+    pub fn vfmax_vf(&mut self, vd: VReg, vs: VReg, a: f32, vl: usize) {
+        let n = self.vlen_elems;
+        for i in 0..vl {
+            self.regs[vd * n + i] = self.regs[vs * n + i].max(a);
+        }
+        let (occ, lat) = self.arith_cost(vl);
+        self.issue([Some(vs), None], Some(vd), occ, lat);
+        self.count_arith(vl, 1);
+    }
+
+    /// `vd[i] = max(va[i], vb[i])` (maxpool building block).
+    pub fn vfmax_vv(&mut self, vd: VReg, va: VReg, vb: VReg, vl: usize) {
+        let n = self.vlen_elems;
+        for i in 0..vl {
+            self.regs[vd * n + i] = self.regs[va * n + i].max(self.regs[vb * n + i]);
+        }
+        let (occ, lat) = self.arith_cost(vl);
+        self.issue([Some(va), Some(vb)], Some(vd), occ, lat);
+        self.count_arith(vl, 1);
+    }
+
+    /// `vd[i] = va[i] / vb[i]`.
+    pub fn vfdiv_vv(&mut self, vd: VReg, va: VReg, vb: VReg, vl: usize) {
+        let n = self.vlen_elems;
+        for i in 0..vl {
+            self.regs[vd * n + i] = self.regs[va * n + i] / self.regs[vb * n + i];
+        }
+        // Division is unpipelined-ish: several cycles per lane group.
+        let chime = 8 * self.cfg.vpu.chime(vl);
+        self.issue([Some(va), Some(vb)], Some(vd), chime, self.cfg.vpu.startup() + chime);
+        self.count_arith(vl, 1);
+    }
+
+    /// `vd[i] = sqrt(vs[i])`.
+    pub fn vfsqrt(&mut self, vd: VReg, vs: VReg, vl: usize) {
+        let n = self.vlen_elems;
+        for i in 0..vl {
+            self.regs[vd * n + i] = self.regs[vs * n + i].sqrt();
+        }
+        let chime = 8 * self.cfg.vpu.chime(vl);
+        self.issue([Some(vs), None], Some(vd), chime, self.cfg.vpu.startup() + chime);
+        self.count_arith(vl, 1);
+    }
+
+    /// Horizontal sum of the first `vl` lanes; the scalar result is consumed
+    /// by the core, so the front end waits for it.
+    pub fn vfredsum(&mut self, vs: VReg, vl: usize) -> f32 {
+        let n = self.vlen_elems;
+        let sum: f32 = self.regs[vs * n..vs * n + vl].iter().sum();
+        let chime = self.cfg.vpu.chime(vl) + (self.cfg.vpu.lanes as f64).log2().ceil() as u64;
+        let lat = self.cfg.vpu.startup() + chime;
+        self.issue([Some(vs), None], None, chime, lat);
+        self.now += lat; // core consumes the scalar
+        self.count_arith(vl, 1);
+        sum
+    }
+
+    /// Horizontal max of the first `vl` lanes.
+    pub fn vfredmax(&mut self, vs: VReg, vl: usize) -> f32 {
+        let n = self.vlen_elems;
+        let mx = self.regs[vs * n..vs * n + vl].iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let chime = self.cfg.vpu.chime(vl) + (self.cfg.vpu.lanes as f64).log2().ceil() as u64;
+        let lat = self.cfg.vpu.startup() + chime;
+        self.issue([Some(vs), None], None, chime, lat);
+        self.now += lat;
+        self.count_arith(vl, 1);
+        mx
+    }
+
+    /// Record a register spill inserted by a kernel (unroll > registers).
+    pub fn note_spill(&mut self) {
+        self.stats.spills += 1;
+    }
+
+    /// A gem5-`stats.txt`-flavoured dump of the machine state: cycle count,
+    /// instruction mix, consumed vector length, and per-level cache
+    /// statistics. One `name value` pair per line, suitable for diffing
+    /// across design points.
+    pub fn dump_stats(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let st = self.sys.stats();
+        let mut line = |k: &str, v: String| {
+            let _ = writeln!(out, "{k:<48} {v}");
+        };
+        line("sim_cycles", self.cycles().to_string());
+        line("system.cpu.vpu.vec_instrs", self.stats.vec_instrs.to_string());
+        line("system.cpu.vpu.vec_mem_instrs", self.stats.vec_mem_instrs.to_string());
+        line("system.cpu.vpu.vec_flops", self.stats.vec_flops.to_string());
+        line("system.cpu.vpu.avg_vlen_bits", format!("{:.1}", self.stats.avg_vlen_bits()));
+        line("system.cpu.vpu.sw_prefetches", self.stats.sw_prefetches.to_string());
+        line("system.cpu.vpu.register_spills", self.stats.spills.to_string());
+        line("system.cpu.scalar_ops", self.stats.scalar_ops.to_string());
+        line("system.cpu.scalar_flops", self.stats.scalar_flops.to_string());
+        for (name, c) in [("l1d", &st.l1), ("l2", &st.l2), ("vcache", &st.vcache)] {
+            if c.accesses == 0 && c.prefetch_fills == 0 {
+                continue;
+            }
+            line(&format!("system.{name}.overall_accesses"), c.accesses.to_string());
+            line(&format!("system.{name}.overall_hits"), c.hits.to_string());
+            line(&format!("system.{name}.overall_misses"), c.misses.to_string());
+            line(&format!("system.{name}.overall_miss_rate"), format!("{:.6}", c.miss_rate()));
+            line(&format!("system.{name}.writebacks"), c.writebacks.to_string());
+            line(&format!("system.{name}.prefetch_fills"), c.prefetch_fills.to_string());
+            line(&format!("system.{name}.prefetch_hits"), c.prefetch_hits.to_string());
+        }
+        line("system.mem.reads", st.dram_reads.to_string());
+        line("system.mem.writes", st.dram_writes.to_string());
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Scalar side
+    // ------------------------------------------------------------------
+
+    /// Charge `n` scalar operation units (address arithmetic, branches, …).
+    #[inline]
+    pub fn charge_scalar_ops(&mut self, n: u64) {
+        self.stats.scalar_ops += n;
+        self.scalar_frac += n as f64 * self.cfg.core.scalar_cpi;
+        self.commit_scalar();
+    }
+
+    /// Charge `n` scalar floating-point operations.
+    #[inline]
+    pub fn charge_scalar_flops(&mut self, n: u64) {
+        self.stats.scalar_flops += n;
+        self.scalar_frac += n as f64 * self.cfg.core.scalar_cpi;
+        self.commit_scalar();
+    }
+
+    /// Scalar load with cache timing (hit latency assumed pipelined away;
+    /// a fraction of miss latency is exposed). Charged at the *kernel*
+    /// scalar rate: these are the A-operand reads and address bookkeeping
+    /// inside vector micro-kernels, which dual-issue with vector work.
+    pub fn scalar_read(&mut self, addr: u64) -> f32 {
+        let v = self.mem.read_addr(addr);
+        let (_lvl, lat) = self.sys.demand_scalar(addr, AccessKind::Read);
+        let exposed =
+            (lat.saturating_sub(self.cfg.mem.l1.hit_latency)) as f64 * self.cfg.core.scalar_miss_exposure;
+        self.scalar_frac += exposed + self.cfg.core.kernel_scalar_cpi;
+        self.commit_scalar();
+        v
+    }
+
+    /// Scalar store with cache timing (kernel scalar rate, see
+    /// [`Self::scalar_read`]).
+    pub fn scalar_write(&mut self, addr: u64, v: f32) {
+        self.mem.write_addr(addr, v);
+        let (_lvl, lat) = self.sys.demand_scalar(addr, AccessKind::Write);
+        let exposed =
+            (lat.saturating_sub(self.cfg.mem.l1.hit_latency)) as f64 * self.cfg.core.scalar_miss_exposure;
+        self.scalar_frac += exposed + self.cfg.core.kernel_scalar_cpi;
+        self.commit_scalar();
+    }
+
+    /// Bulk timing for a sequential scalar read of `words` elements starting
+    /// at `addr`: one cache probe per line, no per-element charge (callers
+    /// charge compute via [`Self::charge_scalar_ops`]). Functional access is
+    /// done by the caller on [`Self::mem`] slices.
+    pub fn scalar_stream(&mut self, addr: u64, words: usize, kind: AccessKind) {
+        if words == 0 {
+            return;
+        }
+        let lb = self.sys.line_bytes() as u64;
+        let first = addr / lb;
+        let last = (addr + 4 * words as u64 - 1) / lb;
+        let mut exposed = 0.0;
+        for line in first..=last {
+            let (_lvl, lat) = self.sys.demand_scalar(line * lb, kind);
+            exposed += (lat.saturating_sub(self.cfg.mem.l1.hit_latency)) as f64
+                * self.cfg.core.scalar_miss_exposure;
+        }
+        self.scalar_frac += exposed;
+        self.commit_scalar();
+    }
+}
+
+/// Helper to borrow a register row immutably from the raw backing store.
+#[inline]
+fn vd_row(regs: &[f32], r: VReg, n: usize, vl: usize) -> &[f32] {
+    &regs[r * n..r * n + vl]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+
+    fn machine() -> Machine {
+        Machine::new(MachineConfig::rvv_gem5(512, 8, 1 << 20))
+    }
+
+    #[test]
+    fn setvl_grants_at_most_hw_length() {
+        let mut m = machine();
+        assert_eq!(m.vlen_elems(), 16);
+        assert_eq!(m.setvl(100), 16);
+        assert_eq!(m.setvl(7), 7);
+    }
+
+    #[test]
+    fn load_compute_store_roundtrip() {
+        let mut m = machine();
+        let a = m.mem.alloc(16);
+        let c = m.mem.alloc(16);
+        let src: Vec<f32> = (0..16).map(|i| i as f32).collect();
+        m.mem.slice_mut(a).copy_from_slice(&src);
+        let vl = m.setvl(16);
+        m.vle(1, a.addr(0), vl);
+        m.vbroadcast(2, 0.0, vl);
+        m.vfmacc_vf(2, 3.0, 1, vl);
+        m.vse(2, c.addr(0), vl);
+        let out = m.mem.slice(c);
+        for i in 0..16 {
+            assert_eq!(out[i], 3.0 * i as f32);
+        }
+        assert!(m.cycles() > 0);
+    }
+
+    #[test]
+    fn dependent_fmas_slower_than_independent() {
+        // 8 FMAs into ONE accumulator (chain) vs 8 accumulators (unrolled).
+        let mk = || Machine::new(MachineConfig::rvv_gem5(2048, 8, 1 << 20));
+        let mut chain = mk();
+        let vl = chain.setvl(64);
+        chain.vbroadcast(0, 1.0, vl);
+        chain.vbroadcast(1, 2.0, vl);
+        let t0 = chain.cycles();
+        for _ in 0..8 {
+            chain.vfmacc_vf(1, 1.5, 0, vl);
+        }
+        let chained = chain.cycles() - t0;
+
+        let mut unrolled = mk();
+        let vl = unrolled.setvl(64);
+        unrolled.vbroadcast(0, 1.0, vl);
+        for r in 1..=8 {
+            unrolled.vbroadcast(r, 2.0, vl);
+        }
+        let t0 = unrolled.cycles();
+        for r in 1..=8 {
+            unrolled.vfmacc_vf(r, 1.5, 0, vl);
+        }
+        let parallel = unrolled.cycles() - t0;
+        assert!(
+            parallel * 2 < chained,
+            "unrolled {parallel} should be much faster than chained {chained}"
+        );
+    }
+
+    #[test]
+    fn vector_traffic_bypasses_l1_on_rvv() {
+        let mut m = machine();
+        let a = m.mem.alloc(64);
+        m.vle(0, a.addr(0), 16);
+        assert_eq!(m.sys.l1.stats.accesses, 0);
+        assert!(m.sys.l2.stats.accesses > 0);
+    }
+
+    #[test]
+    fn vector_traffic_through_l1_on_sve() {
+        let mut m = Machine::new(MachineConfig::sve_gem5(512, 1 << 20));
+        let a = m.mem.alloc(64);
+        m.vle(0, a.addr(0), 16);
+        assert!(m.sys.l1.stats.accesses > 0);
+    }
+
+    #[test]
+    fn strided_load_gathers_correctly() {
+        let mut m = machine();
+        let a = m.mem.alloc(64);
+        for i in 0..64 {
+            m.mem.write(a, i, i as f32);
+        }
+        m.vlse(3, a.addr(0), 16, 8); // stride 16 bytes = 4 elements
+        let r = m.vreg(3);
+        for i in 0..8 {
+            assert_eq!(r[i], (4 * i) as f32);
+        }
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip() {
+        let mut m = machine();
+        let a = m.mem.alloc(32);
+        let b = m.mem.alloc(32);
+        for i in 0..32 {
+            m.mem.write(a, i, i as f32);
+        }
+        let idx: Vec<u32> = (0..8).map(|i| 31 - 4 * i).collect();
+        m.vgather(4, a.base, &idx, 8);
+        let got: Vec<f32> = m.vreg(4)[..8].to_vec();
+        let want: Vec<f32> = idx.iter().map(|&i| i as f32).collect();
+        assert_eq!(got, want);
+        m.vscatter(4, b.base, &idx, 8);
+        for (k, &i) in idx.iter().enumerate() {
+            assert_eq!(m.mem.read(b, i as usize), want[k]);
+        }
+    }
+
+    #[test]
+    fn longer_vectors_amortize_startup() {
+        // Same element count, two vector lengths, hot caches: the long-VL
+        // machine should need fewer cycles for pure compute.
+        let run = |vlen: usize| {
+            let mut m = Machine::new(MachineConfig::rvv_gem5(vlen, 8, 1 << 20));
+            let total = 4096usize;
+            let t0 = m.cycles();
+            let mut i = 0;
+            while i < total {
+                let vl = m.setvl(total - i);
+                m.vfmacc_vf(1, 1.0, 0, vl);
+                i += vl;
+            }
+            m.cycles() - t0
+        };
+        let short = run(512);
+        let long = run(8192);
+        assert!(long < short, "8192b {long} should beat 512b {short}");
+    }
+
+    #[test]
+    fn reduction_matches_host() {
+        let mut m = machine();
+        let vl = m.setvl(16);
+        let a = m.mem.alloc(16);
+        let data: Vec<f32> = (0..16).map(|i| (i as f32) * 0.5).collect();
+        m.mem.slice_mut(a).copy_from_slice(&data);
+        m.vle(0, a.addr(0), vl);
+        let s = m.vfredsum(0, vl);
+        assert!((s - data.iter().sum::<f32>()).abs() < 1e-5);
+        let mx = m.vfredmax(0, vl);
+        assert_eq!(mx, 7.5);
+    }
+
+    #[test]
+    fn prefetch_is_free_on_rvv_and_counted() {
+        let mut m = machine();
+        let c0 = m.cycles();
+        m.prefetch(0x1_0000, PrefetchTarget::L1);
+        assert_eq!(m.stats.sw_prefetches, 1);
+        assert_eq!(m.cycles(), c0, "dropped prefetch must cost nothing on RVV");
+    }
+
+    #[test]
+    fn phase_attribution() {
+        let mut m = machine();
+        m.phase(KernelPhase::Gemm, |m| {
+            m.vbroadcast(0, 1.0, 16);
+            m.vfmacc_vf(1, 2.0, 0, 16);
+        });
+        assert!(m.phases.get(KernelPhase::Gemm) > 0);
+        assert_eq!(m.phases.get(KernelPhase::Im2col), 0);
+    }
+
+    #[test]
+    fn avg_vlen_tracks_tails() {
+        let mut m = machine(); // VL = 16 elements
+        let mut i = 0;
+        let n = 24; // one full vector + one half vector
+        while i < n {
+            let vl = m.setvl(n - i);
+            m.vfmacc_vf(1, 1.0, 0, vl);
+            i += vl;
+        }
+        assert_eq!(m.stats.vec_instrs, 2);
+        // (16 + 8) / 2 = 12 elements = 384 bits.
+        assert!((m.stats.avg_vlen_bits() - 384.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scalar_stream_charges_per_line() {
+        let mut m = machine();
+        let a = m.mem.alloc(1024);
+        m.scalar_stream(a.addr(0), 1024, AccessKind::Read);
+        // 1024 words * 4 B / 64 B = 64 lines.
+        assert_eq!(m.sys.l1.stats.accesses, 64);
+    }
+
+    #[test]
+    fn vfnmsac_is_negated_fma() {
+        let mut m = machine();
+        let vl = m.setvl(8);
+        let a = m.mem.alloc(8);
+        let b = m.mem.alloc(8);
+        for i in 0..8 {
+            m.mem.write(a, i, (i + 1) as f32);
+            m.mem.write(b, i, 2.0);
+        }
+        m.vle(1, a.addr(0), vl);
+        m.vle(2, b.addr(0), vl);
+        m.vbroadcast(3, 100.0, vl);
+        m.vfnmsac_vv(3, 1, 2, vl); // 100 - (i+1)*2
+        for i in 0..8 {
+            assert_eq!(m.vreg(3)[i], 100.0 - 2.0 * (i + 1) as f32);
+        }
+        assert_eq!(m.stats.vec_flops, 16, "fnmsac counts 2 flops per lane");
+    }
+
+    #[test]
+    fn whilelt_predicated_loop_processes_tail() {
+        let mut m = Machine::new(MachineConfig::sve_gem5(512, 1 << 20));
+        let n = 21; // 16 + 5 tail
+        let a = m.mem.alloc(n);
+        let mut i = 0;
+        loop {
+            let p = m.whilelt(i, n);
+            if p.none() {
+                break;
+            }
+            m.vbroadcast(0, i as f32, p.active);
+            m.vse(0, a.addr(i), p.active);
+            i += p.active;
+        }
+        assert_eq!(m.mem.read(a, 0), 0.0);
+        assert_eq!(m.mem.read(a, 16), 16.0);
+        assert_eq!(m.mem.read(a, 20), 16.0);
+    }
+
+    #[test]
+    fn vse_zero_length_is_noop() {
+        let mut m = machine();
+        let a = m.mem.alloc(8);
+        let c0 = m.cycles();
+        m.vle(0, a.addr(0), 0);
+        m.vse(0, a.addr(0), 0);
+        m.vlse(0, a.addr(0), 4, 0);
+        m.vgather(0, a.base, &[], 0);
+        assert_eq!(m.cycles(), c0);
+        assert_eq!(m.stats.vec_instrs, 0);
+    }
+
+    #[test]
+    fn stats_dump_is_parseable_and_complete() {
+        let mut m = machine();
+        let a = m.mem.alloc(64);
+        m.vle(0, a.addr(0), 16);
+        m.vfmacc_vf(1, 2.0, 0, 16);
+        let dump = m.dump_stats();
+        assert!(dump.contains("sim_cycles"));
+        assert!(dump.contains("system.cpu.vpu.vec_instrs"));
+        assert!(dump.contains("system.vcache.overall_accesses"), "RVV has a vector cache");
+        assert!(!dump.contains("system.l1d."), "no scalar traffic yet");
+        // Every line is `key value` with a numeric value.
+        for l in dump.lines() {
+            let mut parts = l.split_whitespace();
+            let _key = parts.next().expect("key");
+            let val = parts.next().expect("value");
+            assert!(val.parse::<f64>().is_ok(), "unparseable value in: {l}");
+        }
+    }
+
+    #[test]
+    fn ooo_hides_dependency_latency() {
+        let dep_time = |ooo: u64| {
+            let mut cfg = MachineConfig::a64fx();
+            cfg.core.ooo_window = ooo;
+            let mut m = Machine::new(cfg);
+            let vl = m.setvl(16);
+            let t0 = m.cycles();
+            for _ in 0..32 {
+                m.vfmacc_vf(1, 1.5, 0, vl); // dependent chain
+            }
+            m.cycles() - t0
+        };
+        assert!(dep_time(96) < dep_time(0));
+    }
+}

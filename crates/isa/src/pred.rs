@@ -1,0 +1,63 @@
+//! SVE-style predication.
+//!
+//! The kernels in this study only need the `whilelt` loop-tail pattern: a
+//! predicate with the first `active` lanes set (ARM-SVE processes partial
+//! vectors this way instead of a scalar tail loop, §II-A). We therefore model
+//! a predicate as its active prefix length, which keeps the functional and
+//! timing paths identical to RVV's `vsetvl` while letting SVE kernels read
+//! like SVE code.
+
+/// A lane predicate with the first `active` lanes set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pred {
+    pub active: usize,
+}
+
+impl Pred {
+    /// A predicate covering all `vlen` lanes.
+    pub fn all(vlen_elems: usize) -> Self {
+        Pred { active: vlen_elems }
+    }
+
+    /// `whilelt i, n` for a register of `vlen_elems` lanes: lanes
+    /// `0..min(vlen, n - i)` active; empty when `i >= n`.
+    pub fn whilelt(i: usize, n: usize, vlen_elems: usize) -> Self {
+        Pred { active: n.saturating_sub(i).min(vlen_elems) }
+    }
+
+    /// True when no lane is active (`b.none` / loop exit condition).
+    pub fn none(&self) -> bool {
+        self.active == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn whilelt_full_partial_empty() {
+        assert_eq!(Pred::whilelt(0, 100, 16).active, 16);
+        assert_eq!(Pred::whilelt(96, 100, 16).active, 4);
+        assert!(Pred::whilelt(100, 100, 16).none());
+        assert!(Pred::whilelt(120, 100, 16).none());
+    }
+
+    #[test]
+    fn whilelt_covers_exactly_n_elements() {
+        // Iterating by the predicate's active count covers n exactly once.
+        for n in [0usize, 1, 15, 16, 17, 100] {
+            let mut covered = 0;
+            let mut i = 0;
+            loop {
+                let p = Pred::whilelt(i, n, 16);
+                if p.none() {
+                    break;
+                }
+                covered += p.active;
+                i += p.active;
+            }
+            assert_eq!(covered, n);
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Execution statistics: instruction counts, consumed vector length,
+//! floating-point work, and per-kernel-phase cycle attribution.
+
+/// Counters maintained by the [`crate::Machine`] timing model.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VpuStats {
+    /// Vector instructions issued (arithmetic + memory + moves).
+    pub vec_instrs: u64,
+    /// Vector memory instructions (subset of `vec_instrs`).
+    pub vec_mem_instrs: u64,
+    /// Sum of active element counts over all vector instructions; the
+    /// average consumed vector length of Table III is
+    /// `32 * active_elems / vec_instrs` bits.
+    pub active_elems: u64,
+    /// Floating-point operations performed by vector instructions
+    /// (FMA counts two per element).
+    pub vec_flops: u64,
+    /// Floating-point operations charged by scalar code.
+    pub scalar_flops: u64,
+    /// Scalar instructions / operation units charged in bulk.
+    pub scalar_ops: u64,
+    /// Software prefetch instructions issued (even if dropped).
+    pub sw_prefetches: u64,
+    /// Vector register spill fills/stores inserted by kernels.
+    pub spills: u64,
+}
+
+impl VpuStats {
+    /// Average consumed vector length in **bits** (Table III).
+    pub fn avg_vlen_bits(&self) -> f64 {
+        if self.vec_instrs == 0 {
+            0.0
+        } else {
+            32.0 * self.active_elems as f64 / self.vec_instrs as f64
+        }
+    }
+
+    /// Total floating-point operations (vector + scalar).
+    pub fn total_flops(&self) -> u64 {
+        self.vec_flops + self.scalar_flops
+    }
+
+    /// Merge counters from another stats block.
+    pub fn merge(&mut self, o: &VpuStats) {
+        self.vec_instrs += o.vec_instrs;
+        self.vec_mem_instrs += o.vec_mem_instrs;
+        self.active_elems += o.active_elems;
+        self.vec_flops += o.vec_flops;
+        self.scalar_flops += o.scalar_flops;
+        self.scalar_ops += o.scalar_ops;
+        self.sw_prefetches += o.sw_prefetches;
+        self.spills += o.spills;
+    }
+}
+
+/// Kernel phases used for the §II-B execution-time breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelPhase {
+    Gemm,
+    Im2col,
+    WinogradInputTransform,
+    WinogradWeightTransform,
+    WinogradTupleMul,
+    WinogradOutputTransform,
+    Pack,
+    Bias,
+    Normalize,
+    Activate,
+    Pool,
+    Upsample,
+    Softmax,
+    FillCopy,
+    Other,
+}
+
+impl KernelPhase {
+    pub const ALL: [KernelPhase; 15] = [
+        KernelPhase::Gemm,
+        KernelPhase::Im2col,
+        KernelPhase::WinogradInputTransform,
+        KernelPhase::WinogradWeightTransform,
+        KernelPhase::WinogradTupleMul,
+        KernelPhase::WinogradOutputTransform,
+        KernelPhase::Pack,
+        KernelPhase::Bias,
+        KernelPhase::Normalize,
+        KernelPhase::Activate,
+        KernelPhase::Pool,
+        KernelPhase::Upsample,
+        KernelPhase::Softmax,
+        KernelPhase::FillCopy,
+        KernelPhase::Other,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelPhase::Gemm => "gemm",
+            KernelPhase::Im2col => "im2col",
+            KernelPhase::WinogradInputTransform => "wino_input_t",
+            KernelPhase::WinogradWeightTransform => "wino_weight_t",
+            KernelPhase::WinogradTupleMul => "wino_tuple_mul",
+            KernelPhase::WinogradOutputTransform => "wino_output_t",
+            KernelPhase::Pack => "pack",
+            KernelPhase::Bias => "add_bias",
+            KernelPhase::Normalize => "normalize",
+            KernelPhase::Activate => "activate",
+            KernelPhase::Pool => "maxpool",
+            KernelPhase::Upsample => "upsample",
+            KernelPhase::Softmax => "softmax",
+            KernelPhase::FillCopy => "fill/copy",
+            KernelPhase::Other => "other",
+        }
+    }
+
+    fn index(self) -> usize {
+        Self::ALL.iter().position(|&p| p == self).unwrap()
+    }
+}
+
+/// Accumulates cycles per [`KernelPhase`].
+#[derive(Debug, Clone, Default)]
+pub struct PhaseTimer {
+    cycles: [u64; 15],
+}
+
+impl PhaseTimer {
+    pub fn add(&mut self, phase: KernelPhase, cycles: u64) {
+        self.cycles[phase.index()] += cycles;
+    }
+
+    pub fn get(&self, phase: KernelPhase) -> u64 {
+        self.cycles[phase.index()]
+    }
+
+    pub fn total(&self) -> u64 {
+        self.cycles.iter().sum()
+    }
+
+    pub fn merge(&mut self, o: &PhaseTimer) {
+        for (a, b) in self.cycles.iter_mut().zip(o.cycles.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Phases with non-zero time, largest first.
+    pub fn breakdown(&self) -> Vec<(KernelPhase, u64)> {
+        let mut v: Vec<(KernelPhase, u64)> = KernelPhase::ALL
+            .iter()
+            .copied()
+            .map(|p| (p, self.get(p)))
+            .filter(|&(_, c)| c > 0)
+            .collect();
+        v.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn avg_vlen_bits() {
+        let s = VpuStats { vec_instrs: 4, active_elems: 4 * 16, ..Default::default() };
+        assert_eq!(s.avg_vlen_bits(), 512.0);
+        assert_eq!(VpuStats::default().avg_vlen_bits(), 0.0);
+    }
+
+    #[test]
+    fn phase_timer_accumulates_and_sorts() {
+        let mut t = PhaseTimer::default();
+        t.add(KernelPhase::Gemm, 100);
+        t.add(KernelPhase::Im2col, 7);
+        t.add(KernelPhase::Gemm, 20);
+        assert_eq!(t.get(KernelPhase::Gemm), 120);
+        assert_eq!(t.total(), 127);
+        let bd = t.breakdown();
+        assert_eq!(bd[0], (KernelPhase::Gemm, 120));
+        assert_eq!(bd.len(), 2);
+    }
+
+    #[test]
+    fn stats_merge() {
+        let mut a = VpuStats { vec_instrs: 1, vec_flops: 10, ..Default::default() };
+        let b = VpuStats { vec_instrs: 2, scalar_flops: 5, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.vec_instrs, 3);
+        assert_eq!(a.total_flops(), 15);
+    }
+}

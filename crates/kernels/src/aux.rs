@@ -1,0 +1,229 @@
+//! Auxiliary convolutional-layer kernels: `fill_cpu`, `copy_cpu`,
+//! `add_bias`, `scale_bias`, `normalize_cpu`, `activate_array` — all
+//! vectorized with the VLA pattern (§IV-A vectorizes every kernel of the
+//! layer; the paper notes the compiler fails on normalization/activation,
+//! which are therefore manually vectorized).
+
+pub use crate::reference::Activation;
+use lva_isa::{KernelPhase, Machine, VReg};
+use lva_sim::Buf;
+
+const VT: VReg = 0;
+const VU: VReg = 1;
+
+/// `fill_cpu`: set `n` words of `x` to `val`.
+pub fn fill_vec(m: &mut Machine, x: Buf, off: usize, n: usize, val: f32) {
+    m.phase(KernelPhase::FillCopy, |m| {
+        let vlen = m.vlen_elems();
+        m.vbroadcast(VT, val, vlen);
+        let mut i = 0;
+        while i < n {
+            let gvl = m.setvl(n - i);
+            m.vse(VT, x.addr(off + i), gvl);
+            i += gvl;
+        }
+    });
+}
+
+/// `copy_cpu`: copy `n` words from `src` to `dst`.
+pub fn copy_vec(m: &mut Machine, src: Buf, src_off: usize, dst: Buf, dst_off: usize, n: usize) {
+    m.phase(KernelPhase::FillCopy, |m| {
+        let mut i = 0;
+        while i < n {
+            let gvl = m.setvl(n - i);
+            m.vle(VT, src.addr(src_off + i), gvl);
+            m.vse(VT, dst.addr(dst_off + i), gvl);
+            i += gvl;
+        }
+    });
+}
+
+/// `shortcut`-style accumulation: `dst[i] += src[i]` over `n` words.
+pub fn add_inplace_vec(m: &mut Machine, src: Buf, dst: Buf, n: usize) {
+    m.phase(KernelPhase::FillCopy, |m| {
+        let mut i = 0;
+        while i < n {
+            let gvl = m.setvl(n - i);
+            m.vle(VT, src.addr(i), gvl);
+            m.vle(VU, dst.addr(i), gvl);
+            m.vfadd_vv(VU, VU, VT, gvl);
+            m.vse(VU, dst.addr(i), gvl);
+            i += gvl;
+        }
+    });
+}
+
+/// `add_bias`: `x[c][s] += bias[c]` for `channels x spatial` data.
+pub fn add_bias_vec(m: &mut Machine, x: Buf, bias: Buf, channels: usize, spatial: usize) {
+    m.phase(KernelPhase::Bias, |m| {
+        for c in 0..channels {
+            let b = m.scalar_read(bias.addr(c));
+            let mut i = 0;
+            while i < spatial {
+                let gvl = m.setvl(spatial - i);
+                m.vle(VT, x.addr(c * spatial + i), gvl);
+                m.vfadd_vf(VT, VT, b, gvl);
+                m.vse(VT, x.addr(c * spatial + i), gvl);
+                i += gvl;
+            }
+        }
+    });
+}
+
+/// `scale_bias`: `x[c][s] *= scale[c]`.
+pub fn scale_bias_vec(m: &mut Machine, x: Buf, scale: Buf, channels: usize, spatial: usize) {
+    m.phase(KernelPhase::Bias, |m| {
+        for c in 0..channels {
+            let s = m.scalar_read(scale.addr(c));
+            let mut i = 0;
+            while i < spatial {
+                let gvl = m.setvl(spatial - i);
+                m.vle(VT, x.addr(c * spatial + i), gvl);
+                m.vfmul_vf(VT, VT, s, gvl);
+                m.vse(VT, x.addr(c * spatial + i), gvl);
+                i += gvl;
+            }
+        }
+    });
+}
+
+/// Batch-norm inference `normalize_cpu`: `x = (x - mean[c]) * rsqrt(var[c])`.
+/// The per-channel scalars are computed once on the scalar core; the sweep
+/// over the feature map is a vector `add` + `mul` pipeline.
+pub fn normalize_vec(
+    m: &mut Machine,
+    x: Buf,
+    mean: Buf,
+    var: Buf,
+    channels: usize,
+    spatial: usize,
+) {
+    const EPS: f32 = 0.000001;
+    m.phase(KernelPhase::Normalize, |m| {
+        for c in 0..channels {
+            let mu = m.scalar_read(mean.addr(c));
+            let v = m.scalar_read(var.addr(c));
+            m.charge_scalar_flops(3); // sqrt + add + reciprocal
+            let inv = 1.0 / (v + EPS).sqrt();
+            let mut i = 0;
+            while i < spatial {
+                let gvl = m.setvl(spatial - i);
+                m.vle(VT, x.addr(c * spatial + i), gvl);
+                m.vfadd_vf(VT, VT, -mu, gvl);
+                m.vfmul_vf(VT, VT, inv, gvl);
+                m.vse(VT, x.addr(c * spatial + i), gvl);
+                i += gvl;
+            }
+        }
+    });
+}
+
+/// `activate_array` over `n` words.
+pub fn activate_vec(m: &mut Machine, x: Buf, n: usize, act: Activation) {
+    if act == Activation::Linear {
+        return;
+    }
+    m.phase(KernelPhase::Activate, |m| {
+        let mut i = 0;
+        while i < n {
+            let gvl = m.setvl(n - i);
+            m.vle(VT, x.addr(i), gvl);
+            match act {
+                Activation::Linear => unreachable!(),
+                Activation::Relu => m.vfmax_vf(VT, VT, 0.0, gvl),
+                Activation::Leaky => {
+                    // leaky(x) = max(x, 0.1 x)
+                    m.vfmul_vf(VU, VT, 0.1, gvl);
+                    m.vfmax_vv(VT, VT, VU, gvl);
+                }
+            }
+            m.vse(VT, x.addr(i), gvl);
+            i += gvl;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use lva_isa::MachineConfig;
+    use lva_tensor::{approx_eq, host_random};
+
+    fn machine() -> Machine {
+        Machine::new(MachineConfig::sve_gem5(512, 1 << 20))
+    }
+
+    #[test]
+    fn fill_and_copy() {
+        let mut m = machine();
+        let a = m.mem.alloc(100);
+        let b = m.mem.alloc(100);
+        fill_vec(&mut m, a, 0, 100, 2.5);
+        assert!(m.mem.slice(a).iter().all(|&v| v == 2.5));
+        copy_vec(&mut m, a, 10, b, 0, 80);
+        assert!(m.mem.slice(b)[..80].iter().all(|&v| v == 2.5));
+        assert_eq!(m.mem.slice(b)[80], 0.0);
+    }
+
+    #[test]
+    fn add_inplace_matches() {
+        let mut m = machine();
+        let xs = host_random(77, 1);
+        let ys = host_random(77, 2);
+        let a = m.mem.alloc_from(&xs);
+        let b = m.mem.alloc_from(&ys);
+        add_inplace_vec(&mut m, a, b, 77);
+        let want: Vec<f32> = xs.iter().zip(&ys).map(|(x, y)| x + y).collect();
+        assert!(approx_eq(m.mem.slice(b), &want, 1e-6, 0.0));
+    }
+
+    #[test]
+    fn bias_scale_normalize_match_reference() {
+        let (c, s) = (3, 37);
+        let mut m = machine();
+        let x0 = host_random(c * s, 1);
+        let bias = host_random(c, 2);
+        let scale: Vec<f32> = host_random(c, 3).iter().map(|v| v + 2.0).collect();
+        let mean = host_random(c, 4);
+        let var: Vec<f32> = host_random(c, 5).iter().map(|v| v.abs() + 0.5).collect();
+
+        let x = m.mem.alloc_from(&x0);
+        let bb = m.mem.alloc_from(&bias);
+        let sb = m.mem.alloc_from(&scale);
+        let mb = m.mem.alloc_from(&mean);
+        let vb = m.mem.alloc_from(&var);
+
+        normalize_vec(&mut m, x, mb, vb, c, s);
+        scale_bias_vec(&mut m, x, sb, c, s);
+        add_bias_vec(&mut m, x, bb, c, s);
+
+        let mut want = x0;
+        reference::normalize_ref(&mut want, &mean, &var, c, s);
+        reference::scale_bias_ref(&mut want, &scale, c, s);
+        reference::add_bias_ref(&mut want, &bias, c, s);
+        assert!(approx_eq(m.mem.slice(x), &want, 1e-5, 1e-6));
+    }
+
+    #[test]
+    fn activations_match_reference() {
+        for act in [Activation::Relu, Activation::Leaky, Activation::Linear] {
+            let mut m = machine();
+            let x0 = host_random(101, 7);
+            let x = m.mem.alloc_from(&x0);
+            activate_vec(&mut m, x, 101, act);
+            let mut want = x0;
+            reference::activate_ref(&mut want, act);
+            assert!(approx_eq(m.mem.slice(x), &want, 1e-6, 0.0), "{act:?}");
+        }
+    }
+
+    #[test]
+    fn linear_activation_is_free() {
+        let mut m = machine();
+        let x = m.mem.alloc(64);
+        let t0 = m.cycles();
+        activate_vec(&mut m, x, 64, Activation::Linear);
+        assert_eq!(m.cycles(), t0);
+    }
+}

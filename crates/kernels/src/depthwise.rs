@@ -1,0 +1,210 @@
+//! Depthwise convolution — the paper's stated future work ("extend our
+//! algorithmic optimizations ... to more kernels in DNN inference").
+//!
+//! Each input channel is convolved with its own `k x k` filter (groups =
+//! channels, as in MobileNet's depthwise-separable blocks). The kernel has
+//! no channel reduction, so there is no GEMM to lower to: the natural
+//! vectorization is the direct form over the output row — unit-stride loads
+//! for stride 1, strided loads otherwise — with the same interior/border
+//! split as the other spatial kernels. Arithmetic intensity is intrinsically
+//! low (`k^2` MACs per output, no operand reuse across channels), which is
+//! why these layers end up memory-bound on every profile.
+
+use crate::conv::ConvParams;
+use lva_isa::{KernelPhase, Machine, VReg};
+use lva_sim::Buf;
+use lva_tensor::Tensor;
+
+const VT: VReg = 0;
+const VACC: VReg = 1;
+
+/// Depthwise geometry helper: the [`ConvParams`] equivalent with
+/// `out_c == in_c` and per-channel filters.
+pub fn depthwise_params(in_c: usize, in_h: usize, in_w: usize, k: usize, stride: usize) -> ConvParams {
+    ConvParams { in_c, in_h, in_w, out_c: in_c, k, stride, pad: k / 2 }
+}
+
+/// Flops of a depthwise layer (2 per MAC, `k^2` MACs per output element).
+pub fn depthwise_flops(p: &ConvParams) -> u64 {
+    let (oh, ow) = p.out_hw();
+    2 * (p.in_c * oh * ow * p.k * p.k) as u64
+}
+
+/// Vectorized depthwise convolution: `out[c] = conv2d(in[c], w[c])`.
+/// Weights are `[c][k][k]` flattened; `out` is written (not accumulated).
+///
+/// # Panics
+/// Panics on shape mismatches or if `p.out_c != p.in_c`.
+pub fn conv_depthwise_vec(
+    m: &mut Machine,
+    p: &ConvParams,
+    input: &Tensor,
+    weights: Buf,
+    out: Buf,
+) {
+    assert_eq!(p.out_c, p.in_c, "depthwise keeps the channel count");
+    assert_eq!(input.shape.len(), p.in_c * p.in_h * p.in_w, "input shape mismatch");
+    assert_eq!(weights.words, p.in_c * p.k * p.k, "weight shape mismatch");
+    let (oh, ow) = p.out_hw();
+    assert!(out.words >= p.in_c * oh * ow, "output too small");
+    // Interior x-range where every kx tap is in bounds.
+    let x_lo = if p.pad > 0 { (p.pad + p.stride - 1) / p.stride } else { 0 };
+    let x_hi = {
+        let upper = p.in_w as isize - 1 + p.pad as isize - (p.k as isize - 1);
+        if upper < 0 {
+            0
+        } else {
+            (upper as usize / p.stride + 1).min(ow)
+        }
+    };
+    let x_lo = x_lo.min(x_hi);
+    m.phase(KernelPhase::Gemm, |m| {
+        for c in 0..p.in_c {
+            // Per-channel taps stay in scalar registers across the row loop.
+            let mut taps = [0.0f32; 64];
+            for t in 0..p.k * p.k {
+                taps[t] = m.scalar_read(weights.addr(c * p.k * p.k + t));
+            }
+            for oy in 0..oh {
+                m.charge_scalar_ops(2);
+                let mut x = x_lo;
+                while x < x_hi {
+                    let gvl = m.setvl(x_hi - x);
+                    m.vbroadcast(VACC, 0.0, gvl);
+                    for ky in 0..p.k {
+                        let iy = (oy * p.stride + ky) as isize - p.pad as isize;
+                        if iy < 0 || iy as usize >= p.in_h {
+                            continue;
+                        }
+                        for kx in 0..p.k {
+                            let ix0 = (x * p.stride + kx) as isize - p.pad as isize;
+                            debug_assert!(ix0 >= 0);
+                            let src = input.addr(c, iy as usize, ix0 as usize);
+                            if p.stride == 1 {
+                                m.vle(VT, src, gvl);
+                            } else {
+                                m.vlse(VT, src, 4 * p.stride as u64, gvl);
+                            }
+                            m.vfmacc_vf(VACC, taps[ky * p.k + kx], VT, gvl);
+                        }
+                    }
+                    m.vse(VACC, out.addr((c * oh + oy) * ow + x), gvl);
+                    x += gvl;
+                }
+                // Scalar borders.
+                for ox in (0..x_lo).chain(x_hi..ow) {
+                    let mut acc = 0.0f32;
+                    for ky in 0..p.k {
+                        for kx in 0..p.k {
+                            let iy = (oy * p.stride + ky) as isize - p.pad as isize;
+                            let ix = (ox * p.stride + kx) as isize - p.pad as isize;
+                            if iy >= 0
+                                && ix >= 0
+                                && (iy as usize) < p.in_h
+                                && (ix as usize) < p.in_w
+                            {
+                                let v =
+                                    m.scalar_read(input.addr(c, iy as usize, ix as usize));
+                                acc += v * taps[ky * p.k + kx];
+                                m.charge_scalar_flops(2);
+                            }
+                        }
+                    }
+                    m.scalar_write(out.addr((c * oh + oy) * ow + ox), acc);
+                }
+            }
+        }
+    });
+}
+
+/// Host reference depthwise convolution.
+pub fn conv_depthwise_ref(p: &ConvParams, image: &[f32], weights: &[f32]) -> Vec<f32> {
+    assert_eq!(p.out_c, p.in_c);
+    assert_eq!(image.len(), p.in_c * p.in_h * p.in_w);
+    assert_eq!(weights.len(), p.in_c * p.k * p.k);
+    let (oh, ow) = p.out_hw();
+    let mut out = vec![0.0f32; p.in_c * oh * ow];
+    for c in 0..p.in_c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = 0.0f32;
+                for ky in 0..p.k {
+                    for kx in 0..p.k {
+                        let iy = (oy * p.stride + ky) as isize - p.pad as isize;
+                        let ix = (ox * p.stride + kx) as isize - p.pad as isize;
+                        if iy >= 0 && ix >= 0 && (iy as usize) < p.in_h && (ix as usize) < p.in_w {
+                            acc += image[(c * p.in_h + iy as usize) * p.in_w + ix as usize]
+                                * weights[(c * p.k + ky) * p.k + kx];
+                        }
+                    }
+                }
+                out[(c * oh + oy) * ow + ox] = acc;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lva_isa::MachineConfig;
+    use lva_tensor::{approx_eq, host_random, Shape};
+
+    fn check(in_c: usize, hw: usize, k: usize, stride: usize, vlen: usize) {
+        let p = depthwise_params(in_c, hw, hw, k, stride);
+        let mut m = Machine::new(MachineConfig::rvv_gem5(vlen, 8, 1 << 20));
+        let img = Tensor::random(&mut m, Shape::new(in_c, hw, hw), 3);
+        let wh = host_random(in_c * k * k, 4);
+        let w = m.mem.alloc_from(&wh);
+        let (oh, ow) = p.out_hw();
+        let out = m.mem.alloc(in_c * oh * ow);
+        conv_depthwise_vec(&mut m, &p, &img, w, out);
+        let want = conv_depthwise_ref(&p, &img.to_host(&m), &wh);
+        assert!(approx_eq(m.mem.slice(out), &want, 1e-4, 1e-5), "dw mismatch {p:?}");
+    }
+
+    #[test]
+    fn depthwise_3x3_s1() {
+        check(4, 10, 3, 1, 1024);
+    }
+
+    #[test]
+    fn depthwise_3x3_s2() {
+        check(3, 12, 3, 2, 512);
+    }
+
+    #[test]
+    fn depthwise_5x5() {
+        check(2, 14, 5, 1, 2048);
+    }
+
+    #[test]
+    fn depthwise_single_channel() {
+        check(1, 8, 3, 1, 512);
+    }
+
+    #[test]
+    fn depthwise_flops_formula() {
+        let p = depthwise_params(16, 20, 20, 3, 1);
+        assert_eq!(depthwise_flops(&p), 2 * 16 * 400 * 9);
+    }
+
+    #[test]
+    fn depthwise_is_channelwise_independent() {
+        // Zeroing one channel's filter must zero exactly that channel.
+        let p = depthwise_params(3, 6, 6, 3, 1);
+        let mut m = Machine::new(MachineConfig::sve_gem5(512, 1 << 20));
+        let img = Tensor::random(&mut m, Shape::new(3, 6, 6), 3);
+        let mut wh = host_random(27, 4);
+        for t in 9..18 {
+            wh[t] = 0.0; // channel 1
+        }
+        let w = m.mem.alloc_from(&wh);
+        let out = m.mem.alloc(3 * 36);
+        conv_depthwise_vec(&mut m, &p, &img, w, out);
+        let o = m.mem.slice(out);
+        assert!(o[36..72].iter().all(|&v| v == 0.0), "channel 1 must be zero");
+        assert!(o[..36].iter().any(|&v| v != 0.0));
+    }
+}

@@ -1,0 +1,125 @@
+//! Fully-connected layer (VGG16's classifier head) and softmax.
+
+use lva_isa::{KernelPhase, Machine, VReg};
+use lva_sim::{AccessKind, Buf};
+
+const VX: VReg = 0;
+const VW: VReg = 1;
+const VACC: VReg = 2;
+
+/// `out[o] = sum_k W[o][k] * x[k]` — vectorized along the input dimension
+/// with a `vfmacc.vv` accumulator and a final horizontal reduction.
+pub fn fully_connected_vec(
+    m: &mut Machine,
+    w: Buf,
+    x: Buf,
+    out: Buf,
+    outputs: usize,
+    inputs: usize,
+) {
+    assert_eq!(w.words, outputs * inputs, "weight shape mismatch");
+    assert!(x.words >= inputs && out.words >= outputs);
+    m.phase(KernelPhase::Gemm, |m| {
+        let vlen = m.vlen_elems();
+        for o in 0..outputs {
+            m.vbroadcast(VACC, 0.0, vlen);
+            let mut k = 0;
+            while k < inputs {
+                let gvl = m.setvl(inputs - k);
+                m.vle(VX, x.addr(k), gvl);
+                m.vle(VW, w.addr(o * inputs + k), gvl);
+                m.vfmacc_vv(VACC, VX, VW, gvl);
+                k += gvl;
+            }
+            let s = m.vfredsum(VACC, vlen);
+            m.scalar_write(out.addr(o), s);
+        }
+    });
+}
+
+/// Numerically-stable softmax. The exponential has no vector instruction in
+/// our ISA subset (as in Darknet, where softmax stays scalar); max and sum
+/// use vector reductions, the `exp` loop runs on the scalar core.
+pub fn softmax_vec(m: &mut Machine, x: Buf, n: usize) {
+    m.phase(KernelPhase::Softmax, |m| {
+        // Vector max reduction.
+        let mut mx = f32::NEG_INFINITY;
+        let mut i = 0;
+        while i < n {
+            let gvl = m.setvl(n - i);
+            m.vle(VX, x.addr(i), gvl);
+            mx = mx.max(m.vfredmax(VX, gvl));
+            i += gvl;
+        }
+        // Scalar exp pass (functional on the arena slice, bulk-charged).
+        let mut sum = 0.0f32;
+        {
+            let xs = m.mem.words_mut(x.addr(0), n);
+            for v in xs.iter_mut() {
+                *v = (*v - mx).exp();
+                sum += *v;
+            }
+        }
+        m.scalar_stream(x.addr(0), n, AccessKind::Write);
+        m.charge_scalar_flops(20 * n as u64); // exp ~ 20 flops each
+        // Vector scale by 1/sum.
+        let inv = 1.0 / sum;
+        m.charge_scalar_flops(1);
+        let mut i = 0;
+        while i < n {
+            let gvl = m.setvl(n - i);
+            m.vle(VX, x.addr(i), gvl);
+            m.vfmul_vf(VX, VX, inv, gvl);
+            m.vse(VX, x.addr(i), gvl);
+            i += gvl;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::{fc_ref, softmax_ref};
+    use lva_isa::MachineConfig;
+    use lva_tensor::{approx_eq, host_random};
+
+    fn machine() -> Machine {
+        Machine::new(MachineConfig::sve_gem5(1024, 1 << 20))
+    }
+
+    #[test]
+    fn fc_matches_reference() {
+        let (outputs, inputs) = (5, 37);
+        let mut m = machine();
+        let wh = host_random(outputs * inputs, 1);
+        let xh = host_random(inputs, 2);
+        let w = m.mem.alloc_from(&wh);
+        let x = m.mem.alloc_from(&xh);
+        let out = m.mem.alloc(outputs);
+        fully_connected_vec(&mut m, w, x, out, outputs, inputs);
+        let want = fc_ref(&wh, &xh, outputs, inputs);
+        assert!(approx_eq(m.mem.slice(out), &want, 1e-4, 1e-5));
+    }
+
+    #[test]
+    fn fc_single_output_and_input() {
+        let mut m = machine();
+        let w = m.mem.alloc_from(&[3.0]);
+        let x = m.mem.alloc_from(&[4.0]);
+        let out = m.mem.alloc(1);
+        fully_connected_vec(&mut m, w, x, out, 1, 1);
+        assert_eq!(m.mem.slice(out)[0], 12.0);
+    }
+
+    #[test]
+    fn softmax_matches_reference() {
+        let mut m = machine();
+        let xh = host_random(100, 3);
+        let x = m.mem.alloc_from(&xh);
+        softmax_vec(&mut m, x, 100);
+        let want = softmax_ref(&xh);
+        assert!(approx_eq(m.mem.slice(x), &want, 1e-5, 1e-7));
+        let total: f32 = m.mem.slice(x).iter().sum();
+        assert!((total - 1.0).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,198 @@
+//! Image-to-column lowering (`im2col_cpu`), scalar and vectorized.
+//!
+//! The column matrix has `K = in_c * k * k` rows and `N = out_h * out_w`
+//! columns; each row corresponds to one `(channel, ky, kx)` filter tap.
+//! For stride 1 the inner copy is unit-strided (a `vle`/`vse` pair); for
+//! larger strides it is a strided vector load. Padding columns are filled
+//! with vector splats of zero, so the whole kernel is vectorized as §IV-A
+//! requires ("we begin by vectorizing all kernels of the convolutional
+//! layer").
+
+use crate::conv::ConvParams;
+use lva_isa::{KernelPhase, Machine, VReg};
+use lva_sim::{AccessKind, Buf};
+use lva_tensor::Tensor;
+
+const VT: VReg = 0;
+const VZ: VReg = 1;
+
+/// Vectorized im2col: lowers `image` into `col` (size `K * N`).
+///
+/// # Panics
+/// Panics if `col` is smaller than `K * N` words.
+pub fn im2col_vec(m: &mut Machine, p: &ConvParams, image: &Tensor, col: Buf) {
+    let (oh, ow) = p.out_hw();
+    let n = oh * ow;
+    let kk = p.in_c * p.k * p.k;
+    assert!(col.words >= kk * n, "column workspace too small");
+    assert_eq!(image.shape.len(), p.in_c * p.in_h * p.in_w);
+    m.phase(KernelPhase::Im2col, |m| {
+        // A zero register for padding fills.
+        let vlen = m.vlen_elems();
+        m.vbroadcast(VZ, 0.0, vlen);
+        for row in 0..kk {
+            let kx = row % p.k;
+            let ky = (row / p.k) % p.k;
+            let ci = row / (p.k * p.k);
+            for oy in 0..oh {
+                m.charge_scalar_ops(2); // row/oy bookkeeping
+                let dst_off = row * n + oy * ow;
+                let iy = oy as isize * p.stride as isize + ky as isize - p.pad as isize;
+                if iy < 0 || iy as usize >= p.in_h {
+                    fill_zero(m, col, dst_off, ow);
+                    continue;
+                }
+                let iy = iy as usize;
+                // Valid ox range: 0 <= ox*s + kx - pad < in_w.
+                let (x0, x1) = valid_ox_range(p, kx);
+                if x0 > 0 {
+                    fill_zero(m, col, dst_off, x0.min(ow));
+                }
+                if x1 > x0 {
+                    // ix(x0) = x0*s + kx - pad, guaranteed in-bounds by the
+                    // valid-range computation.
+                    let ix0 = (x0 * p.stride + kx) as isize - p.pad as isize;
+                    debug_assert!(ix0 >= 0);
+                    let src0 = image.addr(ci, iy, ix0 as usize);
+                    copy_strided(m, src0, col, dst_off + x0, x1 - x0, p.stride);
+                }
+                if x1 < ow {
+                    fill_zero(m, col, dst_off + x1, ow - x1);
+                }
+            }
+        }
+    });
+}
+
+/// Valid output-x interval `[x0, x1)` for filter tap column `kx`.
+fn valid_ox_range(p: &ConvParams, kx: usize) -> (usize, usize) {
+    let (_, ow) = p.out_hw();
+    // ix = ox*s + kx - pad >= 0  =>  ox >= ceil((pad - kx) / s)
+    let x0 = if p.pad > kx { (p.pad - kx + p.stride - 1) / p.stride } else { 0 };
+    // ix <= in_w - 1  =>  ox <= (in_w - 1 + pad - kx) / s
+    let upper = p.in_w as isize - 1 + p.pad as isize - kx as isize;
+    let x1 = if upper < 0 { 0 } else { (upper as usize / p.stride + 1).min(ow) };
+    (x0.min(ow), x1)
+}
+
+/// Vector zero-fill of `n` words of `dst` starting at `off`.
+fn fill_zero(m: &mut Machine, dst: Buf, off: usize, n: usize) {
+    let mut x = 0;
+    while x < n {
+        let gvl = m.setvl(n - x);
+        m.vse(VZ, dst.addr(off + x), gvl);
+        x += gvl;
+    }
+}
+
+/// Copy `n` elements from `src0` with element stride `s` into contiguous
+/// `dst[off..]`; unit stride uses `vle`, otherwise `vlse`.
+fn copy_strided(m: &mut Machine, src0: u64, dst: Buf, off: usize, n: usize, s: usize) {
+    let mut x = 0;
+    while x < n {
+        let gvl = m.setvl(n - x);
+        if s == 1 {
+            m.vle(VT, src0 + 4 * x as u64, gvl);
+        } else {
+            m.vlse(VT, src0 + 4 * (x * s) as u64, 4 * s as u64, gvl);
+        }
+        m.vse(VT, dst.addr(off + x), gvl);
+        x += gvl;
+    }
+}
+
+/// Scalar im2col used by the naive baseline: functional on host slices,
+/// timing charged in bulk (per-element ops plus line-granular streams).
+pub fn im2col_scalar(m: &mut Machine, p: &ConvParams, image: &Tensor, col: Buf) {
+    let (oh, ow) = p.out_hw();
+    let n = oh * ow;
+    let kk = p.in_c * p.k * p.k;
+    assert!(col.words >= kk * n, "column workspace too small");
+    m.phase(KernelPhase::Im2col, |m| {
+        // Functional: reuse the host reference on arena slices.
+        let img = m.mem.slice(image.buf).to_vec();
+        let lowered = crate::reference::im2col_ref(p, &img);
+        m.mem.slice_mut(col)[..kk * n].copy_from_slice(&lowered);
+        // Timing.
+        for row in 0..kk {
+            for oy in 0..oh {
+                m.charge_scalar_ops(ow as u64 * 2);
+                m.scalar_stream(col.addr(row * n + oy * ow), ow, AccessKind::Write);
+            }
+            // Input row traffic: approximately one read stream per output row.
+            let ci = row / (p.k * p.k);
+            for y in 0..oh.min(p.in_h) {
+                m.scalar_stream(image.addr(ci, y.min(p.in_h - 1), 0), p.in_w.min(ow * p.stride), AccessKind::Read);
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::im2col_ref;
+    use lva_isa::MachineConfig;
+    use lva_tensor::Shape;
+
+    fn machine() -> Machine {
+        Machine::new(MachineConfig::rvv_gem5(512, 8, 1 << 20))
+    }
+
+    fn check_vec(p: ConvParams) {
+        let mut m = machine();
+        let img = Tensor::random(&mut m, Shape::new(p.in_c, p.in_h, p.in_w), 9);
+        let (oh, ow) = p.out_hw();
+        let kk = p.in_c * p.k * p.k;
+        let col = m.mem.alloc(kk * oh * ow);
+        im2col_vec(&mut m, &p, &img, col);
+        let want = im2col_ref(&p, &img.to_host(&m));
+        assert_eq!(m.mem.slice(col)[..want.len()], want[..], "mismatch for {p:?}");
+    }
+
+    #[test]
+    fn vectorized_matches_reference_3x3_s1_p1() {
+        check_vec(ConvParams { in_c: 3, in_h: 9, in_w: 11, out_c: 1, k: 3, stride: 1, pad: 1 });
+    }
+
+    #[test]
+    fn vectorized_matches_reference_3x3_s2_p1() {
+        check_vec(ConvParams { in_c: 2, in_h: 12, in_w: 10, out_c: 1, k: 3, stride: 2, pad: 1 });
+    }
+
+    #[test]
+    fn vectorized_matches_reference_1x1() {
+        check_vec(ConvParams { in_c: 4, in_h: 6, in_w: 6, out_c: 1, k: 1, stride: 1, pad: 0 });
+    }
+
+    #[test]
+    fn vectorized_matches_reference_5x5_nopad() {
+        check_vec(ConvParams { in_c: 1, in_h: 16, in_w: 16, out_c: 1, k: 5, stride: 1, pad: 0 });
+    }
+
+    #[test]
+    fn vectorized_matches_reference_wide_pad() {
+        check_vec(ConvParams { in_c: 1, in_h: 8, in_w: 8, out_c: 1, k: 7, stride: 1, pad: 3 });
+    }
+
+    #[test]
+    fn scalar_matches_reference() {
+        let p = ConvParams { in_c: 3, in_h: 9, in_w: 9, out_c: 1, k: 3, stride: 1, pad: 1 };
+        let mut m = machine();
+        let img = Tensor::random(&mut m, Shape::new(p.in_c, p.in_h, p.in_w), 9);
+        let (oh, ow) = p.out_hw();
+        let col = m.mem.alloc(p.in_c * 9 * oh * ow);
+        im2col_scalar(&mut m, &p, &img, col);
+        let want = im2col_ref(&p, &img.to_host(&m));
+        assert_eq!(m.mem.slice(col)[..want.len()], want[..]);
+        assert!(m.cycles() > 0);
+    }
+
+    #[test]
+    fn valid_range_logic() {
+        let p = ConvParams { in_c: 1, in_h: 8, in_w: 8, out_c: 1, k: 3, stride: 1, pad: 1 };
+        assert_eq!(valid_ox_range(&p, 0), (1, 8)); // ix = ox - 1
+        assert_eq!(valid_ox_range(&p, 1), (0, 8)); // ix = ox
+        assert_eq!(valid_ox_range(&p, 2), (0, 7)); // ix = ox + 1
+    }
+}

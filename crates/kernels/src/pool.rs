@@ -1,0 +1,217 @@
+//! Pooling and upsampling kernels (maxpool layers of YOLOv3-tiny/VGG16 and
+//! the upsample layers of the YOLOv3 detection heads), vectorized across the
+//! output row with strided loads; boundary columns where a window tap falls
+//! outside the image are handled by a scalar epilogue.
+
+use lva_isa::{KernelPhase, Machine, VReg};
+use lva_tensor::Tensor;
+
+const VT: VReg = 0;
+const VACC: VReg = 1;
+
+/// Maxpool geometry. `padding` is Darknet's *total* padding (default
+/// `size - 1`), applied asymmetrically with `padding / 2` before.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolParams {
+    pub size: usize,
+    pub stride: usize,
+    pub padding: usize,
+}
+
+impl PoolParams {
+    /// Darknet defaults: `padding = size - 1`.
+    pub fn darknet(size: usize, stride: usize) -> Self {
+        PoolParams { size, stride, padding: size - 1 }
+    }
+
+    /// Output spatial dims for an `h x w` input.
+    pub fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        (
+            (h + self.padding - self.size) / self.stride + 1,
+            (w + self.padding - self.size) / self.stride + 1,
+        )
+    }
+}
+
+/// Vectorized maxpool: `out` must be a `c x out_h x out_w` tensor.
+pub fn maxpool_vec(m: &mut Machine, p: &PoolParams, input: &Tensor, out: &Tensor) {
+    let (c, h, w) = (input.shape.c, input.shape.h, input.shape.w);
+    let (oh, ow) = p.out_hw(h, w);
+    assert_eq!(out.shape.c, c);
+    assert_eq!((out.shape.h, out.shape.w), (oh, ow));
+    // Interior columns: every kx tap in-bounds for ix = ox*s + kx - before.
+    let before = p.padding / 2;
+    let x_lo = (before + p.stride - 1) / p.stride; // from kx = 0
+    let x_hi = {
+        // from kx = size-1: ix <= w-1 -> ox <= (w-1+before-(size-1))/s
+        let upper = w as isize - 1 + before as isize - (p.size as isize - 1);
+        if upper < 0 {
+            0
+        } else {
+            (upper as usize / p.stride + 1).min(ow)
+        }
+    };
+    let x_lo = x_lo.min(x_hi);
+    m.phase(KernelPhase::Pool, |m| {
+        for ci in 0..c {
+            for oy in 0..oh {
+                m.charge_scalar_ops(2);
+                // Vector interior.
+                let mut x = x_lo;
+                while x < x_hi {
+                    let gvl = m.setvl(x_hi - x);
+                    m.vbroadcast(VACC, f32::NEG_INFINITY, gvl);
+                    for ky in 0..p.size {
+                        let iy = (oy * p.stride + ky) as isize - before as isize;
+                        if iy < 0 || iy as usize >= h {
+                            continue;
+                        }
+                        for kx in 0..p.size {
+                            let ix0 = (x * p.stride + kx) as isize - before as isize;
+                            debug_assert!(ix0 >= 0);
+                            let src = input.addr(ci, iy as usize, ix0 as usize);
+                            m.vlse(VT, src, 4 * p.stride as u64, gvl);
+                            m.vfmax_vv(VACC, VACC, VT, gvl);
+                        }
+                    }
+                    m.vse(VACC, out.addr(ci, oy, x), gvl);
+                    x += gvl;
+                }
+                // Scalar borders.
+                for ox in (0..x_lo).chain(x_hi..ow) {
+                    let mut mx = f32::NEG_INFINITY;
+                    for ky in 0..p.size {
+                        for kx in 0..p.size {
+                            let iy = (oy * p.stride + ky) as isize - before as isize;
+                            let ix = (ox * p.stride + kx) as isize - before as isize;
+                            if iy >= 0 && ix >= 0 && (iy as usize) < h && (ix as usize) < w {
+                                mx = mx.max(m.scalar_read(input.addr(ci, iy as usize, ix as usize)));
+                            }
+                        }
+                    }
+                    m.scalar_write(out.addr(ci, oy, ox), mx);
+                }
+            }
+        }
+    });
+}
+
+/// Vectorized nearest-neighbour 2x upsample: one unit-stride load per input
+/// row chunk, four strided stores (even/odd columns of the two output rows).
+pub fn upsample2_vec(m: &mut Machine, input: &Tensor, out: &Tensor) {
+    let (c, h, w) = (input.shape.c, input.shape.h, input.shape.w);
+    assert_eq!(out.shape.c, c);
+    assert_eq!((out.shape.h, out.shape.w), (2 * h, 2 * w));
+    m.phase(KernelPhase::Upsample, |m| {
+        for ci in 0..c {
+            for y in 0..h {
+                let mut x = 0;
+                while x < w {
+                    let gvl = m.setvl(w - x);
+                    m.vle(VT, input.addr(ci, y, x), gvl);
+                    for dy in 0..2 {
+                        let row = out.addr(ci, 2 * y + dy, 2 * x);
+                        m.vsse(VT, row, 8, gvl);
+                        m.vsse(VT, row + 4, 8, gvl);
+                    }
+                    x += gvl;
+                }
+            }
+        }
+    });
+}
+
+/// Global average pooling (Darknet `[avgpool]`): one scalar per channel.
+/// Vectorized as a running vector sum per channel row plus a horizontal
+/// reduction.
+pub fn global_avgpool_vec(m: &mut Machine, input: &Tensor, out: &Tensor) {
+    let (c, h, w) = (input.shape.c, input.shape.h, input.shape.w);
+    assert_eq!((out.shape.c, out.shape.h, out.shape.w), (c, 1, 1));
+    let spatial = h * w;
+    m.phase(KernelPhase::Pool, |m| {
+        let vlen = m.vlen_elems();
+        for ci in 0..c {
+            m.vbroadcast(VACC, 0.0, vlen);
+            let mut i = 0;
+            while i < spatial {
+                let gvl = m.setvl(spatial - i);
+                m.vle(VT, input.buf.addr(ci * spatial + i), gvl);
+                m.vfadd_vv(VACC, VACC, VT, gvl);
+                i += gvl;
+            }
+            let sum = m.vfredsum(VACC, vlen);
+            m.charge_scalar_flops(1);
+            m.scalar_write(out.addr(ci, 0, 0), sum / spatial as f32);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::{maxpool_ref, upsample2_ref};
+    use lva_isa::MachineConfig;
+    use lva_tensor::Shape;
+
+    fn machine() -> Machine {
+        Machine::new(MachineConfig::sve_gem5(512, 1 << 20))
+    }
+
+    fn check_pool(c: usize, h: usize, w: usize, p: PoolParams) {
+        let mut m = machine();
+        let input = Tensor::random(&mut m, Shape::new(c, h, w), 3);
+        let (oh, ow) = p.out_hw(h, w);
+        let out = Tensor::alloc(&mut m, Shape::new(c, oh, ow));
+        maxpool_vec(&mut m, &p, &input, &out);
+        let want = maxpool_ref(&input.to_host(&m), c, h, w, p.size, p.stride, p.padding);
+        assert_eq!(out.to_host(&m), want, "maxpool mismatch {p:?} on {c}x{h}x{w}");
+    }
+
+    #[test]
+    fn maxpool_2x2_s2_matches() {
+        check_pool(3, 8, 8, PoolParams { size: 2, stride: 2, padding: 0 });
+    }
+
+    #[test]
+    fn maxpool_darknet_2x2_s2_matches() {
+        // Darknet default padding = size-1 handles odd sizes: 9 -> 5.
+        check_pool(2, 9, 5, PoolParams::darknet(2, 2));
+    }
+
+    #[test]
+    fn maxpool_2x2_s1_p1_same_size() {
+        // yolov3-tiny layer 11: spatial size preserved.
+        let p = PoolParams::darknet(2, 1);
+        assert_eq!(p.out_hw(13, 13), (13, 13));
+        check_pool(2, 13, 13, p);
+    }
+
+    #[test]
+    fn maxpool_3x3_s2_padded_matches() {
+        check_pool(1, 6, 6, PoolParams { size: 3, stride: 2, padding: 2 });
+    }
+
+    #[test]
+    fn global_avgpool_matches() {
+        let mut m = machine();
+        let input = Tensor::random(&mut m, Shape::new(4, 6, 7), 8);
+        let out = Tensor::alloc(&mut m, Shape::new(4, 1, 1));
+        global_avgpool_vec(&mut m, &input, &out);
+        let host = input.to_host(&m);
+        for ci in 0..4 {
+            let want: f32 = host[ci * 42..(ci + 1) * 42].iter().sum::<f32>() / 42.0;
+            let got = out.to_host(&m)[ci];
+            assert!((got - want).abs() < 1e-4, "ch {ci}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn upsample_matches() {
+        let mut m = machine();
+        let input = Tensor::random(&mut m, Shape::new(3, 5, 7), 4);
+        let out = Tensor::alloc(&mut m, Shape::new(3, 10, 14));
+        upsample2_vec(&mut m, &input, &out);
+        let want = upsample2_ref(&input.to_host(&m), 3, 5, 7);
+        assert_eq!(out.to_host(&m), want);
+    }
+}

@@ -1,0 +1,339 @@
+//! Pure-host scalar reference kernels: the correctness ground truth.
+//!
+//! These functions mirror the Darknet C code semantics exactly and never
+//! touch the simulator; every simulated kernel is validated against them.
+
+use crate::conv::ConvParams;
+
+/// `C += alpha * A * B` with `A: MxK`, `B: KxN`, `C: MxN`, all row-major
+/// (Darknet `gemm_nn` semantics, Fig. 1 loop order).
+pub fn gemm_ref(m: usize, n: usize, k: usize, alpha: f32, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), k * n);
+    assert_eq!(c.len(), m * n);
+    for i in 0..m {
+        for kk in 0..k {
+            let a_part = alpha * a[i * k + kk];
+            let brow = &b[kk * n..(kk + 1) * n];
+            let crow = &mut c[i * n..(i + 1) * n];
+            for j in 0..n {
+                crow[j] += a_part * brow[j];
+            }
+        }
+    }
+}
+
+/// Darknet `im2col_cpu`: lower a CHW image into the `K x N` column matrix
+/// with `K = c*k*k`, `N = out_h*out_w`; out-of-image taps read zero.
+pub fn im2col_ref(p: &ConvParams, image: &[f32]) -> Vec<f32> {
+    assert_eq!(image.len(), p.in_c * p.in_h * p.in_w);
+    let (oh, ow) = p.out_hw();
+    let kk = p.in_c * p.k * p.k;
+    let n = oh * ow;
+    let mut col = vec![0.0f32; kk * n];
+    for row in 0..kk {
+        let kx = row % p.k;
+        let ky = (row / p.k) % p.k;
+        let ci = row / (p.k * p.k);
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let iy = oy as isize * p.stride as isize + ky as isize - p.pad as isize;
+                let ix = ox as isize * p.stride as isize + kx as isize - p.pad as isize;
+                let v = if iy >= 0 && ix >= 0 && (iy as usize) < p.in_h && (ix as usize) < p.in_w {
+                    image[(ci * p.in_h + iy as usize) * p.in_w + ix as usize]
+                } else {
+                    0.0
+                };
+                col[row * n + oy * ow + ox] = v;
+            }
+        }
+    }
+    col
+}
+
+/// Direct convolution: the algorithm-independent ground truth for every
+/// convolution implementation (im2col+GEMM and Winograd).
+/// `weights` layout: `[out_c][in_c][k][k]`.
+pub fn conv_direct_ref(p: &ConvParams, image: &[f32], weights: &[f32]) -> Vec<f32> {
+    assert_eq!(image.len(), p.in_c * p.in_h * p.in_w);
+    assert_eq!(weights.len(), p.out_c * p.in_c * p.k * p.k);
+    let (oh, ow) = p.out_hw();
+    let mut out = vec![0.0f32; p.out_c * oh * ow];
+    for oc in 0..p.out_c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = 0.0f32;
+                for ci in 0..p.in_c {
+                    for ky in 0..p.k {
+                        for kx in 0..p.k {
+                            let iy = oy as isize * p.stride as isize + ky as isize
+                                - p.pad as isize;
+                            let ix = ox as isize * p.stride as isize + kx as isize
+                                - p.pad as isize;
+                            if iy >= 0
+                                && ix >= 0
+                                && (iy as usize) < p.in_h
+                                && (ix as usize) < p.in_w
+                            {
+                                acc += image[(ci * p.in_h + iy as usize) * p.in_w + ix as usize]
+                                    * weights[((oc * p.in_c + ci) * p.k + ky) * p.k + kx];
+                            }
+                        }
+                    }
+                }
+                out[(oc * oh + oy) * ow + ox] = acc;
+            }
+        }
+    }
+    out
+}
+
+/// `add_bias`: `x[c][i] += bias[c]` over `spatial` elements per channel.
+pub fn add_bias_ref(x: &mut [f32], bias: &[f32], channels: usize, spatial: usize) {
+    assert_eq!(x.len(), channels * spatial);
+    for c in 0..channels {
+        for i in 0..spatial {
+            x[c * spatial + i] += bias[c];
+        }
+    }
+}
+
+/// `scale_bias`: `x[c][i] *= scale[c]`.
+pub fn scale_bias_ref(x: &mut [f32], scale: &[f32], channels: usize, spatial: usize) {
+    assert_eq!(x.len(), channels * spatial);
+    for c in 0..channels {
+        for i in 0..spatial {
+            x[c * spatial + i] *= scale[c];
+        }
+    }
+}
+
+/// Batch-norm inference `normalize_cpu`: `x = (x - mean) / sqrt(var + eps)`.
+pub fn normalize_ref(x: &mut [f32], mean: &[f32], var: &[f32], channels: usize, spatial: usize) {
+    const EPS: f32 = 0.000001;
+    for c in 0..channels {
+        let inv = 1.0 / (var[c] + EPS).sqrt();
+        for i in 0..spatial {
+            x[c * spatial + i] = (x[c * spatial + i] - mean[c]) * inv;
+        }
+    }
+}
+
+/// Activation functions used by the studied networks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    Linear,
+    Relu,
+    /// Darknet leaky ReLU: `x > 0 ? x : 0.1 x`, i.e. `max(x, 0.1 x)`.
+    Leaky,
+}
+
+/// `activate_array`.
+pub fn activate_ref(x: &mut [f32], act: Activation) {
+    match act {
+        Activation::Linear => {}
+        Activation::Relu => {
+            for v in x {
+                *v = v.max(0.0);
+            }
+        }
+        Activation::Leaky => {
+            for v in x {
+                *v = v.max(0.1 * *v);
+            }
+        }
+    }
+}
+
+/// Darknet `forward_maxpool_layer` for a CHW map. `padding` is the *total*
+/// padding (Darknet convention, default `size - 1`), applied asymmetrically
+/// with `padding / 2` before: `out = (w + padding - size) / stride + 1`.
+/// Window taps outside the image read -inf.
+pub fn maxpool_ref(
+    x: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    size: usize,
+    stride: usize,
+    padding: usize,
+) -> Vec<f32> {
+    let oh = (h + padding - size) / stride + 1;
+    let ow = (w + padding - size) / stride + 1;
+    let before = (padding / 2) as isize;
+    let mut out = vec![f32::NEG_INFINITY; c * oh * ow];
+    for ci in 0..c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut mx = f32::NEG_INFINITY;
+                for ky in 0..size {
+                    for kx in 0..size {
+                        let iy = (oy * stride + ky) as isize - before;
+                        let ix = (ox * stride + kx) as isize - before;
+                        if iy >= 0 && ix >= 0 && (iy as usize) < h && (ix as usize) < w {
+                            mx = mx.max(x[(ci * h + iy as usize) * w + ix as usize]);
+                        }
+                    }
+                }
+                out[(ci * oh + oy) * ow + ox] = mx;
+            }
+        }
+    }
+    out
+}
+
+/// Nearest-neighbour 2x upsample (Darknet `upsample_layer`, stride 2).
+pub fn upsample2_ref(x: &[f32], c: usize, h: usize, w: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; c * 4 * h * w];
+    let (oh, ow) = (2 * h, 2 * w);
+    for ci in 0..c {
+        for y in 0..oh {
+            for xx in 0..ow {
+                out[(ci * oh + y) * ow + xx] = x[(ci * h + y / 2) * w + xx / 2];
+            }
+        }
+    }
+    out
+}
+
+/// Fully-connected layer: `out = W x` with `W: out x in`.
+pub fn fc_ref(w: &[f32], x: &[f32], outputs: usize, inputs: usize) -> Vec<f32> {
+    assert_eq!(w.len(), outputs * inputs);
+    assert_eq!(x.len(), inputs);
+    (0..outputs)
+        .map(|o| w[o * inputs..(o + 1) * inputs].iter().zip(x).map(|(a, b)| a * b).sum())
+        .collect()
+}
+
+/// Numerically-stable softmax.
+pub fn softmax_ref(x: &[f32]) -> Vec<f32> {
+    let mx = x.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = x.iter().map(|v| (v - mx).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.iter().map(|e| e / sum).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lva_tensor::host_random;
+
+    #[test]
+    fn gemm_ref_identity() {
+        // A = I  =>  C += alpha * B
+        let n = 4;
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            a[i * n + i] = 1.0;
+        }
+        let b = host_random(n * n, 7);
+        let mut c = vec![1.0; n * n];
+        gemm_ref(n, n, n, 2.0, &a, &b, &mut c);
+        for i in 0..n * n {
+            assert!((c[i] - (1.0 + 2.0 * b[i])).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn im2col_matches_direct_conv_through_gemm() {
+        let p = ConvParams { in_c: 3, in_h: 7, in_w: 7, out_c: 4, k: 3, stride: 1, pad: 1 };
+        let img = host_random(p.in_c * p.in_h * p.in_w, 1);
+        let w = host_random(p.out_c * p.in_c * p.k * p.k, 2);
+        let col = im2col_ref(&p, &img);
+        let (oh, ow) = p.out_hw();
+        let mut out = vec![0.0; p.out_c * oh * ow];
+        gemm_ref(p.out_c, oh * ow, p.in_c * p.k * p.k, 1.0, &w, &col, &mut out);
+        let direct = conv_direct_ref(&p, &img, &w);
+        for (x, y) in out.iter().zip(direct.iter()) {
+            assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn strided_conv_shapes() {
+        let p = ConvParams { in_c: 2, in_h: 8, in_w: 8, out_c: 3, k: 3, stride: 2, pad: 1 };
+        assert_eq!(p.out_hw(), (4, 4));
+        let img = host_random(p.in_c * 64, 3);
+        let w = host_random(p.out_c * p.in_c * 9, 4);
+        let direct = conv_direct_ref(&p, &img, &w);
+        assert_eq!(direct.len(), p.out_c * 16);
+        let col = im2col_ref(&p, &img);
+        let mut out = vec![0.0; p.out_c * 16];
+        gemm_ref(p.out_c, 16, p.in_c * 9, 1.0, &w, &col, &mut out);
+        for (x, y) in out.iter().zip(direct.iter()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn leaky_is_max_form() {
+        let mut x = vec![-2.0, -0.5, 0.0, 0.5, 2.0];
+        activate_ref(&mut x, Activation::Leaky);
+        assert_eq!(x, vec![-0.2, -0.05, 0.0, 0.5, 2.0]);
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut x = vec![-1.0, 0.5];
+        activate_ref(&mut x, Activation::Relu);
+        assert_eq!(x, vec![0.0, 0.5]);
+    }
+
+    #[test]
+    fn normalize_zero_means_unit_var() {
+        let mut x = vec![2.0, 4.0, 6.0, 8.0];
+        normalize_ref(&mut x, &[5.0], &[1.0], 1, 4);
+        assert!((x[0] + 3.0).abs() < 1e-3);
+        assert!((x[3] - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn maxpool_2x2_s2() {
+        #[rustfmt::skip]
+        let x = vec![
+            1.0, 2.0, 3.0, 4.0,
+            5.0, 6.0, 7.0, 8.0,
+            9.0, 1.0, 2.0, 3.0,
+            4.0, 5.0, 6.0, 7.0,
+        ];
+        let out = maxpool_ref(&x, 1, 4, 4, 2, 2, 0);
+        assert_eq!(out, vec![6.0, 8.0, 9.0, 7.0]);
+    }
+
+    #[test]
+    fn maxpool_s1_same_size_with_pad() {
+        // Darknet yolov3-tiny layer 11: size 2, stride 1, padding 1 keeps
+        // the spatial size: out = (w + 1 - 2)/1 + 1 = w.
+        let x: Vec<f32> = (0..9).map(|i| i as f32).collect();
+        let out = maxpool_ref(&x, 1, 3, 3, 2, 1, 1);
+        assert_eq!(out.len(), 9);
+        // pad_before = 0: window [y..y+2) x [x..x+2), clipped at the edges.
+        assert_eq!(out[0], 4.0);
+        assert_eq!(out[8], 8.0);
+    }
+
+    #[test]
+    fn upsample_doubles() {
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        let out = upsample2_ref(&x, 1, 2, 2);
+        assert_eq!(out.len(), 16);
+        assert_eq!(out[0], 1.0);
+        assert_eq!(out[1], 1.0);
+        assert_eq!(out[4], 1.0);
+        assert_eq!(out[15], 4.0);
+    }
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let s = softmax_ref(&[1.0, 2.0, 3.0]);
+        assert!((s.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(s[2] > s[1] && s[1] > s[0]);
+    }
+
+    #[test]
+    fn fc_matches_manual_dot() {
+        let w = vec![1.0, 2.0, 3.0, 4.0];
+        let x = vec![5.0, 6.0];
+        assert_eq!(fc_ref(&w, &x, 2, 2), vec![17.0, 39.0]);
+    }
+}

@@ -1,0 +1,451 @@
+//! Darknet `.cfg` parsing and serialization.
+//!
+//! The paper's models come from Darknet configuration files. This module
+//! parses the subset of the format the studied networks use — so users can
+//! load their own Darknet-style network definitions into the simulator —
+//! and serializes [`LayerSpec`] tables back to `.cfg` text (round-trip
+//! tested against the built-in model tables).
+//!
+//! Supported sections: `[net]`, `[convolutional]`, `[maxpool]`, `[route]`,
+//! `[shortcut]`, `[upsample]`, `[yolo]`, `[connected]`, `[softmax]`,
+//! `[dropout]`, `[cost]`. Keys irrelevant to the kernel study (anchors,
+//! learning rates, …) are accepted and ignored.
+
+use crate::layer::LayerSpec;
+use lva_kernels::aux::Activation;
+use lva_tensor::Shape;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// A parse failure, with the (1-based) line where it happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CfgError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for CfgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cfg parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CfgError {}
+
+fn err(line: usize, message: impl Into<String>) -> CfgError {
+    CfgError { line, message: message.into() }
+}
+
+struct Section {
+    name: String,
+    line: usize,
+    options: HashMap<String, String>,
+}
+
+impl Section {
+    fn get_usize(&self, key: &str, default: usize) -> Result<usize, CfgError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => {
+                v.parse().map_err(|_| err(self.line, format!("bad integer for `{key}`: {v}")))
+            }
+        }
+    }
+
+    fn activation(&self) -> Result<Activation, CfgError> {
+        match self.options.get("activation").map(String::as_str) {
+            None | Some("linear") => Ok(Activation::Linear),
+            Some("leaky") => Ok(Activation::Leaky),
+            Some("relu") => Ok(Activation::Relu),
+            Some(other) => Err(err(self.line, format!("unsupported activation `{other}`"))),
+        }
+    }
+
+    fn int_list(&self, key: &str) -> Result<Vec<isize>, CfgError> {
+        let raw = self
+            .options
+            .get(key)
+            .ok_or_else(|| err(self.line, format!("missing `{key}`")))?;
+        raw.split(',')
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .map_err(|_| err(self.line, format!("bad integer in `{key}`: {s}")))
+            })
+            .collect()
+    }
+}
+
+fn lex(text: &str) -> Result<Vec<Section>, CfgError> {
+    let mut sections: Vec<Section> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[') {
+            let name = name
+                .strip_suffix(']')
+                .ok_or_else(|| err(lineno, "unterminated section header"))?;
+            sections.push(Section {
+                name: name.trim().to_string(),
+                line: lineno,
+                options: HashMap::new(),
+            });
+        } else if let Some((k, v)) = line.split_once('=') {
+            let section = sections
+                .last_mut()
+                .ok_or_else(|| err(lineno, "option before any [section]"))?;
+            section.options.insert(k.trim().to_string(), v.trim().to_string());
+        } else {
+            return Err(err(lineno, format!("expected `key=value` or `[section]`, got `{line}`")));
+        }
+    }
+    Ok(sections)
+}
+
+/// Parse a Darknet-style cfg into a layer table and the input shape.
+///
+/// # Errors
+/// Returns a [`CfgError`] naming the offending line for syntax errors,
+/// unknown sections, or unsupported options.
+pub fn parse_cfg(text: &str) -> Result<(Vec<LayerSpec>, Shape), CfgError> {
+    let sections = lex(text)?;
+    let mut iter = sections.into_iter();
+    let net = iter.next().ok_or_else(|| err(1, "empty cfg"))?;
+    if net.name != "net" && net.name != "network" {
+        return Err(err(net.line, "first section must be [net]"));
+    }
+    let h = net.get_usize("height", 416)?;
+    let w = net.get_usize("width", h)?;
+    let c = net.get_usize("channels", 3)?;
+    let mut layers = Vec::new();
+    for s in iter {
+        let spec = match s.name.as_str() {
+            "convolutional" | "conv" => {
+                let filters = s.get_usize("filters", 1)?;
+                let size = s.get_usize("size", 1)?;
+                LayerSpec::Conv {
+                    filters,
+                    size,
+                    stride: s.get_usize("stride", 1)?,
+                    batch_norm: s.get_usize("batch_normalize", 0)? != 0,
+                    activation: s.activation()?,
+                }
+            }
+            "depthwise_convolutional" => LayerSpec::Depthwise {
+                size: s.get_usize("size", 3)?,
+                stride: s.get_usize("stride", 1)?,
+                batch_norm: s.get_usize("batch_normalize", 0)? != 0,
+                activation: s.activation()?,
+            },
+            "maxpool" => {
+                let size = s.get_usize("size", 2)?;
+                LayerSpec::Maxpool { size, stride: s.get_usize("stride", size)? }
+            }
+            "upsample" => {
+                let stride = s.get_usize("stride", 2)?;
+                if stride != 2 {
+                    return Err(err(s.line, "only stride-2 upsample is supported"));
+                }
+                LayerSpec::Upsample
+            }
+            "route" => LayerSpec::Route { layers: s.int_list("layers")? },
+            "shortcut" => {
+                let from = s.int_list("from")?;
+                if from.len() != 1 {
+                    return Err(err(s.line, "shortcut takes exactly one `from` layer"));
+                }
+                LayerSpec::Shortcut { from: from[0], activation: s.activation()? }
+            }
+            "yolo" | "region" | "detection" => LayerSpec::Yolo,
+            "connected" => LayerSpec::Connected {
+                outputs: s.get_usize("output", 1)?,
+                activation: s.activation()?,
+            },
+            "softmax" => LayerSpec::Softmax,
+            "avgpool" => LayerSpec::Avgpool,
+            "dropout" => LayerSpec::Dropout,
+            "cost" => LayerSpec::Cost,
+            other => return Err(err(s.line, format!("unsupported section [{other}]"))),
+        };
+        layers.push(spec);
+    }
+    if layers.is_empty() {
+        return Err(err(net.line, "cfg defines no layers"));
+    }
+    Ok((layers, Shape::new(c, h, w)))
+}
+
+/// Serialize a layer table to Darknet cfg text (inverse of [`parse_cfg`]).
+pub fn to_cfg(specs: &[LayerSpec], input: Shape) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "[net]");
+    let _ = writeln!(out, "height={}", input.h);
+    let _ = writeln!(out, "width={}", input.w);
+    let _ = writeln!(out, "channels={}", input.c);
+    for spec in specs {
+        let _ = writeln!(out);
+        match spec {
+            LayerSpec::Conv { filters, size, stride, batch_norm, activation } => {
+                let _ = writeln!(out, "[convolutional]");
+                if *batch_norm {
+                    let _ = writeln!(out, "batch_normalize=1");
+                }
+                let _ = writeln!(out, "filters={filters}");
+                let _ = writeln!(out, "size={size}");
+                let _ = writeln!(out, "stride={stride}");
+                let _ = writeln!(out, "pad=1");
+                let act = match activation {
+                    Activation::Linear => "linear",
+                    Activation::Leaky => "leaky",
+                    Activation::Relu => "relu",
+                };
+                let _ = writeln!(out, "activation={act}");
+            }
+            LayerSpec::Depthwise { size, stride, batch_norm, activation } => {
+                let _ = writeln!(out, "[depthwise_convolutional]");
+                if *batch_norm {
+                    let _ = writeln!(out, "batch_normalize=1");
+                }
+                let _ = writeln!(out, "size={size}");
+                let _ = writeln!(out, "stride={stride}");
+                let act = match activation {
+                    Activation::Linear => "linear",
+                    Activation::Leaky => "leaky",
+                    Activation::Relu => "relu",
+                };
+                let _ = writeln!(out, "activation={act}");
+            }
+            LayerSpec::Maxpool { size, stride } => {
+                let _ = writeln!(out, "[maxpool]");
+                let _ = writeln!(out, "size={size}");
+                let _ = writeln!(out, "stride={stride}");
+            }
+            LayerSpec::Upsample => {
+                let _ = writeln!(out, "[upsample]");
+                let _ = writeln!(out, "stride=2");
+            }
+            LayerSpec::Route { layers } => {
+                let _ = writeln!(out, "[route]");
+                let list: Vec<String> = layers.iter().map(|l| l.to_string()).collect();
+                let _ = writeln!(out, "layers={}", list.join(","));
+            }
+            LayerSpec::Shortcut { from, activation } => {
+                let _ = writeln!(out, "[shortcut]");
+                let _ = writeln!(out, "from={from}");
+                let act = match activation {
+                    Activation::Linear => "linear",
+                    Activation::Leaky => "leaky",
+                    Activation::Relu => "relu",
+                };
+                let _ = writeln!(out, "activation={act}");
+            }
+            LayerSpec::Yolo => {
+                let _ = writeln!(out, "[yolo]");
+            }
+            LayerSpec::Connected { outputs, activation } => {
+                let _ = writeln!(out, "[connected]");
+                let _ = writeln!(out, "output={outputs}");
+                let act = match activation {
+                    Activation::Linear => "linear",
+                    Activation::Leaky => "leaky",
+                    Activation::Relu => "relu",
+                };
+                let _ = writeln!(out, "activation={act}");
+            }
+            LayerSpec::Softmax => {
+                let _ = writeln!(out, "[softmax]");
+            }
+            LayerSpec::Avgpool => {
+                let _ = writeln!(out, "[avgpool]");
+            }
+            LayerSpec::Dropout => {
+                let _ = writeln!(out, "[dropout]");
+                let _ = writeln!(out, "probability=.5");
+            }
+            LayerSpec::Cost => {
+                let _ = writeln!(out, "[cost]");
+            }
+        }
+    }
+    out
+}
+
+/// The built-in models as shipped `.cfg` text (generated by [`to_cfg`],
+/// parseable by stock Darknet-style tooling and by [`parse_cfg`]).
+pub mod bundled {
+    /// `yolov3.cfg` at the 608x608 network input.
+    pub const YOLOV3: &str = include_str!("../cfg/yolov3.cfg");
+    /// `yolov3-tiny.cfg` at 416x416.
+    pub const YOLOV3_TINY: &str = include_str!("../cfg/yolov3-tiny.cfg");
+    /// `vgg-16.cfg` at 224x224.
+    pub const VGG16: &str = include_str!("../cfg/vgg16.cfg");
+    /// The ResNet-50-style extension model at 224x224.
+    pub const RESNET50: &str = include_str!("../cfg/resnet50.cfg");
+    /// MobileNetV1 at 224x224.
+    pub const MOBILENET_V1: &str = include_str!("../cfg/mobilenet-v1.cfg");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{resnet50, vgg16, yolov3, yolov3_tiny};
+    use lva_kernels::aux::Activation;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_all_builtin_models() {
+        for (specs, shape) in [yolov3(608), yolov3_tiny(416), vgg16(224)] {
+            let text = to_cfg(&specs, shape);
+            let (parsed, pshape) = parse_cfg(&text).expect("roundtrip parse");
+            assert_eq!(parsed, specs);
+            assert_eq!(pshape, shape);
+        }
+    }
+
+    #[test]
+    fn parses_minimal_cfg_with_comments_and_defaults() {
+        let text = "
+# a tiny network
+[net]
+height=64
+width=64
+channels=3
+
+[convolutional]
+batch_normalize=1
+filters=16
+size=3
+stride=1
+pad=1          # ignored: pad is size/2 by convention
+activation=leaky
+
+[maxpool]
+size=2
+stride=2
+";
+        let (specs, shape) = parse_cfg(text).unwrap();
+        assert_eq!(shape, Shape::new(3, 64, 64));
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[0], LayerSpec::conv(16, 3, 1));
+        assert_eq!(specs[1], LayerSpec::Maxpool { size: 2, stride: 2 });
+    }
+
+    #[test]
+    fn maxpool_stride_defaults_to_size() {
+        let (specs, _) = parse_cfg("[net]\nheight=32\nwidth=32\n[maxpool]\nsize=2\n").unwrap();
+        assert_eq!(specs[0], LayerSpec::Maxpool { size: 2, stride: 2 });
+    }
+
+    #[test]
+    fn route_lists_parse() {
+        let text = "[net]\nheight=32\nwidth=32\n[convolutional]\nfilters=4\nsize=1\n[route]\nlayers=-1, 0\n";
+        let (specs, _) = parse_cfg(text).unwrap();
+        assert_eq!(specs[1], LayerSpec::Route { layers: vec![-1, 0] });
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_cfg("[net]\nheight=32\n[warp]\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("warp"));
+        let e = parse_cfg("height=3\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        let e = parse_cfg("[net]\nheight=x\n[maxpool]\n").unwrap_err();
+        assert!(e.message.contains("height") || e.message.contains("bad integer"));
+    }
+
+    #[test]
+    fn unterminated_section_rejected() {
+        let e = parse_cfg("[net\n").unwrap_err();
+        assert!(e.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn unknown_activation_rejected() {
+        let text = "[net]\nheight=32\nwidth=32\n[convolutional]\nfilters=1\nsize=1\nactivation=mish\n";
+        let e = parse_cfg(text).unwrap_err();
+        assert!(e.message.contains("mish"));
+    }
+
+    #[test]
+    fn bundled_cfgs_match_builtin_models() {
+        for (text, want) in [
+            (bundled::YOLOV3, yolov3(608)),
+            (bundled::MOBILENET_V1, crate::models::mobilenet_v1(224)),
+            (bundled::YOLOV3_TINY, yolov3_tiny(416)),
+            (bundled::VGG16, vgg16(224)),
+            (bundled::RESNET50, resnet50(224)),
+        ] {
+            let (specs, shape) = parse_cfg(text).expect("bundled cfg parses");
+            assert_eq!(specs, want.0);
+            assert_eq!(shape, want.1);
+        }
+    }
+
+    /// Random layer tables round-trip through serialize/parse.
+    fn arb_spec() -> impl Strategy<Value = LayerSpec> {
+        prop_oneof![
+            (1usize..64, 1usize..4, 1usize..3, any::<bool>(), 0usize..3).prop_map(
+                |(f, k, st, bn, a)| LayerSpec::Conv {
+                    filters: f,
+                    size: 2 * k - 1,
+                    stride: st,
+                    batch_norm: bn,
+                    activation: [Activation::Linear, Activation::Leaky, Activation::Relu][a],
+                }
+            ),
+            (2usize..4, 1usize..3).prop_map(|(s, st)| LayerSpec::Maxpool { size: s, stride: st }),
+            Just(LayerSpec::Upsample),
+            Just(LayerSpec::Yolo),
+            (1usize..3, any::<bool>()).prop_map(|(st, bn)| LayerSpec::Depthwise {
+                size: 3,
+                stride: st,
+                batch_norm: bn,
+                activation: Activation::Relu,
+            }),
+            Just(LayerSpec::Avgpool),
+            Just(LayerSpec::Dropout),
+            (1usize..2000).prop_map(|o| LayerSpec::Connected {
+                outputs: o,
+                activation: Activation::Relu
+            }),
+            Just(LayerSpec::Softmax),
+            (-5isize..-1, 0usize..2).prop_map(|(f, a)| LayerSpec::Shortcut {
+                from: f,
+                activation: [Activation::Linear, Activation::Relu][a],
+            }),
+            proptest::collection::vec(-8isize..-1, 1..3)
+                .prop_map(|layers| LayerSpec::Route { layers }),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn cfg_roundtrip_is_identity(
+            specs in proptest::collection::vec(arb_spec(), 1..24),
+            h in 1usize..512,
+            w in 1usize..512,
+            c in 1usize..8,
+        ) {
+            let shape = Shape::new(c, h, w);
+            let text = to_cfg(&specs, shape);
+            let (parsed, pshape) = parse_cfg(&text).expect("roundtrip");
+            prop_assert_eq!(parsed, specs);
+            prop_assert_eq!(pshape, shape);
+        }
+    }
+
+    #[test]
+    fn parsed_yolov3_runs_shape_walk() {
+        // The serialized-then-parsed model must produce the same shapes.
+        let (specs, shape) = yolov3(96);
+        let (parsed, pshape) = parse_cfg(&to_cfg(&specs, shape)).unwrap();
+        let a = crate::network::walk_shapes(&specs, shape);
+        let b = crate::network::walk_shapes(&parsed, pshape);
+        assert_eq!(a, b);
+    }
+}

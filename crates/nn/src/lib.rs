@@ -1,0 +1,30 @@
+//! # lva-nn — a Darknet-substitute CNN inference framework
+//!
+//! Implements the network layer of the reproduction: layer types
+//! (convolutional with optional batch-norm, maxpool, route, shortcut,
+//! upsample, fully-connected, softmax, yolo), the exact layer tables of
+//! **YOLOv3**, **YOLOv3-tiny** and **VGG16** from the standard Darknet
+//! `.cfg` files, and an inference runner that executes a network on a
+//! simulated [`lva_isa::Machine`] with per-layer cycle accounting and
+//! per-kernel phase attribution (§II-B).
+//!
+//! Weights and inputs are synthetic (seeded): inference *performance* does
+//! not depend on the values, and numerical correctness of every kernel is
+//! established against scalar references (see DESIGN.md).
+//!
+//! Convolution layers dispatch to im2col+GEMM (naive / optimized 3-loop /
+//! BLIS-like 6-loop) or to VLA Winograd per a [`ConvPolicy`], mirroring the
+//! paper's §VII algorithm-selection rule (Winograd for 3x3 stride-1 layers,
+//! im2col+GEMM otherwise; stride-2 Winograd optional).
+
+pub mod cfg;
+pub mod detect;
+pub mod layer;
+pub mod models;
+pub mod network;
+
+pub use cfg::{parse_cfg, to_cfg, CfgError};
+pub use detect::{decode_yolo_head, nms, Detection, COCO_CLASSES, YOLOV3_ANCHORS};
+pub use layer::{ConvAlgo, ConvPolicy, LayerSpec};
+pub use models::{mobilenet_v1, resnet50, vgg16, yolov3, yolov3_tiny, ModelId};
+pub use network::{LayerReport, NetReport, Network};

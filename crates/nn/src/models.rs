@@ -1,0 +1,389 @@
+//! The paper's network models, transcribed from the standard Darknet
+//! `.cfg` files: YOLOv3 (107 layers, 75 convolutional), YOLOv3-tiny
+//! (24 layers, 13 convolutional) and VGG16 (25 layers: 13 conv + 5 maxpool
+//! + 3 fully-connected + softmax + 3 intermediate activations folded in).
+//!
+//! The constructors take the square input resolution. The paper evaluates a
+//! 768x576 image, which Darknet letterboxes to the 608x608 network input
+//! (Table IV's `N = 369664 = 608^2` confirms this). For simulation-speed
+//! scaling the input can be reduced; YOLOv3's two detection-head upsample /
+//! route joins require the input to be a multiple of 32.
+
+use crate::layer::LayerSpec;
+use lva_kernels::aux::Activation;
+use lva_tensor::Shape;
+
+/// Identifies one of the studied models (for reports and the harness).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelId {
+    Yolov3,
+    Yolov3Tiny,
+    Vgg16,
+    /// Extension model (not in the paper): ResNet-50-style classifier.
+    Resnet50,
+    /// Extension model: MobileNetV1 (depthwise-separable convolutions).
+    MobilenetV1,
+}
+
+impl ModelId {
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelId::Yolov3 => "YOLOv3",
+            ModelId::Yolov3Tiny => "YOLOv3-tiny",
+            ModelId::Vgg16 => "VGG16",
+            ModelId::Resnet50 => "ResNet-50",
+            ModelId::MobilenetV1 => "MobileNetV1",
+        }
+    }
+
+    /// The network-native input resolution used by the paper.
+    pub fn native_input(self) -> usize {
+        match self {
+            ModelId::Yolov3 => 608,
+            ModelId::Yolov3Tiny => 416,
+            ModelId::Vgg16 => 224,
+            ModelId::Resnet50 => 224,
+            ModelId::MobilenetV1 => 224,
+        }
+    }
+
+    /// Build the layer table and input shape at resolution `hw`.
+    pub fn build(self, hw: usize) -> (Vec<LayerSpec>, Shape) {
+        match self {
+            ModelId::Yolov3 => yolov3(hw),
+            ModelId::Yolov3Tiny => yolov3_tiny(hw),
+            ModelId::Vgg16 => vgg16(hw),
+            ModelId::Resnet50 => resnet50(hw),
+            ModelId::MobilenetV1 => mobilenet_v1(hw),
+        }
+    }
+}
+
+/// A Darknet residual block: 1x1 squeeze + 3x3 expand + shortcut.
+fn residual(layers: &mut Vec<LayerSpec>, squeeze: usize, expand: usize) {
+    layers.push(LayerSpec::conv(squeeze, 1, 1));
+    layers.push(LayerSpec::conv(expand, 3, 1));
+    layers.push(crate::layer::shortcut(-3));
+}
+
+/// Full YOLOv3 (`yolov3.cfg`): Darknet-53 backbone + 3 detection heads.
+///
+/// # Panics
+/// Panics unless `hw` is a positive multiple of 32 (required for the
+/// upsample/route joins to line up).
+pub fn yolov3(hw: usize) -> (Vec<LayerSpec>, Shape) {
+    assert!(hw > 0 && hw % 32 == 0, "YOLOv3 input must be a multiple of 32");
+    let mut l: Vec<LayerSpec> = Vec::with_capacity(107);
+    // Backbone (Darknet-53 without the classifier).
+    l.push(LayerSpec::conv(32, 3, 1)); // 0
+    l.push(LayerSpec::conv(64, 3, 2)); // 1
+    residual(&mut l, 32, 64); // 2-4
+    l.push(LayerSpec::conv(128, 3, 2)); // 5
+    residual(&mut l, 64, 128); // 6-8
+    residual(&mut l, 64, 128); // 9-11
+    l.push(LayerSpec::conv(256, 3, 2)); // 12
+    for _ in 0..8 {
+        residual(&mut l, 128, 256); // 13-36
+    }
+    l.push(LayerSpec::conv(512, 3, 2)); // 37
+    for _ in 0..8 {
+        residual(&mut l, 256, 512); // 38-61
+    }
+    l.push(LayerSpec::conv(1024, 3, 2)); // 62
+    for _ in 0..4 {
+        residual(&mut l, 512, 1024); // 63-74
+    }
+    // Head 1 (13x13 grid at 416; 19x19 at 608).
+    l.push(LayerSpec::conv(512, 1, 1)); // 75
+    l.push(LayerSpec::conv(1024, 3, 1)); // 76
+    l.push(LayerSpec::conv(512, 1, 1)); // 77
+    l.push(LayerSpec::conv(1024, 3, 1)); // 78
+    l.push(LayerSpec::conv(512, 1, 1)); // 79
+    l.push(LayerSpec::conv(1024, 3, 1)); // 80
+    l.push(LayerSpec::conv_linear(255)); // 81
+    l.push(LayerSpec::Yolo); // 82
+    // Head 2.
+    l.push(LayerSpec::Route { layers: vec![-4] }); // 83 -> 79
+    l.push(LayerSpec::conv(256, 1, 1)); // 84
+    l.push(LayerSpec::Upsample); // 85
+    l.push(LayerSpec::Route { layers: vec![-1, 61] }); // 86
+    l.push(LayerSpec::conv(256, 1, 1)); // 87
+    l.push(LayerSpec::conv(512, 3, 1)); // 88
+    l.push(LayerSpec::conv(256, 1, 1)); // 89
+    l.push(LayerSpec::conv(512, 3, 1)); // 90
+    l.push(LayerSpec::conv(256, 1, 1)); // 91
+    l.push(LayerSpec::conv(512, 3, 1)); // 92
+    l.push(LayerSpec::conv_linear(255)); // 93
+    l.push(LayerSpec::Yolo); // 94
+    // Head 3.
+    l.push(LayerSpec::Route { layers: vec![-4] }); // 95 -> 91
+    l.push(LayerSpec::conv(128, 1, 1)); // 96
+    l.push(LayerSpec::Upsample); // 97
+    l.push(LayerSpec::Route { layers: vec![-1, 36] }); // 98
+    l.push(LayerSpec::conv(128, 1, 1)); // 99
+    l.push(LayerSpec::conv(256, 3, 1)); // 100
+    l.push(LayerSpec::conv(128, 1, 1)); // 101
+    l.push(LayerSpec::conv(256, 3, 1)); // 102
+    l.push(LayerSpec::conv(128, 1, 1)); // 103
+    l.push(LayerSpec::conv(256, 3, 1)); // 104
+    l.push(LayerSpec::conv_linear(255)); // 105
+    l.push(LayerSpec::Yolo); // 106
+    (l, Shape::new(3, hw, hw))
+}
+
+/// YOLOv3-tiny (`yolov3-tiny.cfg`): 24 layers, 13 convolutional.
+///
+/// # Panics
+/// Panics unless `hw` is a positive multiple of 32.
+pub fn yolov3_tiny(hw: usize) -> (Vec<LayerSpec>, Shape) {
+    assert!(hw > 0 && hw % 32 == 0, "YOLOv3-tiny input must be a multiple of 32");
+    let mut l: Vec<LayerSpec> = Vec::with_capacity(24);
+    l.push(LayerSpec::conv(16, 3, 1)); // 0
+    l.push(LayerSpec::Maxpool { size: 2, stride: 2 }); // 1
+    l.push(LayerSpec::conv(32, 3, 1)); // 2
+    l.push(LayerSpec::Maxpool { size: 2, stride: 2 }); // 3
+    l.push(LayerSpec::conv(64, 3, 1)); // 4
+    l.push(LayerSpec::Maxpool { size: 2, stride: 2 }); // 5
+    l.push(LayerSpec::conv(128, 3, 1)); // 6
+    l.push(LayerSpec::Maxpool { size: 2, stride: 2 }); // 7
+    l.push(LayerSpec::conv(256, 3, 1)); // 8
+    l.push(LayerSpec::Maxpool { size: 2, stride: 2 }); // 9
+    l.push(LayerSpec::conv(512, 3, 1)); // 10
+    l.push(LayerSpec::Maxpool { size: 2, stride: 1 }); // 11 (keeps size)
+    l.push(LayerSpec::conv(1024, 3, 1)); // 12
+    l.push(LayerSpec::conv(256, 1, 1)); // 13
+    l.push(LayerSpec::conv(512, 3, 1)); // 14
+    l.push(LayerSpec::conv_linear(255)); // 15
+    l.push(LayerSpec::Yolo); // 16
+    l.push(LayerSpec::Route { layers: vec![-4] }); // 17 -> 13
+    l.push(LayerSpec::conv(128, 1, 1)); // 18
+    l.push(LayerSpec::Upsample); // 19
+    l.push(LayerSpec::Route { layers: vec![-1, 8] }); // 20
+    l.push(LayerSpec::conv(256, 3, 1)); // 21
+    l.push(LayerSpec::conv_linear(255)); // 22
+    l.push(LayerSpec::Yolo); // 23
+    (l, Shape::new(3, hw, hw))
+}
+
+/// MobileNetV1 — the second extension model, realizing the paper's stated
+/// future work of covering "more kernels in DNN inference": 13
+/// depthwise-separable blocks (3x3 depthwise + 1x1 pointwise), each
+/// batch-normed and ReLU-activated, then global average pooling and the
+/// classifier. The depthwise layers have intrinsically low arithmetic
+/// intensity, giving a very different co-design profile from the paper's
+/// GEMM-dominated networks.
+pub fn mobilenet_v1(hw: usize) -> (Vec<LayerSpec>, Shape) {
+    assert!(hw >= 32 && hw % 32 == 0, "MobileNetV1 input must be a positive multiple of 32");
+    use crate::layer::LayerSpec as L;
+    let dw = |stride: usize| L::Depthwise {
+        size: 3,
+        stride,
+        batch_norm: true,
+        activation: Activation::Relu,
+    };
+    let pw = |filters: usize| L::Conv {
+        filters,
+        size: 1,
+        stride: 1,
+        batch_norm: true,
+        activation: Activation::Relu,
+    };
+    let mut l: Vec<L> = Vec::new();
+    l.push(L::Conv { filters: 32, size: 3, stride: 2, batch_norm: true, activation: Activation::Relu });
+    for (stride, filters) in [
+        (1usize, 64usize),
+        (2, 128),
+        (1, 128),
+        (2, 256),
+        (1, 256),
+        (2, 512),
+        (1, 512),
+        (1, 512),
+        (1, 512),
+        (1, 512),
+        (1, 512),
+        (2, 1024),
+        (1, 1024),
+    ] {
+        l.push(dw(stride));
+        l.push(pw(filters));
+    }
+    l.push(L::Avgpool);
+    l.push(L::Connected { outputs: 1000, activation: Activation::Linear });
+    l.push(L::Softmax);
+    (l, Shape::new(3, hw, hw))
+}
+
+/// A ResNet-50-style classifier — an *extension* model beyond the paper's
+/// three networks, exercising bottleneck blocks with projection shortcuts
+/// (route -> 1x1 projection conv -> shortcut), batch-norm + ReLU stacks and
+/// global average pooling. Kernel mix: 1x1-heavy with 3x3 bottleneck cores,
+/// a very different algorithm-selection profile from VGG16.
+pub fn resnet50(hw: usize) -> (Vec<LayerSpec>, Shape) {
+    assert!(hw >= 32 && hw % 32 == 0, "ResNet-50 input must be a positive multiple of 32");
+    use crate::layer::LayerSpec as L;
+    let rconv = |filters: usize, size: usize, stride: usize| L::Conv {
+        filters,
+        size,
+        stride,
+        batch_norm: true,
+        activation: Activation::Relu,
+    };
+    let lconv = |filters: usize, size: usize, stride: usize| L::Conv {
+        filters,
+        size,
+        stride,
+        batch_norm: true,
+        activation: Activation::Linear,
+    };
+    let mut l: Vec<L> = Vec::new();
+    l.push(rconv(64, 7, 2));
+    l.push(L::Maxpool { size: 2, stride: 2 });
+    // (blocks, squeeze, expand, first-block stride)
+    for (blocks, sq, ex, stride) in
+        [(3usize, 64usize, 256usize, 1usize), (4, 128, 512, 2), (6, 256, 1024, 2), (3, 512, 2048, 2)]
+    {
+        for b in 0..blocks {
+            let s = if b == 0 { stride } else { 1 };
+            if b == 0 {
+                // Projection block: main path, then route back to the block
+                // input for the 1x1 projection, then add.
+                l.push(rconv(sq, 1, 1));
+                l.push(rconv(sq, 3, s));
+                l.push(lconv(ex, 1, 1));
+                l.push(L::Route { layers: vec![-4] });
+                l.push(lconv(ex, 1, s));
+                l.push(L::Shortcut { from: -3, activation: Activation::Relu });
+            } else {
+                l.push(rconv(sq, 1, 1));
+                l.push(rconv(sq, 3, 1));
+                l.push(lconv(ex, 1, 1));
+                l.push(L::Shortcut { from: -4, activation: Activation::Relu });
+            }
+        }
+    }
+    l.push(L::Avgpool);
+    l.push(L::Connected { outputs: 1000, activation: Activation::Linear });
+    l.push(L::Softmax);
+    (l, Shape::new(3, hw, hw))
+}
+
+/// VGG16 (`vgg-16.cfg` layout): 13 ReLU convs + 5 maxpools + 3 FC + softmax.
+/// All convolutional layers are 3x3 stride-1 — the reason the paper's
+/// Winograd speedup is larger on VGG16 than on YOLOv3 (§VII-A).
+pub fn vgg16(hw: usize) -> (Vec<LayerSpec>, Shape) {
+    assert!(hw >= 32, "VGG16 input too small for five pooling stages");
+    let mut l: Vec<LayerSpec> = Vec::with_capacity(25);
+    for (reps, filters) in [(2usize, 64usize), (2, 128), (3, 256), (3, 512), (3, 512)] {
+        for _ in 0..reps {
+            l.push(LayerSpec::conv_relu(filters, 3, 1));
+        }
+        l.push(LayerSpec::Maxpool { size: 2, stride: 2 });
+    }
+    l.push(LayerSpec::Connected { outputs: 4096, activation: Activation::Relu });
+    l.push(LayerSpec::Dropout);
+    l.push(LayerSpec::Connected { outputs: 4096, activation: Activation::Relu });
+    l.push(LayerSpec::Dropout);
+    l.push(LayerSpec::Connected { outputs: 1000, activation: Activation::Linear });
+    l.push(LayerSpec::Softmax);
+    l.push(LayerSpec::Cost);
+    (l, Shape::new(3, hw, hw))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn count_convs(l: &[LayerSpec]) -> usize {
+        l.iter().filter(|s| matches!(s, LayerSpec::Conv { .. })).count()
+    }
+
+    #[test]
+    fn yolov3_shape_matches_paper() {
+        let (l, shape) = yolov3(608);
+        assert_eq!(l.len(), 107, "107 layers (§II-B)");
+        assert_eq!(count_convs(&l), 75, "75 convolutional layers");
+        assert_eq!(shape, Shape::new(3, 608, 608));
+        // 38 of the 75 convs are 3x3 (§VII-A).
+        let threes = l
+            .iter()
+            .filter(|s| matches!(s, LayerSpec::Conv { size: 3, .. }))
+            .count();
+        assert_eq!(threes, 38);
+        // Five of them are the stride-2 downsample convs.
+        let s2 = l
+            .iter()
+            .filter(|s| matches!(s, LayerSpec::Conv { size: 3, stride: 2, .. }))
+            .count();
+        assert_eq!(s2, 5);
+    }
+
+    #[test]
+    fn yolov3_first_20_has_15_convs() {
+        // §VI-B: "the first 20 layers of the YOLOv3 model, out of which 15
+        // are the convolutional layers".
+        let (l, _) = yolov3(608);
+        assert_eq!(count_convs(&l[..20]), 15);
+        // Table II uses the first 4 layers, all convolutional.
+        assert_eq!(count_convs(&l[..4]), 4);
+    }
+
+    #[test]
+    fn tiny_shape_matches_paper() {
+        let (l, _) = yolov3_tiny(416);
+        assert_eq!(l.len(), 24);
+        assert_eq!(count_convs(&l), 13, "13 convolutional layers (§II-B)");
+    }
+
+    #[test]
+    fn vgg16_shape_matches_paper() {
+        let (l, _) = vgg16(224);
+        assert_eq!(l.len(), 25, "25 layers (§II-B)");
+        assert_eq!(count_convs(&l), 13);
+        let fc = l.iter().filter(|s| matches!(s, LayerSpec::Connected { .. })).count();
+        assert_eq!(fc, 3);
+        // Every conv is 3x3 stride 1 (§VII-A: all layers use Winograd).
+        assert!(l
+            .iter()
+            .filter_map(|s| match s {
+                LayerSpec::Conv { size, stride, .. } => Some((*size, *stride)),
+                _ => None,
+            })
+            .all(|(s, st)| s == 3 && st == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 32")]
+    fn yolov3_rejects_unaligned_input() {
+        let _ = yolov3(300);
+    }
+
+    #[test]
+    fn mobilenet_structure() {
+        let (l, shape) = mobilenet_v1(224);
+        assert_eq!(shape, Shape::new(3, 224, 224));
+        let dws = l.iter().filter(|s| matches!(s, LayerSpec::Depthwise { .. })).count();
+        assert_eq!(dws, 13, "13 depthwise-separable blocks");
+        assert_eq!(count_convs(&l), 14, "stem + 13 pointwise");
+        let shapes = crate::network::walk_shapes(&l, shape);
+        assert_eq!(shapes.last().unwrap().len(), 1000);
+        // Spatial: 224 -> 7 after the five stride-2 stages.
+        let last_spatial = shapes[l.len() - 4];
+        assert_eq!((last_spatial.h, last_spatial.w, last_spatial.c), (7, 7, 1024));
+    }
+
+    #[test]
+    fn resnet50_structure() {
+        let (l, shape) = resnet50(224);
+        assert_eq!(shape, Shape::new(3, 224, 224));
+        // 1 stem + 16 blocks x 3 + 4 projection convs = 53 convolutions.
+        assert_eq!(count_convs(&l), 53);
+        let shortcuts =
+            l.iter().filter(|s| matches!(s, LayerSpec::Shortcut { .. })).count();
+        assert_eq!(shortcuts, 16);
+        assert!(l.iter().any(|s| matches!(s, LayerSpec::Avgpool)));
+        // The whole table must shape-check (projection joins line up).
+        let shapes = crate::network::walk_shapes(&l, shape);
+        assert_eq!(shapes.last().unwrap().len(), 1000);
+    }
+}

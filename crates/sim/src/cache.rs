@@ -1,0 +1,356 @@
+//! Set-associative, true-LRU, write-allocate / write-back cache model.
+//!
+//! The model is timing-directed, not data-carrying: data always lives in the
+//! [`crate::Memory`] arena; the cache tracks only which lines are resident,
+//! their LRU order, and dirtiness, and counts hits/misses/writebacks. This is
+//! the same separation gem5's classic caches make between functional and
+//! timing state in syscall-emulation mode.
+
+/// Whether an access reads or writes the line (writes set the dirty bit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    Read,
+    Write,
+}
+
+/// Static geometry and latency of one cache level.
+#[derive(Debug, Clone)]
+pub struct CacheConfig {
+    /// Human-readable name used in reports ("L1D", "L2", "VC").
+    pub name: &'static str,
+    /// Total capacity in bytes. Must be a multiple of `line_bytes * assoc`.
+    pub bytes: usize,
+    /// Line size in bytes (power of two).
+    pub line_bytes: usize,
+    /// Associativity (ways per set).
+    pub assoc: usize,
+    /// Access (hit) latency in cycles.
+    pub hit_latency: u32,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    pub fn sets(&self) -> usize {
+        let sets = self.bytes / (self.line_bytes * self.assoc);
+        assert!(sets > 0, "{}: capacity smaller than one set", self.name);
+        assert!(
+            sets * self.line_bytes * self.assoc == self.bytes,
+            "{}: capacity {} not divisible by line*assoc",
+            self.name,
+            self.bytes
+        );
+        assert!(sets.is_power_of_two(), "{}: set count {} not a power of two", self.name, sets);
+        assert!(self.line_bytes.is_power_of_two());
+        sets
+    }
+}
+
+/// Aggregate counters for one cache level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub accesses: u64,
+    pub hits: u64,
+    pub misses: u64,
+    /// Dirty lines evicted (write-back traffic).
+    pub writebacks: u64,
+    /// Lines installed by a prefetcher rather than a demand miss.
+    pub prefetch_fills: u64,
+    /// Demand misses that hit a prefetched line before its first use.
+    pub prefetch_hits: u64,
+}
+
+impl CacheStats {
+    /// Miss rate over demand accesses, in `[0,1]`. Zero when never accessed.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Merge counters from another stats block.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.accesses += other.accesses;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.writebacks += other.writebacks;
+        self.prefetch_fills += other.prefetch_fills;
+        self.prefetch_hits += other.prefetch_hits;
+    }
+}
+
+/// Outcome of a demand access, reported to the caller so the next level can
+/// be probed and so writeback traffic can be accounted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lookup {
+    Hit,
+    /// Line was not resident; it has been allocated. `victim_dirty` says
+    /// whether the eviction produced a writeback to the next level.
+    Miss { victim_dirty: bool },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Way {
+    /// Line tag; `u64::MAX` marks an invalid way.
+    tag: u64,
+    dirty: bool,
+    /// Installed by prefetch and not yet demanded.
+    prefetched: bool,
+}
+
+const INVALID: u64 = u64::MAX;
+
+/// One cache level. See module docs.
+#[derive(Debug)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: usize,
+    set_shift: u32,
+    /// `sets * assoc` ways, stored per-set in LRU order: index 0 is MRU.
+    ways: Vec<Way>,
+    pub stats: CacheStats,
+}
+
+impl Cache {
+    pub fn new(cfg: CacheConfig) -> Self {
+        let sets = cfg.sets();
+        assert!(cfg.assoc >= 1 && cfg.assoc <= 256, "associativity out of supported range");
+        Cache {
+            set_shift: cfg.line_bytes.trailing_zeros(),
+            sets,
+            ways: vec![Way { tag: INVALID, dirty: false, prefetched: false }; sets * cfg.assoc],
+            cfg,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configuration this cache was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Line index (address divided by line size).
+    #[inline]
+    pub fn line_of(&self, addr: u64) -> u64 {
+        addr >> self.set_shift
+    }
+
+    /// Invalidate all lines and keep statistics.
+    pub fn flush(&mut self) {
+        for w in &mut self.ways {
+            w.tag = INVALID;
+            w.dirty = false;
+            w.prefetched = false;
+        }
+    }
+
+    /// Reset statistics (e.g. after a warm-up phase).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    #[inline]
+    fn set_range(&self, line: u64) -> (usize, u64) {
+        let set = (line as usize) & (self.sets - 1);
+        let tag = line >> self.sets.trailing_zeros();
+        (set * self.cfg.assoc, tag)
+    }
+
+    /// Demand access to the line containing `addr` (line-granular: callers
+    /// must deduplicate element accesses within one line themselves when that
+    /// matters for counting).
+    pub fn access_line(&mut self, line: u64, kind: AccessKind) -> Lookup {
+        self.stats.accesses += 1;
+        let (base, tag) = self.set_range(line);
+        let assoc = self.cfg.assoc;
+        let set = &mut self.ways[base..base + assoc];
+        // Search for the tag.
+        for i in 0..assoc {
+            if set[i].tag == tag {
+                self.stats.hits += 1;
+                if set[i].prefetched {
+                    self.stats.prefetch_hits += 1;
+                    set[i].prefetched = false;
+                }
+                if kind == AccessKind::Write {
+                    set[i].dirty = true;
+                }
+                // Move to MRU position.
+                set[..=i].rotate_right(1);
+                return Lookup::Hit;
+            }
+        }
+        // Miss: evict LRU way (last slot) and install at MRU.
+        self.stats.misses += 1;
+        let victim = set[assoc - 1];
+        let victim_dirty = victim.tag != INVALID && victim.dirty;
+        if victim_dirty {
+            self.stats.writebacks += 1;
+        }
+        set.rotate_right(1);
+        set[0] = Way { tag, dirty: kind == AccessKind::Write, prefetched: false };
+        Lookup::Miss { victim_dirty }
+    }
+
+    /// Install a line via a prefetcher. Returns `true` if the line was newly
+    /// installed (a no-op if already resident; does not bump LRU in that case
+    /// to avoid prefetch pollution of recency).
+    pub fn prefetch_line(&mut self, line: u64) -> bool {
+        let (base, tag) = self.set_range(line);
+        let assoc = self.cfg.assoc;
+        let set = &mut self.ways[base..base + assoc];
+        if set.iter().any(|w| w.tag == tag) {
+            return false;
+        }
+        let victim_dirty = set[assoc - 1].tag != INVALID && set[assoc - 1].dirty;
+        if victim_dirty {
+            self.stats.writebacks += 1;
+        }
+        set.rotate_right(1);
+        set[0] = Way { tag, dirty: false, prefetched: true };
+        self.stats.prefetch_fills += 1;
+        true
+    }
+
+    /// Whether the line containing `addr` is resident (no state change).
+    pub fn contains_line(&self, line: u64) -> bool {
+        let (base, tag) = self.set_range(line);
+        self.ways[base..base + self.cfg.assoc].iter().any(|w| w.tag == tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        // 4 sets x 2 ways x 64B = 512B
+        Cache::new(CacheConfig { name: "T", bytes: 512, line_bytes: 64, assoc: 2, hit_latency: 1 })
+    }
+
+    #[test]
+    fn geometry() {
+        let c = small();
+        assert_eq!(c.config().sets(), 4);
+        assert_eq!(c.line_of(64), 1);
+        assert_eq!(c.line_of(63), 0);
+    }
+
+    #[test]
+    fn hit_after_miss() {
+        let mut c = small();
+        assert!(matches!(c.access_line(0, AccessKind::Read), Lookup::Miss { .. }));
+        assert_eq!(c.access_line(0, AccessKind::Read), Lookup::Hit);
+        assert_eq!(c.stats.accesses, 2);
+        assert_eq!(c.stats.hits, 1);
+        assert_eq!(c.stats.misses, 1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = small();
+        // Three lines mapping to set 0: line = k * sets (sets = 4).
+        let (a, b, d) = (0u64, 4u64, 8u64);
+        c.access_line(a, AccessKind::Read);
+        c.access_line(b, AccessKind::Read);
+        c.access_line(a, AccessKind::Read); // a is MRU, b is LRU
+        c.access_line(d, AccessKind::Read); // evicts b
+        assert!(c.contains_line(a));
+        assert!(!c.contains_line(b));
+        assert!(c.contains_line(d));
+    }
+
+    #[test]
+    fn writeback_on_dirty_eviction() {
+        let mut c = small();
+        c.access_line(0, AccessKind::Write);
+        c.access_line(4, AccessKind::Read);
+        let r = c.access_line(8, AccessKind::Read); // evicts dirty line 0
+        assert_eq!(r, Lookup::Miss { victim_dirty: true });
+        assert_eq!(c.stats.writebacks, 1);
+    }
+
+    #[test]
+    fn clean_eviction_no_writeback() {
+        let mut c = small();
+        c.access_line(0, AccessKind::Read);
+        c.access_line(4, AccessKind::Read);
+        let r = c.access_line(8, AccessKind::Read);
+        assert_eq!(r, Lookup::Miss { victim_dirty: false });
+        assert_eq!(c.stats.writebacks, 0);
+    }
+
+    #[test]
+    fn prefetch_fill_then_demand_hit() {
+        let mut c = small();
+        assert!(c.prefetch_line(0));
+        assert!(!c.prefetch_line(0));
+        assert_eq!(c.access_line(0, AccessKind::Read), Lookup::Hit);
+        assert_eq!(c.stats.prefetch_fills, 1);
+        assert_eq!(c.stats.prefetch_hits, 1);
+        // Second demand access is a plain hit, not a prefetch hit.
+        c.access_line(0, AccessKind::Read);
+        assert_eq!(c.stats.prefetch_hits, 1);
+    }
+
+    #[test]
+    fn flush_invalidates() {
+        let mut c = small();
+        c.access_line(0, AccessKind::Write);
+        c.flush();
+        assert!(!c.contains_line(0));
+        assert!(matches!(c.access_line(0, AccessKind::Read), Lookup::Miss { victim_dirty: false }));
+    }
+
+    #[test]
+    fn different_sets_do_not_conflict() {
+        let mut c = small();
+        for line in 0..4 {
+            c.access_line(line, AccessKind::Read);
+        }
+        for line in 0..4 {
+            assert_eq!(c.access_line(line, AccessKind::Read), Lookup::Hit);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_geometry_panics() {
+        let _ = Cache::new(CacheConfig {
+            name: "bad",
+            bytes: 500, // not divisible by 64*2
+            line_bytes: 64,
+            assoc: 2,
+            hit_latency: 1,
+        });
+    }
+
+    /// LRU inclusion property: on the same trace, a cache with the same
+    /// associativity geometry but more sets can only have fewer-or-equal
+    /// misses for traces that stay within one set's worth of conflict...
+    /// The strong property that holds for *fully-associative* LRU is
+    /// capacity-monotonicity, checked here with assoc = capacity/line.
+    #[test]
+    fn fully_assoc_lru_miss_monotone_in_capacity() {
+        let mk = |lines: usize| {
+            Cache::new(CacheConfig {
+                name: "FA",
+                bytes: lines * 64,
+                line_bytes: 64,
+                assoc: lines,
+                hit_latency: 1,
+            })
+        };
+        let trace: Vec<u64> = (0..1000u64).map(|i| (i * 7919) % 37).collect();
+        let mut last = u64::MAX;
+        for lines in [4usize, 8, 16, 32] {
+            let mut c = mk(lines);
+            for &l in &trace {
+                c.access_line(l, AccessKind::Read);
+            }
+            assert!(c.stats.misses <= last, "misses must not increase with capacity");
+            last = c.stats.misses;
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! # lva-sim — memory-system substrate for the long-vector co-design study
+//!
+//! This crate is the reproduction's substitute for the gem5 memory system
+//! used in *"Accelerating CNN inference on long vector architectures via
+//! co-design"* (IPDPS 2023). It provides:
+//!
+//! * [`Memory`] — a simulated flat memory arena holding `f32` words. Kernels
+//!   allocate [`Buf`] handles from it; the handles carry byte addresses so the
+//!   cache model observes a realistic address stream while the functional
+//!   simulation reads and writes real floating-point data.
+//! * [`Cache`] — a set-associative, true-LRU, write-allocate/write-back cache
+//!   with hit/miss/writeback statistics.
+//! * [`MemSystem`] — a two-level hierarchy (L1D + L2 + DRAM latency) with the
+//!   two vector-unit integration styles studied in the paper:
+//!   [`VpuPath::ThroughL1`] (ARM-SVE: vector accesses go through the L1) and
+//!   [`VpuPath::DecoupledL2`] (RISC-V Vector: the VPU reads/writes L2 through
+//!   a small 2 KB vector cache, bypassing the L1).
+//! * Software-prefetch handling (no-op on platforms that drop the
+//!   instructions, effective on the A64FX-like profile) and an optional
+//!   hardware stride prefetcher (A64FX).
+//! * A CACTI-flavoured [`latency`] helper that extrapolates L2 access latency
+//!   from the paper's 12-cycles-at-1-MB Zen2 anchor point.
+//!
+//! Everything here is deterministic: the same kernel run produces the same
+//! statistics, so experiments need no repetition/averaging.
+
+pub mod cache;
+pub mod latency;
+pub mod mem;
+pub mod memsys;
+pub mod prefetch;
+
+pub use cache::{AccessKind, Cache, CacheConfig, CacheStats};
+pub use latency::{l2_latency_cycles, LatencyModel};
+pub use mem::{Buf, Memory};
+pub use memsys::{MemLevel, MemSystem, MemSystemConfig, VpuPath};
+pub use prefetch::{PrefetchTarget, StridePrefetcher, StridePrefetcherConfig};

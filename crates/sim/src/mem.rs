@@ -1,0 +1,311 @@
+//! Simulated flat memory: an arena of `f32` words with byte addressing.
+//!
+//! The functional half of the simulator operates on real `f32` data stored in
+//! one contiguous `Vec<f32>`; the timing half (the cache hierarchy) sees byte
+//! addresses derived from the arena layout. Buffers are bump-allocated and
+//! aligned to cache-line boundaries so that distinct buffers never share a
+//! line, mirroring how `malloc`'d matrices behave in the original Darknet
+//! code.
+
+/// Base virtual address of the arena. Non-zero so that "address 0" bugs trap.
+pub const ARENA_BASE: u64 = 0x0001_0000;
+
+/// Alignment of every allocation, in `f32` words (64 B = one typical line).
+pub const ALLOC_ALIGN_WORDS: usize = 16;
+
+/// A handle to a contiguous buffer of `f32` words inside a [`Memory`] arena.
+///
+/// `Buf` is `Copy` and carries no lifetime; it is validated against the arena
+/// on access. Addresses are in bytes, like the hardware would see.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Buf {
+    /// First byte address of the buffer.
+    pub base: u64,
+    /// Length in `f32` words.
+    pub words: usize,
+}
+
+impl Buf {
+    /// Byte address of element `idx`.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `idx` is out of bounds.
+    #[inline]
+    pub fn addr(&self, idx: usize) -> u64 {
+        debug_assert!(idx < self.words, "Buf::addr: index {idx} out of {} words", self.words);
+        self.base + 4 * idx as u64
+    }
+
+    /// Byte length of the buffer.
+    #[inline]
+    pub fn bytes(&self) -> usize {
+        self.words * 4
+    }
+
+    /// A sub-buffer spanning `words` elements starting at element `offset`.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds.
+    #[inline]
+    pub fn slice(&self, offset: usize, words: usize) -> Buf {
+        assert!(
+            offset + words <= self.words,
+            "Buf::slice: range {offset}..{} exceeds {} words",
+            offset + words,
+            self.words
+        );
+        Buf { base: self.base + 4 * offset as u64, words }
+    }
+}
+
+/// The simulated memory arena.
+///
+/// All tensors, packed matrices, and scratch buffers used by the simulated
+/// kernels live here. Allocation is a bump pointer: the CNN inference working
+/// set is allocated once per network and reused across layers, exactly like
+/// Darknet's `workspace` buffer.
+#[derive(Debug)]
+pub struct Memory {
+    data: Vec<f32>,
+    /// Next free word offset.
+    next: usize,
+    /// High-water mark of words ever allocated (for reporting).
+    peak: usize,
+}
+
+impl Memory {
+    /// Create an arena able to hold `capacity_words` `f32` elements.
+    pub fn new(capacity_words: usize) -> Self {
+        Memory { data: vec![0.0; capacity_words], next: 0, peak: 0 }
+    }
+
+    /// Create an arena sized in mebibytes.
+    pub fn with_mib(mib: usize) -> Self {
+        Self::new(mib * 1024 * 1024 / 4)
+    }
+
+    /// Allocate a zero-initialised buffer of `words` elements.
+    ///
+    /// # Panics
+    /// Panics if the arena is exhausted; size the arena for the workload.
+    pub fn alloc(&mut self, words: usize) -> Buf {
+        let base_word = self.next;
+        let padded = (words + ALLOC_ALIGN_WORDS - 1) / ALLOC_ALIGN_WORDS * ALLOC_ALIGN_WORDS;
+        assert!(
+            base_word + padded <= self.data.len(),
+            "simulated memory exhausted: requested {} words, {} of {} in use",
+            words,
+            self.next,
+            self.data.len()
+        );
+        self.next += padded;
+        self.peak = self.peak.max(self.next);
+        // Bump allocation over a zeroed arena: fresh region, already zero
+        // unless `reset` reused it.
+        for w in &mut self.data[base_word..base_word + words] {
+            *w = 0.0;
+        }
+        Buf { base: ARENA_BASE + 4 * base_word as u64, words }
+    }
+
+    /// Allocate and fill from a host slice.
+    pub fn alloc_from(&mut self, src: &[f32]) -> Buf {
+        let buf = self.alloc(src.len());
+        self.slice_mut(buf).copy_from_slice(src);
+        buf
+    }
+
+    /// Release everything allocated so far (the data is left in place until
+    /// overwritten). Buffers handed out earlier must not be used afterwards.
+    pub fn reset(&mut self) {
+        self.next = 0;
+    }
+
+    /// Words currently allocated.
+    pub fn used_words(&self) -> usize {
+        self.next
+    }
+
+    /// High-water mark in words.
+    pub fn peak_words(&self) -> usize {
+        self.peak
+    }
+
+    /// Total capacity in words.
+    pub fn capacity_words(&self) -> usize {
+        self.data.len()
+    }
+
+    #[inline]
+    fn word_index(&self, buf: Buf) -> usize {
+        debug_assert!(buf.base >= ARENA_BASE, "Buf from a different arena");
+        ((buf.base - ARENA_BASE) / 4) as usize
+    }
+
+    /// Immutable view of a buffer's data.
+    #[inline]
+    pub fn slice(&self, buf: Buf) -> &[f32] {
+        let w = self.word_index(buf);
+        &self.data[w..w + buf.words]
+    }
+
+    /// Mutable view of a buffer's data.
+    #[inline]
+    pub fn slice_mut(&mut self, buf: Buf) -> &mut [f32] {
+        let w = self.word_index(buf);
+        &mut self.data[w..w + buf.words]
+    }
+
+    /// Two disjoint mutable views (e.g. pack source and destination).
+    ///
+    /// # Panics
+    /// Panics if the buffers overlap.
+    pub fn slice_mut2(&mut self, a: Buf, b: Buf) -> (&mut [f32], &mut [f32]) {
+        let wa = self.word_index(a);
+        let wb = self.word_index(b);
+        assert!(
+            wa + a.words <= wb || wb + b.words <= wa,
+            "slice_mut2: overlapping buffers"
+        );
+        if wa < wb {
+            let (lo, hi) = self.data.split_at_mut(wb);
+            (&mut lo[wa..wa + a.words], &mut hi[..b.words])
+        } else {
+            let (lo, hi) = self.data.split_at_mut(wa);
+            let (bs, as_) = (&mut lo[wb..wb + b.words], &mut hi[..a.words]);
+            (as_, bs)
+        }
+    }
+
+    /// Read one element.
+    #[inline]
+    pub fn read(&self, buf: Buf, idx: usize) -> f32 {
+        self.slice(buf)[idx]
+    }
+
+    /// Write one element.
+    #[inline]
+    pub fn write(&mut self, buf: Buf, idx: usize, v: f32) {
+        self.slice_mut(buf)[idx] = v;
+    }
+
+    /// Immutable view of `n` words starting at absolute byte address `addr`
+    /// (must be in-arena and 4-byte aligned).
+    #[inline]
+    pub fn words(&self, addr: u64, n: usize) -> &[f32] {
+        debug_assert!(addr >= ARENA_BASE && addr % 4 == 0);
+        let w = ((addr - ARENA_BASE) / 4) as usize;
+        &self.data[w..w + n]
+    }
+
+    /// Mutable view of `n` words starting at absolute byte address `addr`.
+    #[inline]
+    pub fn words_mut(&mut self, addr: u64, n: usize) -> &mut [f32] {
+        debug_assert!(addr >= ARENA_BASE && addr % 4 == 0);
+        let w = ((addr - ARENA_BASE) / 4) as usize;
+        &mut self.data[w..w + n]
+    }
+
+    /// Raw word read by absolute byte address (must be in-arena and aligned).
+    #[inline]
+    pub fn read_addr(&self, addr: u64) -> f32 {
+        debug_assert!(addr >= ARENA_BASE && addr % 4 == 0);
+        self.data[((addr - ARENA_BASE) / 4) as usize]
+    }
+
+    /// Raw word write by absolute byte address.
+    #[inline]
+    pub fn write_addr(&mut self, addr: u64, v: f32) {
+        debug_assert!(addr >= ARENA_BASE && addr % 4 == 0);
+        self.data[((addr - ARENA_BASE) / 4) as usize] = v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_is_line_aligned_and_disjoint() {
+        let mut m = Memory::new(1024);
+        let a = m.alloc(5);
+        let b = m.alloc(17);
+        assert_eq!(a.base % 64, 0);
+        assert_eq!(b.base % 64, 0);
+        assert!(a.base + a.bytes() as u64 <= b.base);
+    }
+
+    #[test]
+    fn alloc_zeroes_after_reset_reuse() {
+        let mut m = Memory::new(64);
+        let a = m.alloc(8);
+        m.slice_mut(a).fill(3.0);
+        m.reset();
+        let b = m.alloc(8);
+        assert!(m.slice(b).iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut m = Memory::new(256);
+        let a = m.alloc(10);
+        m.write(a, 3, 1.5);
+        assert_eq!(m.read(a, 3), 1.5);
+        assert_eq!(m.read_addr(a.addr(3)), 1.5);
+        m.write_addr(a.addr(4), 2.5);
+        assert_eq!(m.read(a, 4), 2.5);
+    }
+
+    #[test]
+    fn sub_buffer_addresses() {
+        let mut m = Memory::new(256);
+        let a = m.alloc(64);
+        let s = a.slice(16, 8);
+        assert_eq!(s.base, a.base + 64);
+        assert_eq!(s.words, 8);
+        m.write(a, 16, 7.0);
+        assert_eq!(m.read(s, 0), 7.0);
+    }
+
+    #[test]
+    fn slice_mut2_disjoint_both_orders() {
+        let mut m = Memory::new(256);
+        let a = m.alloc(16);
+        let b = m.alloc(16);
+        {
+            let (sa, sb) = m.slice_mut2(a, b);
+            sa.fill(1.0);
+            sb.fill(2.0);
+        }
+        let (sb, sa) = m.slice_mut2(b, a);
+        assert!(sb.iter().all(|&x| x == 2.0));
+        assert!(sa.iter().all(|&x| x == 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "memory exhausted")]
+    fn exhaustion_panics() {
+        let mut m = Memory::new(16);
+        let _ = m.alloc(8);
+        let _ = m.alloc(16);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping")]
+    fn slice_mut2_overlap_panics() {
+        let mut m = Memory::new(256);
+        let a = m.alloc(32);
+        let sub = a.slice(8, 8);
+        let _ = m.slice_mut2(a, sub);
+    }
+
+    #[test]
+    fn peak_tracks_high_water() {
+        let mut m = Memory::new(1024);
+        let _ = m.alloc(100);
+        m.reset();
+        let _ = m.alloc(10);
+        assert!(m.peak_words() >= 100);
+        assert!(m.used_words() < 100);
+    }
+}

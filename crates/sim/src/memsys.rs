@@ -1,0 +1,389 @@
+//! The two-level memory system with both vector-unit integration styles
+//! studied in the paper.
+//!
+//! *RISC-V Vector @ gem5*: the VPU is **decoupled** and attached to the L2; a
+//! small 2 KB vector cache buffers its line traffic, and vector accesses never
+//! touch the L1 (§III-A). This is why the BLIS-like 6-loop blocking, which
+//! tries to stage the A matrix in L1, buys nothing on that platform (§VI-A).
+//!
+//! *ARM-SVE*: vector registers are filled **through the L1** like scalar
+//! accesses (§III-A), so L1 blocking and prefetching pay off (§VI-C).
+
+use crate::cache::{AccessKind, Cache, CacheConfig, CacheStats, Lookup};
+use crate::prefetch::{PrefetchTarget, StridePrefetcher, StridePrefetcherConfig};
+
+/// Which level ultimately served an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemLevel {
+    L1,
+    VectorCache,
+    L2,
+    Dram,
+}
+
+/// How vector memory operations reach the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VpuPath {
+    /// SVE style: vector lanes load/store through the L1 data cache.
+    ThroughL1,
+    /// RISC-V Vector style: the decoupled VPU reads/writes the L2 through a
+    /// small dedicated vector cache (2 KB in the paper's gem5 fork).
+    DecoupledL2 {
+        /// Capacity of the vector cache in bytes (fully associative).
+        vcache_bytes: usize,
+    },
+}
+
+/// Full memory-system configuration.
+#[derive(Debug, Clone)]
+pub struct MemSystemConfig {
+    pub l1: CacheConfig,
+    pub l2: CacheConfig,
+    /// DRAM access latency in cycles (beyond the L2 lookup).
+    pub mem_latency: u32,
+    pub vpu_path: VpuPath,
+    /// Hardware stride prefetcher (A64FX); `None` on the gem5 profiles.
+    pub hw_prefetch: Option<StridePrefetcherConfig>,
+    /// Whether software prefetch instructions install lines. RISC-V Vector
+    /// has no prefetch instructions (the compiler drops the intrinsics) and
+    /// gem5's SVE treats them as no-ops; only the A64FX profile enables this.
+    pub sw_prefetch_effective: bool,
+}
+
+impl MemSystemConfig {
+    /// Consistency checks shared by all constructors.
+    fn validate(&self) {
+        assert_eq!(
+            self.l1.line_bytes, self.l2.line_bytes,
+            "mixed line sizes between levels are not modelled"
+        );
+        if let VpuPath::DecoupledL2 { vcache_bytes } = self.vpu_path {
+            assert!(vcache_bytes >= self.l1.line_bytes, "vector cache smaller than a line");
+        }
+    }
+}
+
+/// Statistics snapshot across all levels.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MemSystemStats {
+    pub l1: CacheStats,
+    pub l2: CacheStats,
+    pub vcache: CacheStats,
+    pub dram_reads: u64,
+    pub dram_writes: u64,
+}
+
+/// The assembled hierarchy. See module docs.
+#[derive(Debug)]
+pub struct MemSystem {
+    cfg: MemSystemConfig,
+    pub l1: Cache,
+    pub l2: Cache,
+    pub vcache: Option<Cache>,
+    hwpf: Option<StridePrefetcher>,
+    pf_scratch: Vec<u64>,
+    pub dram_reads: u64,
+    pub dram_writes: u64,
+}
+
+impl MemSystem {
+    pub fn new(cfg: MemSystemConfig) -> Self {
+        cfg.validate();
+        let vcache = match cfg.vpu_path {
+            VpuPath::ThroughL1 => None,
+            VpuPath::DecoupledL2 { vcache_bytes } => {
+                let lines = vcache_bytes / cfg.l1.line_bytes;
+                Some(Cache::new(CacheConfig {
+                    name: "VC",
+                    bytes: vcache_bytes,
+                    line_bytes: cfg.l1.line_bytes,
+                    assoc: lines, // fully associative
+                    hit_latency: 2,
+                }))
+            }
+        };
+        let hwpf = cfg.hw_prefetch.map(StridePrefetcher::new);
+        MemSystem {
+            l1: Cache::new(cfg.l1.clone()),
+            l2: Cache::new(cfg.l2.clone()),
+            vcache,
+            hwpf,
+            pf_scratch: Vec::with_capacity(8),
+            dram_reads: 0,
+            dram_writes: 0,
+            cfg,
+        }
+    }
+
+    /// The (uniform) cache line size in bytes.
+    #[inline]
+    pub fn line_bytes(&self) -> usize {
+        self.cfg.l1.line_bytes
+    }
+
+    /// Configuration used to build the system.
+    pub fn config(&self) -> &MemSystemConfig {
+        &self.cfg
+    }
+
+    /// Snapshot all counters.
+    pub fn stats(&self) -> MemSystemStats {
+        MemSystemStats {
+            l1: self.l1.stats,
+            l2: self.l2.stats,
+            vcache: self.vcache.as_ref().map(|c| c.stats).unwrap_or_default(),
+            dram_reads: self.dram_reads,
+            dram_writes: self.dram_writes,
+        }
+    }
+
+    /// Reset all statistics (cache contents are preserved), e.g. after the
+    /// network-setup phase which the paper excludes from measurements.
+    pub fn reset_stats(&mut self) {
+        self.l1.reset_stats();
+        self.l2.reset_stats();
+        if let Some(vc) = &mut self.vcache {
+            vc.reset_stats();
+        }
+        self.dram_reads = 0;
+        self.dram_writes = 0;
+    }
+
+    #[inline]
+    fn line_of(&self, addr: u64) -> u64 {
+        addr / self.cfg.l1.line_bytes as u64
+    }
+
+    /// L2 access with DRAM fallback; returns the serving level and latency
+    /// measured from the L2 lookup.
+    fn l2_then_mem(&mut self, line: u64, kind: AccessKind) -> (MemLevel, u32) {
+        match self.l2.access_line(line, kind) {
+            Lookup::Hit => (MemLevel::L2, self.cfg.l2.hit_latency),
+            Lookup::Miss { victim_dirty } => {
+                if victim_dirty {
+                    self.dram_writes += 1;
+                }
+                self.dram_reads += 1;
+                (MemLevel::Dram, self.cfg.l2.hit_latency + self.cfg.mem_latency)
+            }
+        }
+    }
+
+    /// Feed the hardware prefetcher with a demand line; install predictions.
+    fn train_hw_prefetch(&mut self, line: u64) {
+        let Some(pf) = &mut self.hwpf else { return };
+        // Take the scratch buffer to appease the borrow checker.
+        let mut scratch = std::mem::take(&mut self.pf_scratch);
+        pf.observe(line, &mut scratch);
+        for &l in &scratch {
+            // Prefetches fill L2 and L1 (next-level inclusive fill).
+            self.l2.prefetch_line(l);
+            self.l1.prefetch_line(l);
+        }
+        self.pf_scratch = scratch;
+    }
+
+    /// Demand access from the **scalar** core: always L1 → L2 → DRAM.
+    /// Returns the serving level and full latency in cycles.
+    pub fn demand_scalar(&mut self, addr: u64, kind: AccessKind) -> (MemLevel, u32) {
+        let line = self.line_of(addr);
+        self.train_hw_prefetch(line);
+        match self.l1.access_line(line, kind) {
+            Lookup::Hit => (MemLevel::L1, self.cfg.l1.hit_latency),
+            Lookup::Miss { victim_dirty } => {
+                if victim_dirty {
+                    // L1 writeback lands in L2 (write access, counts traffic).
+                    self.l2.access_line(line, AccessKind::Write);
+                }
+                let (lvl, lat) = self.l2_then_mem(line, kind);
+                (lvl, self.cfg.l1.hit_latency + lat)
+            }
+        }
+    }
+
+    /// Demand access from the **vector** unit; the route depends on
+    /// [`VpuPath`]. Line-granular: callers pass one representative address
+    /// per distinct line touched by the vector operation.
+    pub fn demand_vector(&mut self, addr: u64, kind: AccessKind) -> (MemLevel, u32) {
+        self.demand_vector_opts(addr, kind, true)
+    }
+
+    /// [`Self::demand_vector`] with explicit prefetcher training control.
+    /// Indexed (gather/scatter) accesses do not train stream prefetchers on
+    /// real hardware; their irregular line sequences would only pollute the
+    /// stride table.
+    pub fn demand_vector_opts(
+        &mut self,
+        addr: u64,
+        kind: AccessKind,
+        train: bool,
+    ) -> (MemLevel, u32) {
+        let line = self.line_of(addr);
+        match self.cfg.vpu_path {
+            VpuPath::ThroughL1 => {
+                // Same path as scalar accesses (SVE).
+                if train {
+                    self.train_hw_prefetch(line);
+                }
+                match self.l1.access_line(line, kind) {
+                    Lookup::Hit => (MemLevel::L1, self.cfg.l1.hit_latency),
+                    Lookup::Miss { victim_dirty } => {
+                        if victim_dirty {
+                            self.l2.access_line(line, AccessKind::Write);
+                        }
+                        let (lvl, lat) = self.l2_then_mem(line, kind);
+                        (lvl, self.cfg.l1.hit_latency + lat)
+                    }
+                }
+            }
+            VpuPath::DecoupledL2 { .. } => {
+                let vc = self.vcache.as_mut().expect("decoupled path has a vector cache");
+                match vc.access_line(line, kind) {
+                    Lookup::Hit => (MemLevel::VectorCache, 2),
+                    Lookup::Miss { victim_dirty } => {
+                        if victim_dirty {
+                            self.l2.access_line(line, AccessKind::Write);
+                        }
+                        let (lvl, lat) = self.l2_then_mem(line, kind);
+                        (lvl, 2 + lat)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Software prefetch of the line containing `addr` into `target`. No-op
+    /// unless the platform honours prefetch instructions (§IV-A).
+    pub fn sw_prefetch(&mut self, addr: u64, target: PrefetchTarget) {
+        if !self.cfg.sw_prefetch_effective {
+            return;
+        }
+        let line = self.line_of(addr);
+        match target {
+            PrefetchTarget::L1 => {
+                // Fill both levels, as PRFM PLDL1KEEP effectively does.
+                self.l2.prefetch_line(line);
+                self.l1.prefetch_line(line);
+            }
+            PrefetchTarget::L2 => {
+                self.l2.prefetch_line(line);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(path: VpuPath, sw_pf: bool, hw_pf: bool) -> MemSystemConfig {
+        MemSystemConfig {
+            l1: CacheConfig { name: "L1D", bytes: 4096, line_bytes: 64, assoc: 4, hit_latency: 4 },
+            l2: CacheConfig { name: "L2", bytes: 65536, line_bytes: 64, assoc: 8, hit_latency: 12 },
+            mem_latency: 100,
+            vpu_path: path,
+            hw_prefetch: if hw_pf { Some(StridePrefetcherConfig::default()) } else { None },
+            sw_prefetch_effective: sw_pf,
+        }
+    }
+
+    #[test]
+    fn scalar_miss_then_hit_latencies() {
+        let mut ms = MemSystem::new(cfg(VpuPath::ThroughL1, false, false));
+        let (lvl, lat) = ms.demand_scalar(0x1000, AccessKind::Read);
+        assert_eq!(lvl, MemLevel::Dram);
+        assert_eq!(lat, 4 + 12 + 100);
+        let (lvl, lat) = ms.demand_scalar(0x1004, AccessKind::Read);
+        assert_eq!(lvl, MemLevel::L1);
+        assert_eq!(lat, 4);
+    }
+
+    #[test]
+    fn decoupled_vector_bypasses_l1() {
+        let mut ms = MemSystem::new(cfg(VpuPath::DecoupledL2 { vcache_bytes: 2048 }, false, false));
+        let (lvl, _) = ms.demand_vector(0x2000, AccessKind::Read);
+        assert_eq!(lvl, MemLevel::Dram);
+        assert_eq!(ms.l1.stats.accesses, 0, "vector traffic must not touch L1");
+        assert_eq!(ms.l2.stats.accesses, 1);
+        // Re-access: served by the vector cache.
+        let (lvl, lat) = ms.demand_vector(0x2000, AccessKind::Read);
+        assert_eq!(lvl, MemLevel::VectorCache);
+        assert_eq!(lat, 2);
+    }
+
+    #[test]
+    fn through_l1_vector_uses_l1() {
+        let mut ms = MemSystem::new(cfg(VpuPath::ThroughL1, false, false));
+        ms.demand_vector(0x2000, AccessKind::Read);
+        let (lvl, _) = ms.demand_vector(0x2000, AccessKind::Read);
+        assert_eq!(lvl, MemLevel::L1);
+        assert_eq!(ms.l1.stats.accesses, 2);
+    }
+
+    #[test]
+    fn sw_prefetch_noop_when_not_supported() {
+        let mut ms = MemSystem::new(cfg(VpuPath::ThroughL1, false, false));
+        ms.sw_prefetch(0x3000, PrefetchTarget::L1);
+        let (lvl, _) = ms.demand_scalar(0x3000, AccessKind::Read);
+        assert_eq!(lvl, MemLevel::Dram, "prefetch must be dropped on this profile");
+    }
+
+    #[test]
+    fn sw_prefetch_effective_installs_line() {
+        let mut ms = MemSystem::new(cfg(VpuPath::ThroughL1, true, false));
+        ms.sw_prefetch(0x3000, PrefetchTarget::L1);
+        let (lvl, lat) = ms.demand_scalar(0x3000, AccessKind::Read);
+        assert_eq!(lvl, MemLevel::L1);
+        assert_eq!(lat, 4);
+        ms.sw_prefetch(0x9000, PrefetchTarget::L2);
+        let (lvl, _) = ms.demand_scalar(0x9000, AccessKind::Read);
+        assert_eq!(lvl, MemLevel::L2);
+    }
+
+    #[test]
+    fn hw_prefetcher_turns_stream_into_hits() {
+        let mut with_pf = MemSystem::new(cfg(VpuPath::ThroughL1, false, true));
+        let mut without = MemSystem::new(cfg(VpuPath::ThroughL1, false, false));
+        for k in 0..64u64 {
+            with_pf.demand_scalar(0x10_0000 + k * 64, AccessKind::Read);
+            without.demand_scalar(0x10_0000 + k * 64, AccessKind::Read);
+        }
+        assert!(
+            with_pf.l1.stats.misses < without.l1.stats.misses,
+            "prefetcher should remove stream misses: {} vs {}",
+            with_pf.l1.stats.misses,
+            without.l1.stats.misses
+        );
+    }
+
+    #[test]
+    fn dirty_l1_eviction_writes_back_to_l2() {
+        let mut ms = MemSystem::new(cfg(VpuPath::ThroughL1, false, false));
+        // L1: 4KB, 4-way, 64B lines -> 16 sets. Write line 0, then evict it
+        // by touching 4 more lines in the same set (stride = sets*line = 1KB).
+        ms.demand_scalar(0, AccessKind::Write);
+        for k in 1..=4u64 {
+            ms.demand_scalar(k * 1024, AccessKind::Read);
+        }
+        assert_eq!(ms.l1.stats.writebacks, 1);
+    }
+
+    #[test]
+    fn stats_reset_preserves_contents() {
+        let mut ms = MemSystem::new(cfg(VpuPath::ThroughL1, false, false));
+        ms.demand_scalar(0x4000, AccessKind::Read);
+        ms.reset_stats();
+        assert_eq!(ms.l1.stats.accesses, 0);
+        let (lvl, _) = ms.demand_scalar(0x4000, AccessKind::Read);
+        assert_eq!(lvl, MemLevel::L1, "contents must survive a stats reset");
+    }
+
+    #[test]
+    #[should_panic(expected = "mixed line sizes")]
+    fn mixed_line_sizes_rejected() {
+        let mut c = cfg(VpuPath::ThroughL1, false, false);
+        c.l2.line_bytes = 128;
+        c.l2.bytes = 65536;
+        let _ = MemSystem::new(c);
+    }
+}

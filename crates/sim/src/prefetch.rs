@@ -1,0 +1,203 @@
+//! Hardware stride prefetcher, modelled after the A64FX L1/L2 stream
+//! prefetch engines (sequential/stride detection, configurable degree).
+//!
+//! The simulated RISC-V Vector and SVE@gem5 platforms run with hardware
+//! prefetching disabled, as in Table I of the paper; the A64FX-like profile
+//! enables it.
+
+/// Where a prefetch (software or hardware) installs its line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrefetchTarget {
+    L1,
+    L2,
+}
+
+/// Configuration of the stride prefetcher.
+#[derive(Debug, Clone, Copy)]
+pub struct StridePrefetcherConfig {
+    /// Number of independent streams tracked.
+    pub streams: usize,
+    /// Lines fetched ahead once a stream is confirmed.
+    pub degree: usize,
+    /// Consecutive stride matches required before issuing prefetches.
+    pub confidence: u32,
+}
+
+impl Default for StridePrefetcherConfig {
+    fn default() -> Self {
+        StridePrefetcherConfig { streams: 8, degree: 4, confidence: 2 }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Stream {
+    last_line: u64,
+    stride: i64,
+    hits: u32,
+    valid: bool,
+    /// Round-robin age for replacement.
+    age: u64,
+}
+
+/// Detects strided line-address streams and emits prefetch candidates.
+///
+/// The prefetcher observes *demand* line addresses via [`Self::observe`] and
+/// returns the list of line addresses to install. The caller (the memory
+/// system) decides which cache level receives them.
+#[derive(Debug)]
+pub struct StridePrefetcher {
+    cfg: StridePrefetcherConfig,
+    streams: Vec<Stream>,
+    tick: u64,
+    pub issued: u64,
+}
+
+impl StridePrefetcher {
+    pub fn new(cfg: StridePrefetcherConfig) -> Self {
+        assert!(cfg.streams > 0 && cfg.degree > 0);
+        StridePrefetcher {
+            streams: vec![
+                Stream { last_line: 0, stride: 0, hits: 0, valid: false, age: 0 };
+                cfg.streams
+            ],
+            cfg,
+            tick: 0,
+            issued: 0,
+        }
+    }
+
+    /// Feed one demand line address; collect prefetch candidate lines into
+    /// `out` (cleared first).
+    ///
+    /// Streams are associated by *proximity*: an access within
+    /// `ASSOC_WINDOW` lines of a stream's last position continues that
+    /// stream, so several interleaved sequential streams (e.g. the packed A
+    /// and B panels plus the C rows of a GEMM micro-kernel) are tracked
+    /// simultaneously. Repeated accesses to a stream's current line are
+    /// ignored (they carry no direction information and must not evict
+    /// live streams). Only short strides (<= `MAX_PREFETCH_STRIDE` lines)
+    /// are prefetched: a column-major walk with a row-length stride — like
+    /// the unpacked B panel of the 3-loop GEMM — defeats the unit, which is
+    /// exactly why the paper's 6-loop packing matters on A64FX (§VI-C).
+    pub fn observe(&mut self, line: u64, out: &mut Vec<u64>) {
+        const ASSOC_WINDOW: u64 = 16;
+        const MAX_PREFETCH_STRIDE: i64 = 4;
+        out.clear();
+        self.tick += 1;
+        // Same-line repeat: refresh recency, learn nothing.
+        for s in &mut self.streams {
+            if s.valid && s.last_line == line {
+                s.age = self.tick;
+                return;
+            }
+        }
+        // Associate with the nearest stream within the window.
+        let mut best: Option<(usize, u64)> = None;
+        for (i, s) in self.streams.iter().enumerate() {
+            if !s.valid {
+                continue;
+            }
+            let dist = line.abs_diff(s.last_line);
+            if dist <= ASSOC_WINDOW && best.map_or(true, |(_, d)| dist < d) {
+                best = Some((i, dist));
+            }
+        }
+        match best {
+            Some((i, _)) => {
+                let s = &mut self.streams[i];
+                let delta = line as i64 - s.last_line as i64;
+                if delta == s.stride {
+                    s.hits += 1;
+                } else {
+                    s.stride = delta;
+                    s.hits = 1;
+                }
+                s.last_line = line;
+                s.age = self.tick;
+                if s.hits >= self.cfg.confidence && s.stride.unsigned_abs() <= MAX_PREFETCH_STRIDE as u64 {
+                    let stride = s.stride;
+                    for k in 1..=self.cfg.degree as i64 {
+                        let target = line as i64 + stride * k;
+                        if target >= 0 {
+                            out.push(target as u64);
+                        }
+                    }
+                    self.issued += out.len() as u64;
+                }
+            }
+            None => {
+                // Allocate (replace the oldest stream).
+                let idx = self
+                    .streams
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, s)| if s.valid { s.age } else { 0 })
+                    .map(|(i, _)| i)
+                    .unwrap();
+                self.streams[idx] =
+                    Stream { last_line: line, stride: 0, hits: 0, valid: true, age: self.tick };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_stream_triggers_prefetch() {
+        let mut p = StridePrefetcher::new(StridePrefetcherConfig::default());
+        let mut out = Vec::new();
+        for line in 100..110u64 {
+            p.observe(line, &mut out);
+        }
+        // After confidence is established, next-lines are predicted.
+        assert!(!out.is_empty());
+        assert_eq!(out[0], 110);
+        assert!(p.issued > 0);
+    }
+
+    #[test]
+    fn strided_stream_detected() {
+        let mut p = StridePrefetcher::new(StridePrefetcherConfig::default());
+        let mut out = Vec::new();
+        for k in 0..10u64 {
+            p.observe(1000 + 3 * k, &mut out);
+        }
+        assert!(out.contains(&(1000 + 3 * 10)));
+    }
+
+    #[test]
+    fn random_accesses_do_not_trigger() {
+        let mut p = StridePrefetcher::new(StridePrefetcherConfig::default());
+        let mut out = Vec::new();
+        let mut total = 0;
+        let mut x = 12345u64;
+        for _ in 0..100 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            p.observe((x >> 20) & 0xFFFF_FFF, &mut out);
+            total += out.len();
+        }
+        // Random walk should essentially never confirm a stream.
+        assert!(total < 20, "spurious prefetches: {total}");
+    }
+
+    #[test]
+    fn multiple_interleaved_streams() {
+        let mut p = StridePrefetcher::new(StridePrefetcherConfig::default());
+        let mut out = Vec::new();
+        let mut fired = [false, false];
+        for k in 0..20u64 {
+            p.observe(1_000 + k, &mut out);
+            if out.contains(&(1_000 + k + 1)) {
+                fired[0] = true;
+            }
+            p.observe(900_000 + 2 * k, &mut out);
+            if out.contains(&(900_000 + 2 * k + 2)) {
+                fired[1] = true;
+            }
+        }
+        assert!(fired[0] && fired[1], "both streams should be tracked: {fired:?}");
+    }
+}

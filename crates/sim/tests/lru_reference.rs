@@ -1,0 +1,135 @@
+//! Property test: the production cache model must agree, access for
+//! access, with an independently-written reference LRU implementation
+//! (per-set move-to-front lists). Any divergence in hit/miss classification
+//! or writeback generation is a bug in one of them.
+
+use lva_sim::{AccessKind, Cache, CacheConfig};
+use proptest::prelude::*;
+
+/// Straight-line reference: per-set Vec with move-to-front order.
+struct RefLru {
+    sets: usize,
+    assoc: usize,
+    /// Per set: (tag, dirty), most recent first.
+    lines: Vec<Vec<(u64, bool)>>,
+}
+
+impl RefLru {
+    fn new(sets: usize, assoc: usize) -> Self {
+        RefLru { sets, assoc, lines: vec![Vec::new(); sets] }
+    }
+
+    /// Returns (hit, victim_was_dirty).
+    fn access(&mut self, line: u64, write: bool) -> (bool, bool) {
+        let set = (line as usize) % self.sets;
+        let tag = line / self.sets as u64;
+        let entries = &mut self.lines[set];
+        if let Some(pos) = entries.iter().position(|&(t, _)| t == tag) {
+            let (t, mut d) = entries.remove(pos);
+            d |= write;
+            entries.insert(0, (t, d));
+            (true, false)
+        } else {
+            let mut victim_dirty = false;
+            if entries.len() == self.assoc {
+                victim_dirty = entries.pop().expect("full set").1;
+            }
+            entries.insert(0, (tag, write));
+            (false, victim_dirty)
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cache_matches_reference_lru(
+        sets_pow in 0u32..5,
+        assoc in 1usize..9,
+        trace in proptest::collection::vec((0u64..200, any::<bool>()), 1..600),
+    ) {
+        let sets = 1usize << sets_pow;
+        let line_bytes = 64usize;
+        let mut cache = Cache::new(CacheConfig {
+            name: "T",
+            bytes: sets * assoc * line_bytes,
+            line_bytes,
+            assoc,
+            hit_latency: 1,
+        });
+        let mut reference = RefLru::new(sets, assoc);
+        let mut hits = 0u64;
+        let mut wbs = 0u64;
+        for &(line, write) in &trace {
+            let kind = if write { AccessKind::Write } else { AccessKind::Read };
+            let (ref_hit, ref_wb) = reference.access(line, write);
+            match cache.access_line(line, kind) {
+                lva_sim::cache::Lookup::Hit => {
+                    hits += 1;
+                    prop_assert!(ref_hit, "model hit, reference missed on line {}", line);
+                }
+                lva_sim::cache::Lookup::Miss { victim_dirty } => {
+                    prop_assert!(!ref_hit, "model missed, reference hit on line {}", line);
+                    prop_assert_eq!(victim_dirty, ref_wb, "writeback mismatch on line {}", line);
+                    if victim_dirty {
+                        wbs += 1;
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(cache.stats.hits, hits);
+        prop_assert_eq!(cache.stats.writebacks, wbs);
+        prop_assert_eq!(cache.stats.accesses, trace.len() as u64);
+    }
+
+    /// Inclusion property of LRU: on any trace, a fully-associative LRU
+    /// cache with more capacity never misses more.
+    #[test]
+    fn fully_assoc_capacity_monotone(
+        trace in proptest::collection::vec(0u64..64, 1..400),
+    ) {
+        let mut prev = u64::MAX;
+        for lines in [2usize, 4, 8, 16, 64] {
+            let mut c = Cache::new(CacheConfig {
+                name: "FA",
+                bytes: lines * 64,
+                line_bytes: 64,
+                assoc: lines,
+                hit_latency: 1,
+            });
+            for &l in &trace {
+                c.access_line(l, AccessKind::Read);
+            }
+            prop_assert!(c.stats.misses <= prev);
+            prev = c.stats.misses;
+        }
+    }
+
+    /// Prefetched lines must never change hit/miss *correctness*, only
+    /// timing: demanding a prefetched line is a hit, and flushing restores
+    /// cold behaviour.
+    #[test]
+    fn prefetch_then_demand_is_hit(lines in proptest::collection::vec(0u64..128, 1..64)) {
+        let mut c = Cache::new(CacheConfig {
+            name: "P",
+            bytes: 128 * 64,
+            line_bytes: 64,
+            assoc: 128,
+            hit_latency: 1,
+        });
+        for &l in &lines {
+            c.prefetch_line(l);
+        }
+        for &l in &lines {
+            let hit = matches!(c.access_line(l, AccessKind::Read), lva_sim::cache::Lookup::Hit);
+            prop_assert!(hit);
+        }
+        c.flush();
+        let miss = matches!(
+            c.access_line(lines[0], AccessKind::Read),
+            lva_sim::cache::Lookup::Miss { .. }
+        );
+        prop_assert!(miss);
+    }
+}

@@ -1,0 +1,434 @@
+//! Exact Cook–Toom construction of Winograd convolution transforms.
+//!
+//! For `F(m, r)` (m outputs per tile from an r-tap filter) with
+//! `n = m + r - 1`, pick `n - 1` distinct finite interpolation points plus
+//! the point at infinity and build
+//!
+//! * `G  (n x r)` — filter transform: row `j` is `[1, p_j, …, p_j^{r-1}] / N_j`
+//!   with `N_j = prod_{i != j} (p_j - p_i)`; the infinity row is `e_{r-1}`;
+//! * `B^T (n x n)` — data transform: row `j` holds the ascending coefficients
+//!   of `prod_{i != j} (x - p_i)`; the infinity row those of
+//!   `prod_i (x - p_i)`;
+//! * `A^T (m x n)` — output transform: `A^T[i][j] = p_j^i`, and the infinity
+//!   column is `e_{m-1}`.
+//!
+//! Then `y = A^T [ (G g) ⊙ (B^T d) ]` computes the length-`m` valid
+//! correlation of `d` (length `n`) with `g` (length `r`). All arithmetic is
+//! exact rational (`i128`), converted to `f32` only at the end, so the
+//! generated matrices are bit-reproducible.
+//!
+//! The 2D form nests the 1D transforms: `V = B^T d B`, `U = G g G^T`,
+//! `Y = A^T (U ⊙ V) A`.
+
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// An exact rational number over `i128`, always kept reduced with a
+/// positive denominator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rat {
+    pub num: i128,
+    pub den: i128,
+}
+
+fn gcd(a: i128, b: i128) -> i128 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a.max(1)
+}
+
+impl Rat {
+    pub const ZERO: Rat = Rat { num: 0, den: 1 };
+    pub const ONE: Rat = Rat { num: 1, den: 1 };
+
+    pub fn new(num: i128, den: i128) -> Self {
+        assert!(den != 0, "zero denominator");
+        let s = if den < 0 { -1 } else { 1 };
+        let g = gcd(num, den);
+        Rat { num: s * num / g, den: s * den / g }
+    }
+
+    pub fn int(v: i128) -> Self {
+        Rat { num: v, den: 1 }
+    }
+
+    pub fn recip(self) -> Self {
+        assert!(self.num != 0, "reciprocal of zero");
+        Rat::new(self.den, self.num)
+    }
+
+    pub fn to_f32(self) -> f32 {
+        self.num as f32 / self.den as f32
+    }
+
+    pub fn pow(self, e: usize) -> Self {
+        let mut acc = Rat::ONE;
+        for _ in 0..e {
+            acc = acc * self;
+        }
+        acc
+    }
+}
+
+impl Add for Rat {
+    type Output = Rat;
+    fn add(self, o: Rat) -> Rat {
+        Rat::new(self.num * o.den + o.num * self.den, self.den * o.den)
+    }
+}
+
+impl Sub for Rat {
+    type Output = Rat;
+    fn sub(self, o: Rat) -> Rat {
+        Rat::new(self.num * o.den - o.num * self.den, self.den * o.den)
+    }
+}
+
+impl Mul for Rat {
+    type Output = Rat;
+    fn mul(self, o: Rat) -> Rat {
+        Rat::new(self.num * o.num, self.den * o.den)
+    }
+}
+
+impl Neg for Rat {
+    type Output = Rat;
+    fn neg(self) -> Rat {
+        Rat { num: -self.num, den: self.den }
+    }
+}
+
+/// Ascending coefficients of `prod (x - roots[i])`.
+fn poly_from_roots(roots: &[Rat]) -> Vec<Rat> {
+    let mut coeffs = vec![Rat::ONE]; // constant polynomial 1
+    for &root in roots {
+        // Multiply by (x - root).
+        let mut next = vec![Rat::ZERO; coeffs.len() + 1];
+        for (k, &c) in coeffs.iter().enumerate() {
+            next[k + 1] = next[k + 1] + c;
+            next[k] = next[k] - c * root;
+        }
+        coeffs = next;
+    }
+    coeffs
+}
+
+/// The generated transform triple for one `F(m, r)`.
+#[derive(Debug, Clone)]
+pub struct WinogradTransform {
+    /// Outputs per tile (per dimension).
+    pub m: usize,
+    /// Filter taps (per dimension).
+    pub r: usize,
+    /// Tile size `n = m + r - 1`.
+    pub n: usize,
+    /// `A^T`, `m x n`, row-major.
+    pub at: Vec<f32>,
+    /// `G`, `n x r`, row-major.
+    pub g: Vec<f32>,
+    /// `B^T`, `n x n`, row-major.
+    pub bt: Vec<f32>,
+}
+
+impl WinogradTransform {
+    /// Build `F(m, r)` from `m + r - 2` distinct finite points (the point at
+    /// infinity is implicit).
+    ///
+    /// # Panics
+    /// Panics if the points are not distinct or the count is wrong.
+    pub fn generate(m: usize, r: usize, points: &[Rat]) -> Self {
+        let n = m + r - 1;
+        assert_eq!(points.len(), n - 1, "need n-1 finite interpolation points");
+        for (i, a) in points.iter().enumerate() {
+            for b in &points[i + 1..] {
+                assert!(a != b, "interpolation points must be distinct");
+            }
+        }
+        // G.
+        let mut g = vec![0.0f32; n * r];
+        for (j, &p) in points.iter().enumerate() {
+            let mut nj = Rat::ONE;
+            for (i, &q) in points.iter().enumerate() {
+                if i != j {
+                    nj = nj * (p - q);
+                }
+            }
+            let inv = nj.recip();
+            for k in 0..r {
+                g[j * r + k] = (p.pow(k) * inv).to_f32();
+            }
+        }
+        g[(n - 1) * r + (r - 1)] = 1.0;
+        // B^T.
+        let mut bt = vec![0.0f32; n * n];
+        for j in 0..n - 1 {
+            let others: Vec<Rat> =
+                points.iter().enumerate().filter(|&(i, _)| i != j).map(|(_, &p)| p).collect();
+            let coeffs = poly_from_roots(&others);
+            for (k, &c) in coeffs.iter().enumerate() {
+                bt[j * n + k] = c.to_f32();
+            }
+        }
+        let full = poly_from_roots(points);
+        for (k, &c) in full.iter().enumerate() {
+            bt[(n - 1) * n + k] = c.to_f32();
+        }
+        // A^T.
+        let mut at = vec![0.0f32; m * n];
+        for i in 0..m {
+            for (j, &p) in points.iter().enumerate() {
+                at[i * n + j] = p.pow(i).to_f32();
+            }
+        }
+        at[(m - 1) * n + (n - 1)] = 1.0;
+        WinogradTransform { m, r, n, at, g, bt }
+    }
+
+    /// 1D Winograd correlation of `d` (length `n`) with `g` (length `r`):
+    /// `y = A^T [(G g) ⊙ (B^T d)]`. Used by tests and as executable
+    /// documentation of the identity.
+    pub fn correlate_1d(&self, d: &[f32], filt: &[f32]) -> Vec<f32> {
+        assert_eq!(d.len(), self.n);
+        assert_eq!(filt.len(), self.r);
+        let u: Vec<f32> = (0..self.n)
+            .map(|j| (0..self.r).map(|k| self.g[j * self.r + k] * filt[k]).sum())
+            .collect();
+        let v: Vec<f32> = (0..self.n)
+            .map(|j| (0..self.n).map(|k| self.bt[j * self.n + k] * d[k]).sum())
+            .collect();
+        (0..self.m)
+            .map(|i| (0..self.n).map(|j| self.at[i * self.n + j] * u[j] * v[j]).sum())
+            .collect()
+    }
+
+    /// 2D filter transform `U = G g G^T` for an `r x r` filter → `n x n`.
+    pub fn transform_filter_2d(&self, filt: &[f32]) -> Vec<f32> {
+        assert_eq!(filt.len(), self.r * self.r);
+        let (n, r) = (self.n, self.r);
+        // tmp = G * g  (n x r)
+        let mut tmp = vec![0.0f32; n * r];
+        for i in 0..n {
+            for j in 0..r {
+                let mut s = 0.0;
+                for k in 0..r {
+                    s += self.g[i * r + k] * filt[k * r + j];
+                }
+                tmp[i * r + j] = s;
+            }
+        }
+        // U = tmp * G^T  (n x n)
+        let mut u = vec![0.0f32; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let mut s = 0.0;
+                for k in 0..r {
+                    s += tmp[i * r + k] * self.g[j * r + k];
+                }
+                u[i * n + j] = s;
+            }
+        }
+        u
+    }
+
+    /// 2D data transform `V = B^T d B` for an `n x n` tile.
+    pub fn transform_data_2d(&self, d: &[f32]) -> Vec<f32> {
+        assert_eq!(d.len(), self.n * self.n);
+        let n = self.n;
+        let mut tmp = vec![0.0f32; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let mut s = 0.0;
+                for k in 0..n {
+                    s += self.bt[i * n + k] * d[k * n + j];
+                }
+                tmp[i * n + j] = s;
+            }
+        }
+        let mut v = vec![0.0f32; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let mut s = 0.0;
+                for k in 0..n {
+                    s += tmp[i * n + k] * self.bt[j * n + k];
+                }
+                v[i * n + j] = s;
+            }
+        }
+        v
+    }
+
+    /// 2D output transform `Y = A^T M A` for an `n x n` product tile → `m x m`.
+    pub fn transform_output_2d(&self, prod: &[f32]) -> Vec<f32> {
+        assert_eq!(prod.len(), self.n * self.n);
+        let (n, m) = (self.n, self.m);
+        let mut tmp = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0;
+                for k in 0..n {
+                    s += self.at[i * n + k] * prod[k * n + j];
+                }
+                tmp[i * n + j] = s;
+            }
+        }
+        let mut y = vec![0.0f32; m * m];
+        for i in 0..m {
+            for j in 0..m {
+                let mut s = 0.0;
+                for k in 0..n {
+                    s += tmp[i * n + k] * self.at[j * n + k];
+                }
+                y[i * m + j] = s;
+            }
+        }
+        y
+    }
+
+    /// Multiplication count reduction versus direct convolution:
+    /// `m^2 r^2 / n^2` (≈5.06 for F(6,3)).
+    pub fn mult_reduction(&self) -> f64 {
+        (self.m * self.m * self.r * self.r) as f64 / (self.n * self.n) as f64
+    }
+}
+
+fn r(num: i128, den: i128) -> Rat {
+    Rat::new(num, den)
+}
+
+/// `F(2, 3)` — 4x4 tiles, points `{0, 1, -1, ∞}` (Lavin & Gray's minimal).
+pub fn f2x3() -> WinogradTransform {
+    WinogradTransform::generate(2, 3, &[r(0, 1), r(1, 1), r(-1, 1)])
+}
+
+/// `F(4, 3)` — 6x6 tiles, points `{0, ±1, ±2, ∞}`.
+pub fn f4x3() -> WinogradTransform {
+    WinogradTransform::generate(4, 3, &[r(0, 1), r(1, 1), r(-1, 1), r(2, 1), r(-2, 1)])
+}
+
+/// `F(6, 3)` — the NNPACK operating point used throughout the paper:
+/// 8x8 tiles, 6x6 outputs, points `{0, ±1, ±2, ±1/2, ∞}`.
+pub fn f6x3() -> WinogradTransform {
+    WinogradTransform::generate(
+        6,
+        3,
+        &[r(0, 1), r(1, 1), r(-1, 1), r(2, 1), r(-2, 1), r(1, 2), r(-1, 2)],
+    )
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lva_tensor::host_random;
+
+    fn direct_correlate(d: &[f32], g: &[f32]) -> Vec<f32> {
+        let m = d.len() - g.len() + 1;
+        (0..m).map(|i| g.iter().enumerate().map(|(k, &gk)| gk * d[i + k]).sum()).collect()
+    }
+
+    #[test]
+    fn rat_arithmetic_reduces() {
+        assert_eq!(r(2, 4), r(1, 2));
+        assert_eq!(r(1, -2), r(-1, 2));
+        assert_eq!((r(1, 2) + r(1, 3)), r(5, 6));
+        assert_eq!((r(1, 2) * r(2, 3)), r(1, 3));
+        assert_eq!(r(3, 7).recip(), r(7, 3));
+        assert_eq!(r(-2, 3).pow(2), r(4, 9));
+    }
+
+    #[test]
+    fn poly_from_roots_expands() {
+        // (x-1)(x+1) = -1 + 0x + x^2
+        let c = poly_from_roots(&[r(1, 1), r(-1, 1)]);
+        assert_eq!(c, vec![r(-1, 1), r(0, 1), r(1, 1)]);
+    }
+
+    #[test]
+    fn f2x3_matches_direct_1d() {
+        let t = f2x3();
+        let d = host_random(t.n, 1);
+        let g = host_random(t.r, 2);
+        let y = t.correlate_1d(&d, &g);
+        let want = direct_correlate(&d, &g);
+        for (a, b) in y.iter().zip(&want) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn f4x3_matches_direct_1d() {
+        let t = f4x3();
+        let d = host_random(t.n, 3);
+        let g = host_random(t.r, 4);
+        let y = t.correlate_1d(&d, &g);
+        let want = direct_correlate(&d, &g);
+        for (a, b) in y.iter().zip(&want) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn f6x3_matches_direct_1d() {
+        let t = f6x3();
+        assert_eq!(t.n, 8);
+        let d = host_random(t.n, 5);
+        let g = host_random(t.r, 6);
+        let y = t.correlate_1d(&d, &g);
+        let want = direct_correlate(&d, &g);
+        for (a, b) in y.iter().zip(&want) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn f6x3_2d_tile_matches_direct_2d() {
+        let t = f6x3();
+        let d = host_random(64, 7);
+        let g = host_random(9, 8);
+        let u = t.transform_filter_2d(&g);
+        let v = t.transform_data_2d(&d);
+        let prod: Vec<f32> = u.iter().zip(&v).map(|(a, b)| a * b).collect();
+        let y = t.transform_output_2d(&prod);
+        // Direct 2D valid correlation.
+        for oy in 0..6 {
+            for ox in 0..6 {
+                let mut s = 0.0f32;
+                for ky in 0..3 {
+                    for kx in 0..3 {
+                        s += d[(oy + ky) * 8 + ox + kx] * g[ky * 3 + kx];
+                    }
+                }
+                let got = y[oy * 6 + ox];
+                assert!((got - s).abs() < 2e-3, "({oy},{ox}): {got} vs {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn f6x3_known_g_rows() {
+        // Spot-check the filter transform against the canonical constants
+        // (the generator folds signs differently only in B^T/G pairs that
+        // cancel; G rows for points 1, 2, 1/2 are sign-definite).
+        let t = f6x3();
+        let row = |j: usize| &t.g[j * 3..j * 3 + 3];
+        let close = |a: &[f32], b: [f32; 3]| a.iter().zip(b).all(|(x, y)| (x - y).abs() < 1e-6);
+        assert!(close(row(1), [-2.0 / 9.0, -2.0 / 9.0, -2.0 / 9.0]));
+        assert!(close(row(3), [1.0 / 90.0, 1.0 / 45.0, 2.0 / 45.0]));
+        assert!(close(row(5), [32.0 / 45.0, 16.0 / 45.0, 8.0 / 45.0]));
+        assert!(close(row(7), [0.0, 0.0, 1.0]));
+    }
+
+    #[test]
+    fn mult_reduction_f6x3() {
+        assert!((f6x3().mult_reduction() - 5.0625).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn duplicate_points_rejected() {
+        let _ = WinogradTransform::generate(2, 3, &[r(0, 1), r(0, 1), r(1, 1)]);
+    }
+}

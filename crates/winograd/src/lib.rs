@@ -1,0 +1,32 @@
+//! # lva-winograd — Winograd convolution F(6x6, 3x3) on 8x8 tiles
+//!
+//! The paper's §IV-B/§VII algorithmic alternative to im2col+GEMM for 3x3
+//! convolutions, built from scratch:
+//!
+//! * [`cooktoom`] — an exact-rational Cook–Toom generator for the
+//!   `B^T`/`G`/`A^T` transform matrices of any `F(m, r)`, instantiated at
+//!   the NNPACK operating point `F(6, 3)` (8x8 tiles, interpolation points
+//!   `{0, ±1, ±2, ±1/2, ∞}`), plus `F(2,3)` and `F(4,3)`;
+//! * [`scalar`] — a host reference implementation (tiling, nested 1D
+//!   transforms, tuple multiplication) validated against direct convolution;
+//! * [`vla`] — the paper's vector-length-agnostic implementation on the
+//!   simulated SVE machine, with **inter-tile parallelism across channels**
+//!   (Fig. 4/5): `VL/4` channels are packed per vector (two 8x4 tile
+//!   half-rows per channel), the row transform is applied to whole packed
+//!   buffers with `vfmacc`, and the tuple multiplication is vectorized
+//!   across the 64 tile frequencies (64 SP elements = the full 2048-bit SVE
+//!   vector, §IV-B).
+//!
+//! Stride-2 3x3 layers are supported by computing the dense stride-1
+//! Winograd output and decimating (see DESIGN.md: the paper reports Winograd
+//! is 1.4x *slower* than im2col+GEMM for its 6 stride-2 layers, which this
+//! realization reproduces; the paper does not specify its stride-2 scheme).
+
+pub mod cooktoom;
+pub mod scalar;
+pub mod vla;
+
+pub use cooktoom::{f2x3, f4x3, f6x3, Rat, WinogradTransform};
+pub use scalar::winograd_conv_ref;
+pub use vla::{winograd_conv_vla, WinogradPlan, WinogradScratch};
+

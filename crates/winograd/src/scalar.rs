@@ -1,0 +1,163 @@
+//! Host reference Winograd convolution (tiling + nested 1D transforms +
+//! tuple multiplication), the ground truth for the VLA implementation.
+
+use crate::cooktoom::WinogradTransform;
+use lva_kernels::ConvParams;
+
+/// Stride-1 Winograd convolution of a CHW image with `[oc][ic][r][r]`
+/// weights, semantics identical to `lva_kernels::reference::conv_direct_ref`.
+///
+/// # Panics
+/// Panics unless `p.k == t.r` and `p.stride == 1`.
+pub fn winograd_conv_ref(
+    t: &WinogradTransform,
+    p: &ConvParams,
+    image: &[f32],
+    weights: &[f32],
+) -> Vec<f32> {
+    assert_eq!(p.k, t.r, "filter size mismatch");
+    assert_eq!(p.stride, 1, "scalar reference is stride-1 only");
+    assert_eq!(image.len(), p.in_c * p.in_h * p.in_w);
+    assert_eq!(weights.len(), p.out_c * p.in_c * p.k * p.k);
+    let (oh, ow) = p.out_hw();
+    let (n, m) = (t.n, t.m);
+    let tiles_y = (oh + m - 1) / m;
+    let tiles_x = (ow + m - 1) / m;
+
+    // Offline filter transform U[oc][ic][n*n].
+    let u: Vec<Vec<f32>> = (0..p.out_c * p.in_c)
+        .map(|f| {
+            let w = &weights[f * p.k * p.k..(f + 1) * p.k * p.k];
+            t.transform_filter_2d(w)
+        })
+        .collect();
+
+    let mut out = vec![0.0f32; p.out_c * oh * ow];
+    let mut dtile = vec![0.0f32; n * n];
+    for ty in 0..tiles_y {
+        for tx in 0..tiles_x {
+            // Input tile top-left in image coordinates (can be negative
+            // because of padding).
+            let iy0 = ty as isize * m as isize - p.pad as isize;
+            let ix0 = tx as isize * m as isize - p.pad as isize;
+            // V[ic][n*n] for this tile position.
+            let v: Vec<Vec<f32>> = (0..p.in_c)
+                .map(|ci| {
+                    for r in 0..n {
+                        for c in 0..n {
+                            let y = iy0 + r as isize;
+                            let x = ix0 + c as isize;
+                            dtile[r * n + c] = if y >= 0
+                                && x >= 0
+                                && (y as usize) < p.in_h
+                                && (x as usize) < p.in_w
+                            {
+                                image[(ci * p.in_h + y as usize) * p.in_w + x as usize]
+                            } else {
+                                0.0
+                            };
+                        }
+                    }
+                    t.transform_data_2d(&dtile)
+                })
+                .collect();
+            for oc in 0..p.out_c {
+                // Tuple multiplication: M = sum_ic U[oc][ic] ⊙ V[ic].
+                let mut prod = vec![0.0f32; n * n];
+                for ci in 0..p.in_c {
+                    let uoc = &u[oc * p.in_c + ci];
+                    let vic = &v[ci];
+                    for f in 0..n * n {
+                        prod[f] += uoc[f] * vic[f];
+                    }
+                }
+                let y = t.transform_output_2d(&prod);
+                // Scatter the m x m outputs, clipping at the borders.
+                for ry in 0..m {
+                    let oy = ty * m + ry;
+                    if oy >= oh {
+                        break;
+                    }
+                    for rx in 0..m {
+                        let ox = tx * m + rx;
+                        if ox >= ow {
+                            break;
+                        }
+                        out[(oc * oh + oy) * ow + ox] = y[ry * m + rx];
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cooktoom::{f2x3, f4x3, f6x3};
+    use lva_kernels::reference::conv_direct_ref;
+    use lva_tensor::host_random;
+
+    fn check(t: &WinogradTransform, p: ConvParams, tol: f32) {
+        let img = host_random(p.in_c * p.in_h * p.in_w, 11);
+        let w = host_random(p.out_c * p.in_c * p.k * p.k, 12);
+        let got = winograd_conv_ref(t, &p, &img, &w);
+        let want = conv_direct_ref(&p, &img, &w);
+        assert_eq!(got.len(), want.len());
+        for (i, (a, b)) in got.iter().zip(&want).enumerate() {
+            assert!((a - b).abs() < tol, "idx {i}: {a} vs {b} ({p:?})");
+        }
+    }
+
+    #[test]
+    fn f6x3_matches_direct_pad1() {
+        check(
+            &f6x3(),
+            ConvParams { in_c: 3, in_h: 13, in_w: 10, out_c: 4, k: 3, stride: 1, pad: 1 },
+            5e-3,
+        );
+    }
+
+    #[test]
+    fn f6x3_matches_direct_nopad() {
+        check(
+            &f6x3(),
+            ConvParams { in_c: 2, in_h: 12, in_w: 12, out_c: 2, k: 3, stride: 1, pad: 0 },
+            5e-3,
+        );
+    }
+
+    #[test]
+    fn f6x3_exact_tile_multiple() {
+        // 12x12 output = exactly 2x2 tiles of 6x6.
+        check(
+            &f6x3(),
+            ConvParams { in_c: 1, in_h: 12, in_w: 12, out_c: 1, k: 3, stride: 1, pad: 1 },
+            5e-3,
+        );
+    }
+
+    #[test]
+    fn f4x3_and_f2x3_match_direct() {
+        check(
+            &f4x3(),
+            ConvParams { in_c: 2, in_h: 9, in_w: 9, out_c: 3, k: 3, stride: 1, pad: 1 },
+            2e-3,
+        );
+        check(
+            &f2x3(),
+            ConvParams { in_c: 2, in_h: 7, in_w: 9, out_c: 3, k: 3, stride: 1, pad: 1 },
+            1e-3,
+        );
+    }
+
+    #[test]
+    fn single_pixel_output() {
+        check(
+            &f6x3(),
+            ConvParams { in_c: 1, in_h: 3, in_w: 3, out_c: 1, k: 3, stride: 1, pad: 0 },
+            1e-3,
+        );
+    }
+}

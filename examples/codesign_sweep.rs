@@ -1,0 +1,39 @@
+//! A miniature co-design study: sweep vector length x L2 capacity on the
+//! RISC-V Vector machine for a YOLOv3 prefix and print the resulting design
+//! grid — the methodology behind Figs. 6 and 7 in one program.
+//!
+//! ```sh
+//! cargo run --release --example codesign_sweep
+//! ```
+
+use longvec_cnn::prelude::*;
+
+fn main() {
+    let workload = Workload {
+        model: ModelId::Yolov3,
+        input_hw: scaled_input(ModelId::Yolov3, 8),
+        layer_limit: Some(10),
+    };
+    let policy = ConvPolicy::gemm_only(GemmVariant::opt3());
+    let vlens = [512usize, 2048, 8192];
+    let l2s = [1usize << 20, 16 << 20, 256 << 20];
+
+    println!("co-design grid: {} | cycles (speedup vs 512b/1MB)\n", workload.describe());
+    print!("{:>9} |", "VL \\ L2");
+    for l2 in l2s {
+        print!(" {:>16}", format!("{}MB", l2 >> 20));
+    }
+    println!();
+    let mut base = None;
+    for vlen in vlens {
+        print!("{:>8}b |", vlen);
+        for l2 in l2s {
+            let hw = HwTarget::RvvGem5 { vlen_bits: vlen, lanes: 8, l2_bytes: l2 };
+            let s = Experiment::new(hw, policy, workload).run();
+            let b = *base.get_or_insert(s.cycles);
+            print!(" {:>9} ({:.2}x)", s.cycles / 1000, b as f64 / s.cycles as f64);
+        }
+        println!();
+    }
+    println!("\n(cycles in thousands; longer vectors + larger caches compound, §VI-B)");
+}

@@ -1,0 +1,160 @@
+//! Property-based tests over the whole stack (proptest): the optimized
+//! kernels must agree with the scalar references for *arbitrary* shapes,
+//! vector lengths and strides, not just the sizes the paper uses.
+
+use longvec_cnn::kernels::gemm::{gemm, GemmWorkspace};
+use longvec_cnn::kernels::im2col::im2col_vec;
+use longvec_cnn::kernels::reference::{conv_direct_ref, gemm_ref, im2col_ref};
+use longvec_cnn::prelude::*;
+use longvec_cnn::winograd::winograd_conv_vla;
+use proptest::prelude::*;
+
+fn rvv_machine(vlen: usize) -> Machine {
+    let mut cfg = MachineConfig::rvv_gem5(vlen, 8, 1 << 20);
+    cfg.arena_mib = 64;
+    Machine::new(cfg)
+}
+
+fn sve_machine(vlen: usize) -> Machine {
+    let mut cfg = MachineConfig::sve_gem5(vlen, 1 << 20);
+    cfg.arena_mib = 64;
+    Machine::new(cfg)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every GEMM variant equals the reference for arbitrary M, N, K and VL.
+    #[test]
+    fn gemm_variants_match_reference(
+        mm in 1usize..24,
+        nn in 1usize..80,
+        kk in 1usize..40,
+        vlen_pow in 4u32..9, // 512..16384 bits
+        variant_sel in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        let vlen = 32usize << vlen_pow;
+        let mut m = rvv_machine(vlen);
+        let a = Matrix::random(&mut m, mm, kk, seed);
+        let b = Matrix::random(&mut m, kk, nn, seed + 1);
+        let c0 = host_random(mm * nn, seed + 2);
+        let c = Matrix::from_host(&mut m, mm, nn, &c0);
+        let variant = match variant_sel {
+            0 => GemmVariant::Naive,
+            1 => GemmVariant::Opt3 { unroll: 1 + (seed % 20) as usize },
+            _ => GemmVariant::Opt6 {
+                unroll: 1 + (seed % 18) as usize,
+                blocks: BlockSizes { m: 8, n: 32, k: 8 },
+            },
+        };
+        let ws = match variant {
+            GemmVariant::Opt6 { blocks, .. } => Some(GemmWorkspace::alloc(&mut m, blocks)),
+            _ => None,
+        };
+        gemm(&mut m, variant, mm, nn, kk, 1.0, a.buf, b.buf, c.buf, ws.as_ref());
+        let mut want = c0;
+        gemm_ref(mm, nn, kk, 1.0, &a.to_host(&m), &b.to_host(&m), &mut want);
+        prop_assert!(approx_eq(&c.to_host(&m), &want, 1e-3, 1e-4));
+    }
+
+    /// Vectorized im2col equals the reference for arbitrary geometry.
+    #[test]
+    fn im2col_matches_reference(
+        in_c in 1usize..5,
+        in_h in 3usize..16,
+        in_w in 3usize..16,
+        k in 1usize..4,
+        stride in 1usize..3,
+        pad_sel in 0usize..2,
+        seed in 0u64..1000,
+    ) {
+        let k = k.min(in_h).min(in_w);
+        let pad = if pad_sel == 0 { 0 } else { k / 2 };
+        let p = ConvParams { in_c, in_h, in_w, out_c: 1, k, stride, pad };
+        let (oh, ow) = p.out_hw();
+        prop_assume!(oh > 0 && ow > 0);
+        let mut m = rvv_machine(1024);
+        let img = Tensor::random(&mut m, Shape::new(in_c, in_h, in_w), seed);
+        let col = m.mem.alloc(in_c * k * k * oh * ow);
+        im2col_vec(&mut m, &p, &img, col);
+        let want = im2col_ref(&p, &img.to_host(&m));
+        prop_assert_eq!(&m.mem.slice(col)[..want.len()], &want[..]);
+    }
+
+    /// VLA Winograd equals direct convolution for arbitrary 3x3 layers.
+    #[test]
+    fn winograd_matches_direct(
+        in_c in 1usize..8,
+        out_c in 1usize..8,
+        hw in 3usize..20,
+        stride in 1usize..3,
+        vlen_sel in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        let p = ConvParams { in_c, in_h: hw, in_w: hw, out_c, k: 3, stride, pad: 1 };
+        let (oh, ow) = p.out_hw();
+        prop_assume!(oh > 0 && ow > 0);
+        let vlen = [512, 1024, 2048][vlen_sel];
+        let mut m = sve_machine(vlen);
+        let img = Tensor::random(&mut m, Shape::new(in_c, hw, hw), seed);
+        let w = Matrix::random(&mut m, out_c, in_c * 9, seed + 1);
+        let out = m.mem.alloc(out_c * oh * ow);
+        let mut plan = WinogradPlan::new(&mut m, p, w.buf);
+        winograd_conv_vla(&mut m, &mut plan, &img, out);
+        let want = conv_direct_ref(&p, &img.to_host(&m), &w.to_host(&m));
+        prop_assert!(
+            approx_eq(m.mem.slice(out), &want, 1e-2, 1e-2),
+            "winograd mismatch for {:?} at vlen {}", p, vlen
+        );
+    }
+
+    /// Cook-Toom transforms generated for arbitrary small F(m, r) satisfy
+    /// the convolution identity.
+    #[test]
+    fn cooktoom_identity_holds(
+        m_out in 2usize..7,
+        seed in 0u64..1000,
+    ) {
+        // r = 3 with points 0, ±1, ±2, ±1/2, ±3 as needed.
+        use longvec_cnn::winograd::{Rat, WinogradTransform};
+        let pts = [
+            Rat::int(0), Rat::int(1), Rat::int(-1), Rat::int(2), Rat::int(-2),
+            Rat::new(1, 2), Rat::new(-1, 2), Rat::int(3),
+        ];
+        let n = m_out + 2;
+        let t = WinogradTransform::generate(m_out, 3, &pts[..n - 1]);
+        let d = host_random(n, seed);
+        let g = host_random(3, seed + 1);
+        let y = t.correlate_1d(&d, &g);
+        for (i, yv) in y.iter().enumerate() {
+            let want: f32 = (0..3).map(|k| g[k] * d[i + k]).sum();
+            prop_assert!((yv - want).abs() < 2e-2, "F({m_out},3) row {i}: {yv} vs {want}");
+        }
+    }
+
+    /// Timing sanity for arbitrary GEMMs: cycle counts are positive,
+    /// deterministic, and flops are exactly 2*M*N*K.
+    #[test]
+    fn gemm_timing_invariants(
+        mm in 1usize..16,
+        nn in 1usize..64,
+        kk in 1usize..32,
+        seed in 0u64..100,
+    ) {
+        let run = || {
+            let mut m = rvv_machine(2048);
+            let a = Matrix::random(&mut m, mm, kk, seed);
+            let b = Matrix::random(&mut m, kk, nn, seed + 1);
+            let c = Matrix::alloc(&mut m, mm, nn);
+            gemm(&mut m, GemmVariant::opt3(), mm, nn, kk, 1.0, a.buf, b.buf, c.buf, None);
+            (m.cycles(), m.stats.vec_flops)
+        };
+        let (t1, f1) = run();
+        let (t2, f2) = run();
+        prop_assert_eq!(t1, t2);
+        prop_assert_eq!(f1, f2);
+        prop_assert!(t1 > 0);
+        prop_assert_eq!(f1, 2 * (mm * nn * kk) as u64);
+    }
+}
