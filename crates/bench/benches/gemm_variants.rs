@@ -1,9 +1,9 @@
-//! Criterion micro-benchmarks of the GEMM kernels (host time of the
-//! simulation — how fast the library itself runs) plus the ablation sweeps
-//! called out in DESIGN.md: unroll factor (including the spilling 32-row
-//! case of §VI-A) and blocking/packing on/off.
+//! Micro-benchmarks of the GEMM kernels (host time of the simulation — how
+//! fast the library itself runs) plus the ablation sweeps called out in
+//! DESIGN.md: unroll factor (including the spilling 32-row case of §VI-A)
+//! and blocking/packing on/off.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lva_bench::microbench::{bench, group};
 use lva_isa::{Machine, MachineConfig};
 use lva_kernels::gemm::{gemm, GemmWorkspace};
 use lva_kernels::{BlockSizes, GemmVariant};
@@ -26,56 +26,30 @@ fn run_variant(variant: GemmVariant, vlen: usize) -> u64 {
     m.cycles()
 }
 
-fn bench_variants(c: &mut Criterion) {
-    let mut g = c.benchmark_group("gemm_variants");
-    g.sample_size(10);
+fn main() {
+    group("gemm_variants");
     for (name, variant) in [
         ("naive", GemmVariant::Naive),
         ("opt3", GemmVariant::opt3()),
         ("opt6", GemmVariant::opt6()),
     ] {
-        g.bench_function(name, |bench| {
-            bench.iter(|| std::hint::black_box(run_variant(variant, 2048)))
-        });
+        bench(name, 10, || run_variant(variant, 2048));
     }
-    g.finish();
-}
 
-fn bench_unroll_ablation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("opt3_unroll_ablation");
-    g.sample_size(10);
+    group("opt3_unroll_ablation");
     for unroll in [1usize, 4, 16, 32] {
-        g.bench_with_input(BenchmarkId::from_parameter(unroll), &unroll, |bench, &u| {
-            bench.iter(|| std::hint::black_box(run_variant(GemmVariant::Opt3 { unroll: u }, 2048)))
-        });
+        bench(&format!("unroll_{unroll}"), 10, || run_variant(GemmVariant::Opt3 { unroll }, 2048));
     }
-    g.finish();
-}
 
-fn bench_vlen_ablation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("opt3_vlen_ablation");
-    g.sample_size(10);
+    group("opt3_vlen_ablation");
     for vlen in [512usize, 2048, 8192] {
-        g.bench_with_input(BenchmarkId::from_parameter(vlen), &vlen, |bench, &v| {
-            bench.iter(|| std::hint::black_box(run_variant(GemmVariant::opt3(), v)))
-        });
+        bench(&format!("vlen_{vlen}"), 10, || run_variant(GemmVariant::opt3(), vlen));
     }
-    g.finish();
-}
 
-fn bench_block_sizes(c: &mut Criterion) {
-    let mut g = c.benchmark_group("opt6_block_ablation");
-    g.sample_size(10);
+    group("opt6_block_ablation");
     for blocks in [BlockSizes { m: 8, n: 64, k: 16 }, BlockSizes::TABLE2_BEST] {
-        let id = format!("{}x{}x{}", blocks.m, blocks.n, blocks.k);
-        g.bench_with_input(BenchmarkId::from_parameter(id), &blocks, |bench, &bl| {
-            bench.iter(|| {
-                std::hint::black_box(run_variant(GemmVariant::Opt6 { unroll: 16, blocks: bl }, 2048))
-            })
+        bench(&format!("{}x{}x{}", blocks.m, blocks.n, blocks.k), 10, || {
+            run_variant(GemmVariant::Opt6 { unroll: 16, blocks }, 2048)
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_variants, bench_unroll_ablation, bench_vlen_ablation, bench_block_sizes);
-criterion_main!(benches);

@@ -1,8 +1,8 @@
-//! Criterion benchmarks of the simulator substrate itself: cache lookup
+//! Micro-benchmarks of the simulator substrate itself: cache lookup
 //! throughput, vector-instruction issue rate, and im2col/pooling kernels.
 //! These bound how large a workload the co-design harness can sweep.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use lva_bench::microbench::{bench, group};
 use lva_isa::{Machine, MachineConfig};
 use lva_kernels::im2col::im2col_vec;
 use lva_kernels::pool::{maxpool_vec, PoolParams};
@@ -10,17 +10,21 @@ use lva_kernels::ConvParams;
 use lva_sim::{AccessKind, Cache, CacheConfig};
 use lva_tensor::{Shape, Tensor};
 
-fn bench_cache_access(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cache");
-    g.bench_function("l2_hit_storm_64k", |b| {
-        let mut cache = Cache::new(CacheConfig {
-            name: "L2",
-            bytes: 1 << 20,
-            line_bytes: 64,
-            assoc: 8,
-            hit_latency: 12,
-        });
-        b.iter(|| {
+fn l2() -> Cache {
+    Cache::new(CacheConfig {
+        name: "L2",
+        bytes: 1 << 20,
+        line_bytes: 64,
+        assoc: 8,
+        hit_latency: 12,
+    })
+}
+
+fn main() {
+    group("cache");
+    {
+        let mut cache = l2();
+        bench("l2_hit_storm_64k", 20, || {
             let mut acc = 0u64;
             for i in 0..65536u64 {
                 // Working set of 512 lines: mostly hits.
@@ -31,82 +35,65 @@ fn bench_cache_access(c: &mut Criterion) {
                     acc += 1;
                 }
             }
-            std::hint::black_box(acc)
-        })
-    });
-    g.bench_function("l2_miss_storm_64k", |b| {
-        let mut cache = Cache::new(CacheConfig {
-            name: "L2",
-            bytes: 1 << 20,
-            line_bytes: 64,
-            assoc: 8,
-            hit_latency: 12,
+            acc
         });
+    }
+    {
+        let mut cache = l2();
         let mut next = 0u64;
-        b.iter(|| {
+        bench("l2_miss_storm_64k", 20, || {
             for _ in 0..65536u64 {
                 next += 997; // stride defeats the 16K-line capacity
                 cache.access_line(next, AccessKind::Read);
             }
-            std::hint::black_box(cache.stats.misses)
-        })
-    });
-    g.finish();
-}
+            cache.stats.misses
+        });
+    }
 
-fn bench_vector_issue(c: &mut Criterion) {
-    let mut g = c.benchmark_group("vpu_ops");
-    g.bench_function("vfmacc_issue_rate_64k", |b| {
+    group("vpu_ops");
+    {
         let mut m = Machine::new(MachineConfig::rvv_gem5(2048, 8, 1 << 20));
         let vl = m.setvl(64);
         m.vbroadcast(0, 1.0, vl);
-        b.iter(|| {
+        bench("vfmacc_issue_rate_64k", 20, || {
             for r in 0..65536 {
                 m.vfmacc_vf(1 + (r & 15), 1.0001, 0, vl);
             }
-            std::hint::black_box(m.cycles())
-        })
-    });
-    g.bench_function("vle_issue_rate_16k", |b| {
+            m.cycles()
+        });
+    }
+    {
         let mut m = Machine::new(MachineConfig::rvv_gem5(2048, 8, 1 << 20));
         let buf = m.mem.alloc(1 << 16);
         let vl = m.setvl(64);
-        b.iter(|| {
+        bench("vle_issue_rate_16k", 20, || {
             for r in 0..16384usize {
                 m.vle(1, buf.addr((r * 64) % ((1 << 16) - 64)), vl);
             }
-            std::hint::black_box(m.cycles())
-        })
-    });
-    g.finish();
-}
+            m.cycles()
+        });
+    }
 
-fn bench_layer_kernels(c: &mut Criterion) {
-    let mut g = c.benchmark_group("layer_kernels");
-    g.sample_size(10);
-    g.bench_function("im2col_3x3_64ch_32px", |b| {
+    group("layer_kernels");
+    {
         let p = ConvParams { in_c: 64, in_h: 32, in_w: 32, out_c: 1, k: 3, stride: 1, pad: 1 };
         let mut m = Machine::new(MachineConfig::rvv_gem5(2048, 8, 1 << 20));
         let img = Tensor::random(&mut m, Shape::new(64, 32, 32), 1);
         let (oh, ow) = p.out_hw();
         let col = m.mem.alloc(64 * 9 * oh * ow);
-        b.iter(|| {
+        bench("im2col_3x3_64ch_32px", 10, || {
             im2col_vec(&mut m, &p, &img, col);
-            std::hint::black_box(m.cycles())
-        })
-    });
-    g.bench_function("maxpool_2x2_64ch_32px", |b| {
+            m.cycles()
+        });
+    }
+    {
         let mut m = Machine::new(MachineConfig::sve_gem5(2048, 1 << 20));
         let img = Tensor::random(&mut m, Shape::new(64, 32, 32), 1);
         let out = Tensor::alloc(&mut m, Shape::new(64, 16, 16));
         let p = PoolParams::darknet(2, 2);
-        b.iter(|| {
+        bench("maxpool_2x2_64ch_32px", 10, || {
             maxpool_vec(&mut m, &p, &img, &out);
-            std::hint::black_box(m.cycles())
-        })
-    });
-    g.finish();
+            m.cycles()
+        });
+    }
 }
-
-criterion_group!(benches, bench_cache_access, bench_vector_issue, bench_layer_kernels);
-criterion_main!(benches);

@@ -1,9 +1,9 @@
-//! Criterion benchmarks of the Winograd pipeline: transform generation
+//! Micro-benchmarks of the Winograd pipeline: transform generation
 //! (Cook–Toom with exact rationals), the scalar reference, and the VLA
 //! implementation per vector length, plus the GEMM-vs-Winograd ablation on
 //! one 3x3 layer.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lva_bench::microbench::{bench, group};
 use lva_isa::{Machine, MachineConfig};
 use lva_kernels::gemm::GemmWorkspace;
 use lva_kernels::{conv_im2col_gemm, ConvParams, GemmVariant};
@@ -12,19 +12,6 @@ use lva_winograd::{f6x3, winograd_conv_ref, winograd_conv_vla, WinogradPlan};
 
 const P: ConvParams =
     ConvParams { in_c: 32, in_h: 24, in_w: 24, out_c: 32, k: 3, stride: 1, pad: 1 };
-
-fn bench_cooktoom_generation(c: &mut Criterion) {
-    c.bench_function("cooktoom_generate_f6x3", |b| b.iter(|| std::hint::black_box(f6x3())));
-}
-
-fn bench_scalar_reference(c: &mut Criterion) {
-    let t = f6x3();
-    let img = host_random(P.in_c * P.in_h * P.in_w, 1);
-    let w = host_random(P.out_c * P.in_c * 9, 2);
-    c.bench_function("winograd_scalar_ref_32x24x24", |b| {
-        b.iter(|| std::hint::black_box(winograd_conv_ref(&t, &P, &img, &w)))
-    });
-}
 
 fn run_vla(vlen: usize) -> u64 {
     let mut m = Machine::new(MachineConfig::sve_gem5(vlen, 1 << 20));
@@ -37,42 +24,34 @@ fn run_vla(vlen: usize) -> u64 {
     m.cycles()
 }
 
-fn bench_vla_by_vlen(c: &mut Criterion) {
-    let mut g = c.benchmark_group("winograd_vla");
-    g.sample_size(10);
-    for vlen in [512usize, 1024, 2048] {
-        g.bench_with_input(BenchmarkId::from_parameter(vlen), &vlen, |b, &v| {
-            b.iter(|| std::hint::black_box(run_vla(v)))
-        });
+fn main() {
+    group("cooktoom");
+    bench("cooktoom_generate_f6x3", 50, f6x3);
+
+    group("scalar_reference");
+    {
+        let t = f6x3();
+        let img = host_random(P.in_c * P.in_h * P.in_w, 1);
+        let w = host_random(P.out_c * P.in_c * 9, 2);
+        bench("winograd_scalar_ref_32x24x24", 10, || winograd_conv_ref(&t, &P, &img, &w));
     }
-    g.finish();
-}
 
-fn bench_algorithm_ablation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("conv_algorithm");
-    g.sample_size(10);
-    g.bench_function("im2col_gemm_opt6", |b| {
-        b.iter(|| {
-            let mut m = Machine::new(MachineConfig::sve_gem5(2048, 1 << 20));
-            let img = Tensor::random(&mut m, Shape::new(P.in_c, P.in_h, P.in_w), 1);
-            let (mm, nn, kk) = P.gemm_mnk();
-            let w = Matrix::random(&mut m, mm, kk, 2);
-            let col = m.mem.alloc(P.workspace_words());
-            let out = m.mem.alloc(mm * nn);
-            let ws = GemmWorkspace::alloc(&mut m, lva_kernels::BlockSizes::TABLE2_BEST);
-            conv_im2col_gemm(&mut m, GemmVariant::opt6(), &P, &img, w.buf, col, out, Some(&ws));
-            std::hint::black_box(m.cycles())
-        })
+    group("winograd_vla");
+    for vlen in [512usize, 1024, 2048] {
+        bench(&format!("vlen_{vlen}"), 10, || run_vla(vlen));
+    }
+
+    group("conv_algorithm");
+    bench("im2col_gemm_opt6", 10, || {
+        let mut m = Machine::new(MachineConfig::sve_gem5(2048, 1 << 20));
+        let img = Tensor::random(&mut m, Shape::new(P.in_c, P.in_h, P.in_w), 1);
+        let (mm, nn, kk) = P.gemm_mnk();
+        let w = Matrix::random(&mut m, mm, kk, 2);
+        let col = m.mem.alloc(P.workspace_words());
+        let out = m.mem.alloc(mm * nn);
+        let ws = GemmWorkspace::alloc(&mut m, lva_kernels::BlockSizes::TABLE2_BEST);
+        conv_im2col_gemm(&mut m, GemmVariant::opt6(), &P, &img, w.buf, col, out, Some(&ws));
+        m.cycles()
     });
-    g.bench_function("winograd_vla", |b| b.iter(|| std::hint::black_box(run_vla(2048))));
-    g.finish();
+    bench("winograd_vla_2048", 10, || run_vla(2048));
 }
-
-criterion_group!(
-    benches,
-    bench_cooktoom_generation,
-    bench_scalar_reference,
-    bench_vla_by_vlen,
-    bench_algorithm_ablation
-);
-criterion_main!(benches);

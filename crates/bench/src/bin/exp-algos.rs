@@ -8,19 +8,19 @@
 
 use lva_bench::*;
 use lva_core::MachineConfig;
+use lva_fft::{conv_fft_vla, FftConvPlan};
 use lva_isa::Machine;
 use lva_kernels::gemm::GemmWorkspace;
 use lva_kernels::{conv_direct_vec, conv_im2col_gemm, ConvParams};
 use lva_tensor::{Matrix, Shape, Tensor};
-use lva_fft::{conv_fft_vla, FftConvPlan};
 use lva_winograd::{winograd_conv_vla, WinogradPlan};
 
 fn machine_for(p: &ConvParams) -> Machine {
     let (mm, nn, kk) = p.gemm_mnk();
     let mut cfg = MachineConfig::a64fx();
-    cfg.arena_mib =
-        ((p.in_c * p.in_h * p.in_w + mm * kk * 9 + kk * nn + mm * nn) * 8 / (1 << 20) + 64)
-            .max(128);
+    cfg.arena_mib = ((p.in_c * p.in_h * p.in_w + mm * kk * 9 + kk * nn + mm * nn) * 8 / (1 << 20)
+        + 64)
+        .max(128);
     Machine::new(cfg)
 }
 
@@ -87,11 +87,42 @@ fn main() {
     let opts = Opts::parse(4, "§II-C: per-algorithm comparison by layer shape");
     let base = (160 / opts.div).max(8);
     let layers = [
-        ("1x1 s1", ConvParams { in_c: 256, in_h: base / 2, in_w: base / 2, out_c: 128, k: 1, stride: 1, pad: 0 }),
-        ("3x3 s1", ConvParams { in_c: 128, in_h: base / 2, in_w: base / 2, out_c: 128, k: 3, stride: 1, pad: 1 }),
-        ("3x3 s2", ConvParams { in_c: 64, in_h: base, in_w: base, out_c: 128, k: 3, stride: 2, pad: 1 }),
-        ("5x5 s1", ConvParams { in_c: 32, in_h: base, in_w: base, out_c: 64, k: 5, stride: 1, pad: 2 }),
-        ("11x11 s1", ConvParams { in_c: 16, in_h: base, in_w: base, out_c: 32, k: 11, stride: 1, pad: 5 }),
+        (
+            "1x1 s1",
+            ConvParams {
+                in_c: 256,
+                in_h: base / 2,
+                in_w: base / 2,
+                out_c: 128,
+                k: 1,
+                stride: 1,
+                pad: 0,
+            },
+        ),
+        (
+            "3x3 s1",
+            ConvParams {
+                in_c: 128,
+                in_h: base / 2,
+                in_w: base / 2,
+                out_c: 128,
+                k: 3,
+                stride: 1,
+                pad: 1,
+            },
+        ),
+        (
+            "3x3 s2",
+            ConvParams { in_c: 64, in_h: base, in_w: base, out_c: 128, k: 3, stride: 2, pad: 1 },
+        ),
+        (
+            "5x5 s1",
+            ConvParams { in_c: 32, in_h: base, in_w: base, out_c: 64, k: 5, stride: 1, pad: 2 },
+        ),
+        (
+            "11x11 s1",
+            ConvParams { in_c: 16, in_h: base, in_w: base, out_c: 32, k: 11, stride: 1, pad: 5 },
+        ),
     ];
     let mut table = Table::new(
         "Convolution algorithm comparison on A64FX (cycles; best in context)",
@@ -127,5 +158,5 @@ fn main() {
          across rows) but its crossover lies beyond CNN-typical kernels —\n\
          consistent with none of the paper's layers choosing it.\n"
     );
-    emit(&table, "algo_selection", opts.csv);
+    emit(&table, "algo_selection", &opts);
 }

@@ -24,7 +24,16 @@ fn main() {
 
     let mut table = Table::new(
         format!("Energy per inference and EDP, {}", workload.describe()),
-        &["vlen_bits", "l2", "cycles", "energy_mJ", "compute_mJ", "mem_mJ", "static_mJ", "edp_uJ_s"],
+        &[
+            "vlen_bits",
+            "l2",
+            "cycles",
+            "energy_mJ",
+            "compute_mJ",
+            "mem_mJ",
+            "static_mJ",
+            "edp_uJ_s",
+        ],
     );
     let mut best: Option<(f64, String)> = None;
     for vlen in [512usize, 2048, 8192] {
@@ -38,7 +47,7 @@ fn main() {
             let rep = model.estimate(&s, l2);
             let label = format!("{vlen}b / {}", lva_core::experiment::fmt_bytes(l2));
             let edp = rep.edp();
-            if best.as_ref().map_or(true, |(b, _)| edp < *b) {
+            if best.as_ref().is_none_or(|(b, _)| edp < *b) {
                 best = Some((edp, label));
             }
             table.row(vec![
@@ -56,5 +65,5 @@ fn main() {
     if let Some((edp, label)) = best {
         println!("\nEDP-optimal design point: {label} ({:.1} uJ*s)\n", edp * 1e6);
     }
-    emit(&table, "energy_grid", opts.csv);
+    emit(&table, "energy_grid", &opts);
 }

@@ -43,7 +43,7 @@ fn main() {
         }
     }
     println!("\npaper: 1.4x VL; 1.4x cache up to 64MB then flat\n");
-    emit(&table, "fig10_winograd_vgg16", opts.csv);
+    emit(&table, "fig10_winograd_vgg16", &opts);
 
     // Winograd vs im2col+GEMM per vector length at 1 MB (§VII-B end).
     let mut cmp = Table::new(
@@ -63,5 +63,5 @@ fn main() {
             paper[i].into(),
         ]);
     }
-    emit(&cmp, "fig10_winograd_vs_gemm", opts.csv);
+    emit(&cmp, "fig10_winograd_vs_gemm", &opts);
 }

@@ -38,5 +38,5 @@ fn main() {
         ]);
     }
     println!("\npaper: 2.5x from 512b to 16384b, saturating beyond 8192b\n");
-    emit(&table, "fig6_rvv_vlen", opts.csv);
+    emit(&table, "fig6_rvv_vlen", &opts);
 }

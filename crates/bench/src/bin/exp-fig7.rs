@@ -40,5 +40,5 @@ fn main() {
         }
     }
     println!("\npaper: 1.5x (<=4096b), 1.7-1.9x (8192/16384b) from 1MB to 256MB\n");
-    emit(&table, "fig7_rvv_l2", opts.csv);
+    emit(&table, "fig7_rvv_l2", &opts);
 }

@@ -22,7 +22,11 @@ fn main() {
     let mut base = None;
     for vlen in SVE_VLENS {
         for l2 in L2_SIZES {
-            let e = Experiment::new(HwTarget::SveGem5 { vlen_bits: vlen, l2_bytes: l2 }, policy, workload);
+            let e = Experiment::new(
+                HwTarget::SveGem5 { vlen_bits: vlen, l2_bytes: l2 },
+                policy,
+                workload,
+            );
             let s = run_logged(&e);
             let b = *base.get_or_insert(s.cycles);
             table.row(vec![
@@ -35,5 +39,5 @@ fn main() {
         }
     }
     println!("\npaper: 1.34x from 512->2048b at 1MB; 1.6x from 1->256MB at 2048b\n");
-    emit(&table, "fig8_sve_vl_l2", opts.csv);
+    emit(&table, "fig8_sve_vl_l2", &opts);
 }

@@ -41,5 +41,5 @@ fn main() {
         }
     }
     println!("\npaper: 1.4x from 512->2048b at 1MB; 1.75x from 1->256MB\n");
-    emit(&table, "fig9_winograd_yolo", opts.csv);
+    emit(&table, "fig9_winograd_yolo", &opts);
 }

@@ -17,6 +17,7 @@ fn ratio(a: u64, b: u64) -> String {
 
 fn main() {
     let opts = Opts::parse(4, "Headline optimization speedups (§VI-A/§VI-C)");
+    let mut runs: Vec<RunReport> = Vec::new();
     let tiny = Workload {
         model: ModelId::Yolov3Tiny,
         input_hw: scaled_input(ModelId::Yolov3Tiny, opts.div),
@@ -36,10 +37,17 @@ fn main() {
         &["platform", "workload", "comparison", "measured", "paper"],
     );
 
+    // Run one design point, keeping the full report for --json output.
+    let mut go = |name: &str, e: Experiment| -> RunSummary {
+        let s = run_logged(&e);
+        runs.push(RunReport::new(name, &e, &s));
+        s
+    };
+
     // RISC-V Vector, YOLOv3-tiny: opt3 vs naive (14x in the paper).
     let rvv = HwTarget::RvvGem5 { vlen_bits: 2048, lanes: 8, l2_bytes: 1 << 20 };
-    let t_naive = run_logged(&Experiment::new(rvv, naive, tiny));
-    let t_opt3 = run_logged(&Experiment::new(rvv, opt3, tiny));
+    let t_naive = go("rvv_tiny_naive", Experiment::new(rvv, naive, tiny));
+    let t_opt3 = go("rvv_tiny_opt3", Experiment::new(rvv, opt3, tiny));
     table.row(vec![
         "RVV@gem5".into(),
         tiny.describe(),
@@ -50,9 +58,9 @@ fn main() {
 
     // A64FX, YOLOv3: opt6 vs naive (32x) and opt6 vs opt3 (2x).
     let ax = HwTarget::A64fx;
-    let a_naive = run_logged(&Experiment::new(ax, naive, yolo20));
-    let a_opt3 = run_logged(&Experiment::new(ax, opt3, yolo20));
-    let a_opt6 = run_logged(&Experiment::new(ax, opt6, yolo20));
+    let a_naive = go("a64fx_yolo20_naive", Experiment::new(ax, naive, yolo20));
+    let a_opt3 = go("a64fx_yolo20_opt3", Experiment::new(ax, opt3, yolo20));
+    let a_opt6 = go("a64fx_yolo20_opt6", Experiment::new(ax, opt6, yolo20));
     table.row(vec![
         "A64FX".into(),
         yolo20.describe(),
@@ -70,8 +78,8 @@ fn main() {
 
     // SVE @ gem5 512-bit: opt6 vs opt3 (1.15x).
     let sve = HwTarget::SveGem5 { vlen_bits: 512, l2_bytes: 1 << 20 };
-    let s_opt3 = run_logged(&Experiment::new(sve, opt3, yolo20));
-    let s_opt6 = run_logged(&Experiment::new(sve, opt6, yolo20));
+    let s_opt3 = go("sve512_yolo20_opt3", Experiment::new(sve, opt3, yolo20));
+    let s_opt6 = go("sve512_yolo20_opt6", Experiment::new(sve, opt6, yolo20));
     table.row(vec![
         "SVE@gem5 512b".into(),
         yolo20.describe(),
@@ -81,8 +89,8 @@ fn main() {
     ]);
 
     // RVV: opt6 vs opt3 (~0.98x, Table II best block).
-    let r_opt3 = run_logged(&Experiment::new(rvv, opt3, yolo20));
-    let r_opt6 = run_logged(&Experiment::new(rvv, opt6, yolo20));
+    let r_opt3 = go("rvv_yolo20_opt3", Experiment::new(rvv, opt3, yolo20));
+    let r_opt6 = go("rvv_yolo20_opt6", Experiment::new(rvv, opt6, yolo20));
     table.row(vec![
         "RVV@gem5".into(),
         yolo20.describe(),
@@ -91,5 +99,20 @@ fn main() {
         "0.98x".into(),
     ]);
 
-    emit(&table, "headline_speedups", opts.csv);
+    emit(&table, "headline_speedups", &opts);
+
+    // --json: full machine-readable record (per-layer cycles, stall-cause
+    // breakdown, per-level cache hit rates, avg consumed VL) at repo root.
+    if opts.json {
+        let j = Json::obj()
+            .field("bench", "headline")
+            .field("table", table.to_json())
+            .field("runs", Json::Arr(runs.iter().map(|r| r.to_json()).collect()));
+        let mut body = j.to_string_pretty();
+        body.push('\n');
+        match std::fs::write("BENCH_headline.json", body) {
+            Ok(()) => println!("[saved BENCH_headline.json]"),
+            Err(e) => eprintln!("could not save BENCH_headline.json: {e}"),
+        }
+    }
 }

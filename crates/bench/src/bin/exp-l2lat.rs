@@ -12,7 +12,13 @@ use lva_nn::Network;
 use lva_sim::{l2_latency_cycles, LatencyModel};
 use lva_tensor::host_random;
 
-fn run_with_latency(vlen: usize, l2: usize, model: LatencyModel, workload: &Workload, policy: ConvPolicy) -> u64 {
+fn run_with_latency(
+    vlen: usize,
+    l2: usize,
+    model: LatencyModel,
+    workload: &Workload,
+    policy: ConvPolicy,
+) -> u64 {
     let (specs, shape) = workload.model.build(workload.input_hw);
     let specs = match workload.layer_limit {
         Some(n) => specs[..n.min(specs.len())].to_vec(),
@@ -39,7 +45,14 @@ fn main() {
     let vlen = 8192;
     let mut table = Table::new(
         format!("L2 sweep under both latency models, RVV {vlen}b, {}", workload.describe()),
-        &["l2", "latency_const", "cycles_const", "latency_scaled", "cycles_scaled", "scaled_gain_vs_1MB"],
+        &[
+            "l2",
+            "latency_const",
+            "cycles_const",
+            "latency_scaled",
+            "cycles_scaled",
+            "scaled_gain_vs_1MB",
+        ],
     );
     let mut base_scaled = None;
     for l2 in L2_SIZES {
@@ -57,5 +70,5 @@ fn main() {
         ]);
     }
     println!("\npaper assumes constant latency; the scaled column shows the cost of realism\n");
-    emit(&table, "l2_latency_ablation", opts.csv);
+    emit(&table, "l2_latency_ablation", &opts);
 }

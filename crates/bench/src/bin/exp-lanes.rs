@@ -38,5 +38,5 @@ fn main() {
         }
     }
     println!("\npaper: ~1.25x at 8192b from 2->8 lanes; 512b saturates beyond 4 lanes\n");
-    emit(&table, "lanes_rvv", opts.csv);
+    emit(&table, "lanes_rvv", &opts);
 }

@@ -21,11 +21,8 @@ fn main() {
         &["model", "conv_layers", "winograd_layers", "gemm_cycles", "wino_cycles", "gain"],
     );
     for model in [ModelId::Vgg16, ModelId::Yolov3, ModelId::Resnet50, ModelId::MobilenetV1] {
-        let workload = Workload {
-            model,
-            input_hw: scaled_input(model, opts.div),
-            layer_limit: opts.layers,
-        };
+        let workload =
+            Workload { model, input_hw: scaled_input(model, opts.div), layer_limit: opts.layers };
         let gemm = run_logged(&Experiment::new(
             HwTarget::A64fx,
             ConvPolicy::gemm_only(GemmVariant::opt6()),
@@ -48,5 +45,5 @@ fn main() {
             fmt_speedup(gemm.cycles as f64 / wino.cycles as f64),
         ]);
     }
-    emit(&table, "resnet_algo_mix", opts.csv);
+    emit(&table, "resnet_algo_mix", &opts);
 }

@@ -37,5 +37,5 @@ fn main() {
             format!("{:.1}", 100.0 * s.steady.l2_miss_rate),
         ]);
     }
-    emit(&table, "stream_cold_vs_steady", opts.csv);
+    emit(&table, "stream_cold_vs_steady", &opts);
 }

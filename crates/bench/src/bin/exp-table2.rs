@@ -18,11 +18,8 @@ fn main() {
     };
     let hw = HwTarget::RvvGem5 { vlen_bits: 2048, lanes: 8, l2_bytes: 1 << 20 };
 
-    let opt3 = run_logged(&Experiment::new(
-        hw,
-        ConvPolicy::gemm_only(GemmVariant::opt3()),
-        workload,
-    ));
+    let opt3 =
+        run_logged(&Experiment::new(hw, ConvPolicy::gemm_only(GemmVariant::opt3()), workload));
 
     let paper = ["0.90", "0.95", "0.98", "0.96", "0.97", "0.95"];
     let mut table = Table::new(
@@ -47,5 +44,5 @@ fn main() {
         "\n3-loop reference: {} cycles. paper: 6-loop at best 0.98 of 3-loop on RVV\n",
         fmt_cycles(opt3.cycles)
     );
-    emit(&table, "table2_blocksizes", opts.csv);
+    emit(&table, "table2_blocksizes", &opts);
 }

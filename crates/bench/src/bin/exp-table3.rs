@@ -38,5 +38,5 @@ fn main() {
             format!("{:.0}", paper_miss[i]),
         ]);
     }
-    emit(&table, "table3_avg_vl_miss", opts.csv);
+    emit(&table, "table3_avg_vl_miss", &opts);
 }

@@ -17,9 +17,12 @@ use lva_kernels::{conv_im2col_gemm, ConvParams};
 use lva_roofline::{arithmetic_intensity, fraction_of_peak};
 use lva_tensor::{Matrix, Shape, Tensor};
 
-/// The 14 discrete layers of Table IV: (label, in_c, in_hw, out_c, k,
-/// stride) at the 608x608 network input; paper AI and %peak for reference.
-const LAYERS: [(&str, usize, usize, usize, usize, usize, f64, f64); 14] = [
+/// One Table IV row: (label, in_c, in_hw, out_c, k, stride, paper AI,
+/// paper %peak) at the 608x608 network input.
+type LayerRow = (&'static str, usize, usize, usize, usize, usize, f64, f64);
+
+/// The 14 discrete layers of Table IV.
+const LAYERS: [LayerRow; 14] = [
     ("L1", 3, 608, 32, 3, 1, 7.32, 46.0),
     ("L2", 32, 608, 64, 3, 2, 26.0, 72.0),
     ("L3", 64, 304, 32, 1, 1, 11.0, 50.0),
@@ -59,7 +62,10 @@ fn main() {
         conv_im2col_gemm(&mut m, GemmVariant::opt6(), &p, &img, w.buf, col, out, Some(&ws));
         let cycles = m.cycles();
         let pct = 100.0 * fraction_of_peak(&cfg, p.flops(), cycles);
-        eprintln!(".. {label}: M={mm} N={nn} K={kk} -> {} cycles, {pct:.0}% peak", fmt_cycles(cycles));
+        eprintln!(
+            ".. {label}: M={mm} N={nn} K={kk} -> {} cycles, {pct:.0}% peak",
+            fmt_cycles(cycles)
+        );
         table.row(vec![
             label.into(),
             mm.to_string(),
@@ -71,5 +77,5 @@ fn main() {
             format!("{paper_pct:.0}"),
         ]);
     }
-    emit(&table, "table4_roofline", opts.csv);
+    emit(&table, "table4_roofline", &opts);
 }

@@ -16,10 +16,7 @@ use lva_winograd::{Rat, WinogradTransform};
 
 /// Max |coefficient| across the three transform matrices.
 fn max_coeff(t: &WinogradTransform) -> f32 {
-    t.at.iter()
-        .chain(&t.g)
-        .chain(&t.bt)
-        .fold(0.0f32, |a, &b| a.max(b.abs()))
+    t.at.iter().chain(&t.g).chain(&t.bt).fold(0.0f32, |a, &b| a.max(b.abs()))
 }
 
 /// Worst relative error of the 2D tile convolution over `trials` random
@@ -85,5 +82,5 @@ fn main() {
         ]);
     }
     println!("paper §IV-B: 8x8 tiles (F(6,3)) are the accuracy sweet spot;\nlarger tiles would exploit longer vectors but the error explodes —\nhence the inter-tile-across-channels scheme instead.\n");
-    emit(&table, "tilesize_accuracy", opts.csv);
+    emit(&table, "tilesize_accuracy", &opts);
 }

@@ -23,11 +23,8 @@ fn main() {
     );
 
     for model in [ModelId::Vgg16, ModelId::Yolov3] {
-        let workload = Workload {
-            model,
-            input_hw: scaled_input(model, opts.div),
-            layer_limit: opts.layers,
-        };
+        let workload =
+            Workload { model, input_hw: scaled_input(model, opts.div), layer_limit: opts.layers };
         let gemm = run_logged(&Experiment::new(
             HwTarget::A64fx,
             ConvPolicy::gemm_only(GemmVariant::opt6()),
@@ -78,13 +75,9 @@ fn main() {
             ]);
         }
         // Count algorithm selection for the record.
-        let wino_count = wino
-            .report
-            .layers
-            .iter()
-            .filter(|l| l.algo == Some(ConvAlgo::Winograd))
-            .count();
+        let wino_count =
+            wino.report.layers.iter().filter(|l| l.algo == Some(ConvAlgo::Winograd)).count();
         eprintln!("   [{name}: {wino_count} layers ran Winograd]");
     }
-    emit(&table, "winograd_a64fx", opts.csv);
+    emit(&table, "winograd_a64fx", &opts);
 }

@@ -21,17 +21,36 @@ fn main() {
         let s = Experiment::new(HwTarget::A64fx, policy, workload).run();
         println!("--- {name}: {} cycles total ---", fmt_cycles(s.cycles));
         for (phase, cyc) in s.report.phases.breakdown() {
-            println!("  {:<16} {:>15}  ({:.1}%)", phase.name(), fmt_cycles(cyc), 100.0 * cyc as f64 / s.cycles as f64);
+            println!(
+                "  {:<16} {:>15}  ({:.1}%)",
+                phase.name(),
+                fmt_cycles(cyc),
+                100.0 * cyc as f64 / s.cycles as f64
+            );
         }
-        println!("  vec instrs: {}, mem instrs: {}, L1 miss {:.1}%, L2 miss {:.1}%",
-            s.report.vpu.vec_instrs, s.report.vpu.vec_mem_instrs,
-            100.0 * s.report.mem.l1.miss_rate(), 100.0 * s.l2_miss_rate);
-        println!("  L1: acc {} miss {} pf_fills {} pf_hits {}",
-            s.report.mem.l1.accesses, s.report.mem.l1.misses,
-            s.report.mem.l1.prefetch_fills, s.report.mem.l1.prefetch_hits);
+        println!(
+            "  vec instrs: {}, mem instrs: {}, L1 miss {:.1}%, L2 miss {:.1}%",
+            s.report.vpu.vec_instrs,
+            s.report.vpu.vec_mem_instrs,
+            100.0 * s.report.mem.l1.miss_rate(),
+            100.0 * s.l2_miss_rate
+        );
+        println!(
+            "  L1: acc {} miss {} pf_fills {} pf_hits {}",
+            s.report.mem.l1.accesses,
+            s.report.mem.l1.misses,
+            s.report.mem.l1.prefetch_fills,
+            s.report.mem.l1.prefetch_hits
+        );
         for l in &s.report.layers {
             if l.mnk.is_some() {
-                println!("    [{:>3}] {:<16} {:>14} cycles  {:?}", l.index, l.desc, fmt_cycles(l.cycles), l.algo);
+                println!(
+                    "    [{:>3}] {:<16} {:>14} cycles  {:?}",
+                    l.index,
+                    l.desc,
+                    fmt_cycles(l.cycles),
+                    l.algo
+                );
             }
         }
     }

@@ -10,8 +10,10 @@ use lva_tensor::{Matrix, Shape, Tensor};
 use lva_winograd::{winograd_conv_vla, WinogradPlan};
 
 fn main() {
-    let args: Vec<usize> =
-        std::env::args().skip(1).map(|a| a.parse().expect("usage: probe2 ic oc hw stride")).collect();
+    let args: Vec<usize> = std::env::args()
+        .skip(1)
+        .map(|a| a.parse().expect("usage: probe2 ic oc hw stride"))
+        .collect();
     let (ic, oc, hw, stride) = (
         args.first().copied().unwrap_or(256),
         args.get(1).copied().unwrap_or(256),
@@ -21,7 +23,10 @@ fn main() {
     let sve = args.get(4).copied();
     let p = ConvParams { in_c: ic, in_h: hw, in_w: hw, out_c: oc, k: 3, stride, pad: 1 };
     let (mm, nn, kk) = p.gemm_mnk();
-    println!("layer: ic={ic} oc={oc} {hw}x{hw} s{stride}  M={mm} N={nn} K={kk} flops={}", p.flops());
+    println!(
+        "layer: ic={ic} oc={oc} {hw}x{hw} s{stride}  M={mm} N={nn} K={kk} flops={}",
+        p.flops()
+    );
 
     // GEMM path.
     let mut cfg = match sve {
@@ -55,7 +60,14 @@ fn main() {
         println!("   {:<16} {:>14}", ph.name(), c);
     }
     let st = m.sys.stats();
-    println!("   L1 acc {} miss {} ({:.1}%) pf_fill {} pf_hit {} | L2 miss {:.1}% | dram {}",
-        st.l1.accesses, st.l1.misses, 100.0*st.l1.miss_rate(), st.l1.prefetch_fills,
-        st.l1.prefetch_hits, 100.0*st.l2.miss_rate(), st.dram_reads);
+    println!(
+        "   L1 acc {} miss {} ({:.1}%) pf_fill {} pf_hit {} | L2 miss {:.1}% | dram {}",
+        st.l1.accesses,
+        st.l1.misses,
+        100.0 * st.l1.miss_rate(),
+        st.l1.prefetch_fills,
+        st.l1.prefetch_hits,
+        100.0 * st.l2.miss_rate(),
+        st.dram_reads
+    );
 }

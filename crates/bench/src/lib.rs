@@ -1,5 +1,6 @@
 //! Shared plumbing for the `exp-*` experiment binaries: command-line
-//! parsing (`--div`, `--layers`, `--csv`) and common sweep axes.
+//! parsing (`--div`, `--layers`, `--csv`, `--json`, `--trace`) and common
+//! sweep axes.
 //!
 //! Every binary regenerates one table or figure of the paper; see
 //! EXPERIMENTS.md at the workspace root for the full index and the
@@ -7,10 +8,12 @@
 
 use std::env;
 
+pub mod microbench;
+
 pub use lva_core::report::{fmt_cycles, fmt_speedup};
 pub use lva_core::{
-    scaled_input, BlockSizes, ConvPolicy, Experiment, GemmVariant, HwTarget, ModelId, RunSummary,
-    Table, Workload,
+    scaled_input, BlockSizes, ConvPolicy, Experiment, GemmVariant, HwTarget, Json, ModelId,
+    RunReport, RunSummary, Table, Workload,
 };
 
 /// The vector lengths swept on RISC-V Vector (Fig. 6/7, Table III).
@@ -18,8 +21,7 @@ pub const RVV_VLENS: [usize; 6] = [512, 1024, 2048, 4096, 8192, 16384];
 /// The vector lengths swept on ARM-SVE (Fig. 8/9/10).
 pub const SVE_VLENS: [usize; 3] = [512, 1024, 2048];
 /// The L2 capacities swept (1 MB .. 256 MB, Figs. 7-10).
-pub const L2_SIZES: [usize; 6] =
-    [1 << 20, 4 << 20, 16 << 20, 64 << 20, 128 << 20, 256 << 20];
+pub const L2_SIZES: [usize; 6] = [1 << 20, 4 << 20, 16 << 20, 64 << 20, 128 << 20, 256 << 20];
 
 /// Common options for experiment binaries.
 #[derive(Debug, Clone)]
@@ -30,21 +32,22 @@ pub struct Opts {
     pub layers: Option<usize>,
     /// Write a CSV under `results/`.
     pub csv: bool,
+    /// Write machine-readable JSON under `results/`.
+    pub json: bool,
 }
 
 impl Opts {
-    /// Parse `--div N`, `--layers N`, `--csv`, `--help` from `std::env`.
-    /// `default_div` is the experiment's default scale.
+    /// Parse `--div N`, `--layers N`, `--csv`, `--json`, `--trace FILE`,
+    /// `--help` from `std::env`. `default_div` is the experiment's default
+    /// scale. `--trace` installs a JSONL telemetry sink for the whole run.
     pub fn parse(default_div: usize, what: &str) -> Opts {
-        let mut opts = Opts { div: default_div, layers: None, csv: true };
+        let mut opts = Opts { div: default_div, layers: None, csv: true, json: false };
         let mut args = env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--div" => {
-                    opts.div = args
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .expect("--div needs an integer");
+                    opts.div =
+                        args.next().and_then(|v| v.parse().ok()).expect("--div needs an integer");
                 }
                 "--layers" => {
                     opts.layers = Some(
@@ -55,9 +58,17 @@ impl Opts {
                 }
                 "--no-csv" => opts.csv = false,
                 "--csv" => opts.csv = true,
+                "--json" => opts.json = true,
+                "--no-json" => opts.json = false,
+                "--trace" => {
+                    let path = args.next().expect("--trace needs a file path");
+                    lva_trace::enable_to_file(&path)
+                        .unwrap_or_else(|e| panic!("cannot open trace file {path}: {e}"));
+                    eprintln!("[tracing to {path}]");
+                }
                 "--help" | "-h" => {
                     eprintln!(
-                        "{what}\n\nOptions:\n  --div N      input down-scale divisor (default {default_div}; 1 = paper size)\n  --layers N   layer prefix override\n  --csv/--no-csv  write results/<exp>.csv (default on)"
+                        "{what}\n\nOptions:\n  --div N      input down-scale divisor (default {default_div}; 1 = paper size)\n  --layers N   layer prefix override\n  --csv/--no-csv  write results/<exp>.csv (default on)\n  --json       also write results/<exp>.json (machine-readable)\n  --trace FILE stream JSONL telemetry spans to FILE"
                     );
                     std::process::exit(0);
                 }
@@ -71,22 +82,45 @@ impl Opts {
     }
 }
 
-/// Finish an experiment binary: print the table and optionally save CSV.
-pub fn emit(table: &Table, name: &str, csv: bool) {
+/// Write a JSON value under `results/<name>.json` (pretty-printed).
+pub fn save_json(j: &Json, name: &str) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.json"));
+    let mut body = j.to_string_pretty();
+    body.push('\n');
+    std::fs::write(&path, body)?;
+    Ok(path)
+}
+
+/// Finish an experiment binary: print the table, save CSV and/or JSON as
+/// requested, and flush any active trace sink.
+pub fn emit(table: &Table, name: &str, opts: &Opts) {
     table.print();
-    if csv {
+    if opts.csv {
         match table.save_csv(name) {
             Ok(p) => println!("[saved {}]", p.display()),
             Err(e) => eprintln!("could not save CSV: {e}"),
         }
     }
+    if opts.json {
+        match save_json(&table.to_json(), name) {
+            Ok(p) => println!("[saved {}]", p.display()),
+            Err(e) => eprintln!("could not save JSON: {e}"),
+        }
+    }
+    lva_trace::flush();
 }
 
 /// Run an experiment, logging the design point to stderr.
 pub fn run_logged(e: &Experiment) -> RunSummary {
     eprintln!(".. {} | {}", e.hw.describe(), e.workload.describe());
     let s = e.run();
-    eprintln!("   {} cycles, avg VL {:.0}b, L2 miss {:.1}%",
-        fmt_cycles(s.cycles), s.avg_vlen_bits, 100.0 * s.l2_miss_rate);
+    eprintln!(
+        "   {} cycles, avg VL {:.0}b, L2 miss {:.1}%",
+        fmt_cycles(s.cycles),
+        s.avg_vlen_bits,
+        100.0 * s.l2_miss_rate
+    );
     s
 }

@@ -1,0 +1,46 @@
+//! A minimal self-contained micro-benchmark harness for the `[[bench]]`
+//! targets (`cargo bench`). The workspace is dependency-free, so instead of
+//! criterion this measures host wall-time with `std::time::Instant`:
+//! one warm-up run, then `iters` timed runs, reporting min / median / mean.
+//! These benches bound how large a workload the co-design harness can
+//! sweep; they are not statistical instruments.
+
+use std::time::Instant;
+
+/// Time `f` (which should return a value derived from the work, to keep the
+/// optimizer honest) and print one aligned result line.
+pub fn bench<R>(name: &str, iters: usize, mut f: impl FnMut() -> R) {
+    assert!(iters > 0);
+    std::hint::black_box(f()); // warm-up
+    let mut samples_us: Vec<f64> = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        samples_us.push(t0.elapsed().as_secs_f64() * 1e6);
+    }
+    samples_us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let min = samples_us[0];
+    let median = samples_us[samples_us.len() / 2];
+    let mean: f64 = samples_us.iter().sum::<f64>() / samples_us.len() as f64;
+    println!(
+        "{name:<40} min {:>10} median {:>10} mean {:>10}  ({iters} iters)",
+        fmt_us(min),
+        fmt_us(median),
+        fmt_us(mean)
+    );
+}
+
+fn fmt_us(us: f64) -> String {
+    if us < 1_000.0 {
+        format!("{us:.1} us")
+    } else if us < 1_000_000.0 {
+        format!("{:.2} ms", us / 1e3)
+    } else {
+        format!("{:.3} s", us / 1e6)
+    }
+}
+
+/// Print a group header, mirroring criterion's benchmark-group output.
+pub fn group(name: &str) {
+    println!("\n== {name} ==");
+}

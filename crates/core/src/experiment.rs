@@ -33,10 +33,9 @@ impl HwTarget {
 
     pub fn describe(&self) -> String {
         match *self {
-            HwTarget::RvvGem5 { vlen_bits, lanes, l2_bytes } => format!(
-                "RVV@gem5 vlen={vlen_bits}b lanes={lanes} L2={}",
-                fmt_bytes(l2_bytes)
-            ),
+            HwTarget::RvvGem5 { vlen_bits, lanes, l2_bytes } => {
+                format!("RVV@gem5 vlen={vlen_bits}b lanes={lanes} L2={}", fmt_bytes(l2_bytes))
+            }
             HwTarget::SveGem5 { vlen_bits, l2_bytes } => {
                 format!("SVE@gem5 vlen={vlen_bits}b L2={}", fmt_bytes(l2_bytes))
             }
@@ -85,8 +84,8 @@ impl Workload {
 pub fn scaled_input(model: ModelId, div: usize) -> usize {
     assert!(div >= 1);
     let native = model.native_input();
-    let raw = (native + div - 1) / div;
-    ((raw + 31) / 32 * 32).max(32)
+    let raw = native.div_ceil(div);
+    (raw.div_ceil(32) * 32).max(32)
 }
 
 /// One co-design experiment: hardware point x software setup x workload.
@@ -239,7 +238,7 @@ mod tests {
         assert_eq!(scaled_input(ModelId::Yolov3, 4), 160);
         assert_eq!(scaled_input(ModelId::Yolov3, 8), 96);
         assert_eq!(scaled_input(ModelId::Vgg16, 4), 64);
-        assert!(scaled_input(ModelId::Yolov3Tiny, 2) % 32 == 0);
+        assert!(scaled_input(ModelId::Yolov3Tiny, 2).is_multiple_of(32));
     }
 
     #[test]

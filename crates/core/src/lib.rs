@@ -14,10 +14,14 @@
 pub mod energy;
 pub mod experiment;
 pub mod report;
+pub mod run_report;
 
 pub use energy::{EnergyModel, EnergyReport};
 pub use experiment::{scaled_input, Experiment, HwTarget, RunSummary, StreamSummary, Workload};
-pub use report::Table;
+pub use report::{ArityError, Table};
+pub use run_report::RunReport;
+
+pub use lva_trace::Json;
 
 pub use lva_isa::{IsaKind, MachineConfig, Platform};
 pub use lva_kernels::{BlockSizes, GemmVariant};

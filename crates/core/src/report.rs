@@ -4,6 +4,8 @@ use std::fmt::Write as _;
 use std::fs;
 use std::path::Path;
 
+use lva_trace::Json;
+
 /// A simple right-padded text table that can also serialize to CSV.
 #[derive(Debug, Clone)]
 pub struct Table {
@@ -21,12 +23,23 @@ impl Table {
         }
     }
 
-    /// Append a row.
-    ///
-    /// # Panics
-    /// Panics if the column count differs from the header.
-    pub fn row(&mut self, cells: Vec<String>) {
-        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+    /// Append a row, checking the column count against the header.
+    pub fn try_row(&mut self, cells: Vec<String>) -> Result<(), ArityError> {
+        if cells.len() != self.headers.len() {
+            return Err(ArityError { expected: self.headers.len(), got: cells.len() });
+        }
+        self.rows.push(cells);
+        Ok(())
+    }
+
+    /// Append a row. A column count differing from the header is a caller
+    /// bug: debug builds assert; release builds normalize the row (truncate
+    /// or pad with empty cells) so an experiment binary never dies mid-sweep
+    /// over a cosmetic reporting slip. Use [`Self::try_row`] to handle the
+    /// mismatch explicitly.
+    pub fn row(&mut self, mut cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        cells.resize(self.headers.len(), String::new());
         self.rows.push(cells);
     }
 
@@ -71,7 +84,8 @@ impl Table {
             }
         };
         let mut out = String::new();
-        let _ = writeln!(out, "{}", self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        let _ =
+            writeln!(out, "{}", self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
         for r in &self.rows {
             let _ = writeln!(out, "{}", r.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
         }
@@ -86,14 +100,50 @@ impl Table {
         fs::write(&path, self.to_csv())?;
         Ok(path)
     }
+
+    /// The table as a JSON value: `{title, headers, rows}` with rows as
+    /// arrays of strings (the cells are already formatted for humans; the
+    /// machine-readable counters live in `RunReport`).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("title", self.title.as_str())
+            .field(
+                "headers",
+                Json::Arr(self.headers.iter().map(|h| Json::from(h.as_str())).collect()),
+            )
+            .field(
+                "rows",
+                Json::Arr(
+                    self.rows
+                        .iter()
+                        .map(|r| Json::Arr(r.iter().map(|c| Json::from(c.as_str())).collect()))
+                        .collect(),
+                ),
+            )
+    }
 }
+
+/// Column-count mismatch from [`Table::try_row`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArityError {
+    pub expected: usize,
+    pub got: usize,
+}
+
+impl std::fmt::Display for ArityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "column count mismatch: expected {}, got {}", self.expected, self.got)
+    }
+}
+
+impl std::error::Error for ArityError {}
 
 /// Format a cycle count with thousands separators.
 pub fn fmt_cycles(c: u64) -> String {
     let s = c.to_string();
     let mut out = String::new();
     for (i, ch) in s.chars().enumerate() {
-        if i > 0 && (s.len() - i) % 3 == 0 {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
             out.push('_');
         }
         out.push(ch);
@@ -132,10 +182,32 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "column count")]
-    fn row_arity_checked() {
+    fn try_row_reports_arity_mismatch() {
+        let mut t = Table::new("t", &["x", "y"]);
+        let e = t.try_row(vec!["1".into()]).unwrap_err();
+        assert_eq!(e, ArityError { expected: 2, got: 1 });
+        assert!(e.to_string().contains("column count"));
+        assert!(t.rows.is_empty());
+        t.try_row(vec!["1".into(), "2".into()]).unwrap();
+        assert_eq!(t.rows.len(), 1);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "column count"))]
+    fn row_arity_normalized_in_release() {
         let mut t = Table::new("t", &["x", "y"]);
         t.row(vec!["1".into()]);
+        // Release builds: the short row is padded instead of panicking.
+        assert_eq!(t.rows[0], vec!["1".to_string(), String::new()]);
+    }
+
+    #[test]
+    fn table_to_json_round_trips_cells() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["x\"1".into(), "2".into()]);
+        let j = t.to_json().to_string_compact();
+        assert!(j.contains(r#""title":"demo""#));
+        assert!(j.contains(r#"["x\"1","2"]"#));
     }
 
     #[test]

@@ -1,0 +1,232 @@
+//! Machine-readable run reports.
+//!
+//! A [`RunReport`] bundles everything one experiment run measured — total
+//! cycles and flops, the stall-cycle attribution, per-level cache behaviour,
+//! and the per-layer breakdown — and serializes it to JSON (hand-rolled via
+//! [`lva_trace::Json`]; the repo has no serde). The `exp-*` binaries write
+//! these under `results/<name>.json` when invoked with `--json`.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::experiment::{Experiment, RunSummary};
+use lva_isa::{StallBreakdown, StallCause};
+use lva_nn::{ConvAlgo, LayerReport};
+use lva_sim::CacheStats;
+use lva_trace::Json;
+
+/// A named, self-describing record of one experiment run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Report name; also the default file stem for [`Self::save`].
+    pub name: String,
+    /// Hardware point description (e.g. `RVV@gem5 vlen=4096b lanes=8 L2=1MB`).
+    pub hw: String,
+    /// Workload description (e.g. `YOLOv3 (20 layers) @ 96px`).
+    pub workload: String,
+    pub summary: RunSummary,
+}
+
+fn algo_name(a: ConvAlgo) -> &'static str {
+    match a {
+        ConvAlgo::Im2colGemm => "im2col+gemm",
+        ConvAlgo::Winograd => "winograd",
+        ConvAlgo::Direct => "direct",
+    }
+}
+
+fn stalls_json(s: &StallBreakdown) -> Json {
+    let mut by_cause = Json::obj();
+    for c in StallCause::ALL {
+        by_cause = by_cause.field(c.name(), s.get(c));
+    }
+    Json::obj()
+        .field("total", s.total())
+        .field("attributed", s.attributed())
+        .field("by_cause", by_cause)
+}
+
+fn cache_json(c: &CacheStats) -> Json {
+    Json::obj()
+        .field("accesses", c.accesses)
+        .field("hits", c.hits)
+        .field("misses", c.misses)
+        .field("miss_rate", c.miss_rate())
+        .field("hit_rate", c.hit_rate())
+        .field("writebacks", c.writebacks)
+        .field("prefetch_fills", c.prefetch_fills)
+        .field("prefetch_hits", c.prefetch_hits)
+        .field("prefetch_accuracy", c.prefetch_accuracy())
+}
+
+fn layer_json(l: &LayerReport) -> Json {
+    let mut j = Json::obj()
+        .field("index", l.index as u64)
+        .field("desc", l.desc.as_str())
+        .field("cycles", l.cycles)
+        .field("flops", l.flops)
+        .field("flops_per_cycle", l.flops_per_cycle())
+        .field("avg_vlen_bits", l.avg_vlen_bits)
+        .field(
+            "out_shape",
+            Json::Arr(vec![
+                Json::from(l.out_shape.c as u64),
+                Json::from(l.out_shape.h as u64),
+                Json::from(l.out_shape.w as u64),
+            ]),
+        );
+    if let Some((m, n, k)) = l.mnk {
+        j = j
+            .field("mnk", Json::Arr(vec![(m as u64).into(), (n as u64).into(), (k as u64).into()]));
+    }
+    if let Some(a) = l.algo {
+        j = j.field("algo", algo_name(a));
+    }
+    j.field("stalls", stalls_json(&l.stalls))
+}
+
+impl RunReport {
+    /// Build a report from an experiment definition and its measurements.
+    pub fn new(name: impl Into<String>, e: &Experiment, s: &RunSummary) -> Self {
+        RunReport {
+            name: name.into(),
+            hw: e.hw.describe(),
+            workload: e.workload.describe(),
+            summary: s.clone(),
+        }
+    }
+
+    /// The full report as a JSON value.
+    pub fn to_json(&self) -> Json {
+        let s = &self.summary;
+        let net = &s.report;
+        let mem = &net.mem;
+
+        let mut caches = Json::obj();
+        for (level, c) in [("l1d", &mem.l1), ("l2", &mem.l2), ("vcache", &mem.vcache)] {
+            if c.accesses == 0 && c.prefetch_fills == 0 {
+                continue;
+            }
+            caches = caches.field(level, cache_json(c));
+        }
+
+        let mut phases = Json::obj();
+        for (p, cyc) in net.phases.breakdown() {
+            phases = phases.field(p.name(), cyc);
+        }
+
+        let flops_per_cycle = if s.cycles == 0 { 0.0 } else { s.flops as f64 / s.cycles as f64 };
+
+        Json::obj()
+            .field("name", self.name.as_str())
+            .field("hw", self.hw.as_str())
+            .field("workload", self.workload.as_str())
+            .field(
+                "totals",
+                Json::obj()
+                    .field("cycles", s.cycles)
+                    .field("flops", s.flops)
+                    .field("flops_per_cycle", flops_per_cycle)
+                    .field("avg_vlen_bits", s.avg_vlen_bits)
+                    .field("vec_instrs", net.vpu.vec_instrs)
+                    .field("vec_mem_instrs", net.vpu.vec_mem_instrs)
+                    .field("scalar_ops", net.vpu.scalar_ops)
+                    .field("sw_prefetches", net.vpu.sw_prefetches),
+            )
+            .field("stalls", stalls_json(&net.stalls))
+            .field("caches", caches)
+            .field(
+                "dram",
+                Json::obj().field("reads", mem.dram_reads).field("writes", mem.dram_writes),
+            )
+            .field("hwpf_issued", mem.hwpf_issued)
+            .field("phases", phases)
+            .field("layers", Json::Arr(net.layers.iter().map(layer_json).collect()))
+    }
+
+    /// Write pretty-printed JSON under `results/<name>.json` (creating the
+    /// directory), returning the path.
+    pub fn save(&self) -> std::io::Result<PathBuf> {
+        let dir = Path::new("results");
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.name));
+        self.save_to(&path)?;
+        Ok(path)
+    }
+
+    /// Write pretty-printed JSON to an explicit path.
+    pub fn save_to(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let mut body = self.to_json().to_string_pretty();
+        body.push('\n');
+        fs::write(path, body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{HwTarget, Workload};
+    use lva_nn::{ConvPolicy, ModelId};
+
+    fn small_run() -> (Experiment, RunSummary) {
+        let e = Experiment::new(
+            HwTarget::RvvGem5 { vlen_bits: 1024, lanes: 8, l2_bytes: 1 << 20 },
+            ConvPolicy::gemm_only(lva_kernels::GemmVariant::opt3()),
+            Workload { model: ModelId::Yolov3, input_hw: 32, layer_limit: Some(3) },
+        );
+        let s = e.run();
+        (e, s)
+    }
+
+    #[test]
+    fn run_report_json_has_required_sections() {
+        let (e, s) = small_run();
+        let r = RunReport::new("unit_test_report", &e, &s);
+        let j = r.to_json().to_string_pretty();
+        for key in [
+            "\"totals\"",
+            "\"stalls\"",
+            "\"by_cause\"",
+            "\"caches\"",
+            "\"layers\"",
+            "\"avg_vlen_bits\"",
+            "\"hit_rate\"",
+            "\"flops_per_cycle\"",
+        ] {
+            assert!(j.contains(key), "missing {key} in:\n{j}");
+        }
+        // Per-layer stall attribution is complete and sums to the run total.
+        let net = &s.report;
+        assert_eq!(net.stalls.attributed(), net.stalls.total());
+        let per_layer: u64 = net.layers.iter().map(|l| l.stalls.total()).sum();
+        assert_eq!(per_layer, net.stalls.total());
+        assert!(net.stalls.total() > 0, "a real workload stalls somewhere");
+    }
+
+    #[test]
+    fn run_report_json_is_parseable_shape() {
+        // No JSON parser in-tree: check structural balance as a smoke test.
+        let (e, s) = small_run();
+        let j = RunReport::new("t", &e, &s).to_json().to_string_compact();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        let mut depth = 0i64;
+        let mut in_str = false;
+        let mut esc = false;
+        for ch in j.chars() {
+            if esc {
+                esc = false;
+                continue;
+            }
+            match ch {
+                '\\' if in_str => esc = true,
+                '"' => in_str = !in_str,
+                '{' | '[' if !in_str => depth += 1,
+                '}' | ']' if !in_str => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0);
+        }
+        assert_eq!(depth, 0);
+        assert!(!in_str);
+    }
+}

@@ -18,24 +18,30 @@ impl Complex {
         Complex { re, im }
     }
 
-    pub fn mul(self, o: Complex) -> Complex {
-        Complex {
-            re: self.re * o.re - self.im * o.im,
-            im: self.re * o.im + self.im * o.re,
-        }
-    }
-
-    pub fn add(self, o: Complex) -> Complex {
-        Complex { re: self.re + o.re, im: self.im + o.im }
-    }
-
-    pub fn sub(self, o: Complex) -> Complex {
-        Complex { re: self.re - o.re, im: self.im - o.im }
-    }
-
     /// `e^(i * theta)`.
     pub fn cis(theta: f64) -> Complex {
         Complex { re: theta.cos() as f32, im: theta.sin() as f32 }
+    }
+}
+
+impl std::ops::Mul for Complex {
+    type Output = Complex;
+    fn mul(self, o: Complex) -> Complex {
+        Complex { re: self.re * o.re - self.im * o.im, im: self.re * o.im + self.im * o.re }
+    }
+}
+
+impl std::ops::Add for Complex {
+    type Output = Complex;
+    fn add(self, o: Complex) -> Complex {
+        Complex { re: self.re + o.re, im: self.im + o.im }
+    }
+}
+
+impl std::ops::Sub for Complex {
+    type Output = Complex;
+    fn sub(self, o: Complex) -> Complex {
+        Complex { re: self.re - o.re, im: self.im - o.im }
     }
 }
 
@@ -47,7 +53,7 @@ pub fn dft_naive(x: &[Complex], sign: f64) -> Vec<Complex> {
             let mut acc = Complex::ZERO;
             for (j, &v) in x.iter().enumerate() {
                 let w = Complex::cis(sign * 2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64);
-                acc = acc.add(v.mul(w));
+                acc = acc + v * w;
             }
             acc
         })
@@ -87,9 +93,9 @@ pub fn fft_inplace(x: &mut [Complex], sign: f64) {
             for j in 0..len / 2 {
                 let w = Complex::cis(ang * j as f64);
                 let a = x[start + j];
-                let b = x[start + j + len / 2].mul(w);
-                x[start + j] = a.add(b);
-                x[start + j + len / 2] = a.sub(b);
+                let b = x[start + j + len / 2] * w;
+                x[start + j] = a + b;
+                x[start + j + len / 2] = a - b;
             }
         }
         len *= 2;
@@ -164,7 +170,7 @@ pub fn conv_fft_ref(p: &ConvParams, image: &[f32], weights: &[f32]) -> Vec<f32> 
             }
             fft2_inplace(&mut wk, grid, -1.0);
             for (a, (x, w)) in acc.iter_mut().zip(xhat[ci].iter().zip(wk.iter())) {
-                *a = a.add(x.mul(*w));
+                *a = *a + *x * *w;
             }
         }
         fft2_inplace(&mut acc, grid, 1.0);

@@ -201,12 +201,10 @@ fn stage_pass(
     columns: bool,
 ) {
     let half_n = grid / 2;
-    let (a_idx, b_idx) = if columns {
-        (&stage.a_idx_col, &stage.b_idx_col)
-    } else {
-        (&stage.a_idx, &stage.b_idx)
-    };
-    let (twr, twi) = if inverse { (stage.itw_re, stage.itw_im) } else { (stage.tw_re, stage.tw_im) };
+    let (a_idx, b_idx) =
+        if columns { (&stage.a_idx_col, &stage.b_idx_col) } else { (&stage.a_idx, &stage.b_idx) };
+    let (twr, twi) =
+        if inverse { (stage.itw_re, stage.itw_im) } else { (stage.tw_re, stage.tw_im) };
     let structured = stage.len >= 8; // contiguous 4-groups in the index sets
     for lane in 0..grid {
         // Row pass: base walks rows; column pass: base walks columns.

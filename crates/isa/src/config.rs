@@ -75,7 +75,7 @@ impl VpuConfig {
     /// Execution chime: cycles the unit is occupied computing `n` elements.
     #[inline]
     pub fn chime(&self, n: usize) -> u64 {
-        ((n + self.lanes - 1) / self.lanes).max(1) as u64
+        n.div_ceil(self.lanes).max(1) as u64
     }
 
     fn validate(&self) {
@@ -156,7 +156,13 @@ impl MachineConfig {
     pub fn rvv_gem5(vlen_bits: usize, lanes: usize, l2_bytes: usize) -> Self {
         let cfg = MachineConfig {
             platform: Platform::RvvGem5,
-            core: CoreConfig { ooo_window: 0, scalar_cpi: 1.6, kernel_scalar_cpi: 0.5, issue_cycles: 1.0, scalar_miss_exposure: 0.5 },
+            core: CoreConfig {
+                ooo_window: 0,
+                scalar_cpi: 1.6,
+                kernel_scalar_cpi: 0.5,
+                issue_cycles: 1.0,
+                scalar_miss_exposure: 0.5,
+            },
             vpu: VpuConfig {
                 isa: IsaKind::Rvv,
                 vlen_bits,
@@ -207,7 +213,13 @@ impl MachineConfig {
         let lanes = 8; // fixed datapath width; see doc comment
         let cfg = MachineConfig {
             platform: Platform::SveGem5,
-            core: CoreConfig { ooo_window: 0, scalar_cpi: 1.6, kernel_scalar_cpi: 0.5, issue_cycles: 1.0, scalar_miss_exposure: 0.5 },
+            core: CoreConfig {
+                ooo_window: 0,
+                scalar_cpi: 1.6,
+                kernel_scalar_cpi: 0.5,
+                issue_cycles: 1.0,
+                scalar_miss_exposure: 0.5,
+            },
             vpu: VpuConfig {
                 isa: IsaKind::Sve,
                 vlen_bits,
@@ -251,7 +263,13 @@ impl MachineConfig {
     pub fn a64fx() -> Self {
         let cfg = MachineConfig {
             platform: Platform::A64fx,
-            core: CoreConfig { ooo_window: 96, scalar_cpi: 1.3, kernel_scalar_cpi: 0.2, issue_cycles: 0.6, scalar_miss_exposure: 0.35 },
+            core: CoreConfig {
+                ooo_window: 96,
+                scalar_cpi: 1.3,
+                kernel_scalar_cpi: 0.2,
+                issue_cycles: 0.6,
+                scalar_miss_exposure: 0.35,
+            },
             vpu: VpuConfig {
                 isa: IsaKind::Sve,
                 vlen_bits: 512,

@@ -36,6 +36,6 @@ pub use config::{
 };
 pub use machine::{Machine, VReg, NUM_VREGS};
 pub use pred::Pred;
-pub use stats::{KernelPhase, PhaseTimer, VpuStats};
+pub use stats::{KernelPhase, PhaseTimer, StallBreakdown, StallCause, VpuStats};
 
 pub use lva_sim::{Buf, Memory, PrefetchTarget};

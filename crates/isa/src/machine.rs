@@ -23,7 +23,7 @@
 
 use crate::config::{IsaKind, MachineConfig};
 use crate::pred::Pred;
-use crate::stats::{KernelPhase, PhaseTimer, VpuStats};
+use crate::stats::{KernelPhase, PhaseTimer, StallBreakdown, StallCause, VpuStats};
 use lva_sim::{AccessKind, MemSystem, Memory, PrefetchTarget, VpuPath};
 
 /// Number of architectural vector registers (both RVV and SVE have 32).
@@ -50,8 +50,18 @@ pub struct Machine {
     /// stream is a *late prefetch* whose fill is already in flight.
     recent_misses: [u64; 8],
     recent_miss_pos: usize,
+    /// Exposed-miss share of the occupancy of the *next* instruction to
+    /// issue; set by the memory-cost helpers, consumed by [`Self::issue`].
+    next_occ_mem: u64,
+    /// Occupancy split of the last issued instruction (exposed-miss part /
+    /// total), used to attribute the unit-busy wait of its successor.
+    last_occ_mem: u64,
+    last_occ_total: u64,
     pub stats: VpuStats,
     pub phases: PhaseTimer,
+    /// Per-cause attribution of every front-end stall cycle. Bookkeeping
+    /// only: the timing model is identical whether anyone reads this.
+    pub stalls: StallBreakdown,
 }
 
 impl Machine {
@@ -68,8 +78,12 @@ impl Machine {
             scalar_frac: 0.0,
             recent_misses: [u64::MAX - 1; 8],
             recent_miss_pos: 0,
+            next_occ_mem: 0,
+            last_occ_mem: 0,
+            last_occ_total: 0,
             stats: VpuStats::default(),
             phases: PhaseTimer::default(),
+            stalls: StallBreakdown::default(),
             cfg,
         }
     }
@@ -98,17 +112,25 @@ impl Machine {
         self.unit_free = 0;
         self.ready = [0; NUM_VREGS];
         self.scalar_frac = 0.0;
+        self.next_occ_mem = 0;
+        self.last_occ_mem = 0;
+        self.last_occ_total = 0;
         self.stats = VpuStats::default();
         self.phases = PhaseTimer::default();
+        self.stalls = StallBreakdown::default();
         self.sys.reset_stats();
     }
 
     /// Run `f` attributing its cycles to kernel phase `p` (§II-B breakdown).
+    /// When tracing is enabled, the phase is also emitted as a span with its
+    /// simulated cycle delta attached.
     pub fn phase<R>(&mut self, p: KernelPhase, f: impl FnOnce(&mut Self) -> R) -> R {
         let t0 = self.cycles();
+        let mut sp = lva_trace::span(p.name());
         let r = f(self);
         let dt = self.cycles() - t0;
         self.phases.add(p, dt);
+        sp.set("cycles", dt);
         r
     }
 
@@ -162,12 +184,21 @@ impl Machine {
     /// `occupancy`: cycles the vector unit stays busy; `result_latency`:
     /// cycles from start until `dst` (if any) is ready.
     #[inline]
-    fn issue(&mut self, srcs: [Option<VReg>; 2], dst: Option<VReg>, occupancy: u64, result_latency: u64) {
+    fn issue(
+        &mut self,
+        srcs: [Option<VReg>; 2],
+        dst: Option<VReg>,
+        occupancy: u64,
+        result_latency: u64,
+    ) {
         self.commit_scalar();
-        let mut start = self.now.max(self.unit_free);
+        let t0 = self.now;
+        let unit_start = t0.max(self.unit_free);
+        let mut start = unit_start;
         for s in srcs.into_iter().flatten() {
             start = start.max(self.src_ready(s));
         }
+        self.attribute_stall(t0, unit_start, start, occupancy);
         self.unit_free = start + occupancy + self.cfg.vpu.inter_instr_gap as u64;
         if let Some(d) = dst {
             self.ready[d] = start + result_latency.max(occupancy);
@@ -175,6 +206,52 @@ impl Machine {
         self.now = start;
         self.scalar_frac += self.cfg.core.issue_cycles;
         self.stats.vec_instrs += 1;
+    }
+
+    /// Attribute the wait of one issue to stall causes. Pure bookkeeping:
+    /// called with the already-computed issue times, it never changes them.
+    ///
+    /// The wait decomposes exactly into two windows:
+    /// `[t0, unit_start)` — the vector unit was still busy. Its tail is the
+    /// fixed `inter_instr_gap` (IssueWidth); the rest is the previous
+    /// instruction's occupancy, split between its exposed cache-miss share
+    /// (MemLatency) and chime/lane work (LaneOccupancy) in proportion.
+    /// `[unit_start, start)` — sources were not ready: up to one pipeline
+    /// `startup()` is the vector-startup ramp (VectorStartup), anything
+    /// beyond is dependency latency the window could not hide (RawHazard).
+    #[inline]
+    fn attribute_stall(&mut self, t0: u64, unit_start: u64, start: u64, occupancy: u64) {
+        let unit_busy = unit_start - t0;
+        if unit_busy > 0 {
+            let gap = unit_busy.min(self.cfg.vpu.inter_instr_gap as u64);
+            self.stalls.add(StallCause::IssueWidth, gap);
+            let occ_wait = unit_busy - gap;
+            if occ_wait > 0 {
+                let mem =
+                    (occ_wait * self.last_occ_mem).checked_div(self.last_occ_total).unwrap_or(0);
+                self.stalls.add(StallCause::MemLatency, mem);
+                self.stalls.add(StallCause::LaneOccupancy, occ_wait - mem);
+            }
+        }
+        let raw_wait = start - unit_start;
+        if raw_wait > 0 {
+            let ramp = raw_wait.min(self.cfg.vpu.startup());
+            self.stalls.add(StallCause::VectorStartup, ramp);
+            self.stalls.add(StallCause::RawHazard, raw_wait - ramp);
+        }
+        self.stalls.note_total(start - t0);
+        self.last_occ_mem = std::mem::take(&mut self.next_occ_mem).min(occupancy);
+        self.last_occ_total = occupancy;
+    }
+
+    /// Attribute the front-end wait for a scalar result consumed from the
+    /// vector unit (reductions): the startup ramp plus dependency latency.
+    #[inline]
+    fn attribute_consume_wait(&mut self, lat: u64) {
+        let ramp = lat.min(self.cfg.vpu.startup());
+        self.stalls.add(StallCause::VectorStartup, ramp);
+        self.stalls.add(StallCause::RawHazard, lat - ramp);
+        self.stalls.note_total(lat);
     }
 
     /// Miss-latency adjustment: on platforms with a hardware prefetcher, a
@@ -222,9 +299,10 @@ impl Machine {
         // grows with the number of lines in flight (capped).
         let eff_mlp = (vpu.mlp as u64).max(n_lines / 2).min(8);
         let exposed = extra / eff_mlp;
-        let tx = (bytes + vpu.bus_bytes as u64 - 1) / vpu.bus_bytes as u64;
+        let tx = bytes.div_ceil(vpu.bus_bytes as u64);
         let occ = tx + exposed;
         let lat = vpu.pipe_depth as u64 + base_lat + occ;
+        self.next_occ_mem = exposed;
         (occ.max(1), lat)
     }
 
@@ -276,8 +354,11 @@ impl Machine {
         let lb = self.sys.line_bytes() as u64;
         let first = addr / lb;
         let last = (addr + 4 * vl as u64 - 1) / lb;
-        let (occ, lat) =
-            self.mem_instr_cost((first..=last).map(move |l| l * lb), AccessKind::Read, 4 * vl as u64);
+        let (occ, lat) = self.mem_instr_cost(
+            (first..=last).map(move |l| l * lb),
+            AccessKind::Read,
+            4 * vl as u64,
+        );
         self.issue([None, None], Some(vd), occ, lat);
         self.stats.vec_mem_instrs += 1;
         self.stats.active_elems += vl as u64;
@@ -297,8 +378,11 @@ impl Machine {
         let lb = self.sys.line_bytes() as u64;
         let first = addr / lb;
         let last = (addr + 4 * vl as u64 - 1) / lb;
-        let (occ, _lat) =
-            self.mem_instr_cost((first..=last).map(move |l| l * lb), AccessKind::Write, 4 * vl as u64);
+        let (occ, _lat) = self.mem_instr_cost(
+            (first..=last).map(move |l| l * lb),
+            AccessKind::Write,
+            4 * vl as u64,
+        );
         // Stores retire through the store buffer: they occupy the unit but
         // the source register is already available; no new result.
         self.issue([Some(vs), None], None, occ, occ);
@@ -342,7 +426,13 @@ impl Machine {
 
     /// Cost of a strided/indexed access: per-element issue plus line traffic
     /// (consecutive duplicate lines deduplicated, as a coalescing LSU would).
-    fn strided_cost(&mut self, addr: u64, stride_bytes: u64, vl: usize, kind: AccessKind) -> (u64, u64) {
+    fn strided_cost(
+        &mut self,
+        addr: u64,
+        stride_bytes: u64,
+        vl: usize,
+        kind: AccessKind,
+    ) -> (u64, u64) {
         let lb = self.sys.line_bytes() as u64;
         let vpu = self.cfg.vpu;
         let base_lat = match self.cfg.mem.vpu_path {
@@ -366,6 +456,7 @@ impl Machine {
         let _ = n_lines;
         let occ = vl as u64 * vpu.gather_elem_cycles as u64 + exposed;
         let lat = vpu.pipe_depth as u64 + base_lat + occ;
+        self.next_occ_mem = exposed;
         (occ, lat)
     }
 
@@ -373,6 +464,9 @@ impl Machine {
     /// (indices in elements, as RVV `vluxei32` / SVE gather with a vector of
     /// offsets). A sentinel index of `u32::MAX` marks an inactive lane
     /// (predicated out): the lane loads 0.0 and is not charged.
+    // The `0..vl` loops below index both `idx` and the register file;
+    // iterator rewrites would obscure the lane/offset correspondence.
+    #[allow(clippy::needless_range_loop)]
     pub fn vgather(&mut self, vd: VReg, base: u64, idx: &[u32], vl: usize) {
         debug_assert!(vl <= idx.len() && vl <= self.vlen_elems);
         if vl == 0 {
@@ -380,11 +474,8 @@ impl Machine {
         }
         for i in 0..vl {
             let n = self.vlen_elems;
-            self.regs[vd * n + i] = if idx[i] == u32::MAX {
-                0.0
-            } else {
-                self.mem.read_addr(base + 4 * idx[i] as u64)
-            };
+            self.regs[vd * n + i] =
+                if idx[i] == u32::MAX { 0.0 } else { self.mem.read_addr(base + 4 * idx[i] as u64) };
         }
         let (occ, lat) = self.indexed_cost(base, &idx[..vl], AccessKind::Read);
         self.issue([None, None], Some(vd), occ, lat);
@@ -395,6 +486,7 @@ impl Machine {
     /// Indexed scatter store: element `i` goes to `base + 4 * idx[i]`.
     /// Lanes whose index is `u32::MAX` are predicated out (not stored, not
     /// charged).
+    #[allow(clippy::needless_range_loop)]
     pub fn vscatter(&mut self, vs: VReg, base: u64, idx: &[u32], vl: usize) {
         debug_assert!(vl <= idx.len() && vl <= self.vlen_elems);
         if vl == 0 {
@@ -421,6 +513,7 @@ impl Machine {
     /// a fixed permute overhead instead of per element. RISC-V Vector has
     /// no such instructions, which is why the paper excludes it from the
     /// Winograd analysis.
+    #[allow(clippy::needless_range_loop)]
     pub fn vgather4(&mut self, vd: VReg, base: u64, idx: &[u32], vl: usize) {
         debug_assert!(vl <= idx.len() && vl <= self.vlen_elems);
         if vl == 0 {
@@ -428,11 +521,8 @@ impl Machine {
         }
         for i in 0..vl {
             let n = self.vlen_elems;
-            self.regs[vd * n + i] = if idx[i] == u32::MAX {
-                0.0
-            } else {
-                self.mem.read_addr(base + 4 * idx[i] as u64)
-            };
+            self.regs[vd * n + i] =
+                if idx[i] == u32::MAX { 0.0 } else { self.mem.read_addr(base + 4 * idx[i] as u64) };
         }
         let (occ, lat) = self.grouped_cost(base, &idx[..vl], AccessKind::Read);
         self.issue([None, None], Some(vd), occ, lat);
@@ -442,6 +532,7 @@ impl Machine {
 
     /// Structured scatter, the store-side counterpart of [`Self::vgather4`]
     /// (register transpose + ST1 of 16-byte chunks).
+    #[allow(clippy::needless_range_loop)]
     pub fn vscatter4(&mut self, vs: VReg, base: u64, idx: &[u32], vl: usize) {
         debug_assert!(vl <= idx.len() && vl <= self.vlen_elems);
         if vl == 0 {
@@ -489,8 +580,9 @@ impl Machine {
         }
         let exposed = extra / vpu.mlp as u64;
         // One slot per 4-element group + 2 cycles of ZIP/TRN permutes.
-        let occ = ((active + 3) / 4).max(1) + 2 + exposed;
+        let occ = active.div_ceil(4).max(1) + 2 + exposed;
         let lat = vpu.pipe_depth as u64 + base_lat + occ;
+        self.next_occ_mem = exposed;
         (occ, lat)
     }
 
@@ -520,6 +612,7 @@ impl Machine {
         let exposed = extra / vpu.mlp as u64;
         let occ = (active * vpu.gather_elem_cycles as u64).max(1) + exposed;
         let lat = vpu.pipe_depth as u64 + base_lat + occ;
+        self.next_occ_mem = exposed;
         (occ, lat)
     }
 
@@ -739,6 +832,7 @@ impl Machine {
         let lat = self.cfg.vpu.startup() + chime;
         self.issue([Some(vs), None], None, chime, lat);
         self.now += lat; // core consumes the scalar
+        self.attribute_consume_wait(lat);
         self.count_arith(vl, 1);
         sum
     }
@@ -751,6 +845,7 @@ impl Machine {
         let lat = self.cfg.vpu.startup() + chime;
         self.issue([Some(vs), None], None, chime, lat);
         self.now += lat;
+        self.attribute_consume_wait(lat);
         self.count_arith(vl, 1);
         mx
     }
@@ -780,6 +875,13 @@ impl Machine {
         line("system.cpu.vpu.register_spills", self.stats.spills.to_string());
         line("system.cpu.scalar_ops", self.stats.scalar_ops.to_string());
         line("system.cpu.scalar_flops", self.stats.scalar_flops.to_string());
+        line("system.cpu.vpu.stall_cycles_total", self.stalls.total().to_string());
+        for cause in StallCause::ALL {
+            line(
+                &format!("system.cpu.vpu.stall_cycles.{}", cause.name()),
+                self.stalls.get(cause).to_string(),
+            );
+        }
         for (name, c) in [("l1d", &st.l1), ("l2", &st.l2), ("vcache", &st.vcache)] {
             if c.accesses == 0 && c.prefetch_fills == 0 {
                 continue;
@@ -824,8 +926,8 @@ impl Machine {
     pub fn scalar_read(&mut self, addr: u64) -> f32 {
         let v = self.mem.read_addr(addr);
         let (_lvl, lat) = self.sys.demand_scalar(addr, AccessKind::Read);
-        let exposed =
-            (lat.saturating_sub(self.cfg.mem.l1.hit_latency)) as f64 * self.cfg.core.scalar_miss_exposure;
+        let exposed = (lat.saturating_sub(self.cfg.mem.l1.hit_latency)) as f64
+            * self.cfg.core.scalar_miss_exposure;
         self.scalar_frac += exposed + self.cfg.core.kernel_scalar_cpi;
         self.commit_scalar();
         v
@@ -836,8 +938,8 @@ impl Machine {
     pub fn scalar_write(&mut self, addr: u64, v: f32) {
         self.mem.write_addr(addr, v);
         let (_lvl, lat) = self.sys.demand_scalar(addr, AccessKind::Write);
-        let exposed =
-            (lat.saturating_sub(self.cfg.mem.l1.hit_latency)) as f64 * self.cfg.core.scalar_miss_exposure;
+        let exposed = (lat.saturating_sub(self.cfg.mem.l1.hit_latency)) as f64
+            * self.cfg.core.scalar_miss_exposure;
         self.scalar_frac += exposed + self.cfg.core.kernel_scalar_cpi;
         self.commit_scalar();
     }
@@ -900,8 +1002,8 @@ mod tests {
         m.vfmacc_vf(2, 3.0, 1, vl);
         m.vse(2, c.addr(0), vl);
         let out = m.mem.slice(c);
-        for i in 0..16 {
-            assert_eq!(out[i], 3.0 * i as f32);
+        for (i, &v) in out.iter().enumerate().take(16) {
+            assert_eq!(v, 3.0 * i as f32);
         }
         assert!(m.cycles() > 0);
     }
@@ -963,8 +1065,8 @@ mod tests {
         }
         m.vlse(3, a.addr(0), 16, 8); // stride 16 bytes = 4 elements
         let r = m.vreg(3);
-        for i in 0..8 {
-            assert_eq!(r[i], (4 * i) as f32);
+        for (i, &v) in r.iter().enumerate().take(8) {
+            assert_eq!(v, (4 * i) as f32);
         }
     }
 
@@ -1137,6 +1239,75 @@ mod tests {
             let val = parts.next().expect("value");
             assert!(val.parse::<f64>().is_ok(), "unparseable value in: {l}");
         }
+    }
+
+    #[test]
+    fn stall_causes_sum_to_total() {
+        // A mixed workload exercising every attribution path: dependent FMA
+        // chains (RawHazard/VectorStartup), cold loads (MemLatency), long
+        // vectors (LaneOccupancy), back-to-back issue (IssueWidth), and
+        // reductions (consume wait).
+        let mut m = Machine::new(MachineConfig::rvv_gem5(2048, 8, 1 << 20));
+        let a = m.mem.alloc(4096);
+        let vl = m.setvl(64);
+        for r in 0..8 {
+            m.vle(r, a.addr(r * 64), vl);
+        }
+        for _ in 0..16 {
+            m.vfmacc_vf(9, 1.5, 8, vl); // dependent chain
+        }
+        m.vfredsum(9, vl);
+        m.vlse(10, a.addr(0), 20, vl);
+        let idx: Vec<u32> = (0..vl as u32).map(|i| (i * 37) % 1024).collect();
+        m.vgather(11, a.base, &idx, vl);
+        assert!(m.stalls.total() > 0, "workload must actually stall");
+        assert_eq!(
+            m.stalls.attributed(),
+            m.stalls.total(),
+            "every stalled cycle must be attributed to exactly one cause"
+        );
+        // The same invariant holds on the SVE path and after a reset.
+        m.reset_timing();
+        assert_eq!(m.stalls.total(), 0);
+        let mut s = Machine::new(MachineConfig::sve_gem5(512, 1 << 20));
+        let b = s.mem.alloc(1024);
+        for i in 0..16 {
+            s.vle(1, b.addr(i * 16), 16);
+            s.vfmacc_vf(2, 1.0, 1, 16);
+        }
+        s.vfredmax(2, 16);
+        assert!(s.stalls.total() > 0);
+        assert_eq!(s.stalls.attributed(), s.stalls.total());
+    }
+
+    #[test]
+    fn dependent_chain_stalls_are_hazards_not_memory() {
+        let mut m = Machine::new(MachineConfig::rvv_gem5(2048, 8, 1 << 20));
+        let vl = m.setvl(64);
+        m.vbroadcast(0, 1.0, vl);
+        for _ in 0..32 {
+            m.vfmacc_vf(1, 1.5, 0, vl);
+        }
+        let hazard = m.stalls.get(StallCause::RawHazard) + m.stalls.get(StallCause::VectorStartup);
+        assert!(hazard > 0, "a dependent chain must expose dependency stalls");
+        assert_eq!(m.stalls.get(StallCause::MemLatency), 0, "no memory traffic issued");
+    }
+
+    #[test]
+    fn cold_streaming_loads_stall_on_memory() {
+        let mut m = Machine::new(MachineConfig::rvv_gem5(2048, 8, 1 << 20));
+        let a = m.mem.alloc(1 << 16);
+        let vl = m.setvl(64);
+        // Independent destination registers: no RAW pressure, only the unit
+        // being busy with exposed miss time.
+        for i in 0..64usize {
+            m.vle(i % 16, a.addr(i * 256), vl);
+        }
+        assert!(
+            m.stalls.get(StallCause::MemLatency) > 0,
+            "cold misses must surface as memory stalls: {:?}",
+            m.stalls
+        );
     }
 
     #[test]

@@ -53,6 +53,134 @@ impl VpuStats {
     }
 }
 
+/// Why the scalar front-end could not issue the next vector instruction
+/// immediately. Every stalled cycle the timing model inserts is attributed
+/// to exactly one cause, so the per-cause counters of a [`StallBreakdown`]
+/// always sum to its total.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StallCause {
+    /// Read-after-write dependency on a vector register still in flight
+    /// (beyond what the out-of-order window hides).
+    RawHazard,
+    /// The fixed startup ramp of the vector pipeline (depth + lane fill)
+    /// exposed on a dependent instruction.
+    VectorStartup,
+    /// Cache-miss latency the memory unit could not overlap (the exposed
+    /// portion of vector loads/stores occupying the unit).
+    MemLatency,
+    /// The vector unit was busy executing element groups: occupancy from
+    /// chimes, i.e. work serialised by the lane count.
+    LaneOccupancy,
+    /// Dead cycles between back-to-back vector instructions
+    /// (`inter_instr_gap`: decode/dispatch bandwidth of the front-end).
+    IssueWidth,
+}
+
+impl StallCause {
+    pub const ALL: [StallCause; 5] = [
+        StallCause::RawHazard,
+        StallCause::VectorStartup,
+        StallCause::MemLatency,
+        StallCause::LaneOccupancy,
+        StallCause::IssueWidth,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            StallCause::RawHazard => "raw_hazard",
+            StallCause::VectorStartup => "vector_startup",
+            StallCause::MemLatency => "mem_latency",
+            StallCause::LaneOccupancy => "lane_occupancy",
+            StallCause::IssueWidth => "issue_width",
+        }
+    }
+
+    #[inline]
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+const _: () = {
+    let mut i = 0;
+    while i < StallCause::ALL.len() {
+        assert!(StallCause::ALL[i] as usize == i, "StallCause::ALL out of declaration order");
+        i += 1;
+    }
+};
+
+/// Per-cause attribution of every cycle the scalar clock waited on the
+/// vector/memory subsystem. Carried alongside [`VpuStats`] by the machine.
+///
+/// The `total` is accumulated *independently* of the per-cause counters
+/// (via [`StallBreakdown::note_total`]) so that the invariant "causes sum
+/// to total" is a real cross-check of the attribution logic, not an
+/// identity.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StallBreakdown {
+    by_cause: [u64; 5],
+    total: u64,
+}
+
+impl StallBreakdown {
+    /// Attribute `cycles` to `cause`.
+    #[inline]
+    pub fn add(&mut self, cause: StallCause, cycles: u64) {
+        self.by_cause[cause.index()] += cycles;
+    }
+
+    /// Record `cycles` of total stall time (independent of attribution).
+    #[inline]
+    pub fn note_total(&mut self, cycles: u64) {
+        self.total += cycles;
+    }
+
+    pub fn get(&self, cause: StallCause) -> u64 {
+        self.by_cause[cause.index()]
+    }
+
+    /// Total stalled cycles as accumulated by [`Self::note_total`].
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of the per-cause counters; equals [`Self::total`] when the
+    /// attribution logic is consistent.
+    pub fn attributed(&self) -> u64 {
+        self.by_cause.iter().sum()
+    }
+
+    pub fn merge(&mut self, o: &StallBreakdown) {
+        for (a, b) in self.by_cause.iter_mut().zip(o.by_cause.iter()) {
+            *a += b;
+        }
+        self.total += o.total;
+    }
+
+    /// Difference of two snapshots (`self` later, `earlier` first): the
+    /// stalls incurred in between. Used for per-layer deltas.
+    pub fn since(&self, earlier: &StallBreakdown) -> StallBreakdown {
+        let mut d = StallBreakdown::default();
+        for (i, slot) in d.by_cause.iter_mut().enumerate() {
+            *slot = self.by_cause[i] - earlier.by_cause[i];
+        }
+        d.total = self.total - earlier.total;
+        d
+    }
+
+    /// Causes with non-zero cycles, largest first.
+    pub fn breakdown(&self) -> Vec<(StallCause, u64)> {
+        let mut v: Vec<(StallCause, u64)> = StallCause::ALL
+            .iter()
+            .copied()
+            .map(|c| (c, self.get(c)))
+            .filter(|&(_, n)| n > 0)
+            .collect();
+        v.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+        v
+    }
+}
+
 /// Kernel phases used for the §II-B execution-time breakdown.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum KernelPhase {
@@ -112,10 +240,21 @@ impl KernelPhase {
         }
     }
 
+    #[inline]
     fn index(self) -> usize {
-        Self::ALL.iter().position(|&p| p == self).unwrap()
+        self as usize
     }
 }
+
+// `index()` relies on `ALL` listing the variants in declaration order so the
+// discriminant doubles as the array index; verify at compile time.
+const _: () = {
+    let mut i = 0;
+    while i < KernelPhase::ALL.len() {
+        assert!(KernelPhase::ALL[i] as usize == i, "KernelPhase::ALL out of declaration order");
+        i += 1;
+    }
+};
 
 /// Accumulates cycles per [`KernelPhase`].
 #[derive(Debug, Clone, Default)]
@@ -177,6 +316,41 @@ mod tests {
         let bd = t.breakdown();
         assert_eq!(bd[0], (KernelPhase::Gemm, 120));
         assert_eq!(bd.len(), 2);
+    }
+
+    #[test]
+    fn stall_breakdown_accumulates_and_diffs() {
+        let mut s = StallBreakdown::default();
+        s.add(StallCause::RawHazard, 10);
+        s.add(StallCause::MemLatency, 30);
+        s.note_total(40);
+        assert_eq!(s.get(StallCause::RawHazard), 10);
+        assert_eq!(s.attributed(), 40);
+        assert_eq!(s.total(), 40);
+        assert_eq!(s.breakdown()[0], (StallCause::MemLatency, 30));
+
+        let snapshot = s;
+        s.add(StallCause::IssueWidth, 5);
+        s.note_total(5);
+        let d = s.since(&snapshot);
+        assert_eq!(d.get(StallCause::IssueWidth), 5);
+        assert_eq!(d.get(StallCause::MemLatency), 0);
+        assert_eq!(d.total(), 5);
+
+        let mut m = StallBreakdown::default();
+        m.merge(&s);
+        m.merge(&snapshot);
+        assert_eq!(m.total(), s.total() + snapshot.total());
+        assert_eq!(m.attributed(), s.attributed() + snapshot.attributed());
+    }
+
+    #[test]
+    fn stall_cause_names_are_distinct() {
+        for (i, a) in StallCause::ALL.iter().enumerate() {
+            for b in &StallCause::ALL[i + 1..] {
+                assert_ne!(a.name(), b.name());
+            }
+        }
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! in-module unit tests do not cover.
 
 use lva_isa::{Machine, MachineConfig, PrefetchTarget};
-use proptest::prelude::*;
+use lva_sim::Rng;
 
 fn sve(vlen: usize) -> Machine {
     Machine::new(MachineConfig::sve_gem5(vlen, 1 << 20))
@@ -110,53 +110,55 @@ fn sw_prefetch_is_noop_on_gem5_sve_but_charged_as_issue() {
     assert_eq!(lvl, lva_sim::MemLevel::Dram);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Gather/scatter are inverses through any permutation.
-    #[test]
-    fn gather_scatter_permutation_roundtrip(perm_seed in 0u64..1000) {
+/// Gather/scatter are inverses through any permutation.
+#[test]
+fn gather_scatter_permutation_roundtrip() {
+    let mut rng = Rng::new(0x9a77e5);
+    for _ in 0..32 {
         let mut m = sve(2048);
         let src = m.mem.alloc(64);
         let dst = m.mem.alloc(64);
         let data: Vec<f32> = (0..64).map(|i| (i as f32) * 1.5 + 1.0).collect();
         m.mem.slice_mut(src).copy_from_slice(&data);
-        // Deterministic pseudo-permutation of 0..64.
         let mut idx: Vec<u32> = (0..64).collect();
-        let mut state = perm_seed.wrapping_add(1);
-        for i in (1..64usize).rev() {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
-            let j = (state >> 33) as usize % (i + 1);
-            idx.swap(i, j);
-        }
+        rng.shuffle(&mut idx);
         m.vgather(4, src.base, &idx, 64);
         m.vscatter(4, dst.base, &idx, 64);
-        prop_assert_eq!(m.mem.slice(dst), &data[..]);
+        assert_eq!(m.mem.slice(dst), &data[..]);
     }
+}
 
-    /// setvl covers any n exactly once for any hardware vector length.
-    #[test]
-    fn setvl_tiling_covers_exactly(n in 0usize..5000, vlen_pow in 4u32..10) {
+/// setvl covers any n exactly once for any hardware vector length.
+#[test]
+fn setvl_tiling_covers_exactly() {
+    let mut rng = Rng::new(0x5e7f1);
+    for _ in 0..32 {
+        let n = rng.gen_index(0, 5000);
+        let vlen_pow = rng.gen_range(4, 10) as u32;
         let mut m = Machine::new(MachineConfig::rvv_gem5(32 << vlen_pow, 8, 1 << 20));
         let mut covered = 0usize;
         let mut i = 0usize;
         while i < n {
             let vl = m.setvl(n - i);
-            prop_assert!(vl >= 1 && vl <= m.vlen_elems());
+            assert!(vl >= 1 && vl <= m.vlen_elems());
             covered += vl;
             i += vl;
         }
-        prop_assert_eq!(covered, n);
+        assert_eq!(covered, n);
     }
+}
 
-    /// Cycle counts are monotone: appending work never reduces the clock.
-    #[test]
-    fn clock_is_monotone(ops in proptest::collection::vec(0u8..5, 1..80)) {
+/// Cycle counts are monotone: appending work never reduces the clock.
+#[test]
+fn clock_is_monotone() {
+    let mut rng = Rng::new(0xc10c);
+    for _ in 0..32 {
         let mut m = sve(512);
         let buf = m.mem.alloc(256);
         let mut last = m.cycles();
-        for (k, op) in ops.iter().enumerate() {
-            match op {
+        let len = rng.gen_index(1, 80);
+        for k in 0..len {
+            match rng.gen_index(0, 5) {
                 0 => m.vle(1, buf.addr((k * 16) % 240), 16),
                 1 => m.vfmacc_vf(2, 1.5, 1, 16),
                 2 => m.vse(2, buf.addr((k * 16) % 240), 16),
@@ -164,7 +166,7 @@ proptest! {
                 _ => m.vbroadcast(3, k as f32, 16),
             }
             let now = m.cycles();
-            prop_assert!(now >= last);
+            assert!(now >= last);
             last = now;
         }
     }

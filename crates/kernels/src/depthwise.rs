@@ -20,7 +20,13 @@ const VACC: VReg = 1;
 
 /// Depthwise geometry helper: the [`ConvParams`] equivalent with
 /// `out_c == in_c` and per-channel filters.
-pub fn depthwise_params(in_c: usize, in_h: usize, in_w: usize, k: usize, stride: usize) -> ConvParams {
+pub fn depthwise_params(
+    in_c: usize,
+    in_h: usize,
+    in_w: usize,
+    k: usize,
+    stride: usize,
+) -> ConvParams {
     ConvParams { in_c, in_h, in_w, out_c: in_c, k, stride, pad: k / 2 }
 }
 
@@ -35,20 +41,14 @@ pub fn depthwise_flops(p: &ConvParams) -> u64 {
 ///
 /// # Panics
 /// Panics on shape mismatches or if `p.out_c != p.in_c`.
-pub fn conv_depthwise_vec(
-    m: &mut Machine,
-    p: &ConvParams,
-    input: &Tensor,
-    weights: Buf,
-    out: Buf,
-) {
+pub fn conv_depthwise_vec(m: &mut Machine, p: &ConvParams, input: &Tensor, weights: Buf, out: Buf) {
     assert_eq!(p.out_c, p.in_c, "depthwise keeps the channel count");
     assert_eq!(input.shape.len(), p.in_c * p.in_h * p.in_w, "input shape mismatch");
     assert_eq!(weights.words, p.in_c * p.k * p.k, "weight shape mismatch");
     let (oh, ow) = p.out_hw();
     assert!(out.words >= p.in_c * oh * ow, "output too small");
     // Interior x-range where every kx tap is in bounds.
-    let x_lo = if p.pad > 0 { (p.pad + p.stride - 1) / p.stride } else { 0 };
+    let x_lo = if p.pad > 0 { p.pad.div_ceil(p.stride) } else { 0 };
     let x_hi = {
         let upper = p.in_w as isize - 1 + p.pad as isize - (p.k as isize - 1);
         if upper < 0 {
@@ -62,8 +62,8 @@ pub fn conv_depthwise_vec(
         for c in 0..p.in_c {
             // Per-channel taps stay in scalar registers across the row loop.
             let mut taps = [0.0f32; 64];
-            for t in 0..p.k * p.k {
-                taps[t] = m.scalar_read(weights.addr(c * p.k * p.k + t));
+            for (t, tap) in taps.iter_mut().enumerate().take(p.k * p.k) {
+                *tap = m.scalar_read(weights.addr(c * p.k * p.k + t));
             }
             for oy in 0..oh {
                 m.charge_scalar_ops(2);
@@ -103,8 +103,7 @@ pub fn conv_depthwise_vec(
                                 && (iy as usize) < p.in_h
                                 && (ix as usize) < p.in_w
                             {
-                                let v =
-                                    m.scalar_read(input.addr(c, iy as usize, ix as usize));
+                                let v = m.scalar_read(input.addr(c, iy as usize, ix as usize));
                                 acc += v * taps[ky * p.k + kx];
                                 m.charge_scalar_flops(2);
                             }
@@ -197,9 +196,7 @@ mod tests {
         let mut m = Machine::new(MachineConfig::sve_gem5(512, 1 << 20));
         let img = Tensor::random(&mut m, Shape::new(3, 6, 6), 3);
         let mut wh = host_random(27, 4);
-        for t in 9..18 {
-            wh[t] = 0.0; // channel 1
-        }
+        wh[9..18].fill(0.0); // channel 1
         let w = m.mem.alloc_from(&wh);
         let out = m.mem.alloc(3 * 36);
         conv_depthwise_vec(&mut m, &p, &img, w, out);

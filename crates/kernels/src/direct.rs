@@ -31,13 +31,7 @@ const OC_UNROLL: usize = 16;
 ///
 /// # Panics
 /// Panics on shape mismatches.
-pub fn conv_direct_vec(
-    m: &mut Machine,
-    p: &ConvParams,
-    input: &Tensor,
-    weights: Buf,
-    out: Buf,
-) {
+pub fn conv_direct_vec(m: &mut Machine, p: &ConvParams, input: &Tensor, weights: Buf, out: Buf) {
     let (oh, ow) = p.out_hw();
     let kk = p.in_c * p.k * p.k;
     assert_eq!(input.shape.len(), p.in_c * p.in_h * p.in_w, "input shape mismatch");
@@ -46,14 +40,11 @@ pub fn conv_direct_vec(
     // 1x1 stride-1: the spatial map is one contiguous vector per channel —
     // flatten the row loop so short image rows don't truncate the vectors.
     let (oh, ow) = if p.is_1x1_fast_path() { (1, oh * ow) } else { (oh, ow) };
-    let p_eff = if p.is_1x1_fast_path() {
-        ConvParams { in_h: 1, in_w: p.in_h * p.in_w, ..*p }
-    } else {
-        *p
-    };
+    let p_eff =
+        if p.is_1x1_fast_path() { ConvParams { in_h: 1, in_w: p.in_h * p.in_w, ..*p } } else { *p };
     let p = &p_eff;
     // Interior x-range where every kx tap is in bounds (cf. im2col).
-    let x_lo = if p.pad > 0 { (p.pad + p.stride - 1) / p.stride } else { 0 };
+    let x_lo = if p.pad > 0 { p.pad.div_ceil(p.stride) } else { 0 };
     let x_hi = {
         let upper = p.in_w as isize - 1 + p.pad as isize - (p.k as isize - 1);
         if upper < 0 {
@@ -85,9 +76,9 @@ pub fn conv_direct_vec(
                             for kx in 0..p.k {
                                 let ix0 = (x * p.stride + kx) as isize - p.pad as isize;
                                 debug_assert!(ix0 >= 0);
-                                let src = input.buf.addr(
-                                    (ci * p.in_h + iy as usize) * p.in_w + ix0 as usize,
-                                );
+                                let src = input
+                                    .buf
+                                    .addr((ci * p.in_h + iy as usize) * p.in_w + ix0 as usize);
                                 if p.stride == 1 {
                                     m.vle(VT, src, gvl);
                                 } else {
@@ -95,8 +86,7 @@ pub fn conv_direct_vec(
                                 }
                                 for o in 0..ob {
                                     let w = m.scalar_read(
-                                        weights
-                                            .addr((oc0 + o) * kk + (ci * p.k + ky) * p.k + kx),
+                                        weights.addr((oc0 + o) * kk + (ci * p.k + ky) * p.k + kx),
                                     );
                                     m.vfmacc_vf(VACC0 + o, w, VT, gvl);
                                 }
@@ -123,12 +113,12 @@ pub fn conv_direct_vec(
                                         && (ix as usize) < p.in_w
                                     {
                                         let v = m.scalar_read(input.buf.addr(
-                                            (ci * p.in_h + iy as usize) * p.in_w
-                                                + ix as usize,
+                                            (ci * p.in_h + iy as usize) * p.in_w + ix as usize,
                                         ));
-                                        let w = m.scalar_read(weights.addr(
-                                            (oc0 + o) * kk + (ci * p.k + ky) * p.k + kx,
-                                        ));
+                                        let w = m.scalar_read(
+                                            weights
+                                                .addr((oc0 + o) * kk + (ci * p.k + ky) * p.k + kx),
+                                        );
                                         acc += v * w;
                                         m.charge_scalar_flops(2);
                                     }

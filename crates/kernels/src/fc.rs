@@ -62,7 +62,7 @@ pub fn softmax_vec(m: &mut Machine, x: Buf, n: usize) {
         }
         m.scalar_stream(x.addr(0), n, AccessKind::Write);
         m.charge_scalar_flops(20 * n as u64); // exp ~ 20 flops each
-        // Vector scale by 1/sum.
+                                              // Vector scale by 1/sum.
         let inv = 1.0 / sum;
         m.charge_scalar_flops(1);
         let mut i = 0;

@@ -316,8 +316,7 @@ pub fn gemm_opt6(
                                 }
                                 m.vle(VB, ws.b_pack.addr(k * nb + j), gvl);
                                 for r in 0..u {
-                                    let mut a_val =
-                                        m.scalar_read(ws.a_pack.addr((i + r) * kb + k));
+                                    let mut a_val = m.scalar_read(ws.a_pack.addr((i + r) * kb + k));
                                     if alpha != 1.0 {
                                         a_val *= alpha;
                                         m.charge_scalar_flops(1);
@@ -372,7 +371,14 @@ mod tests {
     }
 
     /// Run a variant and compare against the host reference.
-    fn check_variant(variant: GemmVariant, mm: usize, nn: usize, kk: usize, alpha: f32, vlen: usize) {
+    fn check_variant(
+        variant: GemmVariant,
+        mm: usize,
+        nn: usize,
+        kk: usize,
+        alpha: f32,
+        vlen: usize,
+    ) {
         let mut m = machine(vlen);
         let a = Matrix::random(&mut m, mm, kk, 1);
         let b = Matrix::random(&mut m, kk, nn, 2);
@@ -460,10 +466,7 @@ mod tests {
         };
         let naive = run(GemmVariant::Naive);
         let opt3 = run(GemmVariant::opt3());
-        assert!(
-            naive > 5 * opt3,
-            "vectorization should win big: naive={naive} opt3={opt3}"
-        );
+        assert!(naive > 5 * opt3, "vectorization should win big: naive={naive} opt3={opt3}");
     }
 
     #[test]

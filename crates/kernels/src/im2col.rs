@@ -68,7 +68,7 @@ pub fn im2col_vec(m: &mut Machine, p: &ConvParams, image: &Tensor, col: Buf) {
 fn valid_ox_range(p: &ConvParams, kx: usize) -> (usize, usize) {
     let (_, ow) = p.out_hw();
     // ix = ox*s + kx - pad >= 0  =>  ox >= ceil((pad - kx) / s)
-    let x0 = if p.pad > kx { (p.pad - kx + p.stride - 1) / p.stride } else { 0 };
+    let x0 = if p.pad > kx { (p.pad - kx).div_ceil(p.stride) } else { 0 };
     // ix <= in_w - 1  =>  ox <= (in_w - 1 + pad - kx) / s
     let upper = p.in_w as isize - 1 + p.pad as isize - kx as isize;
     let x1 = if upper < 0 { 0 } else { (upper as usize / p.stride + 1).min(ow) };
@@ -122,7 +122,11 @@ pub fn im2col_scalar(m: &mut Machine, p: &ConvParams, image: &Tensor, col: Buf) 
             // Input row traffic: approximately one read stream per output row.
             let ci = row / (p.k * p.k);
             for y in 0..oh.min(p.in_h) {
-                m.scalar_stream(image.addr(ci, y.min(p.in_h - 1), 0), p.in_w.min(ow * p.stride), AccessKind::Read);
+                m.scalar_stream(
+                    image.addr(ci, y.min(p.in_h - 1), 0),
+                    p.in_w.min(ow * p.stride),
+                    AccessKind::Read,
+                );
             }
         }
     });

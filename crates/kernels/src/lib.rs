@@ -24,6 +24,11 @@
 //! The convolution driver [`conv::conv_im2col_gemm`] strings these together
 //! exactly like Darknet's `forward_convolutional_layer`.
 
+// Kernel entry points mirror BLAS/im2col calling conventions (machine,
+// shape tuple, buffers, strides); bundling them into structs would only
+// add indirection at every call site.
+#![allow(clippy::too_many_arguments)]
+
 pub mod aux;
 pub mod conv;
 pub mod depthwise;

@@ -41,7 +41,7 @@ pub fn maxpool_vec(m: &mut Machine, p: &PoolParams, input: &Tensor, out: &Tensor
     assert_eq!((out.shape.h, out.shape.w), (oh, ow));
     // Interior columns: every kx tap in-bounds for ix = ox*s + kx - before.
     let before = p.padding / 2;
-    let x_lo = (before + p.stride - 1) / p.stride; // from kx = 0
+    let x_lo = before.div_ceil(p.stride); // from kx = 0
     let x_hi = {
         // from kx = size-1: ix <= w-1 -> ox <= (w-1+before-(size-1))/s
         let upper = w as isize - 1 + before as isize - (p.size as isize - 1);
@@ -85,7 +85,8 @@ pub fn maxpool_vec(m: &mut Machine, p: &PoolParams, input: &Tensor, out: &Tensor
                             let iy = (oy * p.stride + ky) as isize - before as isize;
                             let ix = (ox * p.stride + kx) as isize - before as isize;
                             if iy >= 0 && ix >= 0 && (iy as usize) < h && (ix as usize) < w {
-                                mx = mx.max(m.scalar_read(input.addr(ci, iy as usize, ix as usize)));
+                                mx =
+                                    mx.max(m.scalar_read(input.addr(ci, iy as usize, ix as usize)));
                             }
                         }
                     }

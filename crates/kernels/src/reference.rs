@@ -66,10 +66,8 @@ pub fn conv_direct_ref(p: &ConvParams, image: &[f32], weights: &[f32]) -> Vec<f3
                 for ci in 0..p.in_c {
                     for ky in 0..p.k {
                         for kx in 0..p.k {
-                            let iy = oy as isize * p.stride as isize + ky as isize
-                                - p.pad as isize;
-                            let ix = ox as isize * p.stride as isize + kx as isize
-                                - p.pad as isize;
+                            let iy = oy as isize * p.stride as isize + ky as isize - p.pad as isize;
+                            let ix = ox as isize * p.stride as isize + kx as isize - p.pad as isize;
                             if iy >= 0
                                 && ix >= 0
                                 && (iy as usize) < p.in_h

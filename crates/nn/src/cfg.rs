@@ -62,15 +62,11 @@ impl Section {
     }
 
     fn int_list(&self, key: &str) -> Result<Vec<isize>, CfgError> {
-        let raw = self
-            .options
-            .get(key)
-            .ok_or_else(|| err(self.line, format!("missing `{key}`")))?;
+        let raw =
+            self.options.get(key).ok_or_else(|| err(self.line, format!("missing `{key}`")))?;
         raw.split(',')
             .map(|s| {
-                s.trim()
-                    .parse()
-                    .map_err(|_| err(self.line, format!("bad integer in `{key}`: {s}")))
+                s.trim().parse().map_err(|_| err(self.line, format!("bad integer in `{key}`: {s}")))
             })
             .collect()
     }
@@ -85,18 +81,16 @@ fn lex(text: &str) -> Result<Vec<Section>, CfgError> {
             continue;
         }
         if let Some(name) = line.strip_prefix('[') {
-            let name = name
-                .strip_suffix(']')
-                .ok_or_else(|| err(lineno, "unterminated section header"))?;
+            let name =
+                name.strip_suffix(']').ok_or_else(|| err(lineno, "unterminated section header"))?;
             sections.push(Section {
                 name: name.trim().to_string(),
                 line: lineno,
                 options: HashMap::new(),
             });
         } else if let Some((k, v)) = line.split_once('=') {
-            let section = sections
-                .last_mut()
-                .ok_or_else(|| err(lineno, "option before any [section]"))?;
+            let section =
+                sections.last_mut().ok_or_else(|| err(lineno, "option before any [section]"))?;
             section.options.insert(k.trim().to_string(), v.trim().to_string());
         } else {
             return Err(err(lineno, format!("expected `key=value` or `[section]`, got `{line}`")));
@@ -293,7 +287,7 @@ mod tests {
     use super::*;
     use crate::models::{resnet50, vgg16, yolov3, yolov3_tiny};
     use lva_kernels::aux::Activation;
-    use proptest::prelude::*;
+    use lva_sim::Rng;
 
     #[test]
     fn roundtrip_all_builtin_models() {
@@ -365,7 +359,8 @@ stride=2
 
     #[test]
     fn unknown_activation_rejected() {
-        let text = "[net]\nheight=32\nwidth=32\n[convolutional]\nfilters=1\nsize=1\nactivation=mish\n";
+        let text =
+            "[net]\nheight=32\nwidth=32\n[convolutional]\nfilters=1\nsize=1\nactivation=mish\n";
         let e = parse_cfg(text).unwrap_err();
         assert!(e.message.contains("mish"));
     }
@@ -385,57 +380,56 @@ stride=2
         }
     }
 
-    /// Random layer tables round-trip through serialize/parse.
-    fn arb_spec() -> impl Strategy<Value = LayerSpec> {
-        prop_oneof![
-            (1usize..64, 1usize..4, 1usize..3, any::<bool>(), 0usize..3).prop_map(
-                |(f, k, st, bn, a)| LayerSpec::Conv {
-                    filters: f,
-                    size: 2 * k - 1,
-                    stride: st,
-                    batch_norm: bn,
-                    activation: [Activation::Linear, Activation::Leaky, Activation::Relu][a],
-                }
-            ),
-            (2usize..4, 1usize..3).prop_map(|(s, st)| LayerSpec::Maxpool { size: s, stride: st }),
-            Just(LayerSpec::Upsample),
-            Just(LayerSpec::Yolo),
-            (1usize..3, any::<bool>()).prop_map(|(st, bn)| LayerSpec::Depthwise {
+    /// Draw one random layer spec (used by the randomized round-trip test).
+    fn arb_spec(rng: &mut Rng) -> LayerSpec {
+        match rng.gen_index(0, 11) {
+            0 => LayerSpec::Conv {
+                filters: rng.gen_index(1, 64),
+                size: 2 * rng.gen_index(1, 4) - 1,
+                stride: rng.gen_index(1, 3),
+                batch_norm: rng.gen_bool(0.5),
+                activation: [Activation::Linear, Activation::Leaky, Activation::Relu]
+                    [rng.gen_index(0, 3)],
+            },
+            1 => LayerSpec::Maxpool { size: rng.gen_index(2, 4), stride: rng.gen_index(1, 3) },
+            2 => LayerSpec::Upsample,
+            3 => LayerSpec::Yolo,
+            4 => LayerSpec::Depthwise {
                 size: 3,
-                stride: st,
-                batch_norm: bn,
+                stride: rng.gen_index(1, 3),
+                batch_norm: rng.gen_bool(0.5),
                 activation: Activation::Relu,
-            }),
-            Just(LayerSpec::Avgpool),
-            Just(LayerSpec::Dropout),
-            (1usize..2000).prop_map(|o| LayerSpec::Connected {
-                outputs: o,
-                activation: Activation::Relu
-            }),
-            Just(LayerSpec::Softmax),
-            (-5isize..-1, 0usize..2).prop_map(|(f, a)| LayerSpec::Shortcut {
-                from: f,
-                activation: [Activation::Linear, Activation::Relu][a],
-            }),
-            proptest::collection::vec(-8isize..-1, 1..3)
-                .prop_map(|layers| LayerSpec::Route { layers }),
-        ]
+            },
+            5 => LayerSpec::Avgpool,
+            6 => LayerSpec::Dropout,
+            7 => LayerSpec::Connected {
+                outputs: rng.gen_index(1, 2000),
+                activation: Activation::Relu,
+            },
+            8 => LayerSpec::Softmax,
+            9 => LayerSpec::Shortcut {
+                from: -(rng.gen_index(1, 5) as isize),
+                activation: [Activation::Linear, Activation::Relu][rng.gen_index(0, 2)],
+            },
+            _ => LayerSpec::Route {
+                layers: (0..rng.gen_index(1, 3)).map(|_| -(rng.gen_index(1, 8) as isize)).collect(),
+            },
+        }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-        #[test]
-        fn cfg_roundtrip_is_identity(
-            specs in proptest::collection::vec(arb_spec(), 1..24),
-            h in 1usize..512,
-            w in 1usize..512,
-            c in 1usize..8,
-        ) {
-            let shape = Shape::new(c, h, w);
+    /// Random layer tables round-trip through serialize/parse.
+    #[test]
+    fn cfg_roundtrip_is_identity() {
+        let mut rng = Rng::new(0xcf6);
+        for _ in 0..64 {
+            let specs: Vec<LayerSpec> =
+                (0..rng.gen_index(1, 24)).map(|_| arb_spec(&mut rng)).collect();
+            let shape =
+                Shape::new(rng.gen_index(1, 8), rng.gen_index(1, 512), rng.gen_index(1, 512));
             let text = to_cfg(&specs, shape);
             let (parsed, pshape) = parse_cfg(&text).expect("roundtrip");
-            prop_assert_eq!(parsed, specs);
-            prop_assert_eq!(pshape, shape);
+            assert_eq!(parsed, specs);
+            assert_eq!(pshape, shape);
         }
     }
 

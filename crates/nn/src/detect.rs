@@ -83,7 +83,7 @@ pub fn decode_yolo_head(
     let (gh, gw) = (shape.h, shape.w);
     let at = |ch: usize, y: usize, x: usize| data[(ch * gh + y) * gw + x];
     let mut out = Vec::new();
-    for a in 0..3 {
+    for (a, anchor) in anchors.iter().enumerate() {
         let base = a * (5 + classes);
         for y in 0..gh {
             for x in 0..gw {
@@ -93,8 +93,8 @@ pub fn decode_yolo_head(
                 }
                 let bx = (x as f32 + sigmoid(at(base, y, x))) / gw as f32;
                 let by = (y as f32 + sigmoid(at(base + 1, y, x))) / gh as f32;
-                let bw = anchors[a].0 * at(base + 2, y, x).exp() / net_input as f32;
-                let bh = anchors[a].1 * at(base + 3, y, x).exp() / net_input as f32;
+                let bw = anchor.0 * at(base + 2, y, x).exp() / net_input as f32;
+                let bh = anchor.1 * at(base + 3, y, x).exp() / net_input as f32;
                 let (mut best_c, mut best_s) = (0usize, f32::MIN);
                 for c in 0..classes {
                     let s = sigmoid(at(base + 5 + c, y, x));
@@ -175,9 +175,8 @@ mod tests {
         let shape = Shape::new(3 * (5 + classes), 2, 2);
         let mut data = vec![-10.0f32; shape.len()]; // sigmoid(-10) ~ 0
         let (gh, gw) = (2, 2);
-        let set = |d: &mut [f32], ch: usize, y: usize, x: usize, v: f32| {
-            d[(ch * gh + y) * gw + x] = v
-        };
+        let set =
+            |d: &mut [f32], ch: usize, y: usize, x: usize, v: f32| d[(ch * gh + y) * gw + x] = v;
         // Anchor 1 (base channel 6): tx=ty=0 -> center of the cell + 0.5.
         let base = 6;
         set(&mut data, base, 0, 1, 0.0);
@@ -222,8 +221,7 @@ mod tests {
         let (specs, shape) = yolov3_tiny(96);
         let policy = ConvPolicy::gemm_only(GemmVariant::opt3());
         let mut cfg = MachineConfig::rvv_gem5(2048, 8, 1 << 20);
-        cfg.arena_mib =
-            (estimate_arena_words(&specs, shape, &policy) * 4 / (1 << 20) + 32).max(64);
+        cfg.arena_mib = (estimate_arena_words(&specs, shape, &policy) * 4 / (1 << 20) + 32).max(64);
         let mut m = Machine::new(cfg);
         let mut net = Network::build(&mut m, &specs, shape, policy, 11);
         let image = host_random(shape.len(), 5);

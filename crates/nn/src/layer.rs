@@ -15,13 +15,7 @@ pub fn shortcut(from: isize) -> LayerSpec {
 #[derive(Debug, Clone, PartialEq)]
 pub enum LayerSpec {
     /// Convolution; `pad = size / 2` (Darknet's `pad=1` convention).
-    Conv {
-        filters: usize,
-        size: usize,
-        stride: usize,
-        batch_norm: bool,
-        activation: Activation,
-    },
+    Conv { filters: usize, size: usize, stride: usize, batch_norm: bool, activation: Activation },
     /// Depthwise convolution (groups = channels, MobileNet-style); the
     /// filter count equals the input channel count.
     Depthwise { size: usize, stride: usize, batch_norm: bool, activation: Activation },
@@ -134,9 +128,7 @@ impl ConvPolicy {
 
     /// Choose the algorithm for one layer.
     pub fn select(&self, p: &ConvParams) -> ConvAlgo {
-        if self.winograd
-            && p.k == 3
-            && (p.stride == 1 || (p.stride == 2 && self.winograd_stride2))
+        if self.winograd && p.k == 3 && (p.stride == 1 || (p.stride == 2 && self.winograd_stride2))
         {
             ConvAlgo::Winograd
         } else if self.direct_1x1 && p.k == 1 {

@@ -72,7 +72,7 @@ fn residual(layers: &mut Vec<LayerSpec>, squeeze: usize, expand: usize) {
 /// Panics unless `hw` is a positive multiple of 32 (required for the
 /// upsample/route joins to line up).
 pub fn yolov3(hw: usize) -> (Vec<LayerSpec>, Shape) {
-    assert!(hw > 0 && hw % 32 == 0, "YOLOv3 input must be a multiple of 32");
+    assert!(hw > 0 && hw.is_multiple_of(32), "YOLOv3 input must be a multiple of 32");
     let mut l: Vec<LayerSpec> = Vec::with_capacity(107);
     // Backbone (Darknet-53 without the classifier).
     l.push(LayerSpec::conv(32, 3, 1)); // 0
@@ -102,7 +102,7 @@ pub fn yolov3(hw: usize) -> (Vec<LayerSpec>, Shape) {
     l.push(LayerSpec::conv(1024, 3, 1)); // 80
     l.push(LayerSpec::conv_linear(255)); // 81
     l.push(LayerSpec::Yolo); // 82
-    // Head 2.
+                             // Head 2.
     l.push(LayerSpec::Route { layers: vec![-4] }); // 83 -> 79
     l.push(LayerSpec::conv(256, 1, 1)); // 84
     l.push(LayerSpec::Upsample); // 85
@@ -115,7 +115,7 @@ pub fn yolov3(hw: usize) -> (Vec<LayerSpec>, Shape) {
     l.push(LayerSpec::conv(512, 3, 1)); // 92
     l.push(LayerSpec::conv_linear(255)); // 93
     l.push(LayerSpec::Yolo); // 94
-    // Head 3.
+                             // Head 3.
     l.push(LayerSpec::Route { layers: vec![-4] }); // 95 -> 91
     l.push(LayerSpec::conv(128, 1, 1)); // 96
     l.push(LayerSpec::Upsample); // 97
@@ -135,8 +135,10 @@ pub fn yolov3(hw: usize) -> (Vec<LayerSpec>, Shape) {
 ///
 /// # Panics
 /// Panics unless `hw` is a positive multiple of 32.
+// The push-per-line layout mirrors the Darknet cfg with its layer indices.
+#[allow(clippy::vec_init_then_push)]
 pub fn yolov3_tiny(hw: usize) -> (Vec<LayerSpec>, Shape) {
-    assert!(hw > 0 && hw % 32 == 0, "YOLOv3-tiny input must be a multiple of 32");
+    assert!(hw > 0 && hw.is_multiple_of(32), "YOLOv3-tiny input must be a multiple of 32");
     let mut l: Vec<LayerSpec> = Vec::with_capacity(24);
     l.push(LayerSpec::conv(16, 3, 1)); // 0
     l.push(LayerSpec::Maxpool { size: 2, stride: 2 }); // 1
@@ -173,7 +175,10 @@ pub fn yolov3_tiny(hw: usize) -> (Vec<LayerSpec>, Shape) {
 /// intensity, giving a very different co-design profile from the paper's
 /// GEMM-dominated networks.
 pub fn mobilenet_v1(hw: usize) -> (Vec<LayerSpec>, Shape) {
-    assert!(hw >= 32 && hw % 32 == 0, "MobileNetV1 input must be a positive multiple of 32");
+    assert!(
+        hw >= 32 && hw.is_multiple_of(32),
+        "MobileNetV1 input must be a positive multiple of 32"
+    );
     use crate::layer::LayerSpec as L;
     let dw = |stride: usize| L::Depthwise {
         size: 3,
@@ -189,7 +194,13 @@ pub fn mobilenet_v1(hw: usize) -> (Vec<LayerSpec>, Shape) {
         activation: Activation::Relu,
     };
     let mut l: Vec<L> = Vec::new();
-    l.push(L::Conv { filters: 32, size: 3, stride: 2, batch_norm: true, activation: Activation::Relu });
+    l.push(L::Conv {
+        filters: 32,
+        size: 3,
+        stride: 2,
+        batch_norm: true,
+        activation: Activation::Relu,
+    });
     for (stride, filters) in [
         (1usize, 64usize),
         (2, 128),
@@ -220,7 +231,7 @@ pub fn mobilenet_v1(hw: usize) -> (Vec<LayerSpec>, Shape) {
 /// global average pooling. Kernel mix: 1x1-heavy with 3x3 bottleneck cores,
 /// a very different algorithm-selection profile from VGG16.
 pub fn resnet50(hw: usize) -> (Vec<LayerSpec>, Shape) {
-    assert!(hw >= 32 && hw % 32 == 0, "ResNet-50 input must be a positive multiple of 32");
+    assert!(hw >= 32 && hw.is_multiple_of(32), "ResNet-50 input must be a positive multiple of 32");
     use crate::layer::LayerSpec as L;
     let rconv = |filters: usize, size: usize, stride: usize| L::Conv {
         filters,
@@ -240,9 +251,12 @@ pub fn resnet50(hw: usize) -> (Vec<LayerSpec>, Shape) {
     l.push(rconv(64, 7, 2));
     l.push(L::Maxpool { size: 2, stride: 2 });
     // (blocks, squeeze, expand, first-block stride)
-    for (blocks, sq, ex, stride) in
-        [(3usize, 64usize, 256usize, 1usize), (4, 128, 512, 2), (6, 256, 1024, 2), (3, 512, 2048, 2)]
-    {
+    for (blocks, sq, ex, stride) in [
+        (3usize, 64usize, 256usize, 1usize),
+        (4, 128, 512, 2),
+        (6, 256, 1024, 2),
+        (3, 512, 2048, 2),
+    ] {
         for b in 0..blocks {
             let s = if b == 0 { stride } else { 1 };
             if b == 0 {
@@ -305,16 +319,11 @@ mod tests {
         assert_eq!(count_convs(&l), 75, "75 convolutional layers");
         assert_eq!(shape, Shape::new(3, 608, 608));
         // 38 of the 75 convs are 3x3 (§VII-A).
-        let threes = l
-            .iter()
-            .filter(|s| matches!(s, LayerSpec::Conv { size: 3, .. }))
-            .count();
+        let threes = l.iter().filter(|s| matches!(s, LayerSpec::Conv { size: 3, .. })).count();
         assert_eq!(threes, 38);
         // Five of them are the stride-2 downsample convs.
-        let s2 = l
-            .iter()
-            .filter(|s| matches!(s, LayerSpec::Conv { size: 3, stride: 2, .. }))
-            .count();
+        let s2 =
+            l.iter().filter(|s| matches!(s, LayerSpec::Conv { size: 3, stride: 2, .. })).count();
         assert_eq!(s2, 5);
     }
 
@@ -378,8 +387,7 @@ mod tests {
         assert_eq!(shape, Shape::new(3, 224, 224));
         // 1 stem + 16 blocks x 3 + 4 projection convs = 53 convolutions.
         assert_eq!(count_convs(&l), 53);
-        let shortcuts =
-            l.iter().filter(|s| matches!(s, LayerSpec::Shortcut { .. })).count();
+        let shortcuts = l.iter().filter(|s| matches!(s, LayerSpec::Shortcut { .. })).count();
         assert_eq!(shortcuts, 16);
         assert!(l.iter().any(|s| matches!(s, LayerSpec::Avgpool)));
         // The whole table must shape-check (projection joins line up).

@@ -1,15 +1,15 @@
 //! Network construction and the inference runner.
 
 use crate::layer::{ConvAlgo, ConvPolicy, LayerSpec};
-use lva_isa::{Machine, VpuStats};
+use lva_isa::{Machine, StallBreakdown, VpuStats};
 use lva_kernels::aux::{
-    activate_vec, add_bias_vec, add_inplace_vec, copy_vec, fill_vec, normalize_vec,
-    scale_bias_vec, Activation,
+    activate_vec, add_bias_vec, add_inplace_vec, copy_vec, fill_vec, normalize_vec, scale_bias_vec,
+    Activation,
 };
+use lva_kernels::depthwise::{conv_depthwise_vec, depthwise_flops, depthwise_params};
 use lva_kernels::fc::{fully_connected_vec, softmax_vec};
 use lva_kernels::gemm::GemmWorkspace;
 use lva_kernels::pool::{global_avgpool_vec, maxpool_vec, upsample2_vec, PoolParams};
-use lva_kernels::depthwise::{conv_depthwise_ref, conv_depthwise_vec, depthwise_flops, depthwise_params};
 use lva_kernels::{conv_direct_vec, conv_im2col_gemm, ConvParams, GemmVariant};
 use lva_sim::memsys::MemSystemStats;
 use lva_sim::Buf;
@@ -53,6 +53,9 @@ struct DwState {
     activation: Activation,
 }
 
+// One `Layer` exists per network layer (dozens per run); boxing the large
+// conv variant would buy nothing but indirection.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 enum LayerKind {
     Conv(ConvState),
@@ -87,6 +90,22 @@ pub struct LayerReport {
     pub mnk: Option<(usize, usize, usize)>,
     pub algo: Option<ConvAlgo>,
     pub out_shape: Shape,
+    /// Stall cycles incurred while this layer ran, attributed by cause.
+    pub stalls: StallBreakdown,
+    /// Average consumed vector length (bits) of this layer's instructions.
+    pub avg_vlen_bits: f64,
+}
+
+impl LayerReport {
+    /// Achieved floating-point throughput: mathematical flops of the layer
+    /// per simulated cycle it took.
+    pub fn flops_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.flops as f64 / self.cycles as f64
+        }
+    }
 }
 
 /// Whole-run record. Phase/statistics snapshots are the machine totals at
@@ -100,6 +119,8 @@ pub struct NetReport {
     pub phases: lva_isa::PhaseTimer,
     pub vpu: VpuStats,
     pub mem: MemSystemStats,
+    /// Stall cycles over the whole run, attributed by cause.
+    pub stalls: StallBreakdown,
 }
 
 impl NetReport {
@@ -133,7 +154,10 @@ fn he_scaled(n: usize, fan_in: usize, seed: u64) -> Vec<f32> {
 /// Resolve a Darknet route/shortcut index (negative = relative).
 fn resolve(idx: isize, current: usize) -> usize {
     let abs = if idx < 0 { current as isize + idx } else { idx };
-    assert!(abs >= 0 && (abs as usize) < current, "layer reference {idx} out of range at {current}");
+    assert!(
+        abs >= 0 && (abs as usize) < current,
+        "layer reference {idx} out of range at {current}"
+    );
     abs as usize
 }
 
@@ -247,7 +271,7 @@ pub fn estimate_arena_words(specs: &[LayerSpec], input: Shape, policy: &ConvPoli
     for p in &wino_layers {
         let s1 = ConvParams { stride: 1, ..*p };
         let (oh1, ow1) = s1.out_hw();
-        let (ty, tx) = ((oh1 + 5) / 6, (ow1 + 5) / 6);
+        let (ty, tx) = (oh1.div_ceil(6), ow1.div_ceil(6));
         u = u.max(p.out_c * (p.in_c * 64 + 64));
         pad = pad.max(p.in_c * (ty * 6 + 2) * (tx * 6 + 2));
         vm = vm.max(ty * tx * (p.in_c + p.out_c) * 64);
@@ -364,8 +388,11 @@ impl Network {
                 LayerSpec::Depthwise { size, stride, batch_norm, activation } => {
                     let params =
                         depthwise_params(prev_shape.c, prev_shape.h, prev_shape.w, *size, *stride);
-                    let weights =
-                        m.mem.alloc_from(&he_scaled(prev_shape.c * size * size, size * size, lseed));
+                    let weights = m.mem.alloc_from(&he_scaled(
+                        prev_shape.c * size * size,
+                        size * size,
+                        lseed,
+                    ));
                     let bias = m.mem.alloc_from(&host_random(prev_shape.c, lseed ^ 0xb1a5));
                     let bn = if *batch_norm {
                         let mean = m.mem.alloc_from(&host_random(prev_shape.c, lseed ^ 0x3ea));
@@ -428,13 +455,19 @@ impl Network {
     pub fn run(&mut self, m: &mut Machine, image: &[f32]) -> NetReport {
         assert_eq!(image.len(), self.input.shape.len(), "input size mismatch");
         m.mem.slice_mut(self.input.buf).copy_from_slice(image);
+        let run_t0 = m.cycles();
+        let run_stalls0 = m.stalls;
+        let mut net_span = lva_trace::span("network");
         let mut reports: Vec<LayerReport> = Vec::with_capacity(self.layers.len());
         // Split borrows: the loop needs `self.layers[i]` mutably plus reads
         // of earlier layers' outputs, so work with raw indices.
         for i in 0..self.layers.len() {
             let t0 = m.cycles();
-            let prev_out: Tensor =
-                if i == 0 { self.input } else { self.layers[i - 1].out };
+            let stalls0 = m.stalls;
+            let vpu0 = m.stats;
+            // Opened before the layer body so kernel-phase spans nest inside.
+            let mut layer_span = lva_trace::span("layer");
+            let prev_out: Tensor = if i == 0 { self.input } else { self.layers[i - 1].out };
             let (mnk, algo, flops);
             // Take what we need out of the layer to satisfy the borrow
             // checker (the winograd plan holds mutable scratch).
@@ -550,23 +583,50 @@ impl Network {
                     softmax_vec(m, out.buf, out.shape.len());
                 }
             }
-            reports.push(LayerReport {
+            let cycles = m.cycles() - t0;
+            let stalls = m.stalls.since(&stalls0);
+            let d_instrs = m.stats.vec_instrs - vpu0.vec_instrs;
+            let d_elems = m.stats.active_elems - vpu0.active_elems;
+            let avg_vlen_bits =
+                if d_instrs == 0 { 0.0 } else { 32.0 * d_elems as f64 / d_instrs as f64 };
+            let report = LayerReport {
                 index: i,
                 desc: self.layers[i].spec.describe(),
-                cycles: m.cycles() - t0,
+                cycles,
                 flops,
                 mnk,
                 algo,
                 out_shape: self.layers[i].out.shape,
-            });
+                stalls,
+                avg_vlen_bits,
+            };
+            if lva_trace::enabled() {
+                layer_span.set("index", i as u64);
+                layer_span.set("desc", report.desc.as_str());
+                layer_span.set("cycles", cycles);
+                layer_span.set("flops", flops);
+                layer_span.set("flops_per_cycle", report.flops_per_cycle());
+                layer_span.set("avg_vlen_bits", avg_vlen_bits);
+                layer_span.set("stall_cycles", stalls.total());
+            }
+            drop(layer_span);
+            reports.push(report);
         }
-        NetReport {
+        let report = NetReport {
             layers: reports,
             cycles: m.cycles(),
             phases: m.phases.clone(),
             vpu: m.stats,
             mem: m.sys.stats(),
+            stalls: m.stalls.since(&run_stalls0),
+        };
+        if lva_trace::enabled() {
+            net_span.set("layers", report.layers.len() as u64);
+            net_span.set("cycles", report.cycles - run_t0);
+            net_span.set("flops", report.flops());
+            net_span.set("avg_vlen_bits", report.vpu.avg_vlen_bits());
         }
+        report
     }
 
     /// The final output tensor.
@@ -580,6 +640,7 @@ mod tests {
     use super::*;
     use crate::models::{resnet50, vgg16, yolov3, yolov3_tiny};
     use lva_isa::MachineConfig;
+    use lva_kernels::depthwise::conv_depthwise_ref;
     use lva_kernels::reference as href;
     use lva_tensor::approx_eq;
 
@@ -607,7 +668,12 @@ mod tests {
     }
 
     /// Host reference execution of a spec list (single path, CHW).
-    fn reference_run(specs: &[LayerSpec], input_shape: Shape, seed: u64, image: &[f32]) -> Vec<f32> {
+    fn reference_run(
+        specs: &[LayerSpec],
+        input_shape: Shape,
+        seed: u64,
+        image: &[f32],
+    ) -> Vec<f32> {
         let shapes = walk_shapes(specs, input_shape);
         let mut outs: Vec<Vec<f32>> = Vec::new();
         for (i, spec) in specs.iter().enumerate() {
@@ -645,7 +711,8 @@ mod tests {
                     x
                 }
                 LayerSpec::Depthwise { size, stride, batch_norm, activation } => {
-                    let p = depthwise_params(prev_shape.c, prev_shape.h, prev_shape.w, *size, *stride);
+                    let p =
+                        depthwise_params(prev_shape.c, prev_shape.h, prev_shape.w, *size, *stride);
                     let w = he_scaled(prev_shape.c * size * size, size * size, lseed);
                     let bias = host_random(prev_shape.c, lseed ^ 0xb1a5);
                     let mut x = conv_depthwise_ref(&p, prev, &w);
@@ -737,11 +804,7 @@ mod tests {
         let policy = ConvPolicy::winograd_default(GemmVariant::opt3());
         let (rep, got) = build_and_run(&specs, shape, policy, 512, true);
         assert!(approx_eq(&got, &want, 5e-2, 5e-2), "output mismatch (winograd)");
-        let wino_layers = rep
-            .layers
-            .iter()
-            .filter(|l| l.algo == Some(ConvAlgo::Winograd))
-            .count();
+        let wino_layers = rep.layers.iter().filter(|l| l.algo == Some(ConvAlgo::Winograd)).count();
         assert!(wino_layers >= 8, "most tiny convs are 3x3 s1: {wino_layers}");
     }
 
@@ -781,12 +844,7 @@ mod tests {
         let policy = ConvPolicy::gemm_only(GemmVariant::opt3());
         let (rep, _) = build_and_run(&specs[..20], shape, policy, 512, false);
         let gemm = rep.phases.get(lva_isa::KernelPhase::Gemm);
-        assert!(
-            gemm * 2 > rep.cycles,
-            "GEMM should dominate: {} of {}",
-            gemm,
-            rep.cycles
-        );
+        assert!(gemm * 2 > rep.cycles, "GEMM should dominate: {} of {}", gemm, rep.cycles);
     }
 
     #[test]
@@ -794,12 +852,10 @@ mod tests {
         let (specs, shape) = yolov3_tiny(32);
         let image = host_random(shape.len(), 99);
         let want = reference_run(&specs, shape, 7, &image);
-        let policy =
-            ConvPolicy { direct_1x1: true, ..ConvPolicy::gemm_only(GemmVariant::opt3()) };
+        let policy = ConvPolicy { direct_1x1: true, ..ConvPolicy::gemm_only(GemmVariant::opt3()) };
         let (rep, got) = build_and_run(&specs, shape, policy, 1024, false);
         assert!(approx_eq(&got, &want, 2e-2, 2e-2), "direct-1x1 output mismatch");
-        let direct_layers =
-            rep.layers.iter().filter(|l| l.algo == Some(ConvAlgo::Direct)).count();
+        let direct_layers = rep.layers.iter().filter(|l| l.algo == Some(ConvAlgo::Direct)).count();
         assert!(direct_layers >= 3, "tiny has several 1x1 convs: {direct_layers}");
     }
 
@@ -831,12 +887,40 @@ mod tests {
     }
 
     #[test]
+    fn run_emits_layer_spans_when_traced() {
+        let (specs, shape) = yolov3_tiny(32);
+        let policy = ConvPolicy::gemm_only(GemmVariant::opt3());
+        lva_trace::enable_to_memory();
+        let (rep, _) = build_and_run(&specs, shape, policy, 1024, false);
+        let lines = lva_trace::take_memory();
+        lva_trace::disable();
+        // Tracing is process-global, so sibling tests may add lines; only
+        // assert lower bounds and per-line shape.
+        let layer_lines: Vec<&String> =
+            lines.iter().filter(|l| l.contains(r#""name":"layer""#)).collect();
+        assert!(
+            layer_lines.len() >= specs.len(),
+            "one span per layer: {} < {}",
+            layer_lines.len(),
+            specs.len()
+        );
+        assert!(lines.iter().any(|l| l.contains(r#""name":"network""#)));
+        assert!(lines.iter().any(|l| l.contains(r#""name":"gemm""#)), "phase spans nest inside");
+        for l in &layer_lines {
+            assert!(l.contains(r#""cycles""#) && l.contains(r#""avg_vlen_bits""#), "{l}");
+        }
+        // Per-layer stall deltas cover the whole run exactly.
+        assert_eq!(rep.stalls.attributed(), rep.stalls.total());
+        let per_layer: u64 = rep.layers.iter().map(|l| l.stalls.total()).sum();
+        assert_eq!(per_layer, rep.stalls.total());
+    }
+
+    #[test]
     fn conv_params_list_matches_table4_at_608() {
         let (specs, shape) = yolov3(608);
         let convs = conv_params_list(&specs, shape);
         assert_eq!(convs.len(), 75);
-        let mnks: Vec<(usize, usize, usize)> =
-            convs.iter().map(|(_, p)| p.gemm_mnk()).collect();
+        let mnks: Vec<(usize, usize, usize)> = convs.iter().map(|(_, p)| p.gemm_mnk()).collect();
         // The 14 discrete rows of Table IV must all appear.
         for want in [
             (32, 369664, 27),

@@ -69,6 +69,26 @@ impl CacheStats {
         }
     }
 
+    /// Hit rate over demand accesses, in `[0,1]`. Zero when never accessed.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+
+    /// Prefetcher accuracy: the fraction of prefetched lines that served a
+    /// demand access before eviction, in `[0,1]`. Zero when nothing was
+    /// prefetched.
+    pub fn prefetch_accuracy(&self) -> f64 {
+        if self.prefetch_fills == 0 {
+            0.0
+        } else {
+            self.prefetch_hits as f64 / self.prefetch_fills as f64
+        }
+    }
+
     /// Merge counters from another stats block.
     pub fn merge(&mut self, other: &CacheStats) {
         self.accesses += other.accesses;
@@ -87,7 +107,9 @@ pub enum Lookup {
     Hit,
     /// Line was not resident; it has been allocated. `victim_dirty` says
     /// whether the eviction produced a writeback to the next level.
-    Miss { victim_dirty: bool },
+    Miss {
+        victim_dirty: bool,
+    },
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -351,6 +373,83 @@ mod tests {
             }
             assert!(c.stats.misses <= last, "misses must not increase with capacity");
             last = c.stats.misses;
+        }
+    }
+
+    /// Randomized property: splitting a counter block into arbitrary shards
+    /// and re-merging must reproduce the whole, and the derived rates of the
+    /// merge must equal the rates of the pooled counters (merge is counter
+    /// addition, never rate averaging).
+    #[test]
+    fn merge_and_rates_consistent_under_arbitrary_splits() {
+        let mut rng = crate::rng::Rng::new(0xca5e);
+        for _ in 0..200 {
+            // A random "whole" with hits+misses = accesses and plausible
+            // prefetch counters.
+            let hits = rng.gen_range(0, 10_000);
+            let misses = rng.gen_range(0, 10_000);
+            let prefetch_fills = rng.gen_range(0, 1000);
+            let whole = CacheStats {
+                accesses: hits + misses,
+                hits,
+                misses,
+                writebacks: rng.gen_range(0, 1000),
+                prefetch_fills,
+                prefetch_hits: rng.gen_range(0, prefetch_fills + 1),
+            };
+            // Split every counter independently at a random point.
+            let cut = |total: u64, rng: &mut crate::rng::Rng| {
+                let a = if total == 0 { 0 } else { rng.gen_range(0, total + 1) };
+                (a, total - a)
+            };
+            let (a_acc, b_acc) = cut(whole.accesses, &mut rng);
+            let (a_hit, b_hit) = cut(whole.hits, &mut rng);
+            let (a_mis, b_mis) = cut(whole.misses, &mut rng);
+            let (a_wb, b_wb) = cut(whole.writebacks, &mut rng);
+            let (a_pf, b_pf) = cut(whole.prefetch_fills, &mut rng);
+            let (a_ph, b_ph) = cut(whole.prefetch_hits, &mut rng);
+            let a = CacheStats {
+                accesses: a_acc,
+                hits: a_hit,
+                misses: a_mis,
+                writebacks: a_wb,
+                prefetch_fills: a_pf,
+                prefetch_hits: a_ph,
+            };
+            let b = CacheStats {
+                accesses: b_acc,
+                hits: b_hit,
+                misses: b_mis,
+                writebacks: b_wb,
+                prefetch_fills: b_pf,
+                prefetch_hits: b_ph,
+            };
+            let mut merged = a;
+            merged.merge(&b);
+            assert_eq!(merged.accesses, whole.accesses);
+            assert_eq!(merged.hits, whole.hits);
+            assert_eq!(merged.misses, whole.misses);
+            assert_eq!(merged.writebacks, whole.writebacks);
+            assert_eq!(merged.prefetch_fills, whole.prefetch_fills);
+            assert_eq!(merged.prefetch_hits, whole.prefetch_hits);
+            assert_eq!(merged.miss_rate(), whole.miss_rate());
+            assert_eq!(merged.hit_rate(), whole.hit_rate());
+            assert_eq!(merged.prefetch_accuracy(), whole.prefetch_accuracy());
+            // Rates stay in range and hit + miss rates partition demand.
+            // Rates stay in range and hit + miss rates partition demand —
+            // for blocks that are internally consistent (shards split each
+            // counter independently, so only check the ones that are).
+            for s in [&a, &b, &merged] {
+                if s.hits + s.misses == s.accesses {
+                    assert!((0.0..=1.0).contains(&s.miss_rate()));
+                    if s.accesses > 0 {
+                        assert!((s.hit_rate() + s.miss_rate() - 1.0).abs() < 1e-12);
+                    }
+                }
+                if s.prefetch_hits <= s.prefetch_fills {
+                    assert!((0.0..=1.0).contains(&s.prefetch_accuracy()));
+                }
+            }
         }
     }
 }

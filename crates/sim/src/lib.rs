@@ -29,9 +29,11 @@ pub mod latency;
 pub mod mem;
 pub mod memsys;
 pub mod prefetch;
+pub mod rng;
 
 pub use cache::{AccessKind, Cache, CacheConfig, CacheStats};
 pub use latency::{l2_latency_cycles, LatencyModel};
 pub use mem::{Buf, Memory};
 pub use memsys::{MemLevel, MemSystem, MemSystemConfig, VpuPath};
 pub use prefetch::{PrefetchTarget, StridePrefetcher, StridePrefetcherConfig};
+pub use rng::Rng;

@@ -90,7 +90,7 @@ impl Memory {
     /// Panics if the arena is exhausted; size the arena for the workload.
     pub fn alloc(&mut self, words: usize) -> Buf {
         let base_word = self.next;
-        let padded = (words + ALLOC_ALIGN_WORDS - 1) / ALLOC_ALIGN_WORDS * ALLOC_ALIGN_WORDS;
+        let padded = words.div_ceil(ALLOC_ALIGN_WORDS) * ALLOC_ALIGN_WORDS;
         assert!(
             base_word + padded <= self.data.len(),
             "simulated memory exhausted: requested {} words, {} of {} in use",
@@ -163,10 +163,7 @@ impl Memory {
     pub fn slice_mut2(&mut self, a: Buf, b: Buf) -> (&mut [f32], &mut [f32]) {
         let wa = self.word_index(a);
         let wb = self.word_index(b);
-        assert!(
-            wa + a.words <= wb || wb + b.words <= wa,
-            "slice_mut2: overlapping buffers"
-        );
+        assert!(wa + a.words <= wb || wb + b.words <= wa, "slice_mut2: overlapping buffers");
         if wa < wb {
             let (lo, hi) = self.data.split_at_mut(wb);
             (&mut lo[wa..wa + a.words], &mut hi[..b.words])
@@ -193,7 +190,7 @@ impl Memory {
     /// (must be in-arena and 4-byte aligned).
     #[inline]
     pub fn words(&self, addr: u64, n: usize) -> &[f32] {
-        debug_assert!(addr >= ARENA_BASE && addr % 4 == 0);
+        debug_assert!(addr >= ARENA_BASE && addr.is_multiple_of(4));
         let w = ((addr - ARENA_BASE) / 4) as usize;
         &self.data[w..w + n]
     }
@@ -201,7 +198,7 @@ impl Memory {
     /// Mutable view of `n` words starting at absolute byte address `addr`.
     #[inline]
     pub fn words_mut(&mut self, addr: u64, n: usize) -> &mut [f32] {
-        debug_assert!(addr >= ARENA_BASE && addr % 4 == 0);
+        debug_assert!(addr >= ARENA_BASE && addr.is_multiple_of(4));
         let w = ((addr - ARENA_BASE) / 4) as usize;
         &mut self.data[w..w + n]
     }
@@ -209,14 +206,14 @@ impl Memory {
     /// Raw word read by absolute byte address (must be in-arena and aligned).
     #[inline]
     pub fn read_addr(&self, addr: u64) -> f32 {
-        debug_assert!(addr >= ARENA_BASE && addr % 4 == 0);
+        debug_assert!(addr >= ARENA_BASE && addr.is_multiple_of(4));
         self.data[((addr - ARENA_BASE) / 4) as usize]
     }
 
     /// Raw word write by absolute byte address.
     #[inline]
     pub fn write_addr(&mut self, addr: u64, v: f32) {
-        debug_assert!(addr >= ARENA_BASE && addr % 4 == 0);
+        debug_assert!(addr >= ARENA_BASE && addr.is_multiple_of(4));
         self.data[((addr - ARENA_BASE) / 4) as usize] = v;
     }
 }

@@ -71,6 +71,11 @@ pub struct MemSystemStats {
     pub vcache: CacheStats,
     pub dram_reads: u64,
     pub dram_writes: u64,
+    /// Lines the hardware stride prefetcher asked to install (0 when the
+    /// platform has no prefetcher). Accuracy is derived per level from
+    /// `prefetch_fills` / `prefetch_hits` via
+    /// [`CacheStats::prefetch_accuracy`].
+    pub hwpf_issued: u64,
 }
 
 /// The assembled hierarchy. See module docs.
@@ -134,6 +139,7 @@ impl MemSystem {
             vcache: self.vcache.as_ref().map(|c| c.stats).unwrap_or_default(),
             dram_reads: self.dram_reads,
             dram_writes: self.dram_writes,
+            hwpf_issued: self.hwpf.as_ref().map(|p| p.issued).unwrap_or(0),
         }
     }
 
@@ -147,6 +153,9 @@ impl MemSystem {
         }
         self.dram_reads = 0;
         self.dram_writes = 0;
+        if let Some(pf) = &mut self.hwpf {
+            pf.issued = 0;
+        }
     }
 
     #[inline]

@@ -98,7 +98,7 @@ impl StridePrefetcher {
                 continue;
             }
             let dist = line.abs_diff(s.last_line);
-            if dist <= ASSOC_WINDOW && best.map_or(true, |(_, d)| dist < d) {
+            if dist <= ASSOC_WINDOW && best.is_none_or(|(_, d)| dist < d) {
                 best = Some((i, dist));
             }
         }
@@ -114,7 +114,9 @@ impl StridePrefetcher {
                 }
                 s.last_line = line;
                 s.age = self.tick;
-                if s.hits >= self.cfg.confidence && s.stride.unsigned_abs() <= MAX_PREFETCH_STRIDE as u64 {
+                if s.hits >= self.cfg.confidence
+                    && s.stride.unsigned_abs() <= MAX_PREFETCH_STRIDE as u64
+                {
                     let stride = s.stride;
                     for k in 1..=self.cfg.degree as i64 {
                         let target = line as i64 + stride * k;
@@ -176,7 +178,7 @@ mod tests {
         let mut x = 12345u64;
         for _ in 0..100 {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-            p.observe((x >> 20) & 0xFFFF_FFF, &mut out);
+            p.observe((x >> 20) & 0x0FFF_FFFF, &mut out);
             total += out.len();
         }
         // Random walk should essentially never confirm a stream.

@@ -1,0 +1,124 @@
+//! A small deterministic PRNG (SplitMix64) used everywhere the workspace
+//! needs reproducible pseudo-random data: tensor initialisation, test-input
+//! generation, and the randomized property tests. Keeping it in-tree keeps
+//! the workspace dependency-free and makes every experiment bit-for-bit
+//! reproducible from a seed.
+
+/// SplitMix64: tiny, fast, passes BigCrush, and — unlike a bare LCG — has no
+/// weak low bits. Perfectly adequate as a data/test generator (it is *not* a
+/// cryptographic RNG).
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    pub fn new(seed: u64) -> Self {
+        Rng { state: seed }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)` with 53 random bits of mantissa.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f32` in `[-1, 1)` — the tensor-initialisation convention.
+    pub fn next_f32_signed(&mut self) -> f32 {
+        (self.next_f64() * 2.0 - 1.0) as f32
+    }
+
+    /// Uniform integer in `[lo, hi)`. Panics if `lo >= hi`.
+    pub fn gen_range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "gen_range: empty range {lo}..{hi}");
+        // Multiply-shift range reduction; bias is < 2^-64 per draw, far
+        // below anything these tests can observe.
+        let span = hi - lo;
+        lo + ((self.next_u64() as u128 * span as u128) >> 64) as u64
+    }
+
+    /// Uniform usize in `[lo, hi)`.
+    pub fn gen_index(&mut self, lo: usize, hi: usize) -> usize {
+        self.gen_range(lo as u64, hi as u64) as usize
+    }
+
+    /// Coin flip with probability `p` of `true`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.gen_index(0, i + 1);
+            xs.swap(i, j);
+        }
+    }
+
+    /// `n` uniform `f32` samples in `[-1, 1)`.
+    pub fn f32_vec(&mut self, n: usize) -> Vec<f32> {
+        (0..n).map(|_| self.next_f32_signed()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let a: Vec<u64> = {
+            let mut r = Rng::new(42);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = Rng::new(42);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let c = Rng::new(43).next_u64();
+        assert_ne!(a[0], c, "different seeds diverge");
+    }
+
+    #[test]
+    fn float_ranges() {
+        let mut r = Rng::new(7);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            let y = r.next_f32_signed();
+            assert!((-1.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn gen_range_hits_all_buckets() {
+        let mut r = Rng::new(1);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let v = r.gen_range(5, 15);
+            assert!((5..15).contains(&v));
+            seen[(v - 5) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "1000 draws cover all 10 buckets");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = Rng::new(9);
+        let mut xs: Vec<u32> = (0..64).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..64).collect::<Vec<u32>>());
+        assert_ne!(xs, (0..64).collect::<Vec<u32>>(), "64 elements virtually never fixed");
+    }
+}

@@ -3,8 +3,7 @@
 //! (per-set move-to-front lists). Any divergence in hit/miss classification
 //! or writeback generation is a bug in one of them.
 
-use lva_sim::{AccessKind, Cache, CacheConfig};
-use proptest::prelude::*;
+use lva_sim::{AccessKind, Cache, CacheConfig, Rng};
 
 /// Straight-line reference: per-set Vec with move-to-front order.
 struct RefLru {
@@ -40,15 +39,15 @@ impl RefLru {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn cache_matches_reference_lru(
-        sets_pow in 0u32..5,
-        assoc in 1usize..9,
-        trace in proptest::collection::vec((0u64..200, any::<bool>()), 1..600),
-    ) {
+#[test]
+fn cache_matches_reference_lru() {
+    let mut rng = Rng::new(0x16c);
+    for _ in 0..64 {
+        let sets_pow = rng.gen_range(0, 5) as u32;
+        let assoc = rng.gen_index(1, 9);
+        let trace: Vec<(u64, bool)> = (0..rng.gen_index(1, 600))
+            .map(|_| (rng.gen_range(0, 200), rng.gen_bool(0.5)))
+            .collect();
         let sets = 1usize << sets_pow;
         let line_bytes = 64usize;
         let mut cache = Cache::new(CacheConfig {
@@ -67,28 +66,30 @@ proptest! {
             match cache.access_line(line, kind) {
                 lva_sim::cache::Lookup::Hit => {
                     hits += 1;
-                    prop_assert!(ref_hit, "model hit, reference missed on line {}", line);
+                    assert!(ref_hit, "model hit, reference missed on line {line}");
                 }
                 lva_sim::cache::Lookup::Miss { victim_dirty } => {
-                    prop_assert!(!ref_hit, "model missed, reference hit on line {}", line);
-                    prop_assert_eq!(victim_dirty, ref_wb, "writeback mismatch on line {}", line);
+                    assert!(!ref_hit, "model missed, reference hit on line {line}");
+                    assert_eq!(victim_dirty, ref_wb, "writeback mismatch on line {line}");
                     if victim_dirty {
                         wbs += 1;
                     }
                 }
             }
         }
-        prop_assert_eq!(cache.stats.hits, hits);
-        prop_assert_eq!(cache.stats.writebacks, wbs);
-        prop_assert_eq!(cache.stats.accesses, trace.len() as u64);
+        assert_eq!(cache.stats.hits, hits);
+        assert_eq!(cache.stats.writebacks, wbs);
+        assert_eq!(cache.stats.accesses, trace.len() as u64);
     }
+}
 
-    /// Inclusion property of LRU: on any trace, a fully-associative LRU
-    /// cache with more capacity never misses more.
-    #[test]
-    fn fully_assoc_capacity_monotone(
-        trace in proptest::collection::vec(0u64..64, 1..400),
-    ) {
+/// Inclusion property of LRU: on any trace, a fully-associative LRU
+/// cache with more capacity never misses more.
+#[test]
+fn fully_assoc_capacity_monotone() {
+    let mut rng = Rng::new(0xfa);
+    for _ in 0..64 {
+        let trace: Vec<u64> = (0..rng.gen_index(1, 400)).map(|_| rng.gen_range(0, 64)).collect();
         let mut prev = u64::MAX;
         for lines in [2usize, 4, 8, 16, 64] {
             let mut c = Cache::new(CacheConfig {
@@ -101,16 +102,20 @@ proptest! {
             for &l in &trace {
                 c.access_line(l, AccessKind::Read);
             }
-            prop_assert!(c.stats.misses <= prev);
+            assert!(c.stats.misses <= prev);
             prev = c.stats.misses;
         }
     }
+}
 
-    /// Prefetched lines must never change hit/miss *correctness*, only
-    /// timing: demanding a prefetched line is a hit, and flushing restores
-    /// cold behaviour.
-    #[test]
-    fn prefetch_then_demand_is_hit(lines in proptest::collection::vec(0u64..128, 1..64)) {
+/// Prefetched lines must never change hit/miss *correctness*, only
+/// timing: demanding a prefetched line is a hit, and flushing restores
+/// cold behaviour.
+#[test]
+fn prefetch_then_demand_is_hit() {
+    let mut rng = Rng::new(0x9f);
+    for _ in 0..64 {
+        let lines: Vec<u64> = (0..rng.gen_index(1, 64)).map(|_| rng.gen_range(0, 128)).collect();
         let mut c = Cache::new(CacheConfig {
             name: "P",
             bytes: 128 * 64,
@@ -123,13 +128,13 @@ proptest! {
         }
         for &l in &lines {
             let hit = matches!(c.access_line(l, AccessKind::Read), lva_sim::cache::Lookup::Hit);
-            prop_assert!(hit);
+            assert!(hit);
         }
         c.flush();
         let miss = matches!(
             c.access_line(lines[0], AccessKind::Read),
             lva_sim::cache::Lookup::Miss { .. }
         );
-        prop_assert!(miss);
+        assert!(miss);
     }
 }

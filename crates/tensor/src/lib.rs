@@ -8,9 +8,7 @@
 //! matrices are row-major.
 
 use lva_isa::Machine;
-use lva_sim::Buf;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use lva_sim::{Buf, Rng};
 
 /// CHW shape of a feature map (single image).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,8 +70,7 @@ impl Tensor {
     /// independent of the values, and kernel correctness is established
     /// against scalar references (see DESIGN.md substitutions).
     pub fn random(m: &mut Machine, shape: Shape, seed: u64) -> Self {
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let data: Vec<f32> = (0..shape.len()).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let data = Rng::new(seed).f32_vec(shape.len());
         Self::from_host(m, shape, &data)
     }
 
@@ -110,8 +107,7 @@ impl Matrix {
     }
 
     pub fn random(m: &mut Machine, rows: usize, cols: usize, seed: u64) -> Self {
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let data: Vec<f32> = (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let data = Rng::new(seed).f32_vec(rows * cols);
         Self::from_host(m, rows, cols, &data)
     }
 
@@ -135,8 +131,7 @@ impl Matrix {
 
 /// Deterministic host-side random vector (for reference kernels and tests).
 pub fn host_random(n: usize, seed: u64) -> Vec<f32> {
-    let mut rng = SmallRng::seed_from_u64(seed);
-    (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()
+    Rng::new(seed).f32_vec(n)
 }
 
 /// Maximum absolute difference between two slices.
@@ -152,9 +147,7 @@ pub fn max_abs_diff(a: &[f32], b: &[f32]) -> f32 {
 /// `|a-b| <= atol + rtol * max(|a|,|b|)` element-wise.
 pub fn approx_eq(a: &[f32], b: &[f32], rtol: f32, atol: f32) -> bool {
     a.len() == b.len()
-        && a.iter()
-            .zip(b)
-            .all(|(x, y)| (x - y).abs() <= atol + rtol * x.abs().max(y.abs()))
+        && a.iter().zip(b).all(|(x, y)| (x - y).abs() <= atol + rtol * x.abs().max(y.abs()))
 }
 
 #[cfg(test)]

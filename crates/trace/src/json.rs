@@ -1,0 +1,294 @@
+//! A tiny hand-rolled JSON value type and serializer.
+//!
+//! The workspace is intentionally dependency-free, so instead of serde this
+//! module provides the minimal subset the telemetry layer and the run
+//! reports need: an order-preserving object, arrays, strings with correct
+//! escaping, and integer/float formatting that round-trips through any
+//! standards-compliant parser.
+
+use std::fmt;
+
+/// A JSON value. Objects preserve insertion order so reports render with a
+/// stable, human-diffable key order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    /// Unsigned integers (cycle counts, event tallies) keep full precision.
+    UInt(u64),
+    Int(i64),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Start an empty object; chain [`Json::field`] to populate it.
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Append a key/value pair. Panics in debug builds if `self` is not an
+    /// object (a construction bug, not a data condition).
+    pub fn field(mut self, key: &str, value: impl Into<Json>) -> Json {
+        match &mut self {
+            Json::Obj(pairs) => pairs.push((key.to_string(), value.into())),
+            _ => debug_assert!(false, "Json::field on non-object"),
+        }
+        self
+    }
+
+    /// Serialize into `out` (compact, no whitespace).
+    pub fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(n) => {
+                let mut buf = [0u8; 20];
+                out.push_str(fmt_u64(*n, &mut buf));
+            }
+            Json::Int(n) => out.push_str(&n.to_string()),
+            Json::Num(x) => write_f64(*x, out),
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, it) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    it.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Serialize to a fresh compact string.
+    pub fn to_string_compact(&self) -> String {
+        let mut s = String::with_capacity(128);
+        self.write(&mut s);
+        s
+    }
+
+    /// Serialize with two-space indentation — the form written to report
+    /// files so diffs between runs stay readable.
+    pub fn to_string_pretty(&self) -> String {
+        let mut s = String::with_capacity(256);
+        self.write_pretty(&mut s, 0);
+        s
+    }
+
+    fn write_pretty(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Arr(items) if !items.is_empty() => {
+                out.push('[');
+                for (i, it) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    it.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push(']');
+            }
+            Json::Obj(pairs) if !pairs.is_empty() => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    write_escaped(k, out);
+                    out.push_str(": ");
+                    v.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push('}');
+            }
+            other => other.write(out),
+        }
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+/// Format `n` without allocating; returns a slice of `buf`.
+fn fmt_u64(mut n: u64, buf: &mut [u8; 20]) -> &str {
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (n % 10) as u8;
+        n /= 10;
+        if n == 0 {
+            break;
+        }
+    }
+    std::str::from_utf8(&buf[i..]).unwrap()
+}
+
+/// JSON has no NaN/Inf; map them to null so output always parses.
+fn write_f64(x: f64, out: &mut String) {
+    if x.is_finite() {
+        // `{:?}` on f64 is Rust's shortest round-trip formatting, which is
+        // also valid JSON for finite values.
+        use fmt::Write;
+        let _ = write!(out, "{x:?}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Escape and quote `s` per RFC 8259: `"` and `\` escaped, control
+/// characters as `\uXXXX` (with the common short forms for \n \r \t etc.).
+pub fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                use fmt::Write;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::UInt(v)
+    }
+}
+impl From<u32> for Json {
+    fn from(v: u32) -> Json {
+        Json::UInt(v as u64)
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::UInt(v as u64)
+    }
+}
+impl From<i64> for Json {
+    fn from(v: i64) -> Json {
+        Json::Int(v)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Num(v)
+    }
+}
+impl From<f32> for Json {
+    fn from(v: f32) -> Json {
+        Json::Num(v as f64)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+impl From<Vec<Json>> for Json {
+    fn from(v: Vec<Json>) -> Json {
+        Json::Arr(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.to_string_compact(), "null");
+        assert_eq!(Json::Bool(true).to_string_compact(), "true");
+        assert_eq!(Json::UInt(u64::MAX).to_string_compact(), u64::MAX.to_string());
+        assert_eq!(Json::Int(-7).to_string_compact(), "-7");
+        assert_eq!(Json::Num(1.5).to_string_compact(), "1.5");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(Json::Num(f64::NAN).to_string_compact(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).to_string_compact(), "null");
+        assert_eq!(Json::Num(f64::NEG_INFINITY).to_string_compact(), "null");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let cases: &[(&str, &str)] = &[
+            ("plain", "\"plain\""),
+            ("with \"quotes\"", "\"with \\\"quotes\\\"\""),
+            ("back\\slash", "\"back\\\\slash\""),
+            ("line\nbreak\ttab", "\"line\\nbreak\\ttab\""),
+            ("bell\u{07}", "\"bell\\u0007\""),
+            ("unicode: λ→∞", "\"unicode: λ→∞\""),
+        ];
+        for (input, want) in cases {
+            assert_eq!(&Json::Str(input.to_string()).to_string_compact(), want);
+        }
+    }
+
+    #[test]
+    fn objects_preserve_order_and_nest() {
+        let j = Json::obj()
+            .field("b", 1u64)
+            .field("a", Json::Arr(vec![Json::from("x"), Json::Null]))
+            .field("c", Json::obj().field("k", 2.5));
+        assert_eq!(j.to_string_compact(), r#"{"b":1,"a":["x",null],"c":{"k":2.5}}"#);
+    }
+
+    #[test]
+    fn pretty_output_parses_same_as_compact() {
+        let j = Json::obj()
+            .field("name", "exp")
+            .field("vals", Json::Arr(vec![Json::UInt(1), Json::UInt(2)]));
+        let pretty = j.to_string_pretty();
+        assert!(pretty.contains('\n'));
+        // Stripping all insignificant whitespace must yield the compact form.
+        let squashed: String = pretty.chars().filter(|c| !c.is_ascii_whitespace()).collect();
+        let compact: String =
+            j.to_string_compact().chars().filter(|c| !c.is_ascii_whitespace()).collect();
+        assert_eq!(squashed, compact);
+    }
+}

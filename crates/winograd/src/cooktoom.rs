@@ -318,7 +318,6 @@ pub fn f6x3() -> WinogradTransform {
     )
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -29,4 +29,3 @@ pub mod vla;
 pub use cooktoom::{f2x3, f4x3, f6x3, Rat, WinogradTransform};
 pub use scalar::winograd_conv_ref;
 pub use vla::{winograd_conv_vla, WinogradPlan, WinogradScratch};
-

@@ -21,8 +21,8 @@ pub fn winograd_conv_ref(
     assert_eq!(weights.len(), p.out_c * p.in_c * p.k * p.k);
     let (oh, ow) = p.out_hw();
     let (n, m) = (t.n, t.m);
-    let tiles_y = (oh + m - 1) / m;
-    let tiles_x = (ow + m - 1) / m;
+    let tiles_y = oh.div_ceil(m);
+    let tiles_x = ow.div_ceil(m);
 
     // Offline filter transform U[oc][ic][n*n].
     let u: Vec<Vec<f32>> = (0..p.out_c * p.in_c)

@@ -131,8 +131,8 @@ impl WinogradScratch {
             assert_eq!(p.k, 3, "Winograd scratch is for 3x3 layers");
             let s1 = ConvParams { stride: 1, ..p };
             let (oh1, ow1) = s1.out_hw();
-            let ty = (oh1 + M_OUT - 1) / M_OUT;
-            let tx = (ow1 + M_OUT - 1) / M_OUT;
+            let ty = oh1.div_ceil(M_OUT);
+            let tx = ow1.div_ceil(M_OUT);
             let tiles = ty * tx;
             u_w = u_w.max(p.out_c * (p.in_c * FREQ + U_ROW_PAD));
             v_w = v_w.max(tiles * p.in_c * FREQ);
@@ -185,8 +185,8 @@ impl WinogradPlan {
         let transform = f6x3();
         let s1 = ConvParams { stride: 1, ..p };
         let (oh1, ow1) = s1.out_hw();
-        let tiles_y = (oh1 + M_OUT - 1) / M_OUT;
-        let tiles_x = (ow1 + M_OUT - 1) / M_OUT;
+        let tiles_y = oh1.div_ceil(M_OUT);
+        let tiles_x = ow1.div_ceil(M_OUT);
         let (ph, pw) = (tiles_y * M_OUT + 2, tiles_x * M_OUT + 2);
         let padded = m.mem.alloc(p.in_c * ph * pw);
         let u_row = p.in_c * FREQ + U_ROW_PAD;
@@ -231,7 +231,12 @@ impl WinogradPlan {
     /// Build a plan over shared [`WinogradScratch`] buffers. The weight
     /// transform is deferred to each forward (other layers overwrite the
     /// shared `u` in between); it stays functional-only/untimed.
-    pub fn new_shared(m: &mut Machine, p: ConvParams, weights: Buf, shared: &WinogradScratch) -> Self {
+    pub fn new_shared(
+        m: &mut Machine,
+        p: ConvParams,
+        weights: Buf,
+        shared: &WinogradScratch,
+    ) -> Self {
         assert_eq!(p.k, 3, "Winograd F(6,3) requires 3x3 kernels");
         assert!(p.stride == 1 || p.stride == 2, "stride 1 or 2 only");
         assert_eq!(
@@ -243,8 +248,8 @@ impl WinogradPlan {
         let transform = f6x3();
         let s1 = ConvParams { stride: 1, ..p };
         let (oh1, ow1) = s1.out_hw();
-        let tiles_y = (oh1 + M_OUT - 1) / M_OUT;
-        let tiles_x = (ow1 + M_OUT - 1) / M_OUT;
+        let tiles_y = oh1.div_ceil(M_OUT);
+        let tiles_x = ow1.div_ceil(M_OUT);
         let (ph, pw) = (tiles_y * M_OUT + 2, tiles_x * M_OUT + 2);
         let cb = Self::channels_per_block(m);
         WinogradPlan {
@@ -260,7 +265,11 @@ impl WinogradPlan {
             v_all: shared.v_all.slice(0, tiles_y * tiles_x * p.in_c * FREQ),
             m_all: shared.m_all.slice(0, tiles_y * tiles_x * p.out_c * FREQ),
             scratch: shared.tile.slice(0, cb * FREQ),
-            dense: if p.stride == 2 { Some(shared.dense.slice(0, p.out_c * oh1 * ow1)) } else { None },
+            dense: if p.stride == 2 {
+                Some(shared.dense.slice(0, p.out_c * oh1 * ow1))
+            } else {
+                None
+            },
             idx: vec![0; m.vlen_elems()],
             weights,
             owns_u: false,
@@ -398,7 +407,13 @@ pub fn winograd_conv_vla(m: &mut Machine, plan: &mut WinogradPlan, input: &Tenso
 
 /// Pass 1 + pass 2 of the input transform for one tile position, all input
 /// channels, in blocks of `VL/4` channels (Fig. 4).
-fn input_transform_tile(m: &mut Machine, plan: &mut WinogradPlan, ty: usize, tx: usize, cb_max: usize) {
+fn input_transform_tile(
+    m: &mut Machine,
+    plan: &mut WinogradPlan,
+    ty: usize,
+    tx: usize,
+    cb_max: usize,
+) {
     let p = plan.params;
     let bt: Vec<f32> = plan.transform.bt.clone();
     let (ph, pw) = (plan.ph, plan.pw);
@@ -413,8 +428,7 @@ fn input_transform_tile(m: &mut Machine, plan: &mut WinogradPlan, ty: usize, tx:
                 for half in 0..2 {
                     for l in 0..vl {
                         let (ch, col) = (l / GROUP, l % GROUP + 4 * half);
-                        plan.idx[l] =
-                            (((c0 + ch) * ph + iy0 + r) * pw + ix0 + col) as u32;
+                        plan.idx[l] = (((c0 + ch) * ph + iy0 + r) * pw + ix0 + col) as u32;
                     }
                     m.charge_scalar_ops((vl / GROUP) as u64 + 1); // pack bookkeeping
                     let reg = if half == 0 { IN0 + r } else { IN8 + r };
@@ -460,8 +474,9 @@ fn input_transform_tile(m: &mut Machine, plan: &mut WinogradPlan, ty: usize, tx:
     });
 }
 
-/// Tuple multiplication over all tiles: `M[t][oc][f] = sum_ic U[oc][ic][f]
-/// * V[t][ic][f]`, vectorized over the 64 frequencies, register-blocked
+/// Tuple multiplication over all tiles:
+/// `M[t][oc][f] = sum_ic U[oc][ic][f] * V[t][ic][f]`,
+/// vectorized over the 64 frequencies, register-blocked
 /// over [`OCB`] output channels (each V chunk loaded once per input
 /// channel), and with the tile/channel loop order chosen to keep the
 /// smaller operand resident in cache: when the transformed weights are the
@@ -502,7 +517,7 @@ fn tuple_block(m: &mut Machine, plan: &WinogradPlan, t: usize, oc0: usize, ob: u
     let p = plan.params;
     let u_row = plan.u_row_words();
     let vlen = m.vlen_elems().min(FREQ);
-    let chunks = (FREQ + vlen - 1) / vlen;
+    let chunks = FREQ.div_ceil(vlen);
     debug_assert!(chunks <= 4);
     let vbase = t * p.in_c * FREQ;
     let mbase = t * p.out_c * FREQ;
@@ -529,7 +544,11 @@ fn tuple_block(m: &mut Machine, plan: &WinogradPlan, t: usize, oc0: usize, ob: u
     for o in 0..ob {
         for ch in 0..chunks {
             let vl = vlen.min(FREQ - ch * vlen);
-            m.vse(VACC0 + o * chunks + ch, plan.m_all.addr(mbase + (oc0 + o) * FREQ + ch * vlen), vl);
+            m.vse(
+                VACC0 + o * chunks + ch,
+                plan.m_all.addr(mbase + (oc0 + o) * FREQ + ch * vlen),
+                vl,
+            );
         }
     }
 }
@@ -582,11 +601,8 @@ fn output_transform_tile(
                 for half in 0..2 {
                     for l in 0..vl {
                         let (ch, col) = (l / GROUP, l % GROUP + 4 * half);
-                        plan.idx[l] = if col < M_OUT {
-                            (ch * FREQ + r * N + col) as u32
-                        } else {
-                            u32::MAX
-                        };
+                        plan.idx[l] =
+                            if col < M_OUT { (ch * FREQ + r * N + col) as u32 } else { u32::MAX };
                     }
                     let reg = if half == 0 { IN0 + r } else { IN8 + r };
                     m.vgather4(reg, plan.scratch.base, &plan.idx[..vl], vl);
@@ -695,10 +711,7 @@ mod tests {
         let p = ConvParams { in_c: 16, in_h: 18, in_w: 18, out_c: 16, k: 3, stride: 1, pad: 1 };
         let (_, _, t512) = run_vla(512, p);
         let (_, _, t2048) = run_vla(2048, p);
-        assert!(
-            t2048 < t512,
-            "2048-bit ({t2048}) should beat 512-bit ({t512}) on Winograd"
-        );
+        assert!(t2048 < t512, "2048-bit ({t2048}) should beat 512-bit ({t512}) on Winograd");
     }
 
     #[test]

@@ -37,8 +37,7 @@ fn main() {
     for (i, l) in report.layers.iter().enumerate() {
         if matches!(net.layers[i].spec, LayerSpec::Yolo) {
             let data = net.layers[i].out.to_host(&machine);
-            let dets =
-                decode_yolo_head(&data, l.out_shape, &head_anchors[head], input_hw, 0.5);
+            let dets = decode_yolo_head(&data, l.out_shape, &head_anchors[head], input_hw, 0.5);
             println!(
                 "head {head} ({}x{} grid): {} raw detections above threshold",
                 l.out_shape.h,

@@ -6,9 +6,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use longvec_cnn::prelude::*;
 use longvec_cnn::kernels::gemm::GemmWorkspace;
 use longvec_cnn::kernels::reference::conv_direct_ref;
+use longvec_cnn::prelude::*;
 
 fn main() {
     // One mid-network YOLOv3-like layer.

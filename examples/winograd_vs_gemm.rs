@@ -29,7 +29,16 @@ fn main() {
     let out = machine.mem.alloc(m_dim * n_dim);
     let ws = GemmWorkspace::alloc(&mut machine, BlockSizes::TABLE2_BEST);
     machine.reset_timing();
-    conv_im2col_gemm(&mut machine, GemmVariant::opt6(), &p, &input, weights.buf, col, out, Some(&ws));
+    conv_im2col_gemm(
+        &mut machine,
+        GemmVariant::opt6(),
+        &p,
+        &input,
+        weights.buf,
+        col,
+        out,
+        Some(&ws),
+    );
     let gemm_cycles = machine.cycles();
     let want = conv_direct_ref(&p, &input.to_host(&machine), &weights.to_host(&machine));
     assert!(approx_eq(machine.mem.slice(out), &want, 1e-3, 1e-3));

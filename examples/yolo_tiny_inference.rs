@@ -24,7 +24,7 @@ fn main() {
     let report = net.run(&mut machine, &image);
 
     println!("YOLOv3-tiny @ {}x{} on RVV 4096b / 8 lanes / 1MB L2\n", shape.h, shape.w);
-    println!("{:<5} {:<16} {:>13} {:>7}  {}", "layer", "type", "cycles", "%", "out shape");
+    println!("{:<5} {:<16} {:>13} {:>7}  out shape", "layer", "type", "cycles", "%");
     for l in &report.layers {
         println!(
             "{:<5} {:<16} {:>13} {:>6.1}%  {}x{}x{}",
@@ -45,10 +45,6 @@ fn main() {
     );
     println!("\nkernel breakdown (§II-B):");
     for (phase, cycles) in report.phases.breakdown() {
-        println!(
-            "  {:<14} {:>6.2}%",
-            phase.name(),
-            100.0 * cycles as f64 / report.cycles as f64
-        );
+        println!("  {:<14} {:>6.2}%", phase.name(), 100.0 * cycles as f64 / report.cycles as f64);
     }
 }

@@ -98,10 +98,12 @@ fn parse_args(args: &[String]) -> Cli {
     let mut cli = Cli::default();
     let mut it = args.iter();
     let need = |it: &mut std::slice::Iter<String>, flag: &str| -> String {
-        it.next().unwrap_or_else(|| {
-            eprintln!("{flag} needs a value");
-            exit(2)
-        }).clone()
+        it.next()
+            .unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                exit(2)
+            })
+            .clone()
     };
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -126,7 +128,9 @@ fn parse_args(args: &[String]) -> Cli {
             "--per-layer" => cli.per_layer = true,
             "--energy" => cli.energy = true,
             "--stats" => cli.stats = true,
-            "--frames" => cli.frames = need(&mut it, "--frames").parse().unwrap_or_else(|_| usage()),
+            "--frames" => {
+                cli.frames = need(&mut it, "--frames").parse().unwrap_or_else(|_| usage())
+            }
             "--axis" => cli.axis = Some(need(&mut it, "--axis")),
             "-o" | "--out" => cli.out = Some(need(&mut it, "-o")),
             "--help" | "-h" => usage(),
@@ -145,7 +149,9 @@ fn parse_args(args: &[String]) -> Cli {
 fn hw_target(cli: &Cli) -> HwTarget {
     let l2 = cli.l2_mb << 20;
     match cli.platform.as_str() {
-        "rvv" | "riscv" => HwTarget::RvvGem5 { vlen_bits: cli.vlen, lanes: cli.lanes, l2_bytes: l2 },
+        "rvv" | "riscv" => {
+            HwTarget::RvvGem5 { vlen_bits: cli.vlen, lanes: cli.lanes, l2_bytes: l2 }
+        }
         "sve" | "arm" => HwTarget::SveGem5 { vlen_bits: cli.vlen.min(2048), l2_bytes: l2 },
         "a64fx" => HwTarget::A64fx,
         other => {
@@ -189,10 +195,13 @@ fn print_summary(cli: &Cli, hw: HwTarget, s: &RunSummary) {
         println!("\n{}", s.dump_stats());
     }
     if cli.energy {
-        let e = EnergyModel::default().estimate(s, match hw {
-            HwTarget::RvvGem5 { l2_bytes, .. } | HwTarget::SveGem5 { l2_bytes, .. } => l2_bytes,
-            HwTarget::A64fx => 8 << 20,
-        });
+        let e = EnergyModel::default().estimate(
+            s,
+            match hw {
+                HwTarget::RvvGem5 { l2_bytes, .. } | HwTarget::SveGem5 { l2_bytes, .. } => l2_bytes,
+                HwTarget::A64fx => 8 << 20,
+            },
+        );
         println!(
             "\nenergy   : {:.2} mJ ({:.2} compute + {:.2} memory + {:.2} static), EDP {:.1} uJ*s",
             e.total_j() * 1e3,
@@ -205,8 +214,14 @@ fn print_summary(cli: &Cli, hw: HwTarget, s: &RunSummary) {
 }
 
 fn cmd_models() {
-    println!("{:<12} {:<8} {}", "model", "input", "layers");
-    for model in [ModelId::Yolov3, ModelId::Yolov3Tiny, ModelId::Vgg16, ModelId::Resnet50, ModelId::MobilenetV1] {
+    println!("{:<12} {:<8} layers", "model", "input");
+    for model in [
+        ModelId::Yolov3,
+        ModelId::Yolov3Tiny,
+        ModelId::Vgg16,
+        ModelId::Resnet50,
+        ModelId::MobilenetV1,
+    ] {
         let (specs, shape) = model.build(model.native_input());
         let convs = longvec_cnn::nn::network::conv_params_list(&specs, shape).len();
         println!(
@@ -263,10 +278,7 @@ fn cmd_sweep(cli: &Cli) {
             .into_iter()
             .map(|mb| Cli { l2_mb: mb, ..cli.clone() })
             .collect(),
-        "lanes" => [2usize, 4, 8]
-            .into_iter()
-            .map(|lanes| Cli { lanes, ..cli.clone() })
-            .collect(),
+        "lanes" => [2usize, 4, 8].into_iter().map(|lanes| Cli { lanes, ..cli.clone() }).collect(),
         _ => usage(),
     };
     println!("sweeping {axis} for {}\n", workload.describe());

@@ -60,16 +60,12 @@ pub use lva_winograd as winograd;
 
 /// The most commonly used items in one import.
 pub mod prelude {
-    pub use lva_core::{
-        scaled_input, Experiment, HwTarget, ModelId, RunSummary, Table, Workload,
-    };
+    pub use lva_core::{scaled_input, Experiment, HwTarget, ModelId, RunSummary, Table, Workload};
+    pub use lva_fft::{conv_fft_vla, FftConvPlan};
     pub use lva_isa::{IsaKind, KernelPhase, Machine, MachineConfig, Platform};
-    pub use lva_kernels::{
-        conv_im2col_gemm, BlockSizes, ConvParams, GemmVariant, DEFAULT_UNROLL,
-    };
+    pub use lva_kernels::{conv_im2col_gemm, BlockSizes, ConvParams, GemmVariant, DEFAULT_UNROLL};
     pub use lva_nn::{ConvAlgo, ConvPolicy, LayerSpec, NetReport, Network};
     pub use lva_sim::{Buf, Memory};
     pub use lva_tensor::{approx_eq, host_random, Matrix, Shape, Tensor};
-    pub use lva_fft::{conv_fft_vla, FftConvPlan};
     pub use lva_winograd::{f6x3, winograd_conv_vla, WinogradPlan, WinogradTransform};
 }

@@ -121,16 +121,13 @@ fn vgg16_inference_produces_probabilities() {
 fn yolov3_full_network_runs_at_small_scale() {
     let (specs, shape) = yolov3(32);
     let policy = ConvPolicy::gemm_only(GemmVariant::opt3());
-    let (report, out) = run_net(MachineConfig::rvv_gem5(2048, 8, 1 << 20), &specs, shape, policy, 3);
+    let (report, out) =
+        run_net(MachineConfig::rvv_gem5(2048, 8, 1 << 20), &specs, shape, policy, 3);
     assert_eq!(report.layers.len(), 107);
     assert!(out.iter().all(|v| v.is_finite()), "activations must stay finite");
     // All three yolo heads produce 255-channel maps.
-    let heads: Vec<_> = report
-        .layers
-        .iter()
-        .filter(|l| l.desc == "yolo")
-        .map(|l| l.out_shape.c)
-        .collect();
+    let heads: Vec<_> =
+        report.layers.iter().filter(|l| l.desc == "yolo").map(|l| l.out_shape.c).collect();
     assert_eq!(heads, vec![255, 255, 255]);
 }
 
