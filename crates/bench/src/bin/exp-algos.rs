@@ -143,7 +143,7 @@ fn main() {
             name.into(),
             fmt_cycles(g),
             fmt_cycles(d),
-            w.map(fmt_cycles).unwrap_or_else(|| "n/a".into()),
+            w.map_or_else(|| "n/a".into(), fmt_cycles),
             fmt_cycles(f),
             winner.into(),
         ]);

@@ -107,7 +107,7 @@ fn main() {
         let j = Json::obj()
             .field("bench", "headline")
             .field("table", table.to_json())
-            .field("runs", Json::Arr(runs.iter().map(|r| r.to_json()).collect()));
+            .field("runs", Json::Arr(runs.iter().map(lva_bench::RunReport::to_json).collect()));
         let mut body = j.to_string_pretty();
         body.push('\n');
         match std::fs::write("BENCH_headline.json", body) {

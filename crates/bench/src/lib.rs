@@ -6,6 +6,7 @@
 //! EXPERIMENTS.md at the workspace root for the full index and the
 //! paper-vs-measured record.
 
+#![forbid(unsafe_code)]
 use std::env;
 
 pub mod microbench;

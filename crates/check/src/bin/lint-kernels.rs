@@ -1,0 +1,53 @@
+//! `lint-kernels` — run the kernel sanitizer and the co-design capacity
+//! linter over every registered kernel on both ISA profiles, print the
+//! results as JSON, and exit nonzero if anything was flagged.
+//!
+//! CI runs this as a correctness gate; see DESIGN.md "Static analysis".
+
+use lva_check::{
+    capacity_checks, check_kernel, lint_capacity, registered_kernels, sweep_configs, Finding,
+};
+use lva_core::Json;
+use lva_isa::IsaKind;
+use lva_kernels::{BlockSizes, DEFAULT_UNROLL};
+
+/// Deepest Winograd channel count in the studied networks (YOLOv3 reaches
+/// 512-in-channel 3x3 layers; Winograd capacity is checked at that depth).
+const WINOGRAD_MAX_IN_C: usize = 512;
+
+fn main() {
+    let configs = sweep_configs();
+    let kernels = registered_kernels();
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut capacity = Vec::new();
+    let mut runs = 0usize;
+
+    for (profile, cfg) in &configs {
+        for case in kernels.iter().filter(|c| c.supports(cfg.vpu.isa)) {
+            findings.extend(check_kernel(case, profile, cfg));
+            runs += 1;
+        }
+        let wino = (cfg.vpu.isa == IsaKind::Sve).then_some(WINOGRAD_MAX_IN_C);
+        let checks = capacity_checks(cfg, BlockSizes::TABLE2_BEST, DEFAULT_UNROLL, wino);
+        findings.extend(lint_capacity(profile, &checks));
+        capacity.push(Json::obj().field("profile", *profile).field(
+            "checks",
+            checks.iter().map(lva_check::CapacityCheck::to_json).collect::<Vec<_>>(),
+        ));
+    }
+
+    let report = Json::obj()
+        .field("tool", "lint-kernels")
+        .field("profiles", configs.iter().map(|(p, _)| Json::from(*p)).collect::<Vec<_>>())
+        .field("kernels", kernels.iter().map(|k| Json::from(k.name)).collect::<Vec<_>>())
+        .field("kernel_runs", runs)
+        .field("capacity", capacity)
+        .field("findings", findings.iter().map(Finding::to_json).collect::<Vec<_>>())
+        .field("finding_count", findings.len());
+    println!("{}", report.to_string_pretty());
+
+    if !findings.is_empty() {
+        eprintln!("lint-kernels: {} finding(s)", findings.len());
+        std::process::exit(1);
+    }
+}

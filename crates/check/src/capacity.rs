@@ -1,0 +1,167 @@
+//! The co-design capacity linter: static working-set footprints vs the
+//! cache hierarchy (§V of the paper, mechanized).
+//!
+//! The BLIS-style 6-loop GEMM keeps the packed A panel (`blockM x blockK`)
+//! resident in L1 while the packed B panel (`blockK x blockN`) streams from
+//! L2, and the micro-kernel streams one `blockK x VL` column slice of B per
+//! register tile; Table II's block-size sweep is exactly a search over
+//! footprints that respect those levels. Winograd's inter-tile channel
+//! packing similarly keeps one transformed tile row (`VL/4` channels x 64
+//! frequencies) hot while the V working set streams from L2. The linter
+//! evaluates each footprint against half of its target level's capacity —
+//! half, because the paper's kernels always double-buffer a panel against
+//! the outputs and the other operand sharing the level — and flags any
+//! parameter choice that cannot fit.
+
+use crate::Finding;
+use lva_isa::{IsaKind, MachineConfig, NUM_VREGS};
+use lva_kernels::BlockSizes;
+use lva_sim::VpuPath;
+
+/// Winograd F(6,3) operates on 8x8 tiles: 64 frequencies per tile.
+const WINO_FREQS: usize = 64;
+/// Channels are packed in groups of 4 (two 8x4 half-rows per channel).
+const WINO_GROUP: usize = 4;
+/// Registers the GEMM micro-kernels reserve outside the accumulator file
+/// (the streamed B row and the spill temporary).
+const RESERVED_VREGS: usize = 2;
+
+/// One evaluated footprint.
+#[derive(Debug, Clone)]
+pub struct CapacityCheck {
+    /// What is being sized (e.g. `"a-panel"`).
+    pub name: &'static str,
+    /// The hierarchy level it must fit: `"L1"`, `"L2"`, `"vcache"`, or
+    /// `"vregs"`.
+    pub level: &'static str,
+    /// Footprint in bytes (registers for `"vregs"`).
+    pub used: usize,
+    /// Available budget at that level, same unit.
+    pub budget: usize,
+    /// The formula, with numbers substituted.
+    pub detail: String,
+}
+
+impl CapacityCheck {
+    pub fn ok(&self) -> bool {
+        self.used <= self.budget
+    }
+
+    pub fn to_json(&self) -> lva_core::Json {
+        lva_core::Json::obj()
+            .field("name", self.name)
+            .field("level", self.level)
+            .field("used", self.used)
+            .field("budget", self.budget)
+            .field("ok", self.ok())
+            .field("detail", self.detail.as_str())
+    }
+}
+
+/// Evaluate every footprint of a software setup on `cfg`. `winograd_in_c`
+/// is the deepest channel count Winograd will see (SVE only; ignored on
+/// RISC-V Vector, where Winograd does not run).
+pub fn capacity_checks(
+    cfg: &MachineConfig,
+    blocks: BlockSizes,
+    unroll: usize,
+    winograd_in_c: Option<usize>,
+) -> Vec<CapacityCheck> {
+    let vlen = cfg.vpu.vlen_elems();
+    let l1_half = cfg.mem.l1.bytes / 2;
+    let l2_half = cfg.mem.l2.bytes / 2;
+    let mut out = vec![
+        CapacityCheck {
+            name: "unroll-accumulators",
+            level: "vregs",
+            used: unroll + RESERVED_VREGS,
+            budget: NUM_VREGS,
+            detail: format!(
+                "unroll {unroll} + {RESERVED_VREGS} reserved regs vs {NUM_VREGS} vector registers"
+            ),
+        },
+        CapacityCheck {
+            name: "a-panel",
+            level: "L1",
+            used: blocks.m * blocks.k * 4,
+            budget: l1_half,
+            detail: format!(
+                "packed A panel blockM*blockK*4 = {}*{}*4 B vs L1/2 = {l1_half} B",
+                blocks.m, blocks.k
+            ),
+        },
+        CapacityCheck {
+            name: "b-panel",
+            level: "L2",
+            used: blocks.k * blocks.n * 4,
+            budget: l2_half,
+            detail: format!(
+                "packed B panel blockK*blockN*4 = {}*{}*4 B vs L2/2 = {l2_half} B",
+                blocks.k, blocks.n
+            ),
+        },
+    ];
+    match cfg.mem.vpu_path {
+        VpuPath::ThroughL1 => out.push(CapacityCheck {
+            name: "b-micropanel",
+            level: "L1",
+            used: blocks.k * vlen * 4,
+            budget: l1_half,
+            detail: format!(
+                "streamed B micro-panel blockK*VL*4 = {}*{vlen}*4 B vs L1/2 = {l1_half} B",
+                blocks.k
+            ),
+        }),
+        VpuPath::DecoupledL2 { vcache_bytes } => out.push(CapacityCheck {
+            name: "vector-row",
+            level: "vcache",
+            used: vlen * 4,
+            budget: vcache_bytes,
+            detail: format!(
+                "one max-length register row VL*4 = {vlen}*4 B vs vector cache = {vcache_bytes} B"
+            ),
+        }),
+    }
+    if cfg.vpu.isa == IsaKind::Sve {
+        if let Some(in_c) = winograd_in_c {
+            out.push(CapacityCheck {
+                name: "winograd-tile-row",
+                level: "L1",
+                used: (vlen / WINO_GROUP) * WINO_FREQS * 4,
+                budget: l1_half,
+                detail: format!(
+                    "transformed tile row (VL/{WINO_GROUP})*{WINO_FREQS}*4 = \
+                     ({vlen}/{WINO_GROUP})*{WINO_FREQS}*4 B vs L1/2 = {l1_half} B"
+                ),
+            });
+            out.push(CapacityCheck {
+                name: "winograd-v-panel",
+                level: "L2",
+                used: in_c * WINO_FREQS * 4,
+                budget: l2_half,
+                detail: format!(
+                    "V working set in_c*{WINO_FREQS}*4 = {in_c}*{WINO_FREQS}*4 B vs \
+                     L2/2 = {l2_half} B"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Convert failed checks into findings.
+pub fn lint_capacity(profile: &str, checks: &[CapacityCheck]) -> Vec<Finding> {
+    checks
+        .iter()
+        .filter(|c| !c.ok())
+        .map(|c| Finding {
+            pass: "capacity",
+            kernel: "static".to_string(),
+            profile: profile.to_string(),
+            detail: format!(
+                "{} exceeds {} budget: {} > {} ({})",
+                c.name, c.level, c.used, c.budget, c.detail
+            ),
+        })
+        .collect()
+}

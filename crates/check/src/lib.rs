@@ -1,0 +1,91 @@
+//! # lva-check — vector-kernel sanitizer and co-design capacity linter
+//!
+//! Static analysis for the study's simulated kernels, in two halves:
+//!
+//! * **Kernel sanitizer** ([`sanitize`]) — replays the [`lva_isa::VecEvent`]
+//!   stream a recording [`Machine`] captured while a kernel ran and checks
+//!   architectural discipline: no reads of undefined register lanes, no
+//!   accesses past the end of the [`lva_sim::Buf`] they belong to, no use of
+//!   register copies whose backing memory was overwritten (stale-copy /
+//!   write-after-read hazards), and no vector lengths that were never granted
+//!   by `setvl`/`whilelt`. Recording is timing-neutral (cycle counts are
+//!   bit-identical with the hook on or off — asserted by this crate's tests),
+//!   so the sanitizer sees exactly the production kernels.
+//!
+//! * **Capacity linter** ([`capacity`]) — purely static: given the GEMM block
+//!   sizes and Winograd tile parameters plus a [`MachineConfig`], it computes
+//!   the per-level working-set footprints that §V of the paper sizes the
+//!   cache hierarchy around, and flags any panel that exceeds its intended
+//!   level (packed-A vs L1, packed-B vs L2, the streamed micro-panel vs the
+//!   L1 or the RVV vector cache, the Winograd tile rows vs L1).
+//!
+//! The `lint-kernels` binary runs both halves over every registered kernel
+//! ([`registry`]) on both ISA profiles across a representative config sweep,
+//! emits the findings as JSON, and exits nonzero when anything is flagged —
+//! CI runs it as a correctness gate.
+
+#![forbid(unsafe_code)]
+
+pub mod capacity;
+pub mod registry;
+pub mod sanitize;
+
+use lva_core::Json;
+use lva_isa::{Machine, MachineConfig, DEFAULT_L2_BYTES};
+
+pub use capacity::{capacity_checks, lint_capacity, CapacityCheck};
+pub use registry::{registered_kernels, KernelCase};
+pub use sanitize::{sanitize, EventTrace};
+
+/// One sanitizer or capacity-linter finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Which pass produced it: `"uninit-read"`, `"oob"`, `"war-overlap"`,
+    /// `"vl-discipline"`, or `"capacity"`.
+    pub pass: &'static str,
+    /// The kernel under analysis (`"static"` for capacity findings).
+    pub kernel: String,
+    /// The machine profile the kernel ran on (e.g. `"rvv/16384b"`).
+    pub profile: String,
+    /// Human-readable description naming the registers/buffers involved.
+    pub detail: String,
+}
+
+impl Finding {
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("pass", self.pass)
+            .field("kernel", self.kernel.as_str())
+            .field("profile", self.profile.as_str())
+            .field("detail", self.detail.as_str())
+    }
+}
+
+/// Run one registered kernel on `cfg` with event recording enabled and
+/// sanitize the captured stream.
+pub fn check_kernel(case: &KernelCase, profile: &str, cfg: &MachineConfig) -> Vec<Finding> {
+    let mut m = Machine::new(cfg.clone());
+    m.record_events();
+    (case.run)(&mut m);
+    let events = m.take_events();
+    let trace = EventTrace {
+        kernel: case.name,
+        profile,
+        events: &events,
+        allocs: m.mem.allocs(),
+        vlen_elems: m.vlen_elems(),
+    };
+    sanitize(&trace)
+}
+
+/// The representative hardware design points the linter sweeps: both ISA
+/// profiles, each at a short and at its maximum vector length (the co-design
+/// axis of §V).
+pub fn sweep_configs() -> Vec<(&'static str, MachineConfig)> {
+    vec![
+        ("rvv/4096b", MachineConfig::rvv_gem5(4096, 8, DEFAULT_L2_BYTES)),
+        ("rvv/16384b", MachineConfig::rvv_gem5(16384, 8, DEFAULT_L2_BYTES)),
+        ("sve/512b", MachineConfig::sve_gem5(512, DEFAULT_L2_BYTES)),
+        ("sve/2048b", MachineConfig::sve_gem5(2048, DEFAULT_L2_BYTES)),
+    ]
+}

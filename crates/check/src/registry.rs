@@ -1,0 +1,184 @@
+//! The registry of kernels the linter runs: every simulated kernel in the
+//! workspace, instantiated at a small representative shape.
+//!
+//! Shapes are deliberately tiny (the sanitizer analyzes the event stream,
+//! whose density of distinct behaviours — tails, predication, packing,
+//! spills — matters more than size), but each is chosen to exercise a
+//! partial final vector (`n` not a multiple of any sweep vector length) so
+//! the tail-handling discipline is actually covered.
+
+use lva_isa::{IsaKind, Machine};
+use lva_kernels::aux::{
+    add_bias_vec, add_inplace_vec, copy_vec, fill_vec, normalize_vec, scale_bias_vec,
+};
+use lva_kernels::fc::{fully_connected_vec, softmax_vec};
+use lva_kernels::gemm::{gemm_naive, gemm_opt3, gemm_opt6, GemmWorkspace};
+use lva_kernels::im2col::im2col_vec;
+use lva_kernels::pool::{global_avgpool_vec, maxpool_vec, upsample2_vec, PoolParams};
+use lva_kernels::{
+    conv_depthwise_vec, conv_direct_vec, conv_im2col_gemm, BlockSizes, ConvParams, GemmVariant,
+};
+use lva_tensor::{host_random, Matrix, Shape, Tensor};
+use lva_winograd::{winograd_conv_vla, WinogradPlan};
+
+/// One kernel the linter knows how to drive.
+pub struct KernelCase {
+    pub name: &'static str,
+    /// `None` runs on both ISA profiles; `Some(isa)` restricts it.
+    pub isa: Option<IsaKind>,
+    pub run: fn(&mut Machine),
+}
+
+impl KernelCase {
+    pub fn supports(&self, isa: IsaKind) -> bool {
+        self.isa.is_none_or(|k| k == isa)
+    }
+}
+
+/// Every kernel under the sanitizer's gate.
+pub fn registered_kernels() -> Vec<KernelCase> {
+    vec![
+        KernelCase { name: "gemm_naive", isa: None, run: run_gemm_naive },
+        KernelCase { name: "gemm_opt3", isa: None, run: run_gemm_opt3 },
+        KernelCase { name: "gemm_opt6", isa: None, run: run_gemm_opt6 },
+        KernelCase { name: "im2col", isa: None, run: run_im2col },
+        KernelCase { name: "conv_im2col_gemm", isa: None, run: run_conv_im2col },
+        KernelCase { name: "conv_direct_3x3", isa: None, run: run_direct_3x3 },
+        KernelCase { name: "conv_direct_1x1", isa: None, run: run_direct_1x1 },
+        KernelCase { name: "conv_depthwise", isa: None, run: run_depthwise },
+        KernelCase { name: "maxpool", isa: None, run: run_maxpool },
+        KernelCase { name: "upsample2", isa: None, run: run_upsample2 },
+        KernelCase { name: "global_avgpool", isa: None, run: run_global_avgpool },
+        KernelCase { name: "fc_softmax", isa: None, run: run_fc_softmax },
+        KernelCase { name: "aux_ops", isa: None, run: run_aux_ops },
+        KernelCase { name: "winograd_f6x3", isa: Some(IsaKind::Sve), run: run_winograd },
+    ]
+}
+
+fn run_gemm_naive(m: &mut Machine) {
+    let (mm, nn, kk) = (4, 40, 9);
+    let a = Matrix::random(m, mm, kk, 1);
+    let b = Matrix::random(m, kk, nn, 2);
+    let c = m.mem.alloc_named("c", mm * nn);
+    gemm_naive(m, mm, nn, kk, 1.0, a.buf, b.buf, c);
+}
+
+fn run_gemm_opt3(m: &mut Machine) {
+    let (mm, nn, kk) = (8, 100, 27);
+    let a = Matrix::random(m, mm, kk, 1);
+    let b = Matrix::random(m, kk, nn, 2);
+    let c = m.mem.alloc_named("c", mm * nn);
+    gemm_opt3(m, mm, nn, kk, 1.0, a.buf, b.buf, c, 4);
+}
+
+fn run_gemm_opt6(m: &mut Machine) {
+    let (mm, nn, kk) = (16, 96, 32);
+    let blocks = BlockSizes { m: 8, n: 64, k: 16 };
+    let a = Matrix::random(m, mm, kk, 1);
+    let b = Matrix::random(m, kk, nn, 2);
+    let c = m.mem.alloc_named("c", mm * nn);
+    let ws = GemmWorkspace::alloc(m, blocks);
+    gemm_opt6(m, mm, nn, kk, 1.0, a.buf, b.buf, c, 4, blocks, &ws);
+}
+
+fn run_im2col(m: &mut Machine) {
+    // Stride-2 with padding exercises the gather/border paths of the
+    // vectorized lowering on their own.
+    let p = ConvParams { in_c: 3, in_h: 9, in_w: 9, out_c: 1, k: 3, stride: 2, pad: 1 };
+    let img = Tensor::random(m, Shape::new(p.in_c, p.in_h, p.in_w), 5);
+    let col = m.mem.alloc_named("col", p.workspace_words());
+    im2col_vec(m, &p, &img, col);
+}
+
+fn run_conv_im2col(m: &mut Machine) {
+    let p = ConvParams { in_c: 3, in_h: 10, in_w: 10, out_c: 4, k: 3, stride: 1, pad: 1 };
+    let img = Tensor::random(m, Shape::new(p.in_c, p.in_h, p.in_w), 5);
+    let (mm, nn, kk) = p.gemm_mnk();
+    let w = Matrix::random(m, mm, kk, 6);
+    let col = m.mem.alloc_named("col", p.workspace_words());
+    let out = m.mem.alloc_named("out", mm * nn);
+    conv_im2col_gemm(m, GemmVariant::Opt3 { unroll: 4 }, &p, &img, w.buf, col, out, None);
+}
+
+fn run_direct_3x3(m: &mut Machine) {
+    let p = ConvParams { in_c: 4, in_h: 10, in_w: 10, out_c: 6, k: 3, stride: 1, pad: 1 };
+    direct_case(m, p);
+}
+
+fn run_direct_1x1(m: &mut Machine) {
+    let p = ConvParams { in_c: 8, in_h: 6, in_w: 6, out_c: 4, k: 1, stride: 1, pad: 0 };
+    direct_case(m, p);
+}
+
+fn direct_case(m: &mut Machine, p: ConvParams) {
+    let img = Tensor::random(m, Shape::new(p.in_c, p.in_h, p.in_w), 5);
+    let w = m.mem.alloc_from(&host_random(p.out_c * p.in_c * p.k * p.k, 6));
+    let (oh, ow) = p.out_hw();
+    let out = m.mem.alloc_named("out", p.out_c * oh * ow);
+    conv_direct_vec(m, &p, &img, w, out);
+}
+
+fn run_depthwise(m: &mut Machine) {
+    let p = lva_kernels::depthwise::depthwise_params(4, 10, 10, 3, 1);
+    let img = Tensor::random(m, Shape::new(p.in_c, p.in_h, p.in_w), 5);
+    let w = m.mem.alloc_from(&host_random(p.in_c * p.k * p.k, 6));
+    let (oh, ow) = p.out_hw();
+    let out = m.mem.alloc_named("out", p.in_c * oh * ow);
+    conv_depthwise_vec(m, &p, &img, w, out);
+}
+
+fn run_maxpool(m: &mut Machine) {
+    let p = PoolParams { size: 2, stride: 2, padding: 0 };
+    let input = Tensor::random(m, Shape::new(4, 8, 8), 5);
+    let (oh, ow) = p.out_hw(8, 8);
+    let out = Tensor::alloc(m, Shape::new(4, oh, ow));
+    maxpool_vec(m, &p, &input, &out);
+}
+
+fn run_upsample2(m: &mut Machine) {
+    let input = Tensor::random(m, Shape::new(3, 6, 6), 5);
+    let out = Tensor::alloc(m, Shape::new(3, 12, 12));
+    upsample2_vec(m, &input, &out);
+}
+
+fn run_global_avgpool(m: &mut Machine) {
+    let input = Tensor::random(m, Shape::new(4, 7, 7), 5);
+    let out = Tensor::alloc(m, Shape::new(4, 1, 1));
+    global_avgpool_vec(m, &input, &out);
+}
+
+fn run_fc_softmax(m: &mut Machine) {
+    let (outputs, inputs) = (10, 64);
+    let w = Matrix::random(m, outputs, inputs, 1);
+    let x = m.mem.alloc_from(&host_random(inputs, 2));
+    let out = m.mem.alloc_named("out", outputs);
+    fully_connected_vec(m, w.buf, x, out, outputs, inputs);
+    softmax_vec(m, out, outputs);
+}
+
+fn run_aux_ops(m: &mut Machine) {
+    let (channels, spatial) = (3, 50);
+    let x = m.mem.alloc_named("x", channels * spatial);
+    let bias = m.mem.alloc_from(&host_random(channels, 1));
+    let scale = m.mem.alloc_from(&host_random(channels, 2));
+    let mean = m.mem.alloc_from(&host_random(channels, 3));
+    let var = m.mem.alloc_from(&[0.5; 3]);
+    fill_vec(m, x, 0, channels * spatial, 0.25);
+    add_bias_vec(m, x, bias, channels, spatial);
+    scale_bias_vec(m, x, scale, channels, spatial);
+    normalize_vec(m, x, mean, var, channels, spatial);
+    let src = m.mem.alloc_from(&host_random(64, 4));
+    let dst = m.mem.alloc_named("dst", 64);
+    copy_vec(m, src, 0, dst, 0, 64);
+    add_inplace_vec(m, src, dst, 64);
+}
+
+fn run_winograd(m: &mut Machine) {
+    let p = ConvParams { in_c: 8, in_h: 12, in_w: 12, out_c: 4, k: 3, stride: 1, pad: 1 };
+    let input = Tensor::random(m, Shape::new(p.in_c, p.in_h, p.in_w), 5);
+    let weights = m.mem.alloc_from(&host_random(p.out_c * p.in_c * 9, 6));
+    let (oh, ow) = p.out_hw();
+    let out = m.mem.alloc_named("out", p.out_c * oh * ow);
+    let mut plan = WinogradPlan::new(m, p, weights);
+    winograd_conv_vla(m, &mut plan, &input, out);
+}

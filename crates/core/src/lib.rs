@@ -11,6 +11,7 @@
 //! The `exp-*` binaries in `lva-bench` are thin drivers over this API, one
 //! per table/figure of the paper.
 
+#![forbid(unsafe_code)]
 pub mod energy;
 pub mod experiment;
 pub mod report;

@@ -18,7 +18,7 @@ impl Table {
     pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
         Table {
             title: title.into(),
-            headers: headers.iter().map(|s| s.to_string()).collect(),
+            headers: headers.iter().map(std::string::ToString::to_string).collect(),
             rows: Vec::new(),
         }
     }
@@ -46,7 +46,7 @@ impl Table {
     /// Render as an aligned text table.
     pub fn render(&self) -> String {
         let ncols = self.headers.len();
-        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        let mut widths: Vec<usize> = self.headers.iter().map(std::string::String::len).collect();
         for r in &self.rows {
             for (i, c) in r.iter().enumerate() {
                 widths[i] = widths[i].max(c.len());

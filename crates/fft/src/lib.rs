@@ -19,6 +19,7 @@
 //! largest of the four algorithms — one reason the paper's networks (1x1 /
 //! 3x3 kernels) never choose it, exactly as §II-C prescribes.
 
+#![forbid(unsafe_code)]
 pub mod host;
 pub mod vla;
 

@@ -25,9 +25,11 @@
 //!   gem5 profile, and an A64FX-like out-of-order profile with hardware +
 //!   software prefetch.
 
+#![forbid(unsafe_code)]
 pub mod config;
 pub mod machine;
 pub mod pred;
+pub mod record;
 pub mod stats;
 
 pub use config::{
@@ -36,6 +38,7 @@ pub use config::{
 };
 pub use machine::{Machine, VReg, NUM_VREGS};
 pub use pred::Pred;
+pub use record::{EventKind, VecEvent};
 pub use stats::{KernelPhase, PhaseTimer, StallBreakdown, StallCause, VpuStats};
 
 pub use lva_sim::{Buf, Memory, PrefetchTarget};

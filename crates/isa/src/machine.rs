@@ -23,6 +23,7 @@
 
 use crate::config::{IsaKind, MachineConfig};
 use crate::pred::Pred;
+use crate::record::VecEvent;
 use crate::stats::{KernelPhase, PhaseTimer, StallBreakdown, StallCause, VpuStats};
 use lva_sim::{AccessKind, MemSystem, Memory, PrefetchTarget, VpuPath};
 
@@ -62,6 +63,11 @@ pub struct Machine {
     /// Per-cause attribution of every front-end stall cycle. Bookkeeping
     /// only: the timing model is identical whether anyone reads this.
     pub stalls: StallBreakdown,
+    /// Opt-in event recorder for the `lva-check` sanitizer. `None` (the
+    /// default) records nothing; when enabled, every vector op appends one
+    /// [`VecEvent`]. Pure observation — the timing model never reads it, so
+    /// cycle counts are bit-identical with recording on or off.
+    rec: Option<Vec<VecEvent>>,
 }
 
 impl Machine {
@@ -84,7 +90,47 @@ impl Machine {
             stats: VpuStats::default(),
             phases: PhaseTimer::default(),
             stalls: StallBreakdown::default(),
+            rec: None,
             cfg,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Event recording (the `lva-check` sanitizer hook)
+    // ------------------------------------------------------------------
+
+    /// Start recording vector-op events (clears any previous recording).
+    pub fn record_events(&mut self) {
+        self.rec = Some(Vec::new());
+    }
+
+    /// Whether event recording is active.
+    pub fn is_recording(&self) -> bool {
+        self.rec.is_some()
+    }
+
+    /// Stop recording and return the captured event stream.
+    pub fn take_events(&mut self) -> Vec<VecEvent> {
+        self.rec.take().unwrap_or_default()
+    }
+
+    /// Append an event if recording is on. The closure only runs when
+    /// enabled, so the disabled path costs one branch.
+    #[inline]
+    fn rec(&mut self, f: impl FnOnce() -> VecEvent) {
+        if let Some(events) = self.rec.as_mut() {
+            events.push(f());
+        }
+    }
+
+    /// Hard bounds check for a vector memory access: the byte range
+    /// `[lo, hi)` must lie inside the allocated arena. Panics with the
+    /// offending op, address, `vl`, and the nearest buffer's name instead of
+    /// an index panic deep inside [`Memory`].
+    #[inline]
+    fn check_vec(&self, op: &str, lo: u64, hi: u64, vl: usize) {
+        if let Err(why) = self.mem.check_range(lo, hi) {
+            panic!("{op} (vl={vl}) out of range: {why}");
         }
     }
 
@@ -127,7 +173,9 @@ impl Machine {
     pub fn phase<R>(&mut self, p: KernelPhase, f: impl FnOnce(&mut Self) -> R) -> R {
         let t0 = self.cycles();
         let mut sp = lva_trace::span(p.name());
+        self.rec(|| VecEvent::phase_marker(true, p));
         let r = f(self);
+        self.rec(|| VecEvent::phase_marker(false, p));
         let dt = self.cycles() - t0;
         self.phases.add(p, dt);
         sp.set("cycles", dt);
@@ -314,14 +362,18 @@ impl Machine {
     #[inline]
     pub fn setvl(&mut self, rvl: usize) -> usize {
         self.charge_scalar_ops(1);
-        rvl.min(self.vlen_elems)
+        let granted = rvl.min(self.vlen_elems);
+        self.rec(|| VecEvent::grant("setvl", rvl, granted));
+        granted
     }
 
     /// SVE `whilelt`: predicate for lanes `i..n`.
     #[inline]
     pub fn whilelt(&mut self, i: usize, n: usize) -> Pred {
         self.charge_scalar_ops(1);
-        Pred::whilelt(i, n, self.vlen_elems)
+        let p = Pred::whilelt(i, n, self.vlen_elems);
+        self.rec(|| VecEvent::grant("whilelt", n.saturating_sub(i), p.active));
+        p
     }
 
     /// SVE `svcntw`: number of 32-bit lanes (Fig. 4 line 3).
@@ -340,6 +392,8 @@ impl Machine {
         if vl == 0 {
             return;
         }
+        self.check_vec("vle", addr, addr + 4 * vl as u64, vl);
+        self.rec(|| VecEvent::load("vle", vd, addr, addr + 4 * vl as u64, vl));
         // Functional.
         let src_ptr = addr;
         {
@@ -370,6 +424,8 @@ impl Machine {
         if vl == 0 {
             return;
         }
+        self.check_vec("vse", addr, addr + 4 * vl as u64, vl);
+        self.rec(|| VecEvent::store("vse", vs, addr, addr + 4 * vl as u64, vl));
         {
             let n = self.vlen_elems;
             let reg_row = vd_row(&self.regs, vs, n, vl);
@@ -396,6 +452,9 @@ impl Machine {
         if vl == 0 {
             return;
         }
+        let hi = addr + (vl as u64 - 1) * stride_bytes + 4;
+        self.check_vec("vlse", addr, hi, vl);
+        self.rec(|| VecEvent::load("vlse", vd, addr, hi, vl));
         for i in 0..vl {
             let v = self.mem.read_addr(addr + i as u64 * stride_bytes);
             let n = self.vlen_elems;
@@ -413,6 +472,9 @@ impl Machine {
         if vl == 0 {
             return;
         }
+        let hi = addr + (vl as u64 - 1) * stride_bytes + 4;
+        self.check_vec("vsse", addr, hi, vl);
+        self.rec(|| VecEvent::store("vsse", vs, addr, hi, vl));
         for i in 0..vl {
             let n = self.vlen_elems;
             let v = self.regs[vs * n + i];
@@ -472,6 +534,14 @@ impl Machine {
         if vl == 0 {
             return;
         }
+        let range = indexed_range(base, &idx[..vl]);
+        if let Some((lo, hi)) = range {
+            self.check_vec("vgather", lo, hi, vl);
+        }
+        self.rec(|| {
+            let (lo, hi) = range.unwrap_or((0, 0));
+            VecEvent::load("vgather", vd, lo, hi, vl)
+        });
         for i in 0..vl {
             let n = self.vlen_elems;
             self.regs[vd * n + i] =
@@ -492,6 +562,14 @@ impl Machine {
         if vl == 0 {
             return;
         }
+        let range = indexed_range(base, &idx[..vl]);
+        if let Some((lo, hi)) = range {
+            self.check_vec("vscatter", lo, hi, vl);
+        }
+        self.rec(|| {
+            let (lo, hi) = range.unwrap_or((0, 0));
+            VecEvent::store("vscatter", vs, lo, hi, vl)
+        });
         for i in 0..vl {
             if idx[i] == u32::MAX {
                 continue;
@@ -519,6 +597,14 @@ impl Machine {
         if vl == 0 {
             return;
         }
+        let range = indexed_range(base, &idx[..vl]);
+        if let Some((lo, hi)) = range {
+            self.check_vec("vgather4", lo, hi, vl);
+        }
+        self.rec(|| {
+            let (lo, hi) = range.unwrap_or((0, 0));
+            VecEvent::load("vgather4", vd, lo, hi, vl)
+        });
         for i in 0..vl {
             let n = self.vlen_elems;
             self.regs[vd * n + i] =
@@ -538,6 +624,14 @@ impl Machine {
         if vl == 0 {
             return;
         }
+        let range = indexed_range(base, &idx[..vl]);
+        if let Some((lo, hi)) = range {
+            self.check_vec("vscatter4", lo, hi, vl);
+        }
+        self.rec(|| {
+            let (lo, hi) = range.unwrap_or((0, 0));
+            VecEvent::store("vscatter4", vs, lo, hi, vl)
+        });
         for i in 0..vl {
             if idx[i] == u32::MAX {
                 continue;
@@ -648,6 +742,9 @@ impl Machine {
 
     /// Broadcast a scalar into all lanes (RVV `vfmv.v.f` / SVE `svdup`).
     pub fn vbroadcast(&mut self, vd: VReg, x: f32, vl: usize) {
+        // Functionally fills vl.max(1) lanes; record the same so the
+        // uninitialized-read pass sees the true defined prefix.
+        self.rec(|| VecEvent::arith("vbroadcast", vd, [None, None, None], vl.max(1)));
         let n = self.vlen_elems;
         self.regs[vd * n..vd * n + vl.max(1)].fill(x);
         let (occ, lat) = self.arith_cost(1);
@@ -660,6 +757,7 @@ impl Machine {
         if vd == vs {
             return;
         }
+        self.rec(|| VecEvent::arith("vmv", vd, [Some(vs), None, None], vl));
         let (d, s) = self.vreg_pair(vd, vs);
         d[..vl].copy_from_slice(&s[..vl]);
         let (occ, lat) = self.arith_cost(vl);
@@ -669,6 +767,7 @@ impl Machine {
 
     /// `vd[i] += a * vs[i]` — RVV `vfmacc.vf` / SVE `svmla_n` (Fig. 2 l.11).
     pub fn vfmacc_vf(&mut self, vd: VReg, a: f32, vs: VReg, vl: usize) {
+        self.rec(|| VecEvent::arith("vfmacc.vf", vd, [Some(vs), Some(vd), None], vl));
         {
             let (d, s) = self.vreg_pair(vd, vs);
             for i in 0..vl {
@@ -683,6 +782,7 @@ impl Machine {
     /// `vd[i] -= va[i] * vb[i]` — RVV `vfnmsac.vv` / SVE `FMLS`.
     pub fn vfnmsac_vv(&mut self, vd: VReg, va: VReg, vb: VReg, vl: usize) {
         debug_assert!(vd != va && vd != vb);
+        self.rec(|| VecEvent::arith("vfnmsac.vv", vd, [Some(va), Some(vb), Some(vd)], vl));
         {
             let n = self.vlen_elems;
             for i in 0..vl {
@@ -700,6 +800,7 @@ impl Machine {
     /// `vd[i] += va[i] * vb[i]` — RVV `vfmacc.vv`.
     pub fn vfmacc_vv(&mut self, vd: VReg, va: VReg, vb: VReg, vl: usize) {
         debug_assert!(vd != va && vd != vb);
+        self.rec(|| VecEvent::arith("vfmacc.vv", vd, [Some(va), Some(vb), Some(vd)], vl));
         {
             let n = self.vlen_elems;
             for i in 0..vl {
@@ -718,6 +819,7 @@ impl Machine {
     /// primitives below.
     /// `vd[i] = vs[i] * a`.
     pub fn vfmul_vf(&mut self, vd: VReg, vs: VReg, a: f32, vl: usize) {
+        self.rec(|| VecEvent::arith("vfmul.vf", vd, [Some(vs), None, None], vl));
         if vd == vs {
             let n = self.vlen_elems;
             for x in &mut self.regs[vd * n..vd * n + vl] {
@@ -736,6 +838,7 @@ impl Machine {
 
     /// `vd[i] = va[i] * vb[i]`.
     pub fn vfmul_vv(&mut self, vd: VReg, va: VReg, vb: VReg, vl: usize) {
+        self.rec(|| VecEvent::arith("vfmul.vv", vd, [Some(va), Some(vb), None], vl));
         let n = self.vlen_elems;
         for i in 0..vl {
             self.regs[vd * n + i] = self.regs[va * n + i] * self.regs[vb * n + i];
@@ -747,6 +850,7 @@ impl Machine {
 
     /// `vd[i] = va[i] + vb[i]`.
     pub fn vfadd_vv(&mut self, vd: VReg, va: VReg, vb: VReg, vl: usize) {
+        self.rec(|| VecEvent::arith("vfadd.vv", vd, [Some(va), Some(vb), None], vl));
         let n = self.vlen_elems;
         for i in 0..vl {
             self.regs[vd * n + i] = self.regs[va * n + i] + self.regs[vb * n + i];
@@ -758,6 +862,7 @@ impl Machine {
 
     /// `vd[i] = vs[i] + a`.
     pub fn vfadd_vf(&mut self, vd: VReg, vs: VReg, a: f32, vl: usize) {
+        self.rec(|| VecEvent::arith("vfadd.vf", vd, [Some(vs), None, None], vl));
         let n = self.vlen_elems;
         for i in 0..vl {
             self.regs[vd * n + i] = self.regs[vs * n + i] + a;
@@ -769,6 +874,7 @@ impl Machine {
 
     /// `vd[i] = va[i] - vb[i]`.
     pub fn vfsub_vv(&mut self, vd: VReg, va: VReg, vb: VReg, vl: usize) {
+        self.rec(|| VecEvent::arith("vfsub.vv", vd, [Some(va), Some(vb), None], vl));
         let n = self.vlen_elems;
         for i in 0..vl {
             self.regs[vd * n + i] = self.regs[va * n + i] - self.regs[vb * n + i];
@@ -780,6 +886,7 @@ impl Machine {
 
     /// `vd[i] = max(vs[i], a)` (leaky/ReLU building block).
     pub fn vfmax_vf(&mut self, vd: VReg, vs: VReg, a: f32, vl: usize) {
+        self.rec(|| VecEvent::arith("vfmax.vf", vd, [Some(vs), None, None], vl));
         let n = self.vlen_elems;
         for i in 0..vl {
             self.regs[vd * n + i] = self.regs[vs * n + i].max(a);
@@ -791,6 +898,7 @@ impl Machine {
 
     /// `vd[i] = max(va[i], vb[i])` (maxpool building block).
     pub fn vfmax_vv(&mut self, vd: VReg, va: VReg, vb: VReg, vl: usize) {
+        self.rec(|| VecEvent::arith("vfmax.vv", vd, [Some(va), Some(vb), None], vl));
         let n = self.vlen_elems;
         for i in 0..vl {
             self.regs[vd * n + i] = self.regs[va * n + i].max(self.regs[vb * n + i]);
@@ -802,6 +910,7 @@ impl Machine {
 
     /// `vd[i] = va[i] / vb[i]`.
     pub fn vfdiv_vv(&mut self, vd: VReg, va: VReg, vb: VReg, vl: usize) {
+        self.rec(|| VecEvent::arith("vfdiv.vv", vd, [Some(va), Some(vb), None], vl));
         let n = self.vlen_elems;
         for i in 0..vl {
             self.regs[vd * n + i] = self.regs[va * n + i] / self.regs[vb * n + i];
@@ -814,6 +923,7 @@ impl Machine {
 
     /// `vd[i] = sqrt(vs[i])`.
     pub fn vfsqrt(&mut self, vd: VReg, vs: VReg, vl: usize) {
+        self.rec(|| VecEvent::arith("vfsqrt", vd, [Some(vs), None, None], vl));
         let n = self.vlen_elems;
         for i in 0..vl {
             self.regs[vd * n + i] = self.regs[vs * n + i].sqrt();
@@ -826,6 +936,7 @@ impl Machine {
     /// Horizontal sum of the first `vl` lanes; the scalar result is consumed
     /// by the core, so the front end waits for it.
     pub fn vfredsum(&mut self, vs: VReg, vl: usize) -> f32 {
+        self.rec(|| VecEvent::reduce("vfredsum", vs, vl));
         let n = self.vlen_elems;
         let sum: f32 = self.regs[vs * n..vs * n + vl].iter().sum();
         let chime = self.cfg.vpu.chime(vl) + (self.cfg.vpu.lanes as f64).log2().ceil() as u64;
@@ -839,6 +950,7 @@ impl Machine {
 
     /// Horizontal max of the first `vl` lanes.
     pub fn vfredmax(&mut self, vs: VReg, vl: usize) -> f32 {
+        self.rec(|| VecEvent::reduce("vfredmax", vs, vl));
         let n = self.vlen_elems;
         let mx = self.regs[vs * n..vs * n + vl].iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let chime = self.cfg.vpu.chime(vl) + (self.cfg.vpu.lanes as f64).log2().ceil() as u64;
@@ -924,6 +1036,7 @@ impl Machine {
     /// scalar rate: these are the A-operand reads and address bookkeeping
     /// inside vector micro-kernels, which dual-issue with vector work.
     pub fn scalar_read(&mut self, addr: u64) -> f32 {
+        self.check_vec("scalar_read", addr, addr + 4, 1);
         let v = self.mem.read_addr(addr);
         let (_lvl, lat) = self.sys.demand_scalar(addr, AccessKind::Read);
         let exposed = (lat.saturating_sub(self.cfg.mem.l1.hit_latency)) as f64
@@ -936,6 +1049,7 @@ impl Machine {
     /// Scalar store with cache timing (kernel scalar rate, see
     /// [`Self::scalar_read`]).
     pub fn scalar_write(&mut self, addr: u64, v: f32) {
+        self.check_vec("scalar_write", addr, addr + 4, 1);
         self.mem.write_addr(addr, v);
         let (_lvl, lat) = self.sys.demand_scalar(addr, AccessKind::Write);
         let exposed = (lat.saturating_sub(self.cfg.mem.l1.hit_latency)) as f64
@@ -972,10 +1086,30 @@ fn vd_row(regs: &[f32], r: VReg, n: usize, vl: usize) -> &[f32] {
     &regs[r * n..r * n + vl]
 }
 
+/// Byte range `[lo, hi)` covered by the active lanes of an indexed access
+/// (lanes with the `u32::MAX` sentinel are predicated out). `None` when no
+/// lane is active.
+#[inline]
+fn indexed_range(base: u64, idx: &[u32]) -> Option<(u64, u64)> {
+    let mut lo = u64::MAX;
+    let mut hi = 0u64;
+    for &ix in idx {
+        if ix == u32::MAX {
+            continue;
+        }
+        let a = base + 4 * ix as u64;
+        lo = lo.min(a);
+        hi = hi.max(a + 4);
+    }
+    (lo < hi).then_some((lo, hi))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::MachineConfig;
+
+    const ARENA_BASE_TEST: u64 = lva_sim::mem::ARENA_BASE;
 
     fn machine() -> Machine {
         Machine::new(MachineConfig::rvv_gem5(512, 8, 1 << 20))
@@ -1308,6 +1442,61 @@ mod tests {
             "cold misses must surface as memory stalls: {:?}",
             m.stalls
         );
+    }
+
+    #[test]
+    fn recording_is_off_by_default_and_captures_ops_when_on() {
+        use crate::record::EventKind;
+        let mut m = machine();
+        assert!(!m.is_recording());
+        let a = m.mem.alloc(16);
+        m.vle(0, a.addr(0), 16);
+        assert!(m.take_events().is_empty(), "nothing recorded while off");
+
+        m.record_events();
+        let vl = m.setvl(16);
+        m.vle(1, a.addr(0), vl);
+        m.vfmacc_vf(2, 2.0, 1, vl);
+        m.vse(2, a.addr(0), vl);
+        let ev = m.take_events();
+        assert_eq!(ev.len(), 4);
+        assert_eq!(ev[0].kind, EventKind::Grant);
+        assert_eq!((ev[0].requested, ev[0].vl), (16, 16));
+        assert_eq!(ev[1].kind, EventKind::Load);
+        assert_eq!((ev[1].lo, ev[1].hi), (a.base, a.base + 64));
+        assert_eq!(ev[2].kind, EventKind::Arith);
+        assert_eq!(ev[2].srcs, [Some(1), Some(2), None]);
+        assert_eq!(ev[3].kind, EventKind::Store);
+        assert!(!m.is_recording(), "take_events stops the recording");
+    }
+
+    #[test]
+    fn phase_markers_are_recorded() {
+        use crate::record::EventKind;
+        let mut m = machine();
+        m.record_events();
+        m.phase(KernelPhase::Gemm, |m| m.vbroadcast(0, 1.0, 16));
+        let ev = m.take_events();
+        assert_eq!(ev[0].kind, EventKind::PhaseBegin);
+        assert_eq!(ev[0].phase, Some(KernelPhase::Gemm));
+        assert_eq!(ev[2].kind, EventKind::PhaseEnd);
+    }
+
+    #[test]
+    #[should_panic(expected = "acts")]
+    fn out_of_range_vle_names_the_buffer() {
+        let mut m = machine();
+        let a = m.mem.alloc_named("acts", 16);
+        // One full vector starting past the end of the only allocation.
+        m.vle(0, a.base + 4 * 16, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar_write")]
+    fn out_of_range_scalar_write_fails_loudly() {
+        let mut m = machine();
+        let _a = m.mem.alloc_named("acts", 16);
+        m.scalar_write(ARENA_BASE_TEST + 4096, 1.0);
     }
 
     #[test]

@@ -1,0 +1,150 @@
+//! Compact event IR for the kernel sanitizer (`lva-check`).
+//!
+//! When recording is enabled on a [`crate::Machine`], every vector
+//! operation appends one [`VecEvent`] describing *what* the instruction did
+//! architecturally — registers read and written, the byte range touched in
+//! memory, the vector length used — without any timing information.
+//! Recording is pure observation: the timing model never reads this state,
+//! so cycle counts are bit-identical with the hook on or off (the same
+//! discipline as `lva-trace`, asserted by tests in `lva-check`).
+//!
+//! The sanitizer passes in `crates/check` fold over the event stream to
+//! find uninitialized-register reads, out-of-bounds accesses, stale-copy
+//! (write-after-read) hazards, and vector-length discipline violations.
+
+use crate::stats::KernelPhase;
+use crate::VReg;
+
+/// What class of architectural action an event describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A vector load (unit-stride, strided, or gather): defines `dst` from
+    /// the byte range `[lo, hi)`.
+    Load,
+    /// A vector store (unit-stride, strided, or scatter): reads `srcs[0]`
+    /// and writes the byte range `[lo, hi)`.
+    Store,
+    /// Register-to-register arithmetic (including broadcasts and moves):
+    /// reads `srcs`, defines `dst`.
+    Arith,
+    /// A horizontal reduction: reads `srcs[0]`, result consumed by the
+    /// scalar core (no vector destination).
+    Reduce,
+    /// A vector-length grant: `setvl` (RVV) or `whilelt` (SVE). `vl` is the
+    /// granted length, `requested` the length asked for.
+    Grant,
+    /// Start of a [`KernelPhase`] region (the `op` field holds its name).
+    PhaseBegin,
+    /// End of the most recent [`KernelPhase`] region.
+    PhaseEnd,
+}
+
+/// One recorded vector operation. Fields that do not apply to the event's
+/// kind hold their neutral value (`None` registers, `lo == hi` for "no
+/// memory touched", `requested == 0` for non-grants).
+#[derive(Debug, Clone)]
+pub struct VecEvent {
+    pub kind: EventKind,
+    /// Mnemonic (`"vle"`, `"vfmacc.vf"`, `"setvl"`, …); for phase markers,
+    /// the phase name.
+    pub op: &'static str,
+    /// Destination register, if the op defines one.
+    pub dst: Option<VReg>,
+    /// Source registers read by the op (a `vfmacc vd, va, vb` reads `va`,
+    /// `vb` *and* the old `vd`, so `vd` appears here too).
+    pub srcs: [Option<VReg>; 3],
+    /// Elements processed (granted length for [`EventKind::Grant`]).
+    pub vl: usize,
+    /// Requested length of a grant (`setvl rvl` / `whilelt i, n` remainder).
+    pub requested: usize,
+    /// First byte address touched (inclusive). `lo == hi` means none.
+    pub lo: u64,
+    /// One past the last byte address touched (exclusive).
+    pub hi: u64,
+    /// The phase associated with a `PhaseBegin`/`PhaseEnd` marker.
+    pub phase: Option<KernelPhase>,
+}
+
+impl VecEvent {
+    fn blank(kind: EventKind, op: &'static str) -> Self {
+        VecEvent {
+            kind,
+            op,
+            dst: None,
+            srcs: [None, None, None],
+            vl: 0,
+            requested: 0,
+            lo: 0,
+            hi: 0,
+            phase: None,
+        }
+    }
+
+    /// A load defining `vd` from `[lo, hi)`.
+    pub fn load(op: &'static str, vd: VReg, lo: u64, hi: u64, vl: usize) -> Self {
+        VecEvent { dst: Some(vd), vl, lo, hi, ..Self::blank(EventKind::Load, op) }
+    }
+
+    /// A store reading `vs` into `[lo, hi)`.
+    pub fn store(op: &'static str, vs: VReg, lo: u64, hi: u64, vl: usize) -> Self {
+        VecEvent { srcs: [Some(vs), None, None], vl, lo, hi, ..Self::blank(EventKind::Store, op) }
+    }
+
+    /// Arithmetic defining `vd` from up to three sources.
+    pub fn arith(op: &'static str, vd: VReg, srcs: [Option<VReg>; 3], vl: usize) -> Self {
+        VecEvent { dst: Some(vd), srcs, vl, ..Self::blank(EventKind::Arith, op) }
+    }
+
+    /// A reduction reading `vs`.
+    pub fn reduce(op: &'static str, vs: VReg, vl: usize) -> Self {
+        VecEvent { srcs: [Some(vs), None, None], vl, ..Self::blank(EventKind::Reduce, op) }
+    }
+
+    /// A VL grant of `granted` lanes for a request of `requested`.
+    pub fn grant(op: &'static str, requested: usize, granted: usize) -> Self {
+        VecEvent { vl: granted, requested, ..Self::blank(EventKind::Grant, op) }
+    }
+
+    /// A phase begin/end marker.
+    pub fn phase_marker(begin: bool, p: KernelPhase) -> Self {
+        let kind = if begin { EventKind::PhaseBegin } else { EventKind::PhaseEnd };
+        VecEvent { phase: Some(p), ..Self::blank(kind, p.name()) }
+    }
+
+    /// Whether this event touches memory.
+    #[inline]
+    pub fn touches_memory(&self) -> bool {
+        self.hi > self.lo
+    }
+
+    /// Whether this event writes memory.
+    #[inline]
+    pub fn writes_memory(&self) -> bool {
+        self.kind == EventKind::Store && self.touches_memory()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_fill_the_right_fields() {
+        let l = VecEvent::load("vle", 3, 0x100, 0x140, 16);
+        assert_eq!(l.kind, EventKind::Load);
+        assert_eq!(l.dst, Some(3));
+        assert!(l.touches_memory() && !l.writes_memory());
+
+        let s = VecEvent::store("vse", 4, 0x100, 0x140, 16);
+        assert_eq!(s.srcs, [Some(4), None, None]);
+        assert!(s.writes_memory());
+
+        let g = VecEvent::grant("setvl", 100, 16);
+        assert_eq!((g.requested, g.vl), (100, 16));
+        assert!(!g.touches_memory());
+
+        let p = VecEvent::phase_marker(true, KernelPhase::Gemm);
+        assert_eq!(p.kind, EventKind::PhaseBegin);
+        assert_eq!(p.op, "gemm");
+    }
+}

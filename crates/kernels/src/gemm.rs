@@ -129,7 +129,7 @@ pub fn gemm(
         GemmVariant::Opt6 { unroll, blocks } => {
             let ws = ws.expect("gemm_opt6 needs a workspace");
             assert_eq!(ws.blocks, blocks, "workspace allocated for different block sizes");
-            gemm_opt6(m, mm, nn, kk, alpha, a, b, c, unroll, blocks, ws)
+            gemm_opt6(m, mm, nn, kk, alpha, a, b, c, unroll, blocks, ws);
         }
     }
 }

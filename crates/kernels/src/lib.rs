@@ -24,6 +24,7 @@
 //! The convolution driver [`conv::conv_im2col_gemm`] strings these together
 //! exactly like Darknet's `forward_convolutional_layer`.
 
+#![forbid(unsafe_code)]
 // Kernel entry points mirror BLAS/im2col calling conventions (machine,
 // shape tuple, buffers, strides); bundling them into structs would only
 // add indirection at every call site.

@@ -223,7 +223,8 @@ pub fn to_cfg(specs: &[LayerSpec], input: Shape) -> String {
             }
             LayerSpec::Route { layers } => {
                 let _ = writeln!(out, "[route]");
-                let list: Vec<String> = layers.iter().map(|l| l.to_string()).collect();
+                let list: Vec<String> =
+                    layers.iter().map(std::string::ToString::to_string).collect();
                 let _ = writeln!(out, "layers={}", list.join(","));
             }
             LayerSpec::Shortcut { from, activation } => {

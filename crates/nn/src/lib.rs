@@ -17,6 +17,7 @@
 //! paper's §VII algorithm-selection rule (Winograd for 3x3 stride-1 layers,
 //! im2col+GEMM otherwise; stride-2 Winograd optional).
 
+#![forbid(unsafe_code)]
 pub mod cfg;
 pub mod detect;
 pub mod layer;

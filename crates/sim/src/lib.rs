@@ -24,6 +24,7 @@
 //! Everything here is deterministic: the same kernel run produces the same
 //! statistics, so experiments need no repetition/averaging.
 
+#![forbid(unsafe_code)]
 pub mod cache;
 pub mod latency;
 pub mod mem;
@@ -33,7 +34,7 @@ pub mod rng;
 
 pub use cache::{AccessKind, Cache, CacheConfig, CacheStats};
 pub use latency::{l2_latency_cycles, LatencyModel};
-pub use mem::{Buf, Memory};
+pub use mem::{AllocRecord, Buf, Memory};
 pub use memsys::{MemLevel, MemSystem, MemSystemConfig, VpuPath};
 pub use prefetch::{PrefetchTarget, StridePrefetcher, StridePrefetcherConfig};
 pub use rng::Rng;

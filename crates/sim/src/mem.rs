@@ -58,6 +58,25 @@ impl Buf {
     }
 }
 
+/// One live allocation: its handle plus a human-readable label, kept so
+/// out-of-range accesses and sanitizer findings can name the buffer they
+/// concern instead of reporting a bare address.
+#[derive(Debug, Clone)]
+pub struct AllocRecord {
+    /// Label given at allocation time (`"buf{n}"` if unnamed).
+    pub label: String,
+    /// The handle returned to the caller (unpadded extent).
+    pub buf: Buf,
+}
+
+impl AllocRecord {
+    /// Whether byte address `addr` falls inside this allocation.
+    #[inline]
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >= self.buf.base && addr < self.buf.base + self.buf.bytes() as u64
+    }
+}
+
 /// The simulated memory arena.
 ///
 /// All tensors, packed matrices, and scratch buffers used by the simulated
@@ -71,12 +90,14 @@ pub struct Memory {
     next: usize,
     /// High-water mark of words ever allocated (for reporting).
     peak: usize,
+    /// Registry of live allocations, in address order (bump allocator).
+    allocs: Vec<AllocRecord>,
 }
 
 impl Memory {
     /// Create an arena able to hold `capacity_words` `f32` elements.
     pub fn new(capacity_words: usize) -> Self {
-        Memory { data: vec![0.0; capacity_words], next: 0, peak: 0 }
+        Memory { data: vec![0.0; capacity_words], next: 0, peak: 0, allocs: Vec::new() }
     }
 
     /// Create an arena sized in mebibytes.
@@ -84,11 +105,22 @@ impl Memory {
         Self::new(mib * 1024 * 1024 / 4)
     }
 
-    /// Allocate a zero-initialised buffer of `words` elements.
+    /// Allocate a zero-initialised buffer of `words` elements with an
+    /// auto-generated label (`"buf{n}"`).
     ///
     /// # Panics
     /// Panics if the arena is exhausted; size the arena for the workload.
     pub fn alloc(&mut self, words: usize) -> Buf {
+        let label = format!("buf{}", self.allocs.len());
+        self.alloc_named(&label, words)
+    }
+
+    /// Allocate a zero-initialised buffer of `words` elements, registered
+    /// under `label` so that diagnostics can name it.
+    ///
+    /// # Panics
+    /// Panics if the arena is exhausted; size the arena for the workload.
+    pub fn alloc_named(&mut self, label: &str, words: usize) -> Buf {
         let base_word = self.next;
         let padded = words.div_ceil(ALLOC_ALIGN_WORDS) * ALLOC_ALIGN_WORDS;
         assert!(
@@ -105,7 +137,9 @@ impl Memory {
         for w in &mut self.data[base_word..base_word + words] {
             *w = 0.0;
         }
-        Buf { base: ARENA_BASE + 4 * base_word as u64, words }
+        let buf = Buf { base: ARENA_BASE + 4 * base_word as u64, words };
+        self.allocs.push(AllocRecord { label: label.to_string(), buf });
+        buf
     }
 
     /// Allocate and fill from a host slice.
@@ -119,6 +153,51 @@ impl Memory {
     /// overwritten). Buffers handed out earlier must not be used afterwards.
     pub fn reset(&mut self) {
         self.next = 0;
+        self.allocs.clear();
+    }
+
+    /// The registry of live allocations, in address order.
+    pub fn allocs(&self) -> &[AllocRecord] {
+        &self.allocs
+    }
+
+    /// The allocation containing byte address `addr`, if any.
+    pub fn find_alloc(&self, addr: u64) -> Option<&AllocRecord> {
+        self.allocs.iter().find(|r| r.contains(addr))
+    }
+
+    /// Validate that the byte range `[lo, hi)` lies inside the allocated
+    /// portion of the arena. On failure, returns a message naming the
+    /// nearest buffer (the one containing `lo`, or the last one before it)
+    /// so the caller can report which `Buf` an access overran.
+    ///
+    /// This is the *coarse* check used for hard failures: accesses inside
+    /// alignment padding between buffers are accepted here (kernels may
+    /// legitimately read whole lines); per-allocation precision is the
+    /// out-of-bounds sanitizer pass's job.
+    pub fn check_range(&self, lo: u64, hi: u64) -> Result<(), String> {
+        let end = ARENA_BASE + 4 * self.next as u64;
+        if lo >= ARENA_BASE && hi <= end && lo <= hi {
+            return Ok(());
+        }
+        let culprit = self
+            .find_alloc(lo)
+            .or_else(|| self.allocs.iter().rev().find(|r| r.buf.base <= lo))
+            .or_else(|| self.allocs.first());
+        let near = match culprit {
+            Some(r) => format!(
+                "nearest buffer `{}` spans {:#x}..{:#x} ({} words)",
+                r.label,
+                r.buf.base,
+                r.buf.base + r.buf.bytes() as u64,
+                r.buf.words
+            ),
+            None => "no buffers allocated".to_string(),
+        };
+        Err(format!(
+            "address range {lo:#x}..{hi:#x} outside allocated arena {ARENA_BASE:#x}..{end:#x}; \
+             {near}"
+        ))
     }
 
     /// Words currently allocated.
@@ -294,6 +373,34 @@ mod tests {
         let a = m.alloc(32);
         let sub = a.slice(8, 8);
         let _ = m.slice_mut2(a, sub);
+    }
+
+    #[test]
+    fn named_allocs_are_registered_and_found() {
+        let mut m = Memory::new(1024);
+        let a = m.alloc_named("weights", 10);
+        let b = m.alloc(5);
+        assert_eq!(m.allocs().len(), 2);
+        assert_eq!(m.allocs()[0].label, "weights");
+        assert_eq!(m.allocs()[1].label, "buf1");
+        assert_eq!(m.find_alloc(a.addr(3)).unwrap().label, "weights");
+        assert_eq!(m.find_alloc(b.addr(0)).unwrap().buf, b);
+        // Padding between allocations belongs to no buffer.
+        assert!(m.find_alloc(a.base + a.bytes() as u64).is_none());
+        m.reset();
+        assert!(m.allocs().is_empty());
+    }
+
+    #[test]
+    fn check_range_accepts_allocated_and_names_culprit() {
+        let mut m = Memory::new(1024);
+        let a = m.alloc_named("im2col", 32);
+        assert!(m.check_range(a.base, a.base + a.bytes() as u64).is_ok());
+        // Padding within the allocated bump region is coarse-OK.
+        assert!(m.check_range(a.base, a.base + 64).is_ok());
+        let err = m.check_range(a.base, a.base + 4096).unwrap_err();
+        assert!(err.contains("im2col"), "error must name the buffer: {err}");
+        assert!(m.check_range(0, 4).is_err(), "below the arena base");
     }
 
     #[test]

@@ -139,7 +139,7 @@ impl MemSystem {
             vcache: self.vcache.as_ref().map(|c| c.stats).unwrap_or_default(),
             dram_reads: self.dram_reads,
             dram_writes: self.dram_writes,
-            hwpf_issued: self.hwpf.as_ref().map(|p| p.issued).unwrap_or(0),
+            hwpf_issued: self.hwpf.as_ref().map_or(0, |p| p.issued),
         }
     }
 

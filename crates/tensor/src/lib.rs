@@ -7,6 +7,7 @@
 //! the paper), convolution weights are `[out_ch][in_ch][kh][kw]`, and GEMM
 //! matrices are row-major.
 
+#![forbid(unsafe_code)]
 use lva_isa::Machine;
 use lva_sim::{Buf, Rng};
 

@@ -24,6 +24,7 @@
 //! `us` is the span's wall-clock duration in microseconds (host time, for
 //! profiling the simulator itself); simulated time belongs in `fields`.
 
+#![forbid(unsafe_code)]
 use std::cell::RefCell;
 use std::fs::File;
 use std::io::{self, BufWriter, Write};

@@ -22,6 +22,7 @@
 //! is 1.4x *slower* than im2col+GEMM for its 6 stride-2 layers, which this
 //! realization reproduces; the paper does not specify its stride-2 scheme).
 
+#![forbid(unsafe_code)]
 pub mod cooktoom;
 pub mod scalar;
 pub mod vla;

@@ -422,7 +422,11 @@ fn input_transform_tile(
         let mut c0 = 0;
         while c0 < p.in_c {
             let cb = cb_max.min(p.in_c - c0);
-            let vl = cb * GROUP;
+            // SVE discipline: the packed-lane count of a tail block comes
+            // from a `whilelt` grant over channel-lanes (Fig. 4 line 5),
+            // not from an ungoverned partial vector length.
+            let vl = m.whilelt(c0 * GROUP, p.in_c * GROUP).active;
+            debug_assert_eq!(vl, cb * GROUP);
             // Pass 1: gather tile rows from the padded image.
             for r in 0..N {
                 for half in 0..2 {
@@ -572,7 +576,9 @@ fn output_transform_tile(
         let mut o0 = 0;
         while o0 < p.out_c {
             let cb = cb_max.min(p.out_c - o0);
-            let vl = cb * GROUP;
+            // Same `whilelt` tail discipline as the input transform.
+            let vl = m.whilelt(o0 * GROUP, p.out_c * GROUP).active;
+            debug_assert_eq!(vl, cb * GROUP);
             // Pass 1: gather M rows of this tile.
             let mbase = (ty * plan.tiles_x + tx) * p.out_c * FREQ;
             for r in 0..N {

@@ -26,7 +26,7 @@ fn main() {
     println!();
     let mut base = None;
     for vlen in vlens {
-        print!("{:>8}b |", vlen);
+        print!("{vlen:>8}b |");
         for l2 in l2s {
             let hw = HwTarget::RvvGem5 { vlen_bits: vlen, lanes: 8, l2_bytes: l2 };
             let s = Experiment::new(hw, policy, workload).run();

@@ -123,19 +123,19 @@ fn parse_args(args: &[String]) -> Cli {
             "--winograd" => cli.winograd = true,
             "--div" => cli.div = need(&mut it, "--div").parse().unwrap_or_else(|_| usage()),
             "--layers" => {
-                cli.layers = Some(need(&mut it, "--layers").parse().unwrap_or_else(|_| usage()))
+                cli.layers = Some(need(&mut it, "--layers").parse().unwrap_or_else(|_| usage()));
             }
             "--per-layer" => cli.per_layer = true,
             "--energy" => cli.energy = true,
             "--stats" => cli.stats = true,
             "--frames" => {
-                cli.frames = need(&mut it, "--frames").parse().unwrap_or_else(|_| usage())
+                cli.frames = need(&mut it, "--frames").parse().unwrap_or_else(|_| usage());
             }
             "--axis" => cli.axis = Some(need(&mut it, "--axis")),
             "-o" | "--out" => cli.out = Some(need(&mut it, "-o")),
             "--help" | "-h" => usage(),
             other if !other.starts_with('-') && cli.file.is_none() => {
-                cli.file = Some(other.to_string())
+                cli.file = Some(other.to_string());
             }
             other => {
                 eprintln!("unknown option `{other}`");

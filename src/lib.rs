@@ -48,6 +48,7 @@
 //! See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 //! paper-vs-measured record of every table and figure.
 
+#![forbid(unsafe_code)]
 pub use lva_core as core;
 pub use lva_fft as fft;
 pub use lva_isa as isa;
