@@ -1,0 +1,95 @@
+//! Compare two benchmark reports (`BENCH_headline.json` shape) under the
+//! tolerance policy in `lva_bench::diff` and exit nonzero on regression.
+//!
+//! ```text
+//! bench-diff BASELINE.json CURRENT.json [--tol-total PCT] [--tol-layer PCT]
+//!            [--tol-hit-rate ABS] [--tol-stall PCT] [--inject-cycles PCT]
+//! ```
+//!
+//! `--inject-cycles PCT` scales the *current* report's total and per-layer
+//! cycle counts by `1 + PCT/100` before comparing. CI uses it to prove the
+//! gate trips: after a passing real comparison, a 6% injected slowdown must
+//! make this binary exit 1.
+//!
+//! Exit codes: 0 = within tolerance, 1 = regression or structural mismatch,
+//! 2 = usage / unreadable / unparseable input.
+
+use lva_bench::diff::{compare, inject_cycles, Severity, Tolerance};
+use lva_trace::Json;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench-diff BASELINE.json CURRENT.json\n  --tol-total PCT     total-cycles tolerance, percent (default 2)\n  --tol-layer PCT     per-layer cycles tolerance, percent (default 5)\n  --tol-hit-rate ABS  hit-rate tolerance, absolute (default 0.01)\n  --tol-stall PCT     stall-cycles tolerance, percent (default 10)\n  --inject-cycles PCT scale CURRENT cycles up by PCT%% first (gate self-test)"
+    );
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench-diff: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("bench-diff: {path} is not valid JSON: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let mut tol = Tolerance::default();
+    let mut inject: Option<f64> = None;
+    let mut paths: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    let num = |args: &mut dyn Iterator<Item = String>, what: &str| -> f64 {
+        args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+            eprintln!("bench-diff: {what} needs a number");
+            std::process::exit(2);
+        })
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--tol-total" => tol.total_cycles_pct = num(&mut args, "--tol-total"),
+            "--tol-layer" => tol.layer_cycles_pct = num(&mut args, "--tol-layer"),
+            "--tol-hit-rate" => tol.hit_rate_abs = num(&mut args, "--tol-hit-rate"),
+            "--tol-stall" => tol.stall_pct = num(&mut args, "--tol-stall"),
+            "--inject-cycles" => inject = Some(num(&mut args, "--inject-cycles")),
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => {
+                eprintln!("bench-diff: unknown option {other}");
+                usage();
+            }
+            path => paths.push(path.to_string()),
+        }
+    }
+    let [base_path, cur_path] = paths.as_slice() else { usage() };
+
+    let base = load(base_path);
+    let mut cur = load(cur_path);
+    if let Some(pct) = inject {
+        eprintln!("[injecting +{pct}% cycles into {cur_path} for gate self-test]");
+        inject_cycles(&mut cur, pct);
+    }
+
+    let report = compare(&base, &cur, &tol);
+    for f in &report.findings {
+        let tag = match f.severity {
+            Severity::Regression => "REGRESSION",
+            Severity::Improvement => "improvement",
+            Severity::Structural => "STRUCTURAL",
+        };
+        println!("{tag:<12} {}", f.message);
+    }
+    println!(
+        "bench-diff: {} comparisons, {} regressions, {} structural, {} improvements",
+        report.compared,
+        report.regressions(),
+        report.structural(),
+        report.findings.len() - report.regressions() - report.structural(),
+    );
+    if report.is_pass() {
+        println!("bench-diff: PASS ({base_path} vs {cur_path})");
+    } else {
+        println!("bench-diff: FAIL ({base_path} vs {cur_path})");
+        std::process::exit(1);
+    }
+}

@@ -35,4 +35,6 @@ fn main() {
         println!();
     }
     println!("paper: GEMM = 93.4% of computation time in the profiled build");
+    // No emit() on this path; flush any --trace sink explicitly.
+    lva_trace::flush();
 }

@@ -18,6 +18,7 @@ fn ratio(a: u64, b: u64) -> String {
 fn main() {
     let opts = Opts::parse(4, "Headline optimization speedups (§VI-A/§VI-C)");
     let mut runs: Vec<RunReport> = Vec::new();
+    let mut profiles: Vec<(String, Json)> = Vec::new();
     let tiny = Workload {
         model: ModelId::Yolov3Tiny,
         input_hw: scaled_input(ModelId::Yolov3Tiny, opts.div),
@@ -38,8 +39,17 @@ fn main() {
     );
 
     // Run one design point, keeping the full report for --json output.
+    // With --profile the memory profiler rides along (timing unchanged)
+    // and its reuse-distance/3C report lands next to the run.
+    let profile_on = opts.profile;
     let mut go = |name: &str, e: Experiment| -> RunSummary {
-        let s = run_logged(&e);
+        let s = if profile_on {
+            let (s, profile) = run_logged_profiled(&e);
+            profiles.push((name.to_string(), profile.to_json()));
+            s
+        } else {
+            run_logged(&e)
+        };
         runs.push(RunReport::new(name, &e, &s));
         s
     };
@@ -101,13 +111,28 @@ fn main() {
 
     emit(&table, "headline_speedups", &opts);
 
+    // --chrome: re-run the first design point recording pipeline events and
+    // save a Perfetto-loadable timeline (layers / phases / stall tracks).
+    if let Some(path) = &opts.chrome {
+        let e = Experiment::new(rvv, opt3, tiny);
+        eprintln!(".. {} | {} [timeline]", e.hw.describe(), e.workload.describe());
+        let (_, trace) = e.run_timeline();
+        match trace.save(path) {
+            Ok(()) => println!("[saved {path} ({} events)]", trace.len()),
+            Err(e) => eprintln!("could not save {path}: {e}"),
+        }
+    }
+
     // --json: full machine-readable record (per-layer cycles, stall-cause
     // breakdown, per-level cache hit rates, avg consumed VL) at repo root.
     if opts.json {
-        let j = Json::obj()
+        let mut j = Json::obj()
             .field("bench", "headline")
             .field("table", table.to_json())
             .field("runs", Json::Arr(runs.iter().map(lva_bench::RunReport::to_json).collect()));
+        if !profiles.is_empty() {
+            j = j.field("profiles", Json::Obj(std::mem::take(&mut profiles)));
+        }
         let mut body = j.to_string_pretty();
         body.push('\n');
         match std::fs::write("BENCH_headline.json", body) {
@@ -115,4 +140,7 @@ fn main() {
             Err(e) => eprintln!("could not save BENCH_headline.json: {e}"),
         }
     }
+    // The --json path above writes after emit()'s flush; make sure a
+    // `--trace` sink sees everything before the process exits.
+    lva_trace::flush();
 }

@@ -54,4 +54,6 @@ fn main() {
             }
         }
     }
+    // No emit() on this path; flush any --trace sink explicitly.
+    lva_trace::flush();
 }

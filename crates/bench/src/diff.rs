@@ -1,0 +1,348 @@
+//! Benchmark regression diffing: compare two `BENCH_headline.json`-style
+//! reports under a tolerance policy.
+//!
+//! The simulator is deterministic, so at a pinned configuration a committed
+//! baseline compares *exactly* — the tolerances exist to separate "this
+//! change made layer 7 five percent slower" (a gated regression) from noise
+//! introduced by intentional re-baselining at slightly different scales.
+//!
+//! Compared per run (matched by `name`):
+//! * `totals.cycles` — relative, default ±2%;
+//! * each `layers[i].cycles` — relative, default ±5%;
+//! * each `caches.<level>.hit_rate` — absolute, default ±0.01;
+//! * `stalls.total` — relative, default ±10%.
+//!
+//! Cycles or stalls *up*, or hit rate *down*, beyond tolerance is a
+//! **regression** (fatal). Movement in the good direction is reported as an
+//! **improvement** (informational — a nudge to re-baseline). Missing runs,
+//! layers, or sections are **structural** findings (fatal: a silently
+//! shrunken benchmark must not pass the gate).
+
+use lva_trace::Json;
+
+/// Tolerance policy for [`compare`]. Percentages are relative (`5.0` =
+/// ±5%); `hit_rate_abs` is absolute on a 0..1 rate.
+#[derive(Debug, Clone)]
+pub struct Tolerance {
+    pub total_cycles_pct: f64,
+    pub layer_cycles_pct: f64,
+    pub hit_rate_abs: f64,
+    pub stall_pct: f64,
+}
+
+impl Default for Tolerance {
+    fn default() -> Self {
+        Tolerance {
+            total_cycles_pct: 2.0,
+            layer_cycles_pct: 5.0,
+            hit_rate_abs: 0.01,
+            stall_pct: 10.0,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Beyond tolerance in the bad direction — fails the gate.
+    Regression,
+    /// Beyond tolerance in the good direction — informational.
+    Improvement,
+    /// The two reports do not have the same shape — fails the gate.
+    Structural,
+}
+
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub severity: Severity,
+    pub message: String,
+}
+
+/// Outcome of a comparison; `is_pass` gates CI.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    pub findings: Vec<Finding>,
+    /// Number of metric comparisons performed (a sanity floor: comparing
+    /// two empty files passes every tolerance while checking nothing).
+    pub compared: usize,
+}
+
+impl DiffReport {
+    pub fn regressions(&self) -> usize {
+        self.count(Severity::Regression)
+    }
+
+    pub fn structural(&self) -> usize {
+        self.count(Severity::Structural)
+    }
+
+    pub fn is_pass(&self) -> bool {
+        self.regressions() == 0 && self.structural() == 0 && self.compared > 0
+    }
+
+    fn count(&self, s: Severity) -> usize {
+        self.findings.iter().filter(|f| f.severity == s).count()
+    }
+
+    fn push(&mut self, severity: Severity, message: String) {
+        self.findings.push(Finding { severity, message });
+    }
+}
+
+fn rel_delta_pct(base: f64, cur: f64) -> f64 {
+    if base == 0.0 {
+        if cur == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        100.0 * (cur - base) / base
+    }
+}
+
+/// Compare a "higher is worse" metric under a relative tolerance.
+fn check_higher_worse(out: &mut DiffReport, what: &str, base: f64, cur: f64, tol_pct: f64) {
+    out.compared += 1;
+    let d = rel_delta_pct(base, cur);
+    if d.abs() <= tol_pct {
+        return;
+    }
+    let sev = if d > 0.0 { Severity::Regression } else { Severity::Improvement };
+    out.push(sev, format!("{what}: {base:.0} -> {cur:.0} ({d:+.1}%, tol ±{tol_pct}%)"));
+}
+
+fn run_name(run: &Json) -> &str {
+    run.get("name").and_then(Json::as_str).unwrap_or("<unnamed>")
+}
+
+fn compare_runs(out: &mut DiffReport, base: &Json, cur: &Json, tol: &Tolerance) {
+    let name = run_name(base);
+
+    // totals.cycles
+    let total = |r: &Json| r.get("totals").and_then(|t| t.get("cycles")).and_then(Json::as_f64);
+    match (total(base), total(cur)) {
+        (Some(b), Some(c)) => {
+            check_higher_worse(out, &format!("{name}: total cycles"), b, c, tol.total_cycles_pct);
+        }
+        _ => out.push(Severity::Structural, format!("{name}: missing totals.cycles")),
+    }
+
+    // stalls.total
+    let stall = |r: &Json| r.get("stalls").and_then(|s| s.get("total")).and_then(Json::as_f64);
+    if let (Some(b), Some(c)) = (stall(base), stall(cur)) {
+        check_higher_worse(out, &format!("{name}: stall cycles"), b, c, tol.stall_pct);
+    }
+
+    // caches.<level>.hit_rate, for every level the baseline has.
+    if let Some(Json::Obj(levels)) = base.get("caches") {
+        for (level, bc) in levels {
+            let b_hr = bc.get("hit_rate").and_then(Json::as_f64);
+            let c_hr = cur
+                .get("caches")
+                .and_then(|c| c.get(level))
+                .and_then(|c| c.get("hit_rate"))
+                .and_then(Json::as_f64);
+            match (b_hr, c_hr) {
+                (Some(b), Some(c)) => {
+                    out.compared += 1;
+                    let d = c - b;
+                    if d.abs() > tol.hit_rate_abs {
+                        let sev =
+                            if d < 0.0 { Severity::Regression } else { Severity::Improvement };
+                        out.push(
+                            sev,
+                            format!(
+                                "{name}: {level} hit rate {b:.4} -> {c:.4} ({d:+.4}, tol ±{:.4})",
+                                tol.hit_rate_abs
+                            ),
+                        );
+                    }
+                }
+                _ => out.push(
+                    Severity::Structural,
+                    format!("{name}: cache level {level} missing from current report"),
+                ),
+            }
+        }
+    }
+
+    // Per-layer cycles, matched by index.
+    fn layers(r: &Json) -> &[Json] {
+        r.get("layers").and_then(Json::as_arr).unwrap_or(&[])
+    }
+    let (bl, cl) = (layers(base), layers(cur));
+    if bl.len() != cl.len() {
+        out.push(Severity::Structural, format!("{name}: layer count {} -> {}", bl.len(), cl.len()));
+    }
+    for (i, (b, c)) in bl.iter().zip(cl).enumerate() {
+        let cyc = |l: &Json| l.get("cycles").and_then(Json::as_f64);
+        match (cyc(b), cyc(c)) {
+            (Some(bv), Some(cv)) => {
+                let desc = b.get("desc").and_then(Json::as_str).unwrap_or("?");
+                check_higher_worse(
+                    out,
+                    &format!("{name}: layer {i} ({desc}) cycles"),
+                    bv,
+                    cv,
+                    tol.layer_cycles_pct,
+                );
+            }
+            _ => out.push(Severity::Structural, format!("{name}: layer {i} missing cycles")),
+        }
+    }
+}
+
+/// Compare two benchmark reports (the top-level objects of
+/// `BENCH_headline.json`). Runs are matched by name; a run present in the
+/// baseline but not the current report is structural (fatal), a run only
+/// in the current report is reported informationally.
+pub fn compare(base: &Json, cur: &Json, tol: &Tolerance) -> DiffReport {
+    let mut out = DiffReport::default();
+    let runs =
+        |j: &Json| j.get("runs").and_then(Json::as_arr).map(<[Json]>::to_vec).unwrap_or_default();
+    let (base_runs, cur_runs) = (runs(base), runs(cur));
+    if base_runs.is_empty() {
+        out.push(Severity::Structural, "baseline has no runs".to_string());
+        return out;
+    }
+    for b in &base_runs {
+        match cur_runs.iter().find(|c| run_name(c) == run_name(b)) {
+            Some(c) => compare_runs(&mut out, b, c, tol),
+            None => out.push(
+                Severity::Structural,
+                format!("run {} missing from current report", run_name(b)),
+            ),
+        }
+    }
+    for c in &cur_runs {
+        if !base_runs.iter().any(|b| run_name(b) == run_name(c)) {
+            out.push(
+                Severity::Improvement,
+                format!("run {} is new (not in baseline)", run_name(c)),
+            );
+        }
+    }
+    out
+}
+
+/// Multiply every `totals.cycles` and per-layer `cycles` in a report by
+/// `1 + pct/100`. Used by `bench-diff --inject-cycles` so CI can prove the
+/// gate actually trips on a synthetic slowdown.
+pub fn inject_cycles(report: &mut Json, pct: f64) {
+    let scale = |j: &mut Json| {
+        if let Some(v) = j.as_f64() {
+            *j = Json::UInt((v * (1.0 + pct / 100.0)).round() as u64);
+        }
+    };
+    let Some(Json::Arr(runs)) = get_mut(report, "runs") else { return };
+    for run in runs {
+        if let Some(totals) = get_mut(run, "totals") {
+            if let Some(c) = get_mut(totals, "cycles") {
+                scale(c);
+            }
+        }
+        if let Some(Json::Arr(layers)) = get_mut(run, "layers") {
+            for l in layers {
+                if let Some(c) = get_mut(l, "cycles") {
+                    scale(c);
+                }
+            }
+        }
+    }
+}
+
+fn get_mut<'a>(j: &'a mut Json, key: &str) -> Option<&'a mut Json> {
+    match j {
+        Json::Obj(pairs) => pairs.iter_mut().find(|(k, _)| k == key).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(total: u64, layer0: u64, layer1: u64, hit: f64) -> Json {
+        Json::obj().field("bench", "headline").field(
+            "runs",
+            Json::Arr(vec![Json::obj()
+                .field("name", "rvv_tiny_opt3")
+                .field("totals", Json::obj().field("cycles", total))
+                .field("stalls", Json::obj().field("total", 100u64).field("attributed", 100u64))
+                .field("caches", Json::obj().field("l2", Json::obj().field("hit_rate", hit)))
+                .field(
+                    "layers",
+                    Json::Arr(vec![
+                        Json::obj()
+                            .field("index", 0u64)
+                            .field("desc", "conv")
+                            .field("cycles", layer0),
+                        Json::obj()
+                            .field("index", 1u64)
+                            .field("desc", "pool")
+                            .field("cycles", layer1),
+                    ]),
+                )]),
+        )
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let b = report(1000, 600, 400, 0.95);
+        let d = compare(&b, &b, &Tolerance::default());
+        assert!(d.is_pass(), "{:?}", d.findings);
+        assert!(d.compared >= 4);
+    }
+
+    #[test]
+    fn small_drift_within_tolerance_passes() {
+        let b = report(1000, 600, 400, 0.95);
+        let c = report(1010, 610, 395, 0.945); // 1%, 1.7%, -1.3%, -0.005
+        let d = compare(&b, &c, &Tolerance::default());
+        assert!(d.is_pass(), "{:?}", d.findings);
+    }
+
+    #[test]
+    fn layer_cycle_regression_fails() {
+        let b = report(1000, 600, 400, 0.95);
+        let c = report(1000, 660, 400, 0.95); // layer 0 +10% > 5%
+        let d = compare(&b, &c, &Tolerance::default());
+        assert!(!d.is_pass());
+        assert_eq!(d.regressions(), 1);
+        assert!(d.findings[0].message.contains("layer 0"));
+    }
+
+    #[test]
+    fn hit_rate_drop_fails_and_rise_is_improvement() {
+        let b = report(1000, 600, 400, 0.95);
+        let drop = report(1000, 600, 400, 0.90);
+        assert_eq!(compare(&b, &drop, &Tolerance::default()).regressions(), 1);
+        let rise = report(1000, 600, 400, 0.99);
+        let d = compare(&b, &rise, &Tolerance::default());
+        assert!(d.is_pass(), "improvements are not fatal: {:?}", d.findings);
+        assert_eq!(d.count(Severity::Improvement), 1);
+    }
+
+    #[test]
+    fn missing_run_or_layer_is_structural() {
+        let b = report(1000, 600, 400, 0.95);
+        let empty = Json::obj().field("runs", Json::Arr(vec![]));
+        let d = compare(&b, &empty, &Tolerance::default());
+        assert!(!d.is_pass());
+        assert_eq!(d.structural(), 1);
+        // Comparing nothing at all must not pass either.
+        let d = compare(&empty, &empty, &Tolerance::default());
+        assert!(!d.is_pass());
+    }
+
+    #[test]
+    fn injected_slowdown_trips_the_gate() {
+        let b = report(100_000, 60_000, 40_000, 0.95);
+        let mut c = b.clone();
+        inject_cycles(&mut c, 6.0);
+        let d = compare(&b, &c, &Tolerance::default());
+        assert!(!d.is_pass(), "a 6% injected slowdown must fail the default gate");
+        // Layers (5% tol) and total (2% tol) all regress.
+        assert_eq!(d.regressions(), 3);
+    }
+}

@@ -9,12 +9,13 @@
 #![forbid(unsafe_code)]
 use std::env;
 
+pub mod diff;
 pub mod microbench;
 
 pub use lva_core::report::{fmt_cycles, fmt_speedup};
 pub use lva_core::{
-    scaled_input, BlockSizes, ConvPolicy, Experiment, GemmVariant, HwTarget, Json, ModelId,
-    RunReport, RunSummary, Table, Workload,
+    scaled_input, BlockSizes, ChromeTrace, ConvPolicy, Experiment, GemmVariant, HwTarget, Json,
+    MemProfile, ModelId, RunReport, RunSummary, Table, Workload,
 };
 
 /// The vector lengths swept on RISC-V Vector (Fig. 6/7, Table III).
@@ -35,6 +36,12 @@ pub struct Opts {
     pub csv: bool,
     /// Write machine-readable JSON under `results/`.
     pub json: bool,
+    /// Attach an `lva-prof` memory profiler to every run (reuse-distance
+    /// histograms, 3C miss classes, hit-rate-vs-capacity curves in the
+    /// JSON output). Timing is unchanged.
+    pub profile: bool,
+    /// Write a Chrome trace-event timeline (Perfetto-loadable) to this path.
+    pub chrome: Option<String>,
 }
 
 impl Opts {
@@ -42,7 +49,14 @@ impl Opts {
     /// `--help` from `std::env`. `default_div` is the experiment's default
     /// scale. `--trace` installs a JSONL telemetry sink for the whole run.
     pub fn parse(default_div: usize, what: &str) -> Opts {
-        let mut opts = Opts { div: default_div, layers: None, csv: true, json: false };
+        let mut opts = Opts {
+            div: default_div,
+            layers: None,
+            csv: true,
+            json: false,
+            profile: false,
+            chrome: None,
+        };
         let mut args = env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -61,6 +75,10 @@ impl Opts {
                 "--csv" => opts.csv = true,
                 "--json" => opts.json = true,
                 "--no-json" => opts.json = false,
+                "--profile" => opts.profile = true,
+                "--chrome" => {
+                    opts.chrome = Some(args.next().expect("--chrome needs a file path"));
+                }
                 "--trace" => {
                     let path = args.next().expect("--trace needs a file path");
                     lva_trace::enable_to_file(&path)
@@ -69,7 +87,7 @@ impl Opts {
                 }
                 "--help" | "-h" => {
                     eprintln!(
-                        "{what}\n\nOptions:\n  --div N      input down-scale divisor (default {default_div}; 1 = paper size)\n  --layers N   layer prefix override\n  --csv/--no-csv  write results/<exp>.csv (default on)\n  --json       also write results/<exp>.json (machine-readable)\n  --trace FILE stream JSONL telemetry spans to FILE"
+                        "{what}\n\nOptions:\n  --div N      input down-scale divisor (default {default_div}; 1 = paper size)\n  --layers N   layer prefix override\n  --csv/--no-csv  write results/<exp>.csv (default on)\n  --json       also write results/<exp>.json (machine-readable)\n  --profile    tap the cache hierarchy: reuse-distance histograms, 3C\n               miss classes, capacity curves (in the JSON output)\n  --chrome FILE  write a Chrome trace-event timeline (Perfetto) to FILE\n  --trace FILE stream JSONL telemetry spans to FILE"
                     );
                     std::process::exit(0);
                 }
@@ -117,11 +135,24 @@ pub fn emit(table: &Table, name: &str, opts: &Opts) {
 pub fn run_logged(e: &Experiment) -> RunSummary {
     eprintln!(".. {} | {}", e.hw.describe(), e.workload.describe());
     let s = e.run();
+    log_summary(&s);
+    s
+}
+
+/// Like [`run_logged`], with the `lva-prof` memory profiler attached
+/// (identical timing; the summary additionally carries 3C miss classes).
+pub fn run_logged_profiled(e: &Experiment) -> (RunSummary, MemProfile) {
+    eprintln!(".. {} | {} [profiled]", e.hw.describe(), e.workload.describe());
+    let (s, profile) = e.run_profiled();
+    log_summary(&s);
+    (s, profile)
+}
+
+fn log_summary(s: &RunSummary) {
     eprintln!(
         "   {} cycles, avg VL {:.0}b, L2 miss {:.1}%",
         fmt_cycles(s.cycles),
         s.avg_vlen_bits,
         100.0 * s.l2_miss_rate
     );
-    s
 }

@@ -1,0 +1,112 @@
+//! Predicted-vs-simulated validation of the `lva-prof` reuse-distance
+//! profiler over the whole kernel registry.
+//!
+//! The Mattson model predicts the hit rate of a *fully-associative* LRU
+//! cache from the demand stream alone; the simulator runs set-associative
+//! LRU caches. On the gem5 profiles (no prefetchers) the only divergence is
+//! conflict misses, which the registry's streaming/blocked kernels barely
+//! produce — so at the paper's Table II design points the predicted L2 hit
+//! rate must track the simulated one to within 1% absolute (the PR's
+//! acceptance criterion for the headline GEMM and Winograd kernels).
+//!
+//! The same pass pins the observational guarantees: attaching the profiler
+//! never changes a cycle count, and every miss gets exactly one 3C class.
+
+use lva_check::registry::{registered_kernels, KernelCase};
+use lva_isa::{Machine, MachineConfig};
+use lva_prof::MemProfile;
+use lva_sim::TapLevel;
+
+/// Table II / §V design points: RVV 2048-bit × 8 lanes and SVE 512-bit,
+/// with the L2 at 1 MB (the paper's default) and 4 MB (first sweep step).
+fn design_points() -> Vec<(String, MachineConfig)> {
+    let mut out = Vec::new();
+    for l2 in [1usize << 20, 4 << 20] {
+        out.push((format!("rvv/2048b/L2={}MB", l2 >> 20), MachineConfig::rvv_gem5(2048, 8, l2)));
+        out.push((format!("sve/512b/L2={}MB", l2 >> 20), MachineConfig::sve_gem5(512, l2)));
+    }
+    out
+}
+
+fn run_profiled(case: &KernelCase, cfg: &MachineConfig) -> (Machine, MemProfile) {
+    let mut m = Machine::new(cfg.clone());
+    let handle = lva_prof::attach(&mut m.sys);
+    (case.run)(&mut m);
+    let profile = handle.detach(&mut m.sys);
+    (m, profile)
+}
+
+#[test]
+fn profiler_is_timing_neutral_on_every_registry_kernel() {
+    for (name, cfg) in design_points() {
+        for case in registered_kernels() {
+            if !case.supports(cfg.vpu.isa) {
+                continue;
+            }
+            let mut plain = Machine::new(cfg.clone());
+            (case.run)(&mut plain);
+            let (profiled, _) = run_profiled(&case, &cfg);
+            assert_eq!(
+                profiled.cycles(),
+                plain.cycles(),
+                "{} @ {name}: tap must not perturb timing",
+                case.name
+            );
+        }
+    }
+}
+
+#[test]
+fn predicted_l2_hit_rate_within_1pct_of_simulated() {
+    for (name, cfg) in design_points() {
+        for case in registered_kernels() {
+            if !case.supports(cfg.vpu.isa) {
+                continue;
+            }
+            let (m, profile) = run_profiled(&case, &cfg);
+            let l2 = profile.level(TapLevel::L2).expect("l2 profiled");
+            assert_eq!(l2.accesses, m.sys.l2.stats.accesses, "{} @ {name}", case.name);
+            if l2.accesses == 0 {
+                continue;
+            }
+            let predicted = l2.predicted_hit_rate();
+            let simulated = l2.sim_hit_rate();
+            assert!(
+                (predicted - simulated).abs() < 0.01,
+                "{} @ {name}: predicted L2 hit rate {predicted:.4} vs simulated {simulated:.4} \
+                 ({} accesses) — agreement criterion is 1% absolute",
+                case.name,
+                l2.accesses,
+            );
+        }
+    }
+}
+
+#[test]
+fn misses_are_fully_classified_and_curve_is_monotone() {
+    let (_, cfg) = &design_points()[0];
+    for case in registered_kernels() {
+        if !case.supports(cfg.vpu.isa) {
+            continue;
+        }
+        let (m, profile) = run_profiled(&case, cfg);
+        for (level, stats) in [(TapLevel::L1, &m.sys.l1.stats), (TapLevel::L2, &m.sys.l2.stats)] {
+            let Some(lp) = profile.level(level) else { continue };
+            if lp.accesses == 0 {
+                continue;
+            }
+            assert_eq!(
+                stats.three_c.classified(),
+                stats.misses,
+                "{}: every {} miss needs exactly one 3C class",
+                case.name,
+                level.name()
+            );
+            // The capacity curve never decreases with more capacity.
+            let curve = lp.curve_bytes();
+            for w in curve.windows(2) {
+                assert!(w[1].1 >= w[0].1, "{}: non-monotone curve", case.name);
+            }
+        }
+    }
+}

@@ -206,6 +206,55 @@ impl Experiment {
         Self::summarize(&m, report)
     }
 
+    /// Like [`Experiment::run`], with an `lva-prof` memory profiler tapped
+    /// into the hierarchy for the duration of the inference.
+    ///
+    /// Returns the summary (whose cache stats now carry the 3C miss
+    /// classification) plus the full [`lva_prof::MemProfile`] — per-level
+    /// reuse-distance histograms, predicted hit-rate-vs-capacity curves,
+    /// and per-layer/per-phase attribution. Profiling is pure observation:
+    /// cycle counts are identical to an unprofiled run.
+    pub fn run_profiled(&self) -> (RunSummary, lva_prof::MemProfile) {
+        let (mut m, mut net, shape) = self.build();
+        m.reset_timing();
+        let handle = lva_prof::attach(&mut m.sys);
+        let image = host_random(shape.len(), self.seed ^ 0x1533);
+        let mut report = net.run(&mut m, &image);
+        let profile = handle.detach(&mut m.sys);
+        // Refresh the snapshot so the report carries the 3C classification.
+        report.mem = m.sys.stats();
+        (Self::summarize(&m, report), profile)
+    }
+
+    /// Like [`Experiment::run`], recording pipeline events and returning a
+    /// Chrome trace-event timeline (layers, kernel phases, and attributed
+    /// stall intervals as parallel tracks over simulated cycles).
+    pub fn run_timeline(&self) -> (RunSummary, lva_trace::ChromeTrace) {
+        let (mut m, mut net, shape) = self.build();
+        m.reset_timing();
+        m.record_pipe_events();
+        let image = host_random(shape.len(), self.seed ^ 0x1533);
+        let report = net.run(&mut m, &image);
+        let dropped = m.pipe_events_dropped();
+        if dropped > 0 {
+            eprintln!("run_timeline: recorder cap hit, {dropped} pipeline events dropped (timeline truncated)");
+        }
+        let events = m.take_pipe_events();
+        // Layers run back-to-back from cycle 0 (the clock was just reset),
+        // so per-layer spans are the cumulative sums of layer cycles.
+        let mut layers: Vec<lva_prof::LayerSpan> = Vec::with_capacity(report.layers.len());
+        let mut t = 0u64;
+        for l in &report.layers {
+            layers.push((format!("L{} {}", l.index, l.desc), t, t + l.cycles));
+            t += l.cycles;
+        }
+        // Absorb stall gaps below ~1/100k of the run: invisible at any
+        // usable zoom, and it keeps full-network exports Perfetto-sized.
+        let resolution = m.cycles() / 100_000;
+        let trace = lva_prof::timeline_coarse(&events, &layers, resolution);
+        (Self::summarize(&m, report), trace)
+    }
+
     /// Run `frames` inferences back-to-back on the same machine (caches
     /// stay warm across frames), resetting the clock per frame.
     ///
@@ -269,6 +318,41 @@ mod tests {
         let b = run(4096);
         assert_eq!(a.flops, b.flops);
         assert!(b.cycles < a.cycles);
+    }
+
+    #[test]
+    fn profiled_run_is_timing_neutral_and_classifies_misses() {
+        let e = Experiment::new(
+            HwTarget::RvvGem5 { vlen_bits: 1024, lanes: 8, l2_bytes: 1 << 20 },
+            ConvPolicy::gemm_only(GemmVariant::opt3()),
+            Workload { model: ModelId::Yolov3, input_hw: 32, layer_limit: Some(4) },
+        );
+        let plain = e.run();
+        let (s, profile) = e.run_profiled();
+        assert_eq!(s.cycles, plain.cycles, "profiling must not perturb timing");
+        let l2 = profile.level(lva_sim::TapLevel::L2).expect("l2 profiled");
+        assert!(l2.accesses > 0);
+        // Every L2 miss got a 3C class, and the report carries it.
+        let c = s.report.mem.l2.three_c;
+        assert_eq!(c.classified(), s.report.mem.l2.misses);
+        assert_eq!(c, l2.three_c);
+        // Layer attribution covered all four layers.
+        assert_eq!(profile.layers.len(), 4);
+        assert!(profile.layers.iter().all(|l| l.accesses > 0));
+    }
+
+    #[test]
+    fn timeline_run_is_timing_neutral_and_valid() {
+        let e = Experiment::new(
+            HwTarget::RvvGem5 { vlen_bits: 1024, lanes: 8, l2_bytes: 1 << 20 },
+            ConvPolicy::gemm_only(GemmVariant::opt3()),
+            Workload { model: ModelId::Yolov3, input_hw: 32, layer_limit: Some(2) },
+        );
+        let plain = e.run();
+        let (s, trace) = e.run_timeline();
+        assert_eq!(s.cycles, plain.cycles, "event recording must not perturb timing");
+        assert!(!trace.is_empty());
+        assert_eq!(trace.validate(), Ok(()));
     }
 
     #[test]

@@ -22,7 +22,8 @@ pub use experiment::{scaled_input, Experiment, HwTarget, RunSummary, StreamSumma
 pub use report::{ArityError, Table};
 pub use run_report::RunReport;
 
-pub use lva_trace::Json;
+pub use lva_prof::{MemProfile, ScopeProfile};
+pub use lva_trace::{ChromeTrace, Json};
 
 pub use lva_isa::{IsaKind, MachineConfig, Platform};
 pub use lva_kernels::{BlockSizes, GemmVariant};

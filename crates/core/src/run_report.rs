@@ -47,7 +47,7 @@ fn stalls_json(s: &StallBreakdown) -> Json {
 }
 
 fn cache_json(c: &CacheStats) -> Json {
-    Json::obj()
+    let mut j = Json::obj()
         .field("accesses", c.accesses)
         .field("hits", c.hits)
         .field("misses", c.misses)
@@ -56,7 +56,18 @@ fn cache_json(c: &CacheStats) -> Json {
         .field("writebacks", c.writebacks)
         .field("prefetch_fills", c.prefetch_fills)
         .field("prefetch_hits", c.prefetch_hits)
-        .field("prefetch_accuracy", c.prefetch_accuracy())
+        .field("prefetch_accuracy", c.prefetch_accuracy());
+    // Present only on profiled runs (`lva-prof` fills the classification).
+    if c.three_c.classified() > 0 {
+        j = j.field(
+            "miss_classes",
+            Json::obj()
+                .field("compulsory", c.three_c.compulsory)
+                .field("capacity", c.three_c.capacity)
+                .field("conflict", c.three_c.conflict),
+        );
+    }
+    j
 }
 
 fn layer_json(l: &LayerReport) -> Json {

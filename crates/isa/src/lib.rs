@@ -36,7 +36,7 @@ pub use config::{
     CoreConfig, IsaKind, MachineConfig, Platform, VpuConfig, A64FX_L2_BYTES, DEFAULT_L1_BYTES,
     DEFAULT_L2_BYTES,
 };
-pub use machine::{Machine, VReg, NUM_VREGS};
+pub use machine::{Machine, PipeEvent, VReg, NUM_VREGS};
 pub use pred::Pred;
 pub use record::{EventKind, VecEvent};
 pub use stats::{KernelPhase, PhaseTimer, StallBreakdown, StallCause, VpuStats};

@@ -25,10 +25,25 @@ use crate::config::{IsaKind, MachineConfig};
 use crate::pred::Pred;
 use crate::record::VecEvent;
 use crate::stats::{KernelPhase, PhaseTimer, StallBreakdown, StallCause, VpuStats};
-use lva_sim::{AccessKind, MemSystem, Memory, PrefetchTarget, VpuPath};
+use lva_sim::{AccessKind, MemSystem, Memory, PrefetchTarget, TapScope, VpuPath};
 
 /// Number of architectural vector registers (both RVV and SVE have 32).
 pub const NUM_VREGS: usize = 32;
+
+/// One recorded pipeline-timeline event, in simulated cycles. Captured by
+/// the opt-in recorder behind [`Machine::record_pipe_events`] and turned
+/// into Chrome trace-event tracks by `lva-prof`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PipeEvent {
+    /// A kernel phase opened at cycle `at`.
+    PhaseBegin { phase: KernelPhase, at: u64 },
+    /// The innermost open kernel phase closed at cycle `at`.
+    PhaseEnd { phase: KernelPhase, at: u64 },
+    /// The front end waited over `[start, end)`, attributed to `cause`.
+    /// Intervals on the same cause never overlap and appear in
+    /// non-decreasing start order (asserted by the exporter's validator).
+    Stall { cause: StallCause, start: u64, end: u64 },
+}
 
 /// A vector register name (0..32).
 pub type VReg = usize;
@@ -68,6 +83,13 @@ pub struct Machine {
     /// [`VecEvent`]. Pure observation — the timing model never reads it, so
     /// cycle counts are bit-identical with recording on or off.
     rec: Option<Vec<VecEvent>>,
+    /// Opt-in pipeline-interval recorder for the timeline exporter
+    /// (`lva-prof`): kernel-phase boundaries and per-cause stall intervals
+    /// in simulated cycles. Pure observation, exactly like `rec`.
+    pipe: Option<Vec<PipeEvent>>,
+    /// Events discarded after [`Self::MAX_PIPE_EVENTS`] was reached
+    /// (reported by [`Self::pipe_events_dropped`], never silent).
+    pipe_dropped: u64,
 }
 
 impl Machine {
@@ -91,6 +113,8 @@ impl Machine {
             phases: PhaseTimer::default(),
             stalls: StallBreakdown::default(),
             rec: None,
+            pipe: None,
+            pipe_dropped: 0,
             cfg,
         }
     }
@@ -120,6 +144,52 @@ impl Machine {
     fn rec(&mut self, f: impl FnOnce() -> VecEvent) {
         if let Some(events) = self.rec.as_mut() {
             events.push(f());
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Pipeline-interval recording (the `lva-prof` timeline hook)
+    // ------------------------------------------------------------------
+
+    /// Upper bound on buffered pipeline events. Full-network runs at the
+    /// default experiment scales stay well under it; a run that exceeds it
+    /// keeps the prefix and counts the overflow instead of growing without
+    /// bound.
+    pub const MAX_PIPE_EVENTS: usize = 4 << 20;
+
+    /// Start recording pipeline-timeline events (clears any previous
+    /// recording). Timing-neutral: the model never reads the buffer.
+    pub fn record_pipe_events(&mut self) {
+        self.pipe = Some(Vec::new());
+        self.pipe_dropped = 0;
+    }
+
+    /// Whether pipeline-interval recording is active.
+    pub fn is_recording_pipe(&self) -> bool {
+        self.pipe.is_some()
+    }
+
+    /// Stop recording and return the captured pipeline events.
+    pub fn take_pipe_events(&mut self) -> Vec<PipeEvent> {
+        self.pipe.take().unwrap_or_default()
+    }
+
+    /// Events dropped by the [`Self::MAX_PIPE_EVENTS`] cap in the current /
+    /// latest recording (0 in any realistic run).
+    pub fn pipe_events_dropped(&self) -> u64 {
+        self.pipe_dropped
+    }
+
+    /// Append a pipeline event if recording is on (closure only runs when
+    /// enabled; one branch otherwise).
+    #[inline]
+    fn pipe(&mut self, f: impl FnOnce() -> PipeEvent) {
+        if let Some(events) = self.pipe.as_mut() {
+            if events.len() < Self::MAX_PIPE_EVENTS {
+                events.push(f());
+            } else {
+                self.pipe_dropped += 1;
+            }
         }
     }
 
@@ -174,9 +244,14 @@ impl Machine {
         let t0 = self.cycles();
         let mut sp = lva_trace::span(p.name());
         self.rec(|| VecEvent::phase_marker(true, p));
+        self.pipe(|| PipeEvent::PhaseBegin { phase: p, at: t0 });
+        self.sys.tap_scope(TapScope::PhaseBegin { name: p.name() });
         let r = f(self);
         self.rec(|| VecEvent::phase_marker(false, p));
-        let dt = self.cycles() - t0;
+        let t1 = self.cycles();
+        self.pipe(|| PipeEvent::PhaseEnd { phase: p, at: t1 });
+        self.sys.tap_scope(TapScope::PhaseEnd);
+        let dt = t1 - t0;
         self.phases.add(p, dt);
         sp.set("cycles", dt);
         r
@@ -279,6 +354,29 @@ impl Machine {
                     (occ_wait * self.last_occ_mem).checked_div(self.last_occ_total).unwrap_or(0);
                 self.stalls.add(StallCause::MemLatency, mem);
                 self.stalls.add(StallCause::LaneOccupancy, occ_wait - mem);
+                // Chronologically the occupancy wait fills [t0, unit_start - gap);
+                // the proportional mem/lane split is laid out mem-first.
+                if mem > 0 {
+                    self.pipe(|| PipeEvent::Stall {
+                        cause: StallCause::MemLatency,
+                        start: t0,
+                        end: t0 + mem,
+                    });
+                }
+                if occ_wait > mem {
+                    self.pipe(|| PipeEvent::Stall {
+                        cause: StallCause::LaneOccupancy,
+                        start: t0 + mem,
+                        end: t0 + occ_wait,
+                    });
+                }
+            }
+            if gap > 0 {
+                self.pipe(|| PipeEvent::Stall {
+                    cause: StallCause::IssueWidth,
+                    start: unit_start - gap,
+                    end: unit_start,
+                });
             }
         }
         let raw_wait = start - unit_start;
@@ -286,6 +384,20 @@ impl Machine {
             let ramp = raw_wait.min(self.cfg.vpu.startup());
             self.stalls.add(StallCause::VectorStartup, ramp);
             self.stalls.add(StallCause::RawHazard, raw_wait - ramp);
+            if ramp > 0 {
+                self.pipe(|| PipeEvent::Stall {
+                    cause: StallCause::VectorStartup,
+                    start: unit_start,
+                    end: unit_start + ramp,
+                });
+            }
+            if raw_wait > ramp {
+                self.pipe(|| PipeEvent::Stall {
+                    cause: StallCause::RawHazard,
+                    start: unit_start + ramp,
+                    end: start,
+                });
+            }
         }
         self.stalls.note_total(start - t0);
         self.last_occ_mem = std::mem::take(&mut self.next_occ_mem).min(occupancy);
@@ -300,6 +412,19 @@ impl Machine {
         self.stalls.add(StallCause::VectorStartup, ramp);
         self.stalls.add(StallCause::RawHazard, lat - ramp);
         self.stalls.note_total(lat);
+        // Called after `now` advanced past the wait: it covered [now-lat, now).
+        let t0 = self.now - lat;
+        if ramp > 0 {
+            self.pipe(|| PipeEvent::Stall {
+                cause: StallCause::VectorStartup,
+                start: t0,
+                end: t0 + ramp,
+            });
+        }
+        if lat > ramp {
+            let end = self.now;
+            self.pipe(|| PipeEvent::Stall { cause: StallCause::RawHazard, start: t0 + ramp, end });
+        }
     }
 
     /// Miss-latency adjustment: on platforms with a hardware prefetcher, a
@@ -1513,5 +1638,84 @@ mod tests {
             m.cycles() - t0
         };
         assert!(dep_time(96) < dep_time(0));
+    }
+
+    /// A small workload with phases, dependent chains (RAW + startup stalls),
+    /// and memory traffic (mem/occupancy stalls).
+    fn pipe_workload(m: &mut Machine) {
+        let a = m.mem.alloc(4096);
+        let vl = m.setvl(64);
+        m.phase(KernelPhase::Pack, |m| {
+            for i in 0..16 {
+                m.vle(0, a.addr(i * 64), vl);
+                m.vse(0, a.addr(i * 64), vl);
+            }
+        });
+        m.phase(KernelPhase::Gemm, |m| {
+            m.vbroadcast(0, 1.0, vl);
+            for _ in 0..8 {
+                m.vfmacc_vf(1, 1.5, 0, vl);
+            }
+            let _ = m.vfredsum(1, vl);
+        });
+    }
+
+    #[test]
+    fn pipe_recording_is_timing_neutral() {
+        let mut off = machine();
+        pipe_workload(&mut off);
+        let mut on = machine();
+        on.record_pipe_events();
+        pipe_workload(&mut on);
+        assert_eq!(on.cycles(), off.cycles(), "pipe recording must not perturb timing");
+        assert!(!on.take_pipe_events().is_empty());
+        assert_eq!(on.pipe_events_dropped(), 0);
+        assert!(off.take_pipe_events().is_empty());
+    }
+
+    #[test]
+    fn pipe_events_are_well_formed() {
+        let mut m = machine();
+        m.record_pipe_events();
+        pipe_workload(&mut m);
+        let total = m.cycles();
+        let evs = m.take_pipe_events();
+        assert!(evs.iter().any(|e| matches!(e, PipeEvent::Stall { .. })), "expected stalls");
+
+        // Stall intervals are non-empty, within the run, and per cause the
+        // recorded durations sum to the stall breakdown counters.
+        let mut by_cause = std::collections::HashMap::new();
+        for e in &evs {
+            if let PipeEvent::Stall { cause, start, end } = e {
+                assert!(start < end, "empty/inverted interval {e:?}");
+                assert!(*end <= total, "interval {e:?} past end of run {total}");
+                *by_cause.entry(*cause).or_insert(0u64) += end - start;
+            }
+        }
+        for (cause, cycles) in &by_cause {
+            assert_eq!(
+                *cycles,
+                m.stalls.get(*cause),
+                "recorded intervals for {cause:?} disagree with the stall breakdown"
+            );
+        }
+
+        // Phase begin/end pairs balance and nest in time order.
+        let mut open: Vec<(KernelPhase, u64)> = Vec::new();
+        let mut seen_phases = 0;
+        for e in &evs {
+            match e {
+                PipeEvent::PhaseBegin { phase, at } => open.push((*phase, *at)),
+                PipeEvent::PhaseEnd { phase, at } => {
+                    let (p, t0) = open.pop().expect("PhaseEnd without PhaseBegin");
+                    assert_eq!(p, *phase);
+                    assert!(*at >= t0);
+                    seen_phases += 1;
+                }
+                PipeEvent::Stall { .. } => {}
+            }
+        }
+        assert!(open.is_empty(), "unclosed phases: {open:?}");
+        assert_eq!(seen_phases, 2);
     }
 }

@@ -12,7 +12,7 @@ use lva_kernels::gemm::GemmWorkspace;
 use lva_kernels::pool::{global_avgpool_vec, maxpool_vec, upsample2_vec, PoolParams};
 use lva_kernels::{conv_direct_vec, conv_im2col_gemm, ConvParams, GemmVariant};
 use lva_sim::memsys::MemSystemStats;
-use lva_sim::Buf;
+use lva_sim::{Buf, TapScope};
 use lva_tensor::{host_random, Shape, Tensor};
 use lva_winograd::{winograd_conv_vla, WinogradPlan, WinogradScratch};
 
@@ -467,6 +467,8 @@ impl Network {
             let vpu0 = m.stats;
             // Opened before the layer body so kernel-phase spans nest inside.
             let mut layer_span = lva_trace::span("layer");
+            let desc = self.layers[i].spec.describe();
+            m.sys.tap_scope(TapScope::LayerBegin { index: i, desc: &desc });
             let prev_out: Tensor = if i == 0 { self.input } else { self.layers[i - 1].out };
             let (mnk, algo, flops);
             // Take what we need out of the layer to satisfy the borrow
@@ -583,6 +585,7 @@ impl Network {
                     softmax_vec(m, out.buf, out.shape.len());
                 }
             }
+            m.sys.tap_scope(TapScope::LayerEnd);
             let cycles = m.cycles() - t0;
             let stalls = m.stalls.since(&stalls0);
             let d_instrs = m.stats.vec_instrs - vpu0.vec_instrs;
@@ -591,7 +594,7 @@ impl Network {
                 if d_instrs == 0 { 0.0 } else { 32.0 * d_elems as f64 / d_instrs as f64 };
             let report = LayerReport {
                 index: i,
-                desc: self.layers[i].spec.describe(),
+                desc,
                 cycles,
                 flops,
                 mnk,

@@ -45,6 +45,40 @@ impl CacheConfig {
     }
 }
 
+/// 3C classification of demand misses (Hill's taxonomy): *compulsory*
+/// misses touch a line for the first time ever (an infinite cache would
+/// also miss), *capacity* misses would recur in a fully-associative LRU
+/// cache of the same size (reuse distance ≥ capacity), and *conflict*
+/// misses are the remainder — set-contention artifacts a fully-associative
+/// cache of the same size would have avoided.
+///
+/// The cache model itself cannot classify its own misses (it has no
+/// infinite/fully-associative shadow); the counters are filled in by the
+/// `lva-prof` reuse-distance profiler when a run is profiled, and stay zero
+/// otherwise. `classified()` distinguishes "never profiled" from "profiled,
+/// zero misses".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Miss3C {
+    pub compulsory: u64,
+    pub capacity: u64,
+    pub conflict: u64,
+}
+
+impl Miss3C {
+    /// Total classified misses (0 ⇒ the run was not profiled or never
+    /// missed).
+    pub fn classified(&self) -> u64 {
+        self.compulsory + self.capacity + self.conflict
+    }
+
+    /// Merge counters from another block.
+    pub fn merge(&mut self, other: &Miss3C) {
+        self.compulsory += other.compulsory;
+        self.capacity += other.capacity;
+        self.conflict += other.conflict;
+    }
+}
+
 /// Aggregate counters for one cache level.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -57,6 +91,9 @@ pub struct CacheStats {
     pub prefetch_fills: u64,
     /// Demand misses that hit a prefetched line before its first use.
     pub prefetch_hits: u64,
+    /// 3C classification of `misses`, filled in by `lva-prof` when the run
+    /// is profiled (all-zero otherwise; see [`Miss3C`]).
+    pub three_c: Miss3C,
 }
 
 impl CacheStats {
@@ -97,6 +134,7 @@ impl CacheStats {
         self.writebacks += other.writebacks;
         self.prefetch_fills += other.prefetch_fills;
         self.prefetch_hits += other.prefetch_hits;
+        self.three_c.merge(&other.three_c);
     }
 }
 
@@ -251,6 +289,33 @@ mod tests {
         Cache::new(CacheConfig { name: "T", bytes: 512, line_bytes: 64, assoc: 2, hit_latency: 1 })
     }
 
+    /// A never-accessed cache must report rates of exactly 0.0 — never NaN
+    /// (0/0) — so downstream JSON reports and tolerance comparisons stay
+    /// well-defined without per-call-site guards.
+    #[test]
+    fn zero_access_rates_are_zero_not_nan() {
+        let fresh = CacheStats::default();
+        for r in [fresh.hit_rate(), fresh.miss_rate(), fresh.prefetch_accuracy()] {
+            assert!(!r.is_nan(), "zero-denominator rate must not be NaN");
+            assert_eq!(r, 0.0);
+        }
+        // Same through a real (untouched) cache level.
+        let c = small();
+        assert_eq!(c.stats.hit_rate(), 0.0);
+        assert_eq!(c.stats.miss_rate(), 0.0);
+        assert_eq!(c.stats.prefetch_accuracy(), 0.0);
+        assert_eq!(c.stats.three_c.classified(), 0);
+    }
+
+    #[test]
+    fn miss_3c_merge_adds_counters() {
+        let mut a = Miss3C { compulsory: 1, capacity: 2, conflict: 3 };
+        let b = Miss3C { compulsory: 10, capacity: 20, conflict: 30 };
+        a.merge(&b);
+        assert_eq!(a, Miss3C { compulsory: 11, capacity: 22, conflict: 33 });
+        assert_eq!(a.classified(), 66);
+    }
+
     #[test]
     fn geometry() {
         let c = small();
@@ -396,6 +461,7 @@ mod tests {
                 writebacks: rng.gen_range(0, 1000),
                 prefetch_fills,
                 prefetch_hits: rng.gen_range(0, prefetch_fills + 1),
+                ..CacheStats::default()
             };
             // Split every counter independently at a random point.
             let cut = |total: u64, rng: &mut crate::rng::Rng| {
@@ -415,6 +481,7 @@ mod tests {
                 writebacks: a_wb,
                 prefetch_fills: a_pf,
                 prefetch_hits: a_ph,
+                ..CacheStats::default()
             };
             let b = CacheStats {
                 accesses: b_acc,
@@ -423,6 +490,7 @@ mod tests {
                 writebacks: b_wb,
                 prefetch_fills: b_pf,
                 prefetch_hits: b_ph,
+                ..CacheStats::default()
             };
             let mut merged = a;
             merged.merge(&b);

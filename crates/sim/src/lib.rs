@@ -31,10 +31,12 @@ pub mod mem;
 pub mod memsys;
 pub mod prefetch;
 pub mod rng;
+pub mod tap;
 
-pub use cache::{AccessKind, Cache, CacheConfig, CacheStats};
+pub use cache::{AccessKind, Cache, CacheConfig, CacheStats, Miss3C};
 pub use latency::{l2_latency_cycles, LatencyModel};
 pub use mem::{AllocRecord, Buf, Memory};
 pub use memsys::{MemLevel, MemSystem, MemSystemConfig, VpuPath};
 pub use prefetch::{PrefetchTarget, StridePrefetcher, StridePrefetcherConfig};
 pub use rng::Rng;
+pub use tap::{AccessSink, TapLevel, TapScope};

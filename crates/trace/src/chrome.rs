@@ -1,0 +1,259 @@
+//! Chrome trace-event (`about:tracing` / Perfetto) timeline builder.
+//!
+//! A [`ChromeTrace`] collects duration events on named *tracks* and
+//! serializes them to the Trace Event Format's JSON object form
+//! (`{"traceEvents": [...]}`), loadable in `chrome://tracing` or
+//! <https://ui.perfetto.dev>. Each track becomes one thread row (constant
+//! `pid`, one `tid` per track, named via `thread_name` metadata events), so
+//! pipeline resources — kernel phases, each stall cause, layers — render as
+//! parallel swim lanes over the simulated-cycle axis.
+//!
+//! Timestamps here are **simulated cycles**, not microseconds; Chrome only
+//! assumes a uniform unit, so durations and overlaps render correctly (the
+//! time axis reads "µs" but means cycles — noted in `otherData`).
+//!
+//! The builder supports both event styles:
+//! * `complete(track, name, ts, dur)` → one `X` event (used for stall
+//!   intervals, which never nest);
+//! * `begin`/`end` pairs → `B`/`E` events (used for phases and layers,
+//!   which nest).
+//!
+//! [`ChromeTrace::validate`] checks the well-formedness rules Chrome
+//! enforces only by rendering garbage — per-track monotone non-decreasing
+//! timestamps and balanced `B`/`E` pairs — so tests can gate on them.
+
+use crate::json::Json;
+
+/// One timeline event on a track.
+#[derive(Debug, Clone, PartialEq)]
+enum Ev {
+    Complete { name: String, ts: u64, dur: u64 },
+    Begin { name: String, ts: u64 },
+    End { ts: u64 },
+}
+
+impl Ev {
+    fn ts(&self) -> u64 {
+        match self {
+            Ev::Complete { ts, .. } | Ev::Begin { ts, .. } | Ev::End { ts } => *ts,
+        }
+    }
+}
+
+/// A growable timeline: tracks in creation order, events per track in
+/// append order.
+#[derive(Debug, Default)]
+pub struct ChromeTrace {
+    tracks: Vec<(String, Vec<Ev>)>,
+    /// Free-form metadata surfaced in the file's `otherData` object.
+    meta: Vec<(String, String)>,
+}
+
+impl ChromeTrace {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attach a key/value note to the file's `otherData` section.
+    pub fn note(&mut self, key: &str, value: &str) {
+        self.meta.push((key.to_string(), value.to_string()));
+    }
+
+    fn track_mut(&mut self, track: &str) -> &mut Vec<Ev> {
+        if let Some(i) = self.tracks.iter().position(|(n, _)| n == track) {
+            &mut self.tracks[i].1
+        } else {
+            self.tracks.push((track.to_string(), Vec::new()));
+            &mut self.tracks.last_mut().expect("just pushed").1
+        }
+    }
+
+    /// Append a complete (`X`) event: `[ts, ts+dur)` on `track`.
+    pub fn complete(&mut self, track: &str, name: &str, ts: u64, dur: u64) {
+        self.track_mut(track).push(Ev::Complete { name: name.to_string(), ts, dur });
+    }
+
+    /// Open a nested (`B`) event on `track`.
+    pub fn begin(&mut self, track: &str, name: &str, ts: u64) {
+        self.track_mut(track).push(Ev::Begin { name: name.to_string(), ts });
+    }
+
+    /// Close (`E`) the innermost open event on `track`.
+    pub fn end(&mut self, track: &str, ts: u64) {
+        self.track_mut(track).push(Ev::End { ts });
+    }
+
+    /// Number of events across all tracks.
+    pub fn len(&self) -> usize {
+        self.tracks.iter().map(|(_, evs)| evs.len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Check the invariants a renderable trace needs:
+    /// * per track, timestamps are monotone non-decreasing in append order
+    ///   (for `X` events the *start*; Chrome sorts stably by `ts`);
+    /// * per track, `B`/`E` events balance: never an `E` without an open
+    ///   `B`, none left open at the end, and each `E` at or after its `B`.
+    ///
+    /// Returns the first violation as `Err(description)`.
+    pub fn validate(&self) -> Result<(), String> {
+        for (track, evs) in &self.tracks {
+            let mut last_ts = 0u64;
+            let mut open: Vec<(&str, u64)> = Vec::new();
+            for (i, ev) in evs.iter().enumerate() {
+                if ev.ts() < last_ts {
+                    return Err(format!(
+                        "track {track:?} event {i}: ts {} < previous ts {last_ts} (not monotone)",
+                        ev.ts()
+                    ));
+                }
+                last_ts = ev.ts();
+                match ev {
+                    Ev::Begin { name, ts } => open.push((name, *ts)),
+                    Ev::End { ts } => match open.pop() {
+                        Some((name, b_ts)) if *ts >= b_ts => {
+                            let _ = name;
+                        }
+                        Some((name, b_ts)) => {
+                            return Err(format!(
+                                "track {track:?} event {i}: E at {ts} before B {name:?} at {b_ts}"
+                            ));
+                        }
+                        None => {
+                            return Err(format!("track {track:?} event {i}: E without open B"));
+                        }
+                    },
+                    Ev::Complete { .. } => {}
+                }
+            }
+            if let Some((name, ts)) = open.pop() {
+                return Err(format!("track {track:?}: B {name:?} at {ts} never closed"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Serialize to the Trace Event Format JSON object form.
+    pub fn to_json(&self) -> Json {
+        const PID: u64 = 1;
+        let mut events: Vec<Json> = Vec::with_capacity(self.len() + self.tracks.len());
+        for (tid0, (track, evs)) in self.tracks.iter().enumerate() {
+            let tid = tid0 as u64 + 1;
+            // Name the thread row after the track.
+            events.push(
+                Json::obj()
+                    .field("name", "thread_name")
+                    .field("ph", "M")
+                    .field("pid", PID)
+                    .field("tid", tid)
+                    .field("args", Json::obj().field("name", track.as_str())),
+            );
+            for ev in evs {
+                let e = match ev {
+                    Ev::Complete { name, ts, dur } => Json::obj()
+                        .field("name", name.as_str())
+                        .field("ph", "X")
+                        .field("ts", *ts)
+                        .field("dur", *dur)
+                        .field("pid", PID)
+                        .field("tid", tid),
+                    Ev::Begin { name, ts } => Json::obj()
+                        .field("name", name.as_str())
+                        .field("ph", "B")
+                        .field("ts", *ts)
+                        .field("pid", PID)
+                        .field("tid", tid),
+                    Ev::End { ts } => Json::obj()
+                        .field("ph", "E")
+                        .field("ts", *ts)
+                        .field("pid", PID)
+                        .field("tid", tid),
+                };
+                events.push(e);
+            }
+        }
+        let mut other = Json::obj().field("time_unit", "simulated cycles (rendered as us)");
+        for (k, v) in &self.meta {
+            other = other.field(k, v.as_str());
+        }
+        Json::obj().field("traceEvents", Json::Arr(events)).field("otherData", other)
+    }
+
+    /// Write pretty-printed JSON to `path` (e.g. `trace.json`).
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let mut body = self.to_json().to_string_pretty();
+        body.push('\n');
+        std::fs::write(path, body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_trace_passes_and_serializes() {
+        let mut t = ChromeTrace::new();
+        t.begin("phase", "gemm", 0);
+        t.begin("phase", "pack", 5); // nested
+        t.end("phase", 9);
+        t.end("phase", 20);
+        t.complete("stall:mem", "mem", 3, 4);
+        t.complete("stall:mem", "mem", 9, 2);
+        t.note("hw", "RVV@gem5");
+        assert_eq!(t.validate(), Ok(()));
+        assert_eq!(t.len(), 6);
+        let j = t.to_json();
+        let evs = j.get("traceEvents").and_then(Json::as_arr).expect("traceEvents array");
+        // 6 events + 2 thread_name metadata records.
+        assert_eq!(evs.len(), 8);
+        // The metadata rows name the tracks.
+        let names: Vec<&str> = evs
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("M"))
+            .map(|e| {
+                e.get("args").and_then(|a| a.get("name")).and_then(Json::as_str).expect("name")
+            })
+            .collect();
+        assert_eq!(names, vec!["phase", "stall:mem"]);
+        // Round-trips through the parser.
+        let text = j.to_string_pretty();
+        assert_eq!(Json::parse(&text).expect("parses"), j);
+    }
+
+    #[test]
+    fn monotonicity_violation_detected() {
+        let mut t = ChromeTrace::new();
+        t.complete("r", "a", 10, 5);
+        t.complete("r", "b", 9, 1); // goes backwards
+        let err = t.validate().unwrap_err();
+        assert!(err.contains("not monotone"), "{err}");
+        // Independent tracks do not interfere.
+        let mut t2 = ChromeTrace::new();
+        t2.complete("r1", "a", 10, 5);
+        t2.complete("r2", "b", 0, 1);
+        assert_eq!(t2.validate(), Ok(()));
+    }
+
+    #[test]
+    fn unbalanced_pairs_detected() {
+        let mut t = ChromeTrace::new();
+        t.begin("p", "x", 0);
+        assert!(t.validate().unwrap_err().contains("never closed"));
+
+        let mut t = ChromeTrace::new();
+        t.end("p", 4);
+        assert!(t.validate().unwrap_err().contains("E without open B"));
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        let t = ChromeTrace::new();
+        assert!(t.is_empty());
+        assert_eq!(t.validate(), Ok(()));
+        assert!(t.to_json().get("traceEvents").and_then(Json::as_arr).unwrap().is_empty());
+    }
+}

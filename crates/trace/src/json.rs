@@ -183,6 +183,343 @@ pub fn write_escaped(s: &str, out: &mut String) {
     out.push('"');
 }
 
+// ----------------------------------------------------------------------
+// Parsing (for `bench-diff` and other report consumers)
+// ----------------------------------------------------------------------
+
+/// A parse failure: byte offset + message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub offset: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+/// Nesting guard: reports written by this workspace are a few levels deep;
+/// anything past this is corrupt input, not a report.
+const MAX_DEPTH: usize = 128;
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { offset: self.pos, message: message.into() })
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected '{}'", b as char))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            self.err(format!("expected '{word}'"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, ParseError> {
+        self.skip_ws();
+        match self.peek() {
+            None => self.err("unexpected end of input"),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(b) => self.err(format!("unexpected byte 0x{b:02x}")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return self.err("nesting too deep");
+        }
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => {}
+                Some(b']') => break,
+                _ => return self.err("expected ',' or ']'"),
+            }
+        }
+        self.depth -= 1;
+        Ok(Json::Arr(items))
+    }
+
+    fn object(&mut self) -> Result<Json, ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return self.err("nesting too deep");
+        }
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value()?;
+            pairs.push((key, val));
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => {}
+                Some(b'}') => break,
+                _ => return self.err("expected ',' or '}'"),
+            }
+        }
+        self.depth -= 1;
+        Ok(Json::Obj(pairs))
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: copy a run of plain bytes at once.
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                match std::str::from_utf8(&self.bytes[start..self.pos]) {
+                    Ok(chunk) => s.push_str(chunk),
+                    Err(_) => return self.err("invalid UTF-8 in string"),
+                }
+            }
+            match self.bump() {
+                Some(b'"') => return Ok(s),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => s.push('"'),
+                    Some(b'\\') => s.push('\\'),
+                    Some(b'/') => s.push('/'),
+                    Some(b'n') => s.push('\n'),
+                    Some(b'r') => s.push('\r'),
+                    Some(b't') => s.push('\t'),
+                    Some(b'b') => s.push('\u{08}'),
+                    Some(b'f') => s.push('\u{0c}'),
+                    Some(b'u') => {
+                        let hi = self.hex4()?;
+                        let cp = if (0xd800..0xdc00).contains(&hi) {
+                            // Surrogate pair: expect \uXXXX low half.
+                            if self.bump() != Some(b'\\') || self.bump() != Some(b'u') {
+                                return self.err("unpaired surrogate");
+                            }
+                            let lo = self.hex4()?;
+                            if !(0xdc00..0xe000).contains(&lo) {
+                                return self.err("invalid low surrogate");
+                            }
+                            0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00)
+                        } else {
+                            hi
+                        };
+                        match char::from_u32(cp) {
+                            Some(c) => s.push(c),
+                            None => return self.err("invalid unicode escape"),
+                        }
+                    }
+                    _ => return self.err("invalid escape"),
+                },
+                Some(_) => return self.err("unescaped control character in string"),
+                None => return self.err("unterminated string"),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let d = match self.bump() {
+                Some(b @ b'0'..=b'9') => u32::from(b - b'0'),
+                Some(b @ b'a'..=b'f') => u32::from(b - b'a') + 10,
+                Some(b @ b'A'..=b'F') => u32::from(b - b'A') + 10,
+                _ => return self.err("expected 4 hex digits"),
+            };
+            v = v * 16 + d;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        let neg = self.peek() == Some(b'-');
+        if neg {
+            self.pos += 1;
+        }
+        let int_start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == int_start {
+            return self.err("expected digit");
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            let fs = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == fs {
+                return self.err("expected fraction digits");
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let es = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == es {
+                return self.err("expected exponent digits");
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        if !is_float {
+            // Preserve integer-ness where it fits (cycle counts exceed 2^53).
+            if neg {
+                if let Ok(i) = text.parse::<i64>() {
+                    return Ok(Json::Int(i));
+                }
+            } else if let Ok(u) = text.parse::<u64>() {
+                return Ok(Json::UInt(u));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(x) => Ok(Json::Num(x)),
+            Err(_) => self.err("malformed number"),
+        }
+    }
+}
+
+impl Json {
+    /// Parse a complete JSON document (the inverse of the serializer;
+    /// round-trips everything this workspace writes). Trailing whitespace is
+    /// allowed, trailing garbage is an error.
+    pub fn parse(text: &str) -> Result<Json, ParseError> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0, depth: 0 };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return p.err("trailing characters after value");
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup (first match; objects this crate writes have
+    /// unique keys). `None` on non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Array element lookup. `None` on non-arrays / out of range.
+    pub fn at(&self, idx: usize) -> Option<&Json> {
+        match self {
+            Json::Arr(items) => items.get(idx),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `f64` (UInt/Int/Num). `None` otherwise.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::UInt(n) => Some(*n as f64),
+            Json::Int(n) => Some(*n as f64),
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Unsigned integer value (exact). `None` otherwise.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::UInt(n) => Some(*n),
+            Json::Int(n) if *n >= 0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// String value. `None` otherwise.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array items. `None` otherwise.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
 impl From<bool> for Json {
     fn from(v: bool) -> Json {
         Json::Bool(v)
@@ -276,6 +613,87 @@ mod tests {
             .field("a", Json::Arr(vec![Json::from("x"), Json::Null]))
             .field("c", Json::obj().field("k", 2.5));
         assert_eq!(j.to_string_compact(), r#"{"b":1,"a":["x",null],"c":{"k":2.5}}"#);
+    }
+
+    #[test]
+    fn parse_round_trips_serializer_output() {
+        let j = Json::obj()
+            .field("name", "exp \"quoted\" \\ λ→∞\n")
+            .field("cycles", u64::MAX)
+            .field("delta", -42i64)
+            .field("rate", 0.12345678901234567)
+            .field("flag", true)
+            .field("none", Json::Null)
+            .field(
+                "layers",
+                Json::Arr(vec![
+                    Json::obj().field("i", 0u64).field("c", 123u64),
+                    Json::obj().field("i", 1u64).field("c", 456u64),
+                ]),
+            );
+        for text in [j.to_string_compact(), j.to_string_pretty()] {
+            let parsed = Json::parse(&text).expect("round trip");
+            assert_eq!(parsed, j, "parse(serialize(x)) == x for {text}");
+        }
+    }
+
+    #[test]
+    fn parse_scalars_and_numbers() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("18446744073709551615").unwrap(), Json::UInt(u64::MAX));
+        assert_eq!(Json::parse("-9007199254740993").unwrap(), Json::Int(-9007199254740993));
+        assert_eq!(Json::parse("1.5e3").unwrap(), Json::Num(1500.0));
+        assert_eq!(Json::parse("0.25").unwrap(), Json::Num(0.25));
+        // Integer too large for u64 degrades to f64 rather than failing.
+        assert!(matches!(Json::parse("98446744073709551615").unwrap(), Json::Num(_)));
+    }
+
+    #[test]
+    fn parse_string_escapes() {
+        let v = Json::parse(r#""a\nb\t\"\\\u00e9\ud83d\ude00""#).unwrap();
+        assert_eq!(v, Json::Str("a\nb\t\"\\é😀".to_string()));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "tru",
+            "1.2.3",
+            "\"unterminated",
+            "{\"a\":1}x",
+            "[1 2]",
+            "nan",
+            "--1",
+            "\"\\u12\"",
+            "01x",
+        ] {
+            assert!(Json::parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn accessors_navigate_reports() {
+        let j =
+            Json::parse(r#"{"totals":{"cycles":77},"layers":[{"desc":"conv"},{"desc":"pool"}]}"#)
+                .unwrap();
+        assert_eq!(j.get("totals").and_then(|t| t.get("cycles")).and_then(Json::as_u64), Some(77));
+        assert_eq!(
+            j.get("layers")
+                .and_then(|l| l.at(1))
+                .and_then(|l| l.get("desc"))
+                .and_then(Json::as_str),
+            Some("pool")
+        );
+        assert_eq!(j.get("layers").and_then(Json::as_arr).map(<[Json]>::len), Some(2));
+        assert_eq!(j.get("missing"), None);
+        assert_eq!(j.at(0), None);
+        assert_eq!(Json::UInt(7).as_f64(), Some(7.0));
+        assert_eq!(Json::Int(-7).as_u64(), None);
     }
 
     #[test]

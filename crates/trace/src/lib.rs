@@ -33,7 +33,9 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
+pub mod chrome;
 pub mod json;
+pub use chrome::ChromeTrace;
 pub use json::Json;
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
