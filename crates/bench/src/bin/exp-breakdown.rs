@@ -3,7 +3,8 @@
 //! The paper profiles YOLOv3 on A64FX and finds the convolutional layer
 //! dominates, with GEMM consuming 93.4% of the computation time (setup
 //! excluded). This binary reproduces the breakdown from the simulator's
-//! kernel-phase attribution.
+//! kernel-phase attribution. The two builds are independent design points,
+//! so `--jobs 2` runs them concurrently with identical output.
 
 use lva_bench::*;
 
@@ -15,11 +16,16 @@ fn main() {
         layer_limit: opts.layers,
     };
     // The §II-B profile is the un-tuned Darknet build: the naive GEMM.
-    for (name, policy) in [
+    let specs: Vec<(String, Experiment)> = [
         ("naive darknet build (as profiled in §II-B)", ConvPolicy::gemm_only(GemmVariant::Naive)),
         ("optimized 6-loop build", ConvPolicy::gemm_only(GemmVariant::opt6())),
-    ] {
-        let s = run_logged(&Experiment::new(HwTarget::A64fx, policy, workload));
+    ]
+    .into_iter()
+    .map(|(name, policy)| (name.to_string(), Experiment::new(HwTarget::A64fx, policy, workload)))
+    .collect();
+    let results = run_sweep(&specs, opts.jobs, false, false);
+    for ((name, _), r) in specs.iter().zip(&results) {
+        let s = &r.summary;
         let mut table = Table::new(
             format!("Kernel breakdown — {name}, {}", workload.describe()),
             &["kernel", "cycles", "share_%"],

@@ -8,6 +8,14 @@
 //!   prefetch, but L1 blocking still helps a bit).
 //! * YOLOv3 on RISC-V Vector: 6-loop vs 3-loop — ~0.98x (no benefit: the
 //!   decoupled VPU bypasses the L1).
+//!
+//! The nine design points are independent, so `--jobs N` fans them out over
+//! worker threads — the table, `results/` files and `BENCH_headline.json`
+//! are byte-identical for every N. `--wallclock` times the whole sweep
+//! (serial vs `--jobs`, median of 3 each) and writes the simulator's
+//! self-benchmark to `BENCH_sim_wallclock.json`.
+
+use std::time::Instant;
 
 use lva_bench::*;
 
@@ -15,10 +23,8 @@ fn ratio(a: u64, b: u64) -> String {
     fmt_speedup(a as f64 / b as f64)
 }
 
-fn main() {
-    let opts = Opts::parse(4, "Headline optimization speedups (§VI-A/§VI-C)");
-    let mut runs: Vec<RunReport> = Vec::new();
-    let mut profiles: Vec<(String, Json)> = Vec::new();
+/// The nine named headline design points, in report order.
+fn headline_specs(opts: &Opts) -> Vec<(String, Experiment)> {
     let tiny = Workload {
         model: ModelId::Yolov3Tiny,
         input_hw: scaled_input(ModelId::Yolov3Tiny, opts.div),
@@ -32,80 +38,140 @@ fn main() {
     let naive = ConvPolicy::gemm_only(GemmVariant::Naive);
     let opt3 = ConvPolicy::gemm_only(GemmVariant::opt3());
     let opt6 = ConvPolicy::gemm_only(GemmVariant::opt6());
+    let rvv = HwTarget::RvvGem5 { vlen_bits: 2048, lanes: 8, l2_bytes: 1 << 20 };
+    let ax = HwTarget::A64fx;
+    let sve = HwTarget::SveGem5 { vlen_bits: 512, l2_bytes: 1 << 20 };
+    [
+        ("rvv_tiny_naive", Experiment::new(rvv, naive, tiny)),
+        ("rvv_tiny_opt3", Experiment::new(rvv, opt3, tiny)),
+        ("a64fx_yolo20_naive", Experiment::new(ax, naive, yolo20)),
+        ("a64fx_yolo20_opt3", Experiment::new(ax, opt3, yolo20)),
+        ("a64fx_yolo20_opt6", Experiment::new(ax, opt6, yolo20)),
+        ("sve512_yolo20_opt3", Experiment::new(sve, opt3, yolo20)),
+        ("sve512_yolo20_opt6", Experiment::new(sve, opt6, yolo20)),
+        ("rvv_yolo20_opt3", Experiment::new(rvv, opt3, yolo20)),
+        ("rvv_yolo20_opt6", Experiment::new(rvv, opt6, yolo20)),
+    ]
+    .into_iter()
+    .map(|(n, e)| (n.to_string(), e))
+    .collect()
+}
 
+/// `--wallclock`: time the full sweep end to end, serially and with
+/// `--jobs`, median of 3 passes each, and write `BENCH_sim_wallclock.json`.
+/// Per-run reports (with host timing attached) come from the last serial
+/// pass.
+fn wallclock_bench(specs: &[(String, Experiment)], opts: &Opts) {
+    let jobs = if opts.jobs > 1 { opts.jobs } else { lva_core::default_jobs().max(2) };
+    let mut serial_ms = Vec::new();
+    let mut parallel_ms = Vec::new();
+    let mut last_serial: Option<Vec<SweepRun>> = None;
+    for pass in 0..3 {
+        let t0 = Instant::now();
+        let runs = run_sweep(specs, 1, false, true);
+        serial_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+        eprintln!(".. wallclock serial pass {}: {:.0} ms", pass + 1, serial_ms[pass]);
+        last_serial = Some(runs);
+        let t0 = Instant::now();
+        run_sweep(specs, jobs, false, true);
+        parallel_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+        eprintln!(".. wallclock --jobs {jobs} pass {}: {:.0} ms", pass + 1, parallel_ms[pass]);
+    }
+    let serial = median_ms(&mut serial_ms);
+    let parallel = median_ms(&mut parallel_ms);
+    let runs = last_serial.expect("three serial passes ran");
+    let total_cycles: u64 = runs.iter().map(|r| r.summary.cycles).sum();
+    let reports: Vec<Json> = specs
+        .iter()
+        .zip(&runs)
+        .map(|((name, e), r)| {
+            RunReport::new(name.clone(), e, &r.summary).with_host(r.host_ms).to_json()
+        })
+        .collect();
+    let j = Json::obj()
+        .field("bench", "sim_wallclock")
+        .field("div", opts.div as u64)
+        .field("experiments", specs.len() as u64)
+        .field("host_cpus", lva_core::default_jobs() as u64)
+        .field("jobs", jobs as u64)
+        .field("serial_ms_median_of_3", serial)
+        .field("parallel_ms_median_of_3", parallel)
+        .field("parallel_speedup", if parallel > 0.0 { serial / parallel } else { 0.0 })
+        .field("sim_cycles_total", total_cycles)
+        .field(
+            "sim_cycles_per_host_us_serial",
+            if serial > 0.0 { total_cycles as f64 / (serial * 1000.0) } else { 0.0 },
+        )
+        .field("runs", Json::Arr(reports));
+    let mut body = j.to_string_pretty();
+    body.push('\n');
+    match std::fs::write("BENCH_sim_wallclock.json", body) {
+        Ok(()) => println!(
+            "[saved BENCH_sim_wallclock.json: serial {serial:.0} ms, --jobs {jobs} {parallel:.0} ms]"
+        ),
+        Err(e) => eprintln!("could not save BENCH_sim_wallclock.json: {e}"),
+    }
+}
+
+fn main() {
+    let opts = Opts::parse(4, "Headline optimization speedups (§VI-A/§VI-C)");
+    let specs = headline_specs(&opts);
+
+    // The table pass. With --profile the memory profiler rides along
+    // (timing unchanged) and its reuse-distance/3C report lands next to
+    // the run. --jobs only changes who executes what when.
+    let results = run_sweep(&specs, opts.jobs, opts.profile, false);
+    let summary = |i: usize| -> &RunSummary { &results[i].summary };
+    let runs: Vec<RunReport> = specs
+        .iter()
+        .zip(&results)
+        .map(|((name, e), r)| RunReport::new(name.clone(), e, &r.summary))
+        .collect();
+    let profiles: Vec<(String, Json)> = specs
+        .iter()
+        .zip(&results)
+        .filter_map(|((name, _), r)| r.profile.as_ref().map(|p| (name.clone(), p.to_json())))
+        .collect();
+
+    let tiny_desc = specs[0].1.workload.describe();
+    let yolo_desc = specs[2].1.workload.describe();
     let mut table = Table::new(
         "Headline speedups of the §IV optimizations",
         &["platform", "workload", "comparison", "measured", "paper"],
     );
-
-    // Run one design point, keeping the full report for --json output.
-    // With --profile the memory profiler rides along (timing unchanged)
-    // and its reuse-distance/3C report lands next to the run.
-    let profile_on = opts.profile;
-    let mut go = |name: &str, e: Experiment| -> RunSummary {
-        let s = if profile_on {
-            let (s, profile) = run_logged_profiled(&e);
-            profiles.push((name.to_string(), profile.to_json()));
-            s
-        } else {
-            run_logged(&e)
-        };
-        runs.push(RunReport::new(name, &e, &s));
-        s
-    };
-
-    // RISC-V Vector, YOLOv3-tiny: opt3 vs naive (14x in the paper).
-    let rvv = HwTarget::RvvGem5 { vlen_bits: 2048, lanes: 8, l2_bytes: 1 << 20 };
-    let t_naive = go("rvv_tiny_naive", Experiment::new(rvv, naive, tiny));
-    let t_opt3 = go("rvv_tiny_opt3", Experiment::new(rvv, opt3, tiny));
     table.row(vec![
         "RVV@gem5".into(),
-        tiny.describe(),
+        tiny_desc.clone(),
         "opt 3-loop vs naive".into(),
-        ratio(t_naive.cycles, t_opt3.cycles),
+        ratio(summary(0).cycles, summary(1).cycles),
         "14x".into(),
     ]);
-
-    // A64FX, YOLOv3: opt6 vs naive (32x) and opt6 vs opt3 (2x).
-    let ax = HwTarget::A64fx;
-    let a_naive = go("a64fx_yolo20_naive", Experiment::new(ax, naive, yolo20));
-    let a_opt3 = go("a64fx_yolo20_opt3", Experiment::new(ax, opt3, yolo20));
-    let a_opt6 = go("a64fx_yolo20_opt6", Experiment::new(ax, opt6, yolo20));
     table.row(vec![
         "A64FX".into(),
-        yolo20.describe(),
+        yolo_desc.clone(),
         "opt 6-loop vs naive".into(),
-        ratio(a_naive.cycles, a_opt6.cycles),
+        ratio(summary(2).cycles, summary(4).cycles),
         "~32x".into(),
     ]);
     table.row(vec![
         "A64FX".into(),
-        yolo20.describe(),
+        yolo_desc.clone(),
         "opt 6-loop vs opt 3-loop".into(),
-        ratio(a_opt3.cycles, a_opt6.cycles),
+        ratio(summary(3).cycles, summary(4).cycles),
         "2x".into(),
     ]);
-
-    // SVE @ gem5 512-bit: opt6 vs opt3 (1.15x).
-    let sve = HwTarget::SveGem5 { vlen_bits: 512, l2_bytes: 1 << 20 };
-    let s_opt3 = go("sve512_yolo20_opt3", Experiment::new(sve, opt3, yolo20));
-    let s_opt6 = go("sve512_yolo20_opt6", Experiment::new(sve, opt6, yolo20));
     table.row(vec![
         "SVE@gem5 512b".into(),
-        yolo20.describe(),
+        yolo_desc.clone(),
         "opt 6-loop vs opt 3-loop".into(),
-        ratio(s_opt3.cycles, s_opt6.cycles),
+        ratio(summary(5).cycles, summary(6).cycles),
         "1.15x".into(),
     ]);
-
-    // RVV: opt6 vs opt3 (~0.98x, Table II best block).
-    let r_opt3 = go("rvv_yolo20_opt3", Experiment::new(rvv, opt3, yolo20));
-    let r_opt6 = go("rvv_yolo20_opt6", Experiment::new(rvv, opt6, yolo20));
     table.row(vec![
         "RVV@gem5".into(),
-        yolo20.describe(),
+        yolo_desc,
         "opt 6-loop vs opt 3-loop".into(),
-        ratio(r_opt3.cycles, r_opt6.cycles),
+        ratio(summary(7).cycles, summary(8).cycles),
         "0.98x".into(),
     ]);
 
@@ -114,7 +180,7 @@ fn main() {
     // --chrome: re-run the first design point recording pipeline events and
     // save a Perfetto-loadable timeline (layers / phases / stall tracks).
     if let Some(path) = &opts.chrome {
-        let e = Experiment::new(rvv, opt3, tiny);
+        let e = &specs[1].1; // rvv + opt3 + tiny
         eprintln!(".. {} | {} [timeline]", e.hw.describe(), e.workload.describe());
         let (_, trace) = e.run_timeline();
         match trace.save(path) {
@@ -125,13 +191,15 @@ fn main() {
 
     // --json: full machine-readable record (per-layer cycles, stall-cause
     // breakdown, per-level cache hit rates, avg consumed VL) at repo root.
+    // Host timing is deliberately NOT attached here: this file is the
+    // byte-deterministic record `bench-diff` gates on.
     if opts.json {
         let mut j = Json::obj()
             .field("bench", "headline")
             .field("table", table.to_json())
             .field("runs", Json::Arr(runs.iter().map(lva_bench::RunReport::to_json).collect()));
         if !profiles.is_empty() {
-            j = j.field("profiles", Json::Obj(std::mem::take(&mut profiles)));
+            j = j.field("profiles", Json::Obj(profiles));
         }
         let mut body = j.to_string_pretty();
         body.push('\n');
@@ -140,6 +208,11 @@ fn main() {
             Err(e) => eprintln!("could not save BENCH_headline.json: {e}"),
         }
     }
+
+    if opts.wallclock {
+        wallclock_bench(&specs, &opts);
+    }
+
     // The --json path above writes after emit()'s flush; make sure a
     // `--trace` sink sees everything before the process exits.
     lva_trace::flush();

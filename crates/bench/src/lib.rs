@@ -11,6 +11,9 @@ use std::env;
 
 pub mod diff;
 pub mod microbench;
+pub mod sweep;
+
+pub use sweep::{median_ms, run_sweep, SweepRun};
 
 pub use lva_core::report::{fmt_cycles, fmt_speedup};
 pub use lva_core::{
@@ -42,6 +45,13 @@ pub struct Opts {
     pub profile: bool,
     /// Write a Chrome trace-event timeline (Perfetto-loadable) to this path.
     pub chrome: Option<String>,
+    /// Worker threads for independent design-point runs (`--jobs N`;
+    /// `--jobs 0` means all host cores). 1 = the serial loop.
+    pub jobs: usize,
+    /// Self-benchmark the simulator's wall-clock (`--wallclock`): run the
+    /// sweep serially and with `--jobs`, median-of-3 each, and write a
+    /// `BENCH_sim_wallclock.json` report.
+    pub wallclock: bool,
 }
 
 impl Opts {
@@ -56,6 +66,8 @@ impl Opts {
             json: false,
             profile: false,
             chrome: None,
+            jobs: 1,
+            wallclock: false,
         };
         let mut args = env::args().skip(1);
         while let Some(a) = args.next() {
@@ -76,6 +88,12 @@ impl Opts {
                 "--json" => opts.json = true,
                 "--no-json" => opts.json = false,
                 "--profile" => opts.profile = true,
+                "--jobs" => {
+                    let n: usize =
+                        args.next().and_then(|v| v.parse().ok()).expect("--jobs needs an integer");
+                    opts.jobs = if n == 0 { lva_core::default_jobs() } else { n };
+                }
+                "--wallclock" => opts.wallclock = true,
                 "--chrome" => {
                     opts.chrome = Some(args.next().expect("--chrome needs a file path"));
                 }
@@ -87,7 +105,7 @@ impl Opts {
                 }
                 "--help" | "-h" => {
                     eprintln!(
-                        "{what}\n\nOptions:\n  --div N      input down-scale divisor (default {default_div}; 1 = paper size)\n  --layers N   layer prefix override\n  --csv/--no-csv  write results/<exp>.csv (default on)\n  --json       also write results/<exp>.json (machine-readable)\n  --profile    tap the cache hierarchy: reuse-distance histograms, 3C\n               miss classes, capacity curves (in the JSON output)\n  --chrome FILE  write a Chrome trace-event timeline (Perfetto) to FILE\n  --trace FILE stream JSONL telemetry spans to FILE"
+                        "{what}\n\nOptions:\n  --div N      input down-scale divisor (default {default_div}; 1 = paper size)\n  --layers N   layer prefix override\n  --csv/--no-csv  write results/<exp>.csv (default on)\n  --json       also write results/<exp>.json (machine-readable)\n  --profile    tap the cache hierarchy: reuse-distance histograms, 3C\n               miss classes, capacity curves (in the JSON output)\n  --chrome FILE  write a Chrome trace-event timeline (Perfetto) to FILE\n  --trace FILE stream JSONL telemetry spans to FILE\n  --jobs N     run independent design points on N threads (0 = all cores;\n               results and reports are identical to --jobs 1)\n  --wallclock  self-benchmark: time the sweep serial vs --jobs (median of\n               3 each) and write BENCH_sim_wallclock.json"
                     );
                     std::process::exit(0);
                 }

@@ -5,7 +5,16 @@
 use lva_bench::{emit, Opts, Table};
 
 fn opts() -> Opts {
-    Opts { div: 1, layers: None, csv: false, json: false, profile: false, chrome: None }
+    Opts {
+        div: 1,
+        layers: None,
+        csv: false,
+        json: false,
+        profile: false,
+        chrome: None,
+        jobs: 1,
+        wallclock: false,
+    }
 }
 
 // The trace sink is process-global; exercise both sinks in one #[test] to

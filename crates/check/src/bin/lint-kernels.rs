@@ -16,13 +16,40 @@ use lva_kernels::{BlockSizes, DEFAULT_UNROLL};
 const WINOGRAD_MAX_IN_C: usize = 512;
 
 fn main() {
+    // `--jobs N` fans the per-design-point checks out over worker threads
+    // (0 = all cores). Findings are collected in design-point order, so the
+    // report is identical for every N.
+    let mut jobs = 1usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--jobs" => {
+                let n: usize =
+                    args.next().and_then(|v| v.parse().ok()).expect("--jobs needs an integer");
+                jobs = if n == 0 { lva_core::default_jobs() } else { n };
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "lint-kernels: kernel sanitizer + capacity linter\n\nOptions:\n  --jobs N   check design points on N threads (0 = all cores)"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown option {other}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+
     let configs = sweep_configs();
     let kernels = registered_kernels();
-    let mut findings: Vec<Finding> = Vec::new();
-    let mut capacity = Vec::new();
-    let mut runs = 0usize;
 
-    for (profile, cfg) in &configs {
+    // One unit of work per design point: sanitize every supported kernel
+    // and lint the capacity model. Each returns its own findings/capacity
+    // block; submission-order collection keeps the report deterministic.
+    let per_point = lva_core::parallel_map(&configs, jobs, |_, (profile, cfg)| {
+        let mut findings: Vec<Finding> = Vec::new();
+        let mut runs = 0usize;
         for case in kernels.iter().filter(|c| c.supports(cfg.vpu.isa)) {
             findings.extend(check_kernel(case, profile, cfg));
             runs += 1;
@@ -30,10 +57,19 @@ fn main() {
         let wino = (cfg.vpu.isa == IsaKind::Sve).then_some(WINOGRAD_MAX_IN_C);
         let checks = capacity_checks(cfg, BlockSizes::TABLE2_BEST, DEFAULT_UNROLL, wino);
         findings.extend(lint_capacity(profile, &checks));
-        capacity.push(Json::obj().field("profile", *profile).field(
+        let capacity = Json::obj().field("profile", *profile).field(
             "checks",
             checks.iter().map(lva_check::CapacityCheck::to_json).collect::<Vec<_>>(),
-        ));
+        );
+        (findings, capacity, runs)
+    });
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut capacity = Vec::new();
+    let mut runs = 0usize;
+    for (f, c, r) in per_point {
+        findings.extend(f);
+        capacity.push(c);
+        runs += r;
     }
 
     let report = Json::obj()

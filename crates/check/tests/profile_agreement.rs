@@ -36,50 +36,58 @@ fn run_profiled(case: &KernelCase, cfg: &MachineConfig) -> (Machine, MemProfile)
     (m, profile)
 }
 
-#[test]
-fn profiler_is_timing_neutral_on_every_registry_kernel() {
+/// Every (design point, supported kernel) pair, flattened so the heavy
+/// validation loops can fan out over [`lva_core::parallel_map`]. Each pair
+/// is an independent simulation; a panic in any worker still fails the
+/// test at scope join.
+fn agreement_pairs() -> Vec<(String, MachineConfig, KernelCase)> {
+    let mut out = Vec::new();
     for (name, cfg) in design_points() {
         for case in registered_kernels() {
-            if !case.supports(cfg.vpu.isa) {
-                continue;
+            if case.supports(cfg.vpu.isa) {
+                out.push((name.clone(), cfg.clone(), case));
             }
-            let mut plain = Machine::new(cfg.clone());
-            (case.run)(&mut plain);
-            let (profiled, _) = run_profiled(&case, &cfg);
-            assert_eq!(
-                profiled.cycles(),
-                plain.cycles(),
-                "{} @ {name}: tap must not perturb timing",
-                case.name
-            );
         }
     }
+    out
+}
+
+#[test]
+fn profiler_is_timing_neutral_on_every_registry_kernel() {
+    let pairs = agreement_pairs();
+    lva_core::parallel_map(&pairs, lva_core::default_jobs(), |_, (name, cfg, case)| {
+        let mut plain = Machine::new(cfg.clone());
+        (case.run)(&mut plain);
+        let (profiled, _) = run_profiled(case, cfg);
+        assert_eq!(
+            profiled.cycles(),
+            plain.cycles(),
+            "{} @ {name}: tap must not perturb timing",
+            case.name
+        );
+    });
 }
 
 #[test]
 fn predicted_l2_hit_rate_within_1pct_of_simulated() {
-    for (name, cfg) in design_points() {
-        for case in registered_kernels() {
-            if !case.supports(cfg.vpu.isa) {
-                continue;
-            }
-            let (m, profile) = run_profiled(&case, &cfg);
-            let l2 = profile.level(TapLevel::L2).expect("l2 profiled");
-            assert_eq!(l2.accesses, m.sys.l2.stats.accesses, "{} @ {name}", case.name);
-            if l2.accesses == 0 {
-                continue;
-            }
-            let predicted = l2.predicted_hit_rate();
-            let simulated = l2.sim_hit_rate();
-            assert!(
-                (predicted - simulated).abs() < 0.01,
-                "{} @ {name}: predicted L2 hit rate {predicted:.4} vs simulated {simulated:.4} \
-                 ({} accesses) — agreement criterion is 1% absolute",
-                case.name,
-                l2.accesses,
-            );
+    let pairs = agreement_pairs();
+    lva_core::parallel_map(&pairs, lva_core::default_jobs(), |_, (name, cfg, case)| {
+        let (m, profile) = run_profiled(case, cfg);
+        let l2 = profile.level(TapLevel::L2).expect("l2 profiled");
+        assert_eq!(l2.accesses, m.sys.l2.stats.accesses, "{} @ {name}", case.name);
+        if l2.accesses == 0 {
+            return;
         }
-    }
+        let predicted = l2.predicted_hit_rate();
+        let simulated = l2.sim_hit_rate();
+        assert!(
+            (predicted - simulated).abs() < 0.01,
+            "{} @ {name}: predicted L2 hit rate {predicted:.4} vs simulated {simulated:.4} \
+             ({} accesses) — agreement criterion is 1% absolute",
+            case.name,
+            l2.accesses,
+        );
+    });
 }
 
 #[test]

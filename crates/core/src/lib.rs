@@ -14,11 +14,13 @@
 #![forbid(unsafe_code)]
 pub mod energy;
 pub mod experiment;
+pub mod par;
 pub mod report;
 pub mod run_report;
 
 pub use energy::{EnergyModel, EnergyReport};
 pub use experiment::{scaled_input, Experiment, HwTarget, RunSummary, StreamSummary, Workload};
+pub use par::{default_jobs, parallel_map};
 pub use report::{ArityError, Table};
 pub use run_report::RunReport;
 

@@ -15,6 +15,17 @@ use lva_nn::{ConvAlgo, LayerReport};
 use lva_sim::CacheStats;
 use lva_trace::Json;
 
+/// Host-side cost of producing one run: how long the *simulator* took on
+/// the machine it ran on. Self-benchmarking data — simulated results are
+/// independent of it, so it is kept out of reports unless explicitly
+/// attached (deterministic report files must stay byte-identical across
+/// hosts and runs).
+#[derive(Debug, Clone, Copy)]
+pub struct HostPerf {
+    /// Wall-clock milliseconds the run took on the host.
+    pub host_ms: f64,
+}
+
 /// A named, self-describing record of one experiment run.
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -25,6 +36,9 @@ pub struct RunReport {
     /// Workload description (e.g. `YOLOv3 (20 layers) @ 96px`).
     pub workload: String,
     pub summary: RunSummary,
+    /// Host wall-clock for the run; `None` (the default) keeps host noise
+    /// out of the serialized report. See [`Self::with_host`].
+    pub host: Option<HostPerf>,
 }
 
 fn algo_name(a: ConvAlgo) -> &'static str {
@@ -104,7 +118,17 @@ impl RunReport {
             hw: e.hw.describe(),
             workload: e.workload.describe(),
             summary: s.clone(),
+            host: None,
         }
+    }
+
+    /// Attach a host wall-clock measurement; [`Self::to_json`] then emits a
+    /// `host` section with `host_ms` and the derived simulation rate
+    /// `sim_cycles_per_host_us`.
+    #[must_use]
+    pub fn with_host(mut self, host_ms: f64) -> Self {
+        self.host = Some(HostPerf { host_ms });
+        self
     }
 
     /// The full report as a JSON value.
@@ -128,7 +152,7 @@ impl RunReport {
 
         let flops_per_cycle = if s.cycles == 0 { 0.0 } else { s.flops as f64 / s.cycles as f64 };
 
-        Json::obj()
+        let mut j = Json::obj()
             .field("name", self.name.as_str())
             .field("hw", self.hw.as_str())
             .field("workload", self.workload.as_str())
@@ -152,7 +176,15 @@ impl RunReport {
             )
             .field("hwpf_issued", mem.hwpf_issued)
             .field("phases", phases)
-            .field("layers", Json::Arr(net.layers.iter().map(layer_json).collect()))
+            .field("layers", Json::Arr(net.layers.iter().map(layer_json).collect()));
+        if let Some(h) = self.host {
+            let rate = if h.host_ms > 0.0 { s.cycles as f64 / (h.host_ms * 1000.0) } else { 0.0 };
+            j = j.field(
+                "host",
+                Json::obj().field("host_ms", h.host_ms).field("sim_cycles_per_host_us", rate),
+            );
+        }
+        j
     }
 
     /// Write pretty-printed JSON under `results/<name>.json` (creating the
@@ -212,6 +244,27 @@ mod tests {
         let per_layer: u64 = net.layers.iter().map(|l| l.stalls.total()).sum();
         assert_eq!(per_layer, net.stalls.total());
         assert!(net.stalls.total() > 0, "a real workload stalls somewhere");
+    }
+
+    /// Host timing is opt-in: absent by default (so deterministic report
+    /// files stay byte-identical across hosts) and emitted with the derived
+    /// simulation rate when attached.
+    #[test]
+    fn host_section_only_when_attached() {
+        let (e, s) = small_run();
+        let plain = RunReport::new("t", &e, &s);
+        assert!(!plain.to_json().to_string_compact().contains("\"host\""));
+        let timed = plain.with_host(250.0);
+        let j = timed.to_json().to_string_compact();
+        assert!(j.contains("\"host_ms\":250.0"));
+        let want_rate = s.cycles as f64 / 250_000.0;
+        assert!(j.contains(&format!("\"sim_cycles_per_host_us\":{want_rate:?}")));
+        // A zero measurement must not divide by zero.
+        let degenerate = RunReport::new("t", &e, &s).with_host(0.0);
+        assert!(degenerate
+            .to_json()
+            .to_string_compact()
+            .contains("\"sim_cycles_per_host_us\":0.0"));
     }
 
     #[test]

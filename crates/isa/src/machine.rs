@@ -90,6 +90,11 @@ pub struct Machine {
     /// Events discarded after [`Self::MAX_PIPE_EVENTS`] was reached
     /// (reported by [`Self::pipe_events_dropped`], never silent).
     pipe_dropped: u64,
+    /// Route vector memory ops through the retained per-element reference
+    /// implementations instead of the coalesced fast paths. The reference
+    /// path is the pre-coalescing code, kept so equivalence tests can prove
+    /// the fast paths bit-identical in cycles, stats, and register contents.
+    ref_model: bool,
 }
 
 impl Machine {
@@ -115,8 +120,22 @@ impl Machine {
             rec: None,
             pipe: None,
             pipe_dropped: 0,
+            ref_model: false,
             cfg,
         }
+    }
+
+    /// Switch vector memory ops to the per-element reference implementations
+    /// (slow, used by the coalescing-equivalence tests). Timing, statistics,
+    /// and functional state are identical on both paths by construction —
+    /// that identity is what the `stream_equivalence` test suite pins.
+    pub fn set_reference_model(&mut self, on: bool) {
+        self.ref_model = on;
+    }
+
+    /// Whether the per-element reference model is active.
+    pub fn is_reference_model(&self) -> bool {
+        self.ref_model
     }
 
     // ------------------------------------------------------------------
@@ -282,6 +301,27 @@ impl Machine {
         }
     }
 
+    /// Destination row mutable plus two source rows (`vd op= va ∘ vb`
+    /// forms). `vd` must differ from both sources; `va` may equal `vb`.
+    /// Handing out plain slices lets the lane loops run without per-element
+    /// bounds checks, which is what allows them to auto-vectorize.
+    #[inline]
+    fn vreg_tri(&mut self, vd: VReg, va: VReg, vb: VReg) -> (&mut [f32], &[f32], &[f32]) {
+        debug_assert!(vd != va && vd != vb);
+        let n = self.vlen_elems;
+        let (lo, rest) = self.regs.split_at_mut(vd * n);
+        let (d, hi) = rest.split_at_mut(n);
+        let (lo, hi): (&[f32], &[f32]) = (lo, hi);
+        let row = |r: VReg| {
+            if r < vd {
+                &lo[r * n..(r + 1) * n]
+            } else {
+                &hi[(r - vd - 1) * n..(r - vd) * n]
+            }
+        };
+        (d, row(va), row(vb))
+    }
+
     // ------------------------------------------------------------------
     // Timing primitives
     // ------------------------------------------------------------------
@@ -344,34 +384,46 @@ impl Machine {
     /// beyond is dependency latency the window could not hide (RawHazard).
     #[inline]
     fn attribute_stall(&mut self, t0: u64, unit_start: u64, start: u64, occupancy: u64) {
+        // The recorder branch is checked once up front; on the hot path
+        // (recording off, the default) the interval bookkeeping below is
+        // skipped entirely instead of re-testing the Option per event.
+        let recording = self.pipe.is_some();
         let unit_busy = unit_start - t0;
         if unit_busy > 0 {
             let gap = unit_busy.min(self.cfg.vpu.inter_instr_gap as u64);
             self.stalls.add(StallCause::IssueWidth, gap);
             let occ_wait = unit_busy - gap;
             if occ_wait > 0 {
-                let mem =
-                    (occ_wait * self.last_occ_mem).checked_div(self.last_occ_total).unwrap_or(0);
+                // `last_occ_mem == 0` (pure-compute predecessor, the common
+                // case) makes the proportional split trivially 0 — skip the
+                // integer division on that path.
+                let mem = if self.last_occ_mem == 0 {
+                    0
+                } else {
+                    (occ_wait * self.last_occ_mem).checked_div(self.last_occ_total).unwrap_or(0)
+                };
                 self.stalls.add(StallCause::MemLatency, mem);
                 self.stalls.add(StallCause::LaneOccupancy, occ_wait - mem);
                 // Chronologically the occupancy wait fills [t0, unit_start - gap);
                 // the proportional mem/lane split is laid out mem-first.
-                if mem > 0 {
-                    self.pipe(|| PipeEvent::Stall {
-                        cause: StallCause::MemLatency,
-                        start: t0,
-                        end: t0 + mem,
-                    });
-                }
-                if occ_wait > mem {
-                    self.pipe(|| PipeEvent::Stall {
-                        cause: StallCause::LaneOccupancy,
-                        start: t0 + mem,
-                        end: t0 + occ_wait,
-                    });
+                if recording {
+                    if mem > 0 {
+                        self.pipe(|| PipeEvent::Stall {
+                            cause: StallCause::MemLatency,
+                            start: t0,
+                            end: t0 + mem,
+                        });
+                    }
+                    if occ_wait > mem {
+                        self.pipe(|| PipeEvent::Stall {
+                            cause: StallCause::LaneOccupancy,
+                            start: t0 + mem,
+                            end: t0 + occ_wait,
+                        });
+                    }
                 }
             }
-            if gap > 0 {
+            if recording && gap > 0 {
                 self.pipe(|| PipeEvent::Stall {
                     cause: StallCause::IssueWidth,
                     start: unit_start - gap,
@@ -384,19 +436,21 @@ impl Machine {
             let ramp = raw_wait.min(self.cfg.vpu.startup());
             self.stalls.add(StallCause::VectorStartup, ramp);
             self.stalls.add(StallCause::RawHazard, raw_wait - ramp);
-            if ramp > 0 {
-                self.pipe(|| PipeEvent::Stall {
-                    cause: StallCause::VectorStartup,
-                    start: unit_start,
-                    end: unit_start + ramp,
-                });
-            }
-            if raw_wait > ramp {
-                self.pipe(|| PipeEvent::Stall {
-                    cause: StallCause::RawHazard,
-                    start: unit_start + ramp,
-                    end: start,
-                });
+            if recording {
+                if ramp > 0 {
+                    self.pipe(|| PipeEvent::Stall {
+                        cause: StallCause::VectorStartup,
+                        start: unit_start,
+                        end: unit_start + ramp,
+                    });
+                }
+                if raw_wait > ramp {
+                    self.pipe(|| PipeEvent::Stall {
+                        cause: StallCause::RawHazard,
+                        start: unit_start + ramp,
+                        end: start,
+                    });
+                }
             }
         }
         self.stalls.note_total(start - t0);
@@ -520,12 +574,17 @@ impl Machine {
         self.check_vec("vle", addr, addr + 4 * vl as u64, vl);
         self.rec(|| VecEvent::load("vle", vd, addr, addr + 4 * vl as u64, vl));
         // Functional.
-        let src_ptr = addr;
-        {
-            let n = self.vlen_elems;
+        let n = self.vlen_elems;
+        if self.ref_model {
+            // Reference path: one scalar arena read per element.
+            for i in 0..vl {
+                let v = self.mem.read_addr(addr + 4 * i as u64);
+                self.regs[vd * n + i] = v;
+            }
+        } else {
             // Copy out of memory into the register row. Split borrows: the
             // register file and arena are distinct fields.
-            let words = self.mem.words(src_ptr, vl);
+            let words = self.mem.words(addr, vl);
             let dst = &mut self.regs[vd * n..vd * n + vl];
             dst.copy_from_slice(words);
         }
@@ -551,8 +610,13 @@ impl Machine {
         }
         self.check_vec("vse", addr, addr + 4 * vl as u64, vl);
         self.rec(|| VecEvent::store("vse", vs, addr, addr + 4 * vl as u64, vl));
-        {
-            let n = self.vlen_elems;
+        let n = self.vlen_elems;
+        if self.ref_model {
+            for i in 0..vl {
+                let v = self.regs[vs * n + i];
+                self.mem.write_addr(addr + 4 * i as u64, v);
+            }
+        } else {
             let reg_row = vd_row(&self.regs, vs, n, vl);
             self.mem.words_mut(addr, vl).copy_from_slice(reg_row);
         }
@@ -580,10 +644,23 @@ impl Machine {
         let hi = addr + (vl as u64 - 1) * stride_bytes + 4;
         self.check_vec("vlse", addr, hi, vl);
         self.rec(|| VecEvent::load("vlse", vd, addr, hi, vl));
-        for i in 0..vl {
-            let v = self.mem.read_addr(addr + i as u64 * stride_bytes);
-            let n = self.vlen_elems;
-            self.regs[vd * n + i] = v;
+        let n = self.vlen_elems;
+        if self.ref_model || !stride_bytes.is_multiple_of(4) {
+            for i in 0..vl {
+                let v = self.mem.read_addr(addr + i as u64 * stride_bytes);
+                self.regs[vd * n + i] = v;
+            }
+        } else if stride_bytes == 0 {
+            let v = self.mem.read_addr(addr);
+            self.regs[vd * n..vd * n + vl].fill(v);
+        } else {
+            // One arena borrow spanning the whole access, stepped per lane.
+            let step = (stride_bytes / 4) as usize;
+            let words = self.mem.words(addr, (vl - 1) * step + 1);
+            let dst = &mut self.regs[vd * n..vd * n + vl];
+            for (d, s) in dst.iter_mut().zip(words.iter().step_by(step)) {
+                *d = *s;
+            }
         }
         let (occ, lat) = self.strided_cost(addr, stride_bytes, vl, AccessKind::Read);
         self.issue([None, None], Some(vd), occ, lat);
@@ -600,10 +677,21 @@ impl Machine {
         let hi = addr + (vl as u64 - 1) * stride_bytes + 4;
         self.check_vec("vsse", addr, hi, vl);
         self.rec(|| VecEvent::store("vsse", vs, addr, hi, vl));
-        for i in 0..vl {
-            let n = self.vlen_elems;
-            let v = self.regs[vs * n + i];
-            self.mem.write_addr(addr + i as u64 * stride_bytes, v);
+        let n = self.vlen_elems;
+        if self.ref_model || !stride_bytes.is_multiple_of(4) || stride_bytes == 0 {
+            // Per-element reference path; also the stride-0 case, where
+            // element order decides the surviving value.
+            for i in 0..vl {
+                let v = self.regs[vs * n + i];
+                self.mem.write_addr(addr + i as u64 * stride_bytes, v);
+            }
+        } else {
+            let step = (stride_bytes / 4) as usize;
+            let row = vd_row(&self.regs, vs, n, vl);
+            let words = self.mem.words_mut(addr, (vl - 1) * step + 1);
+            for (k, &v) in row.iter().enumerate() {
+                words[k * step] = v;
+            }
         }
         let (occ, _) = self.strided_cost(addr, stride_bytes, vl, AccessKind::Write);
         self.issue([Some(vs), None], None, occ, occ);
@@ -613,7 +701,72 @@ impl Machine {
 
     /// Cost of a strided/indexed access: per-element issue plus line traffic
     /// (consecutive duplicate lines deduplicated, as a coalescing LSU would).
+    ///
+    /// The probe loop steps line-by-line instead of element-by-element: a
+    /// strided stream is monotone, so consecutive-duplicate dedup equals full
+    /// dedup, and each line's *first-touching element address* is computed
+    /// directly — the exact address the per-element loop would have probed.
+    /// The modeled per-element occupancy charge (`vl * gather_elem_cycles`)
+    /// is untouched; only the redundant functional line probes are skipped.
+    /// [`Self::strided_cost_ref`] retains the per-element loop for the
+    /// equivalence tests.
     fn strided_cost(
+        &mut self,
+        addr: u64,
+        stride_bytes: u64,
+        vl: usize,
+        kind: AccessKind,
+    ) -> (u64, u64) {
+        if self.ref_model {
+            return self.strided_cost_ref(addr, stride_bytes, vl, kind);
+        }
+        let lb = self.sys.line_bytes() as u64;
+        let lb_shift = lb.trailing_zeros();
+        let vpu = self.cfg.vpu;
+        let base_lat = match self.cfg.mem.vpu_path {
+            VpuPath::ThroughL1 => self.cfg.mem.l1.hit_latency,
+            VpuPath::DecoupledL2 { .. } => 2,
+        } as u64;
+        let mut extra: u64 = 0;
+        if stride_bytes == 0 {
+            // Every element reads the same address: one probe.
+            let (_lvl, lat) = self.sys.demand_vector_opts(addr, kind, false);
+            extra = (lat as u64).saturating_sub(base_lat);
+        } else if stride_bytes < lb {
+            // Sub-line stride: every line between the first and last element
+            // is touched; skip straight to each line's first toucher.
+            let last = addr + (vl as u64 - 1) * stride_bytes;
+            let mut a = addr;
+            loop {
+                let (_lvl, lat) = self.sys.demand_vector_opts(a, kind, false);
+                extra += (lat as u64).saturating_sub(base_lat);
+                let next_line_start = ((a >> lb_shift) + 1) << lb_shift;
+                if last < next_line_start {
+                    break;
+                }
+                a += (next_line_start - a).div_ceil(stride_bytes) * stride_bytes;
+            }
+        } else {
+            // Stride of a line or more: consecutive elements always land on
+            // distinct lines, so every element's line is probed.
+            let mut a = addr;
+            for _ in 0..vl {
+                let (_lvl, lat) = self.sys.demand_vector_opts(a, kind, false);
+                extra += (lat as u64).saturating_sub(base_lat);
+                a += stride_bytes;
+            }
+        }
+        let exposed = extra / vpu.mlp as u64;
+        let occ = vl as u64 * vpu.gather_elem_cycles as u64 + exposed;
+        let lat = vpu.pipe_depth as u64 + base_lat + occ;
+        self.next_occ_mem = exposed;
+        (occ, lat)
+    }
+
+    /// The pre-coalescing per-element probe loop, byte-for-byte the original
+    /// implementation. Kept as the ground truth [`Self::strided_cost`] is
+    /// tested against (`set_reference_model` routes here).
+    fn strided_cost_ref(
         &mut self,
         addr: u64,
         stride_bytes: u64,
@@ -628,19 +781,16 @@ impl Machine {
         } as u64;
         let mut extra: u64 = 0;
         let mut last_line = u64::MAX;
-        let mut n_lines: u64 = 0;
         for i in 0..vl {
             let a = addr + i as u64 * stride_bytes;
             let line = a / lb;
             if line != last_line {
                 let (_lvl, lat) = self.sys.demand_vector_opts(a, kind, false);
                 extra += (lat as u64).saturating_sub(base_lat);
-                n_lines += 1;
                 last_line = line;
             }
         }
         let exposed = extra / vpu.mlp as u64;
-        let _ = n_lines;
         let occ = vl as u64 * vpu.gather_elem_cycles as u64 + exposed;
         let lat = vpu.pipe_depth as u64 + base_lat + occ;
         self.next_occ_mem = exposed;
@@ -667,11 +817,7 @@ impl Machine {
             let (lo, hi) = range.unwrap_or((0, 0));
             VecEvent::load("vgather", vd, lo, hi, vl)
         });
-        for i in 0..vl {
-            let n = self.vlen_elems;
-            self.regs[vd * n + i] =
-                if idx[i] == u32::MAX { 0.0 } else { self.mem.read_addr(base + 4 * idx[i] as u64) };
-        }
+        self.gather_elems(vd, base, &idx[..vl], range);
         let (occ, lat) = self.indexed_cost(base, &idx[..vl], AccessKind::Read);
         self.issue([None, None], Some(vd), occ, lat);
         self.stats.vec_mem_instrs += 1;
@@ -695,14 +841,7 @@ impl Machine {
             let (lo, hi) = range.unwrap_or((0, 0));
             VecEvent::store("vscatter", vs, lo, hi, vl)
         });
-        for i in 0..vl {
-            if idx[i] == u32::MAX {
-                continue;
-            }
-            let n = self.vlen_elems;
-            let v = self.regs[vs * n + i];
-            self.mem.write_addr(base + 4 * idx[i] as u64, v);
-        }
+        self.scatter_elems(vs, base, &idx[..vl], range);
         let (occ, _) = self.indexed_cost(base, &idx[..vl], AccessKind::Write);
         self.issue([Some(vs), None], None, occ, occ);
         self.stats.vec_mem_instrs += 1;
@@ -730,11 +869,7 @@ impl Machine {
             let (lo, hi) = range.unwrap_or((0, 0));
             VecEvent::load("vgather4", vd, lo, hi, vl)
         });
-        for i in 0..vl {
-            let n = self.vlen_elems;
-            self.regs[vd * n + i] =
-                if idx[i] == u32::MAX { 0.0 } else { self.mem.read_addr(base + 4 * idx[i] as u64) };
-        }
+        self.gather_elems(vd, base, &idx[..vl], range);
         let (occ, lat) = self.grouped_cost(base, &idx[..vl], AccessKind::Read);
         self.issue([None, None], Some(vd), occ, lat);
         self.stats.vec_mem_instrs += 1;
@@ -757,18 +892,77 @@ impl Machine {
             let (lo, hi) = range.unwrap_or((0, 0));
             VecEvent::store("vscatter4", vs, lo, hi, vl)
         });
-        for i in 0..vl {
-            if idx[i] == u32::MAX {
-                continue;
-            }
-            let n = self.vlen_elems;
-            let v = self.regs[vs * n + i];
-            self.mem.write_addr(base + 4 * idx[i] as u64, v);
-        }
+        self.scatter_elems(vs, base, &idx[..vl], range);
         let (occ, _) = self.grouped_cost(base, &idx[..vl], AccessKind::Write);
         self.issue([Some(vs), None], None, occ, occ);
         self.stats.vec_mem_instrs += 1;
         self.stats.active_elems += vl as u64;
+    }
+
+    /// Functional half of an indexed gather: lane `i` reads
+    /// `base + 4 * idx[i]`; sentinel (`u32::MAX`) lanes load 0.0. The fast
+    /// path borrows the arena once across the access's byte range and
+    /// indexes inside it; the reference path issues one `read_addr` per
+    /// lane, as the original implementation did.
+    // The reference loop indexes `idx` and the register file by lane on
+    // purpose — it is the original implementation, kept verbatim.
+    #[allow(clippy::needless_range_loop)]
+    fn gather_elems(&mut self, vd: VReg, base: u64, idx: &[u32], range: Option<(u64, u64)>) {
+        let n = self.vlen_elems;
+        let vl = idx.len();
+        if self.ref_model {
+            for i in 0..vl {
+                self.regs[vd * n + i] = if idx[i] == u32::MAX {
+                    0.0
+                } else {
+                    self.mem.read_addr(base + 4 * u64::from(idx[i]))
+                };
+            }
+            return;
+        }
+        let Some((lo, hi)) = range else {
+            // All lanes predicated out: they load 0.0.
+            self.regs[vd * n..vd * n + vl].fill(0.0);
+            return;
+        };
+        let words = self.mem.words(lo, ((hi - lo) / 4) as usize);
+        let dst = &mut self.regs[vd * n..vd * n + vl];
+        for (d, &ix) in dst.iter_mut().zip(idx) {
+            *d = if ix == u32::MAX {
+                0.0
+            } else {
+                words[((base + 4 * u64::from(ix) - lo) / 4) as usize]
+            };
+        }
+    }
+
+    /// Functional half of an indexed scatter: lane `i` writes
+    /// `base + 4 * idx[i]`; sentinel lanes are skipped. Writes land in lane
+    /// order on both paths, so duplicate indices resolve identically.
+    // The reference loop indexes `idx` and the register file by lane on
+    // purpose — it is the original implementation, kept verbatim.
+    #[allow(clippy::needless_range_loop)]
+    fn scatter_elems(&mut self, vs: VReg, base: u64, idx: &[u32], range: Option<(u64, u64)>) {
+        let n = self.vlen_elems;
+        let vl = idx.len();
+        if self.ref_model {
+            for i in 0..vl {
+                if idx[i] == u32::MAX {
+                    continue;
+                }
+                let v = self.regs[vs * n + i];
+                self.mem.write_addr(base + 4 * u64::from(idx[i]), v);
+            }
+            return;
+        }
+        let Some((lo, hi)) = range else { return };
+        let row = vd_row(&self.regs, vs, n, vl);
+        let words = self.mem.words_mut(lo, ((hi - lo) / 4) as usize);
+        for (&v, &ix) in row.iter().zip(idx) {
+            if ix != u32::MAX {
+                words[((base + 4 * u64::from(ix) - lo) / 4) as usize] = v;
+            }
+        }
     }
 
     /// Cost of a structured group-of-4 indexed access: one issue slot per
@@ -895,8 +1089,8 @@ impl Machine {
         self.rec(|| VecEvent::arith("vfmacc.vf", vd, [Some(vs), Some(vd), None], vl));
         {
             let (d, s) = self.vreg_pair(vd, vs);
-            for i in 0..vl {
-                d[i] = a.mul_add(s[i], d[i]);
+            for (d, &s) in d[..vl].iter_mut().zip(&s[..vl]) {
+                *d = fma32(a, s, *d);
             }
         }
         let (occ, lat) = self.arith_cost(vl);
@@ -909,12 +1103,9 @@ impl Machine {
         debug_assert!(vd != va && vd != vb);
         self.rec(|| VecEvent::arith("vfnmsac.vv", vd, [Some(va), Some(vb), Some(vd)], vl));
         {
-            let n = self.vlen_elems;
-            for i in 0..vl {
-                let x = self.regs[va * n + i];
-                let y = self.regs[vb * n + i];
-                let d = &mut self.regs[vd * n + i];
-                *d = (-x).mul_add(y, *d);
+            let (d, a, b) = self.vreg_tri(vd, va, vb);
+            for ((d, &x), &y) in d[..vl].iter_mut().zip(&a[..vl]).zip(&b[..vl]) {
+                *d = fma32(-x, y, *d);
             }
         }
         let (occ, lat) = self.arith_cost(vl);
@@ -927,12 +1118,9 @@ impl Machine {
         debug_assert!(vd != va && vd != vb);
         self.rec(|| VecEvent::arith("vfmacc.vv", vd, [Some(va), Some(vb), Some(vd)], vl));
         {
-            let n = self.vlen_elems;
-            for i in 0..vl {
-                let x = self.regs[va * n + i];
-                let y = self.regs[vb * n + i];
-                let d = &mut self.regs[vd * n + i];
-                *d = x.mul_add(y, *d);
+            let (d, a, b) = self.vreg_tri(vd, va, vb);
+            for ((d, &x), &y) in d[..vl].iter_mut().zip(&a[..vl]).zip(&b[..vl]) {
+                *d = fma32(x, y, *d);
             }
         }
         let (occ, lat) = self.arith_cost(vl);
@@ -1164,9 +1352,15 @@ impl Machine {
         self.check_vec("scalar_read", addr, addr + 4, 1);
         let v = self.mem.read_addr(addr);
         let (_lvl, lat) = self.sys.demand_scalar(addr, AccessKind::Read);
-        let exposed = (lat.saturating_sub(self.cfg.mem.l1.hit_latency)) as f64
-            * self.cfg.core.scalar_miss_exposure;
-        self.scalar_frac += exposed + self.cfg.core.kernel_scalar_cpi;
+        // Hits expose no latency: their charge is exactly the kernel CPI
+        // (`0.0 + cpi == cpi` in f64), so the hit path skips the exposure
+        // arithmetic without perturbing the accumulated fraction.
+        self.scalar_frac += if lat > self.cfg.mem.l1.hit_latency {
+            f64::from(lat - self.cfg.mem.l1.hit_latency) * self.cfg.core.scalar_miss_exposure
+                + self.cfg.core.kernel_scalar_cpi
+        } else {
+            self.cfg.core.kernel_scalar_cpi
+        };
         self.commit_scalar();
         v
     }
@@ -1177,9 +1371,12 @@ impl Machine {
         self.check_vec("scalar_write", addr, addr + 4, 1);
         self.mem.write_addr(addr, v);
         let (_lvl, lat) = self.sys.demand_scalar(addr, AccessKind::Write);
-        let exposed = (lat.saturating_sub(self.cfg.mem.l1.hit_latency)) as f64
-            * self.cfg.core.scalar_miss_exposure;
-        self.scalar_frac += exposed + self.cfg.core.kernel_scalar_cpi;
+        self.scalar_frac += if lat > self.cfg.mem.l1.hit_latency {
+            f64::from(lat - self.cfg.mem.l1.hit_latency) * self.cfg.core.scalar_miss_exposure
+                + self.cfg.core.kernel_scalar_cpi
+        } else {
+            self.cfg.core.kernel_scalar_cpi
+        };
         self.commit_scalar();
     }
 
@@ -1209,6 +1406,18 @@ impl Machine {
 #[inline]
 fn vd_row(regs: &[f32], r: VReg, n: usize, vl: usize) -> &[f32] {
     &regs[r * n..r * n + vl]
+}
+
+/// Fused multiply-add emulated in double precision: the `f32` product is
+/// exact in `f64` (24×24 significand bits < 53), so the only deviation from
+/// a true fused op is the final double rounding — identical except in rare
+/// tie-straddling corner cases. Used instead of `f32::mul_add`, which lowers
+/// to an indirect `fmaf` libm call on baseline x86-64 and dominated the
+/// simulator's host profile. Timing is data-independent, so modeled cycles
+/// are unaffected.
+#[inline(always)]
+fn fma32(a: f32, b: f32, c: f32) -> f32 {
+    (f64::from(a) * f64::from(b) + f64::from(c)) as f32
 }
 
 /// Byte range `[lo, hi)` covered by the active lanes of an indexed access

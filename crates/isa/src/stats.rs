@@ -2,7 +2,7 @@
 //! floating-point work, and per-kernel-phase cycle attribution.
 
 /// Counters maintained by the [`crate::Machine`] timing model.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct VpuStats {
     /// Vector instructions issued (arithmetic + memory + moves).
     pub vec_instrs: u64,
@@ -116,7 +116,7 @@ const _: () = {
 /// (via [`StallBreakdown::note_total`]) so that the invariant "causes sum
 /// to total" is a real cross-check of the attribution logic, not an
 /// identity.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StallBreakdown {
     by_cause: [u64; 5],
     total: u64,

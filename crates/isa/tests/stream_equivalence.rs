@@ -1,0 +1,247 @@
+//! Equivalence of the coalesced vector-memory fast paths against the
+//! retained per-element reference model.
+//!
+//! The host-performance overhaul made `vle`/`vse` copy whole register rows,
+//! `vlse`/`vsse` borrow the arena once per access, gathers/scatters index a
+//! single borrowed window, and `strided_cost` step line-by-line instead of
+//! element-by-element. None of that may change the *model*: cycles, VPU
+//! statistics, stall attribution, per-level cache statistics, register
+//! contents and memory contents must be bit-identical to the original
+//! per-element implementations, which [`Machine::set_reference_model`]
+//! retains verbatim.
+//!
+//! These tests drive both implementations with identical randomized op
+//! streams (seeded SplitMix64, so failures reproduce) across the four
+//! Table II design points and assert exact agreement on every observable.
+
+use lva_isa::{Buf, Machine, MachineConfig, PrefetchTarget};
+use lva_sim::Rng;
+
+/// Table II / §V design points: RVV 2048-bit × 8 lanes (decoupled VPU with
+/// the 2 KB vector cache) and SVE 512-bit (through-L1), each with the L2 at
+/// 1 MB (the paper's default) and 4 MB (first sweep step).
+fn design_points() -> Vec<(String, MachineConfig)> {
+    let mut out = Vec::new();
+    for l2 in [1usize << 20, 4 << 20] {
+        out.push((format!("rvv/2048b/L2={}MB", l2 >> 20), MachineConfig::rvv_gem5(2048, 8, l2)));
+        out.push((format!("sve/512b/L2={}MB", l2 >> 20), MachineConfig::sve_gem5(512, l2)));
+    }
+    out
+}
+
+/// Working-set size in `f32` words: larger than the L1 so the stream
+/// exercises misses, fills, writebacks and the prefetchers, not just hits.
+const ARENA_WORDS: usize = 1 << 15;
+
+/// Vector registers the generated streams read and write.
+const USED_REGS: usize = 8;
+
+/// One generated vector-memory / compute op. Offsets are in words, strides
+/// in bytes (always 4-aligned: the simulated arena is word-addressed).
+#[derive(Debug, Clone)]
+enum Op {
+    Vle { vd: usize, off: usize, vl: usize },
+    Vse { vs: usize, off: usize, vl: usize },
+    Vlse { vd: usize, off: usize, stride: u64, vl: usize },
+    Vsse { vs: usize, off: usize, stride: u64, vl: usize },
+    Gather { vd: usize, off: usize, idx: Vec<u32>, grouped: bool },
+    Scatter { vs: usize, off: usize, idx: Vec<u32>, grouped: bool },
+    Fma { vd: usize, a: f32, vs: usize, vl: usize },
+    ScalarRead { off: usize },
+    ScalarWrite { off: usize, v: f32 },
+    Prefetch { off: usize, target: PrefetchTarget },
+}
+
+/// Indices for a gather/scatter: random lanes over the whole arena with a
+/// sprinkling of `u32::MAX` sentinels (predicated-out lanes) and short
+/// consecutive runs, so both the dedup and the sentinel paths are hit.
+fn random_indices(rng: &mut Rng, vl: usize) -> Vec<u32> {
+    let mut idx = Vec::with_capacity(vl);
+    while idx.len() < vl {
+        if rng.gen_bool(0.1) {
+            idx.push(u32::MAX);
+        } else if rng.gen_bool(0.3) {
+            // A consecutive run: consecutive lanes on the same line.
+            let start = rng.gen_index(0, ARENA_WORDS - 8) as u32;
+            for k in 0..rng.gen_range(2, 5) {
+                if idx.len() < vl {
+                    idx.push(start + k as u32);
+                }
+            }
+        } else {
+            idx.push(rng.gen_index(0, ARENA_WORDS) as u32);
+        }
+    }
+    idx
+}
+
+fn random_stream(rng: &mut Rng, max_vl: usize, ops: usize) -> Vec<Op> {
+    let mut out = Vec::with_capacity(ops);
+    for _ in 0..ops {
+        let vl = rng.gen_index(1, max_vl + 1);
+        let vd = rng.gen_index(0, USED_REGS);
+        let vs = rng.gen_index(0, USED_REGS);
+        out.push(match rng.gen_index(0, 10) {
+            0 => Op::Vle { vd, off: rng.gen_index(0, ARENA_WORDS - vl + 1), vl },
+            1 => Op::Vse { vs, off: rng.gen_index(0, ARENA_WORDS - vl + 1), vl },
+            2 | 3 => {
+                // Strides from 0 to ~2.5 lines, in words; sub-line strides
+                // are the interesting dedup regime so they dominate.
+                let stride_words =
+                    if rng.gen_bool(0.7) { rng.gen_range(0, 9) } else { rng.gen_range(9, 41) };
+                let span = (vl - 1) * stride_words as usize + 1;
+                let off = rng.gen_index(0, ARENA_WORDS - span + 1);
+                let stride = 4 * stride_words;
+                if rng.gen_bool(0.5) {
+                    Op::Vlse { vd, off, stride, vl }
+                } else {
+                    Op::Vsse { vs, off, stride, vl }
+                }
+            }
+            4 => Op::Gather { vd, off: 0, idx: random_indices(rng, vl), grouped: false },
+            5 => Op::Scatter { vs, off: 0, idx: random_indices(rng, vl), grouped: false },
+            6 => Op::Gather { vd, off: 0, idx: random_indices(rng, vl), grouped: true },
+            7 => Op::Scatter { vs, off: 0, idx: random_indices(rng, vl), grouped: true },
+            8 => {
+                if rng.gen_bool(0.5) {
+                    // The FMA reads vs and accumulates into vd; the register
+                    // file hands out disjoint borrows, so keep them distinct.
+                    let vs = if vs == vd { (vs + 1) % USED_REGS } else { vs };
+                    Op::Fma { vd, a: rng.next_f32_signed(), vs, vl }
+                } else {
+                    Op::Prefetch {
+                        off: rng.gen_index(0, ARENA_WORDS),
+                        target: if rng.gen_bool(0.5) {
+                            PrefetchTarget::L1
+                        } else {
+                            PrefetchTarget::L2
+                        },
+                    }
+                }
+            }
+            _ => {
+                if rng.gen_bool(0.5) {
+                    Op::ScalarRead { off: rng.gen_index(0, ARENA_WORDS) }
+                } else {
+                    Op::ScalarWrite { off: rng.gen_index(0, ARENA_WORDS), v: rng.next_f32_signed() }
+                }
+            }
+        });
+    }
+    out
+}
+
+/// Build a machine with a seeded arena; `reference` selects the model.
+fn machine_with_arena(cfg: &MachineConfig, seed: u64, reference: bool) -> (Machine, Buf) {
+    let mut m = Machine::new(cfg.clone());
+    m.set_reference_model(reference);
+    let buf = m.mem.alloc(ARENA_WORDS);
+    let data = Rng::new(seed).f32_vec(ARENA_WORDS);
+    m.mem.slice_mut(buf).copy_from_slice(&data);
+    (m, buf)
+}
+
+fn apply(m: &mut Machine, buf: Buf, ops: &[Op]) {
+    for op in ops {
+        match op {
+            Op::Vle { vd, off, vl } => m.vle(*vd, buf.addr(*off), *vl),
+            Op::Vse { vs, off, vl } => m.vse(*vs, buf.addr(*off), *vl),
+            Op::Vlse { vd, off, stride, vl } => m.vlse(*vd, buf.addr(*off), *stride, *vl),
+            Op::Vsse { vs, off, stride, vl } => m.vsse(*vs, buf.addr(*off), *stride, *vl),
+            Op::Gather { vd, off, idx, grouped: false } => {
+                m.vgather(*vd, buf.addr(*off), idx, idx.len());
+            }
+            Op::Gather { vd, off, idx, grouped: true } => {
+                m.vgather4(*vd, buf.addr(*off), idx, idx.len());
+            }
+            Op::Scatter { vs, off, idx, grouped: false } => {
+                m.vscatter(*vs, buf.addr(*off), idx, idx.len());
+            }
+            Op::Scatter { vs, off, idx, grouped: true } => {
+                m.vscatter4(*vs, buf.addr(*off), idx, idx.len());
+            }
+            Op::Fma { vd, a, vs, vl } => m.vfmacc_vf(*vd, *a, *vs, *vl),
+            Op::ScalarRead { off } => {
+                let _ = m.scalar_read(buf.addr(*off));
+            }
+            Op::ScalarWrite { off, v } => m.scalar_write(buf.addr(*off), *v),
+            Op::Prefetch { off, target } => m.prefetch(buf.addr(*off), *target),
+        }
+    }
+}
+
+/// Assert every observable agrees exactly: timing, statistics, stall
+/// attribution, cache counters, register file, and memory (the latter two
+/// compared as bits, so `-0.0` vs `0.0` or NaN payloads cannot slip by).
+fn assert_equivalent(fast: &Machine, reference: &Machine, buf: Buf, what: &str) {
+    assert_eq!(fast.cycles(), reference.cycles(), "{what}: cycle count diverged");
+    assert_eq!(fast.stats, reference.stats, "{what}: VpuStats diverged");
+    assert_eq!(fast.stalls, reference.stalls, "{what}: stall attribution diverged");
+    assert_eq!(fast.sys.stats(), reference.sys.stats(), "{what}: cache statistics diverged");
+    for r in 0..USED_REGS {
+        let (a, b) = (fast.vreg(r), reference.vreg(r));
+        assert!(
+            a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits()),
+            "{what}: register v{r} contents diverged"
+        );
+    }
+    let (a, b) = (fast.mem.slice(buf), reference.mem.slice(buf));
+    assert!(
+        a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits()),
+        "{what}: memory contents diverged"
+    );
+}
+
+#[test]
+fn randomized_streams_agree_on_every_design_point() {
+    for (name, cfg) in design_points() {
+        for seed in [1u64, 0xBEEF, 0x5EED_CAFE] {
+            let max_vl = Machine::new(cfg.clone()).vlen_elems();
+            let ops = random_stream(&mut Rng::new(seed), max_vl, 400);
+            let (mut fast, buf) = machine_with_arena(&cfg, seed, false);
+            let (mut reference, _) = machine_with_arena(&cfg, seed, true);
+            assert!(!fast.is_reference_model() && reference.is_reference_model());
+            apply(&mut fast, buf, &ops);
+            apply(&mut reference, buf, &ops);
+            assert_equivalent(&fast, &reference, buf, &format!("{name} seed={seed:#x}"));
+        }
+    }
+}
+
+/// Satellite regression for the `strided_cost` fix: with a stride smaller
+/// than a line, several consecutive elements share a line and the original
+/// per-element loop relied on consecutive-duplicate dedup to probe it once.
+/// The skip-ahead loop must keep that exactly — same cycles, same cache
+/// counters — for every sub-line (and super-line) stride.
+#[test]
+fn strided_sub_line_costs_match_reference_exactly() {
+    for (name, cfg) in design_points() {
+        for stride_words in [0u64, 1, 2, 3, 5, 8, 15, 16, 17, 32, 64] {
+            let run = |reference: bool| {
+                let (mut m, buf) = machine_with_arena(&cfg, 7, reference);
+                let vl = m.vlen_elems();
+                let span = (vl - 1) * stride_words as usize + 1;
+                // March the access window forward so it cycles between
+                // cold misses, hits, and prefetched lines.
+                let mut off = 0usize;
+                for _ in 0..64 {
+                    if off + span > ARENA_WORDS {
+                        off = 0;
+                    }
+                    m.vlse(1, buf.addr(off), 4 * stride_words, vl);
+                    m.vsse(1, buf.addr(off), 4 * stride_words, vl);
+                    off += span.max(3);
+                }
+                (m, buf)
+            };
+            let (fast, buf) = run(false);
+            let (reference, _) = run(true);
+            assert_equivalent(
+                &fast,
+                &reference,
+                buf,
+                &format!("{name} stride={}B", 4 * stride_words),
+            );
+        }
+    }
+}

@@ -150,25 +150,32 @@ pub enum Lookup {
     },
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Way {
-    /// Line tag; `u64::MAX` marks an invalid way.
-    tag: u64,
-    dirty: bool,
-    /// Installed by prefetch and not yet demanded.
-    prefetched: bool,
-}
-
 const INVALID: u64 = u64::MAX;
 
+/// Per-way metadata bit: the line has been written since installation.
+const DIRTY: u8 = 1;
+/// Per-way metadata bit: installed by a prefetcher, not yet demanded.
+const PREFETCHED: u8 = 2;
+
 /// One cache level. See module docs.
+///
+/// Ways are stored as two parallel flat arrays (`tags` / `meta`) rather than
+/// an array of structs: the LRU scan in [`Self::access_line`] — the hottest
+/// loop in the simulator — then touches one densely packed `u64` per way,
+/// and a whole 8-way set of tags fits in a single host cache line.
 #[derive(Debug)]
 pub struct Cache {
     cfg: CacheConfig,
-    sets: usize,
     set_shift: u32,
-    /// `sets * assoc` ways, stored per-set in LRU order: index 0 is MRU.
-    ways: Vec<Way>,
+    /// `sets - 1`: set index mask, hoisted out of the hot loop.
+    set_mask: usize,
+    /// `log2(sets)`: how far a line shifts to become a tag.
+    tag_shift: u32,
+    /// `sets * assoc` line tags, per-set in LRU order: index 0 is MRU.
+    /// `u64::MAX` marks an invalid way.
+    tags: Vec<u64>,
+    /// Dirty/prefetched flag bits, parallel to `tags`.
+    meta: Vec<u8>,
     pub stats: CacheStats,
 }
 
@@ -178,8 +185,10 @@ impl Cache {
         assert!(cfg.assoc >= 1 && cfg.assoc <= 256, "associativity out of supported range");
         Cache {
             set_shift: cfg.line_bytes.trailing_zeros(),
-            sets,
-            ways: vec![Way { tag: INVALID, dirty: false, prefetched: false }; sets * cfg.assoc],
+            set_mask: sets - 1,
+            tag_shift: sets.trailing_zeros(),
+            tags: vec![INVALID; sets * cfg.assoc],
+            meta: vec![0; sets * cfg.assoc],
             cfg,
             stats: CacheStats::default(),
         }
@@ -198,11 +207,8 @@ impl Cache {
 
     /// Invalidate all lines and keep statistics.
     pub fn flush(&mut self) {
-        for w in &mut self.ways {
-            w.tag = INVALID;
-            w.dirty = false;
-            w.prefetched = false;
-        }
+        self.tags.fill(INVALID);
+        self.meta.fill(0);
     }
 
     /// Reset statistics (e.g. after a warm-up phase).
@@ -212,8 +218,8 @@ impl Cache {
 
     #[inline]
     fn set_range(&self, line: u64) -> (usize, u64) {
-        let set = (line as usize) & (self.sets - 1);
-        let tag = line >> self.sets.trailing_zeros();
+        let set = (line as usize) & self.set_mask;
+        let tag = line >> self.tag_shift;
         (set * self.cfg.assoc, tag)
     }
 
@@ -224,32 +230,50 @@ impl Cache {
         self.stats.accesses += 1;
         let (base, tag) = self.set_range(line);
         let assoc = self.cfg.assoc;
-        let set = &mut self.ways[base..base + assoc];
-        // Search for the tag.
-        for i in 0..assoc {
-            if set[i].tag == tag {
+        // MRU fast path: spatial/temporal locality makes way 0 serve the
+        // bulk of all hits, and no rotation is needed there.
+        if self.tags[base] == tag {
+            self.stats.hits += 1;
+            let m = &mut self.meta[base];
+            if *m & PREFETCHED != 0 {
+                self.stats.prefetch_hits += 1;
+                *m &= !PREFETCHED;
+            }
+            if kind == AccessKind::Write {
+                *m |= DIRTY;
+            }
+            return Lookup::Hit;
+        }
+        // Search the remaining ways.
+        for i in 1..assoc {
+            if self.tags[base + i] == tag {
                 self.stats.hits += 1;
-                if set[i].prefetched {
+                let mut m = self.meta[base + i];
+                if m & PREFETCHED != 0 {
                     self.stats.prefetch_hits += 1;
-                    set[i].prefetched = false;
+                    m &= !PREFETCHED;
                 }
                 if kind == AccessKind::Write {
-                    set[i].dirty = true;
+                    m |= DIRTY;
                 }
-                // Move to MRU position.
-                set[..=i].rotate_right(1);
+                // Move to MRU position (both parallel arrays rotate).
+                self.tags[base..=base + i].rotate_right(1);
+                self.meta[base..=base + i].rotate_right(1);
+                self.meta[base] = m;
                 return Lookup::Hit;
             }
         }
         // Miss: evict LRU way (last slot) and install at MRU.
         self.stats.misses += 1;
-        let victim = set[assoc - 1];
-        let victim_dirty = victim.tag != INVALID && victim.dirty;
+        let last = base + assoc - 1;
+        let victim_dirty = self.tags[last] != INVALID && self.meta[last] & DIRTY != 0;
         if victim_dirty {
             self.stats.writebacks += 1;
         }
-        set.rotate_right(1);
-        set[0] = Way { tag, dirty: kind == AccessKind::Write, prefetched: false };
+        self.tags[base..=last].rotate_right(1);
+        self.meta[base..=last].rotate_right(1);
+        self.tags[base] = tag;
+        self.meta[base] = if kind == AccessKind::Write { DIRTY } else { 0 };
         Lookup::Miss { victim_dirty }
     }
 
@@ -259,16 +283,18 @@ impl Cache {
     pub fn prefetch_line(&mut self, line: u64) -> bool {
         let (base, tag) = self.set_range(line);
         let assoc = self.cfg.assoc;
-        let set = &mut self.ways[base..base + assoc];
-        if set.iter().any(|w| w.tag == tag) {
+        if self.tags[base..base + assoc].contains(&tag) {
             return false;
         }
-        let victim_dirty = set[assoc - 1].tag != INVALID && set[assoc - 1].dirty;
+        let last = base + assoc - 1;
+        let victim_dirty = self.tags[last] != INVALID && self.meta[last] & DIRTY != 0;
         if victim_dirty {
             self.stats.writebacks += 1;
         }
-        set.rotate_right(1);
-        set[0] = Way { tag, dirty: false, prefetched: true };
+        self.tags[base..=last].rotate_right(1);
+        self.meta[base..=last].rotate_right(1);
+        self.tags[base] = tag;
+        self.meta[base] = PREFETCHED;
         self.stats.prefetch_fills += 1;
         true
     }
@@ -276,7 +302,7 @@ impl Cache {
     /// Whether the line containing `addr` is resident (no state change).
     pub fn contains_line(&self, line: u64) -> bool {
         let (base, tag) = self.set_range(line);
-        self.ways[base..base + self.cfg.assoc].iter().any(|w| w.tag == tag)
+        self.tags[base..base + self.cfg.assoc].contains(&tag)
     }
 }
 

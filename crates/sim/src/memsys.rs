@@ -65,7 +65,7 @@ impl MemSystemConfig {
 }
 
 /// Statistics snapshot across all levels.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MemSystemStats {
     pub l1: CacheStats,
     pub l2: CacheStats,
@@ -88,6 +88,9 @@ pub struct MemSystem {
     pub vcache: Option<Cache>,
     hwpf: Option<StridePrefetcher>,
     pf_scratch: Vec<u64>,
+    /// `log2(line_bytes)`, precomputed so the per-access address→line
+    /// mapping is a shift rather than a division.
+    line_shift: u32,
     pub dram_reads: u64,
     pub dram_writes: u64,
     /// Opt-in address-stream observer (see [`crate::tap`]). `None` (the
@@ -114,6 +117,8 @@ impl MemSystem {
             }
         };
         let hwpf = cfg.hw_prefetch.map(StridePrefetcher::new);
+        assert!(cfg.l1.line_bytes.is_power_of_two(), "line size must be a power of two");
+        let line_shift = cfg.l1.line_bytes.trailing_zeros();
         MemSystem {
             l1: Cache::new(cfg.l1.clone()),
             l2: Cache::new(cfg.l2.clone()),
@@ -123,6 +128,7 @@ impl MemSystem {
             dram_reads: 0,
             dram_writes: 0,
             tap: None,
+            line_shift,
             cfg,
         }
     }
@@ -225,7 +231,7 @@ impl MemSystem {
 
     #[inline]
     fn line_of(&self, addr: u64) -> u64 {
-        addr / self.cfg.l1.line_bytes as u64
+        addr >> self.line_shift
     }
 
     /// L2 access with DRAM fallback; returns the serving level and latency

@@ -50,6 +50,12 @@ pub struct StridePrefetcher {
     streams: Vec<Stream>,
     tick: u64,
     pub issued: u64,
+    /// Index of the stream the last observation touched. Valid streams have
+    /// pairwise-distinct `last_line` (the same-line check runs before any
+    /// stream moves, so no second stream is ever steered onto an occupied
+    /// line), which makes checking this one slot first an exact shortcut
+    /// for the same-line scan — the common case inside a cache line.
+    last_touched: usize,
 }
 
 impl StridePrefetcher {
@@ -63,6 +69,7 @@ impl StridePrefetcher {
             cfg,
             tick: 0,
             issued: 0,
+            last_touched: 0,
         }
     }
 
@@ -84,26 +91,36 @@ impl StridePrefetcher {
         const MAX_PREFETCH_STRIDE: i64 = 4;
         out.clear();
         self.tick += 1;
-        // Same-line repeat: refresh recency, learn nothing.
-        for s in &mut self.streams {
-            if s.valid && s.last_line == line {
-                s.age = self.tick;
-                return;
-            }
+        // Same-line repeat: refresh recency, learn nothing. The stream we
+        // touched last answers almost every repeat (consecutive words of one
+        // cache line), so probe that single slot before scanning.
+        let lt = &mut self.streams[self.last_touched];
+        if lt.valid && lt.last_line == line {
+            lt.age = self.tick;
+            return;
         }
-        // Associate with the nearest stream within the window.
+        // One pass finds both the same-line stream (distance 0 — valid
+        // streams have pairwise-distinct `last_line`, so it is unique) and
+        // the nearest stream within the association window. First-of-equals
+        // wins, as in a two-pass scan.
         let mut best: Option<(usize, u64)> = None;
-        for (i, s) in self.streams.iter().enumerate() {
+        for (i, s) in self.streams.iter_mut().enumerate() {
             if !s.valid {
                 continue;
             }
             let dist = line.abs_diff(s.last_line);
+            if dist == 0 {
+                s.age = self.tick;
+                self.last_touched = i;
+                return;
+            }
             if dist <= ASSOC_WINDOW && best.is_none_or(|(_, d)| dist < d) {
                 best = Some((i, dist));
             }
         }
         match best {
             Some((i, _)) => {
+                self.last_touched = i;
                 let s = &mut self.streams[i];
                 let delta = line as i64 - s.last_line as i64;
                 if delta == s.stride {
@@ -138,6 +155,7 @@ impl StridePrefetcher {
                     .unwrap();
                 self.streams[idx] =
                     Stream { last_line: line, stride: 0, hits: 0, valid: true, age: self.tick };
+                self.last_touched = idx;
             }
         }
     }

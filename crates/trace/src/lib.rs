@@ -56,6 +56,11 @@ fn epoch() -> Instant {
 
 thread_local! {
     static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    /// When `Some`, this thread's emitted lines are diverted here instead of
+    /// the global sink — see [`capture_thread`]. Worker threads of a parallel
+    /// sweep capture locally and the coordinator replays buffers in
+    /// submission order, so the merged stream is deterministic.
+    static THREAD_BUF: RefCell<Option<Vec<String>>> = const { RefCell::new(None) };
 }
 
 /// Is tracing globally enabled? Inlined single atomic load — the fast path
@@ -114,6 +119,19 @@ pub fn take_memory() -> Vec<String> {
 }
 
 fn emit_line(line: String) {
+    // Divert to the thread-local capture buffer if one is active. This
+    // branch only runs when tracing is enabled, so the disabled fast path
+    // (one relaxed atomic load) is untouched.
+    let line = match THREAD_BUF.with(|b| match b.borrow_mut().as_mut() {
+        Some(buf) => {
+            buf.push(line);
+            None
+        }
+        None => Some(line),
+    }) {
+        Some(l) => l,
+        None => return,
+    };
     let mut guard = SINK.lock().unwrap();
     match guard.as_mut() {
         Some(Sink::File(w)) => {
@@ -122,6 +140,38 @@ fn emit_line(line: String) {
         Some(Sink::Stderr) => eprintln!("{line}"),
         Some(Sink::Memory(lines)) => lines.push(line),
         None => {}
+    }
+}
+
+/// Run `f` with this thread's trace output captured into a buffer instead of
+/// the global sink, returning `f`'s result and the captured JSONL lines.
+///
+/// Captures nest (the previous buffer, if any, is restored on exit — also on
+/// panic, via a drop guard; the partial capture is discarded in that case).
+/// Span ids stay process-unique across threads, so replaying buffers with
+/// [`emit_captured`] yields a stream whose parent links are still valid.
+pub fn capture_thread<R>(f: impl FnOnce() -> R) -> (R, Vec<String>) {
+    struct Restore {
+        prev: Option<Vec<String>>,
+    }
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_BUF.with(|b| *b.borrow_mut() = self.prev.take());
+        }
+    }
+    let prev = THREAD_BUF.with(|b| b.borrow_mut().replace(Vec::new()));
+    let restore = Restore { prev };
+    let r = f();
+    let lines = THREAD_BUF.with(|b| b.borrow_mut().take()).unwrap_or_default();
+    drop(restore);
+    (r, lines)
+}
+
+/// Replay lines captured by [`capture_thread`] into the active sink (or the
+/// caller's own capture buffer, when nested), preserving order.
+pub fn emit_captured(lines: Vec<String>) {
+    for line in lines {
+        emit_line(line);
     }
 }
 
@@ -282,5 +332,28 @@ mod tests {
         for l in &lines {
             assert!(l.starts_with('{') && l.ends_with('}'));
         }
+
+        // Thread-local capture: lines are diverted, the sink sees nothing
+        // until they are replayed, and nested captures restore the outer one.
+        enable_to_memory();
+        let ((), captured) = capture_thread(|| {
+            let _s = span("captured_span");
+            counter("captured_counter", 7);
+            let ((), inner) = capture_thread(|| counter("nested", 1));
+            assert_eq!(inner.len(), 1);
+            emit_captured(inner); // lands in the *outer* capture buffer
+        });
+        assert!(take_memory().is_empty(), "capture must divert from the sink");
+        assert_eq!(captured.len(), 3);
+        assert!(captured[0].contains("captured_counter"));
+        assert!(captured[1].contains("nested"));
+        assert!(captured[2].contains("captured_span"));
+        emit_captured(captured);
+        let replayed = take_memory();
+        assert_eq!(replayed.len(), 3, "replay goes to the sink once capture ends");
+        disable();
+        // After capture + disable, emission is a no-op again.
+        counter("post", 1);
+        assert!(take_memory().is_empty());
     }
 }
