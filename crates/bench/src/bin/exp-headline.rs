@@ -23,40 +23,6 @@ fn ratio(a: u64, b: u64) -> String {
     fmt_speedup(a as f64 / b as f64)
 }
 
-/// The nine named headline design points, in report order.
-fn headline_specs(opts: &Opts) -> Vec<(String, Experiment)> {
-    let tiny = Workload {
-        model: ModelId::Yolov3Tiny,
-        input_hw: scaled_input(ModelId::Yolov3Tiny, opts.div),
-        layer_limit: opts.layers,
-    };
-    let yolo20 = Workload {
-        model: ModelId::Yolov3,
-        input_hw: scaled_input(ModelId::Yolov3, opts.div),
-        layer_limit: Some(opts.layers.unwrap_or(20)),
-    };
-    let naive = ConvPolicy::gemm_only(GemmVariant::Naive);
-    let opt3 = ConvPolicy::gemm_only(GemmVariant::opt3());
-    let opt6 = ConvPolicy::gemm_only(GemmVariant::opt6());
-    let rvv = HwTarget::RvvGem5 { vlen_bits: 2048, lanes: 8, l2_bytes: 1 << 20 };
-    let ax = HwTarget::A64fx;
-    let sve = HwTarget::SveGem5 { vlen_bits: 512, l2_bytes: 1 << 20 };
-    [
-        ("rvv_tiny_naive", Experiment::new(rvv, naive, tiny)),
-        ("rvv_tiny_opt3", Experiment::new(rvv, opt3, tiny)),
-        ("a64fx_yolo20_naive", Experiment::new(ax, naive, yolo20)),
-        ("a64fx_yolo20_opt3", Experiment::new(ax, opt3, yolo20)),
-        ("a64fx_yolo20_opt6", Experiment::new(ax, opt6, yolo20)),
-        ("sve512_yolo20_opt3", Experiment::new(sve, opt3, yolo20)),
-        ("sve512_yolo20_opt6", Experiment::new(sve, opt6, yolo20)),
-        ("rvv_yolo20_opt3", Experiment::new(rvv, opt3, yolo20)),
-        ("rvv_yolo20_opt6", Experiment::new(rvv, opt6, yolo20)),
-    ]
-    .into_iter()
-    .map(|(n, e)| (n.to_string(), e))
-    .collect()
-}
-
 /// `--wallclock`: time the full sweep end to end, serially and with
 /// `--jobs`, median of 3 passes each, and write `BENCH_sim_wallclock.json`.
 /// Per-run reports (with host timing attached) come from the last serial
@@ -115,7 +81,7 @@ fn wallclock_bench(specs: &[(String, Experiment)], opts: &Opts) {
 
 fn main() {
     let opts = Opts::parse(4, "Headline optimization speedups (§VI-A/§VI-C)");
-    let specs = headline_specs(&opts);
+    let specs = headline_specs(opts.div, opts.layers);
 
     // The table pass. With --profile the memory profiler rides along
     // (timing unchanged) and its reuse-distance/3C report lands next to
@@ -125,7 +91,19 @@ fn main() {
     let runs: Vec<RunReport> = specs
         .iter()
         .zip(&results)
-        .map(|((name, e), r)| RunReport::new(name.clone(), e, &r.summary))
+        .map(|((name, e), r)| {
+            let report = RunReport::new(name.clone(), e, &r.summary);
+            if !opts.whatif {
+                return report;
+            }
+            // --with-whatif: five idealized re-runs per design point merge
+            // the counterfactual analysis into this report. Note the file
+            // then legitimately differs from the knobs-off baseline.
+            eprintln!(".. whatif {} | {}", name, e.hw.describe());
+            report.with_whatif(
+                lva_whatif::analyze_counterfactuals(e, &r.summary, opts.jobs).to_json(),
+            )
+        })
         .collect();
     let profiles: Vec<(String, Json)> = specs
         .iter()

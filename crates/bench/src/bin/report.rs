@@ -1,0 +1,39 @@
+//! Re-render `results/CODESIGN_REPORT.md` from an existing
+//! `BENCH_whatif.json` — no simulation, just the deterministic markdown
+//! renderer. Lets you tweak nothing and regenerate, or render a record
+//! produced elsewhere (CI artifacts).
+//!
+//! Usage: `report [--in BENCH_whatif.json] [--out results/CODESIGN_REPORT.md]`
+
+use lva_bench::{codesign_markdown, Json};
+
+fn main() {
+    let mut input = String::from("BENCH_whatif.json");
+    let mut output = String::from("results/CODESIGN_REPORT.md");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--in" => input = args.next().expect("--in needs a file path"),
+            "--out" => output = args.next().expect("--out needs a file path"),
+            "--help" | "-h" => {
+                eprintln!(
+                    "Render the co-design advisor markdown from a BENCH_whatif.json.\n\nOptions:\n  --in FILE   input record (default BENCH_whatif.json)\n  --out FILE  output markdown (default results/CODESIGN_REPORT.md)"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown option {other}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+    let text = std::fs::read_to_string(&input)
+        .unwrap_or_else(|e| panic!("cannot read {input}: {e} (run exp-whatif first)"));
+    let j = Json::parse(&text).unwrap_or_else(|e| panic!("{input} is not valid JSON: {e:?}"));
+    let md = codesign_markdown(&j);
+    if let Some(dir) = std::path::Path::new(&output).parent() {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+    std::fs::write(&output, md).unwrap_or_else(|e| panic!("cannot write {output}: {e}"));
+    println!("[rendered {output} from {input}]");
+}

@@ -12,8 +12,10 @@ use std::env;
 pub mod diff;
 pub mod microbench;
 pub mod sweep;
+pub mod whatif_report;
 
 pub use sweep::{median_ms, run_sweep, SweepRun};
+pub use whatif_report::{codesign_markdown, whatif_json};
 
 pub use lva_core::report::{fmt_cycles, fmt_speedup};
 pub use lva_core::{
@@ -52,6 +54,10 @@ pub struct Opts {
     /// sweep serially and with `--jobs`, median-of-3 each, and write a
     /// `BENCH_sim_wallclock.json` report.
     pub wallclock: bool,
+    /// Attach an `lva-whatif` counterfactual analysis to every run's JSON
+    /// report (`--with-whatif`): five extra idealized simulations per design
+    /// point. Off by default — the plain reports stay byte-identical.
+    pub whatif: bool,
 }
 
 impl Opts {
@@ -68,6 +74,7 @@ impl Opts {
             chrome: None,
             jobs: 1,
             wallclock: false,
+            whatif: false,
         };
         let mut args = env::args().skip(1);
         while let Some(a) = args.next() {
@@ -94,6 +101,7 @@ impl Opts {
                     opts.jobs = if n == 0 { lva_core::default_jobs() } else { n };
                 }
                 "--wallclock" => opts.wallclock = true,
+                "--with-whatif" => opts.whatif = true,
                 "--chrome" => {
                     opts.chrome = Some(args.next().expect("--chrome needs a file path"));
                 }
@@ -105,7 +113,7 @@ impl Opts {
                 }
                 "--help" | "-h" => {
                     eprintln!(
-                        "{what}\n\nOptions:\n  --div N      input down-scale divisor (default {default_div}; 1 = paper size)\n  --layers N   layer prefix override\n  --csv/--no-csv  write results/<exp>.csv (default on)\n  --json       also write results/<exp>.json (machine-readable)\n  --profile    tap the cache hierarchy: reuse-distance histograms, 3C\n               miss classes, capacity curves (in the JSON output)\n  --chrome FILE  write a Chrome trace-event timeline (Perfetto) to FILE\n  --trace FILE stream JSONL telemetry spans to FILE\n  --jobs N     run independent design points on N threads (0 = all cores;\n               results and reports are identical to --jobs 1)\n  --wallclock  self-benchmark: time the sweep serial vs --jobs (median of\n               3 each) and write BENCH_sim_wallclock.json"
+                        "{what}\n\nOptions:\n  --div N      input down-scale divisor (default {default_div}; 1 = paper size)\n  --layers N   layer prefix override\n  --csv/--no-csv  write results/<exp>.csv (default on)\n  --json       also write results/<exp>.json (machine-readable)\n  --profile    tap the cache hierarchy: reuse-distance histograms, 3C\n               miss classes, capacity curves (in the JSON output)\n  --chrome FILE  write a Chrome trace-event timeline (Perfetto) to FILE\n  --trace FILE stream JSONL telemetry spans to FILE\n  --jobs N     run independent design points on N threads (0 = all cores;\n               results and reports are identical to --jobs 1)\n  --wallclock  self-benchmark: time the sweep serial vs --jobs (median of\n               3 each) and write BENCH_sim_wallclock.json\n  --with-whatif  attach lva-whatif counterfactual analyses (bound\n               classification, cycles-saved-if-fixed) to the JSON reports"
                     );
                     std::process::exit(0);
                 }
@@ -117,6 +125,42 @@ impl Opts {
         }
         opts
     }
+}
+
+/// The nine named headline design points of §VI (exp-headline's sweep), in
+/// report order. Shared with `exp-whatif` and the co-design advisor so every
+/// consumer analyzes exactly the networks the headline table measures.
+pub fn headline_specs(div: usize, layers: Option<usize>) -> Vec<(String, Experiment)> {
+    let tiny = Workload {
+        model: ModelId::Yolov3Tiny,
+        input_hw: scaled_input(ModelId::Yolov3Tiny, div),
+        layer_limit: layers,
+    };
+    let yolo20 = Workload {
+        model: ModelId::Yolov3,
+        input_hw: scaled_input(ModelId::Yolov3, div),
+        layer_limit: Some(layers.unwrap_or(20)),
+    };
+    let naive = ConvPolicy::gemm_only(GemmVariant::Naive);
+    let opt3 = ConvPolicy::gemm_only(GemmVariant::opt3());
+    let opt6 = ConvPolicy::gemm_only(GemmVariant::opt6());
+    let rvv = HwTarget::RvvGem5 { vlen_bits: 2048, lanes: 8, l2_bytes: 1 << 20 };
+    let ax = HwTarget::A64fx;
+    let sve = HwTarget::SveGem5 { vlen_bits: 512, l2_bytes: 1 << 20 };
+    [
+        ("rvv_tiny_naive", Experiment::new(rvv, naive, tiny)),
+        ("rvv_tiny_opt3", Experiment::new(rvv, opt3, tiny)),
+        ("a64fx_yolo20_naive", Experiment::new(ax, naive, yolo20)),
+        ("a64fx_yolo20_opt3", Experiment::new(ax, opt3, yolo20)),
+        ("a64fx_yolo20_opt6", Experiment::new(ax, opt6, yolo20)),
+        ("sve512_yolo20_opt3", Experiment::new(sve, opt3, yolo20)),
+        ("sve512_yolo20_opt6", Experiment::new(sve, opt6, yolo20)),
+        ("rvv_yolo20_opt3", Experiment::new(rvv, opt3, yolo20)),
+        ("rvv_yolo20_opt6", Experiment::new(rvv, opt6, yolo20)),
+    ]
+    .into_iter()
+    .map(|(n, e)| (n.to_string(), e))
+    .collect()
 }
 
 /// Write a JSON value under `results/<name>.json` (pretty-printed).

@@ -14,6 +14,7 @@ fn opts() -> Opts {
         chrome: None,
         jobs: 1,
         wallclock: false,
+        whatif: false,
     }
 }
 

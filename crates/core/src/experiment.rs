@@ -1,6 +1,6 @@
 //! Experiment definition and execution.
 
-use lva_isa::{Machine, MachineConfig};
+use lva_isa::{IdealSpec, Machine, MachineConfig};
 use lva_nn::network::{estimate_arena_words, Network};
 use lva_nn::{ConvPolicy, ModelId, NetReport};
 use lva_tensor::host_random;
@@ -95,6 +95,10 @@ pub struct Experiment {
     pub policy: ConvPolicy,
     pub workload: Workload,
     pub seed: u64,
+    /// Counterfactual idealization knobs (the `lva-whatif` hook). Timing-only:
+    /// with all knobs off (the default) every run is bit-identical to a
+    /// machine that never heard of them.
+    pub ideal: IdealSpec,
 }
 
 /// Measurements from one experiment run (one simulated inference, after
@@ -167,7 +171,14 @@ impl StreamSummary {
 
 impl Experiment {
     pub fn new(hw: HwTarget, policy: ConvPolicy, workload: Workload) -> Self {
-        Experiment { hw, policy, workload, seed: 42 }
+        Experiment { hw, policy, workload, seed: 42, ideal: IdealSpec::NONE }
+    }
+
+    /// Same experiment under a counterfactual [`IdealSpec`].
+    #[must_use]
+    pub fn with_ideal(mut self, spec: IdealSpec) -> Self {
+        self.ideal = spec;
+        self
     }
 
     fn build(&self) -> (Machine, Network, lva_tensor::Shape) {
@@ -177,6 +188,7 @@ impl Experiment {
             None => specs,
         };
         let mut cfg = self.hw.machine_config();
+        cfg.ideal = self.ideal;
         let words = estimate_arena_words(&specs, shape, &self.policy);
         cfg.arena_mib = (words * 4 / (1 << 20) + 32).max(64);
         let mut m = Machine::new(cfg);

@@ -39,6 +39,9 @@ pub struct RunReport {
     /// Host wall-clock for the run; `None` (the default) keeps host noise
     /// out of the serialized report. See [`Self::with_host`].
     pub host: Option<HostPerf>,
+    /// Counterfactual (`lva-whatif`) analysis for this run; `None` (the
+    /// default) omits the section. See [`Self::with_whatif`].
+    pub whatif: Option<Json>,
 }
 
 fn algo_name(a: ConvAlgo) -> &'static str {
@@ -119,6 +122,7 @@ impl RunReport {
             workload: e.workload.describe(),
             summary: s.clone(),
             host: None,
+            whatif: None,
         }
     }
 
@@ -129,6 +133,23 @@ impl RunReport {
     pub fn with_host(mut self, host_ms: f64) -> Self {
         self.host = Some(HostPerf { host_ms });
         self
+    }
+
+    /// Attach a counterfactual analysis (produced by `lva-whatif`);
+    /// [`Self::to_json`] then emits it verbatim as a `whatif` section.
+    #[must_use]
+    pub fn with_whatif(mut self, whatif: Json) -> Self {
+        self.whatif = Some(whatif);
+        self
+    }
+
+    /// The `host` section, if a measurement was attached.
+    fn host_json(&self) -> Option<Json> {
+        self.host.map(|h| {
+            let cycles = self.summary.cycles;
+            let rate = if h.host_ms > 0.0 { cycles as f64 / (h.host_ms * 1000.0) } else { 0.0 };
+            Json::obj().field("host_ms", h.host_ms).field("sim_cycles_per_host_us", rate)
+        })
     }
 
     /// The full report as a JSON value.
@@ -177,12 +198,13 @@ impl RunReport {
             .field("hwpf_issued", mem.hwpf_issued)
             .field("phases", phases)
             .field("layers", Json::Arr(net.layers.iter().map(layer_json).collect()));
-        if let Some(h) = self.host {
-            let rate = if h.host_ms > 0.0 { s.cycles as f64 / (h.host_ms * 1000.0) } else { 0.0 };
-            j = j.field(
-                "host",
-                Json::obj().field("host_ms", h.host_ms).field("sim_cycles_per_host_us", rate),
-            );
+        // Optional sections go through one uniform path: each is skipped
+        // when absent, so deterministic report files stay byte-identical
+        // and new sections cannot invent their own presence rules.
+        for (key, section) in [("host", self.host_json()), ("whatif", self.whatif.clone())] {
+            if let Some(sec) = section {
+                j = j.field(key, sec);
+            }
         }
         j
     }
@@ -246,51 +268,52 @@ mod tests {
         assert!(net.stalls.total() > 0, "a real workload stalls somewhere");
     }
 
-    /// Host timing is opt-in: absent by default (so deterministic report
-    /// files stay byte-identical across hosts) and emitted with the derived
-    /// simulation rate when attached.
+    /// Optional sections (`host`, `whatif`) are opt-in and handled through
+    /// one uniform code path: absent by default (so deterministic report
+    /// files stay byte-identical across hosts) and emitted when attached.
     #[test]
-    fn host_section_only_when_attached() {
+    fn optional_sections_only_when_attached() {
         let (e, s) = small_run();
-        let plain = RunReport::new("t", &e, &s);
-        assert!(!plain.to_json().to_string_compact().contains("\"host\""));
-        let timed = plain.with_host(250.0);
-        let j = timed.to_json().to_string_compact();
-        assert!(j.contains("\"host_ms\":250.0"));
+        let plain = RunReport::new("t", &e, &s).to_json();
+        for key in ["host", "whatif"] {
+            assert!(plain.get(key).is_none(), "optional section {key} present by default");
+        }
+        let timed = RunReport::new("t", &e, &s).with_host(250.0).to_json();
+        let host = timed.get("host").expect("host section after with_host");
+        assert_eq!(host.get("host_ms").and_then(Json::as_f64), Some(250.0));
         let want_rate = s.cycles as f64 / 250_000.0;
-        assert!(j.contains(&format!("\"sim_cycles_per_host_us\":{want_rate:?}")));
+        assert_eq!(host.get("sim_cycles_per_host_us").and_then(Json::as_f64), Some(want_rate));
         // A zero measurement must not divide by zero.
-        let degenerate = RunReport::new("t", &e, &s).with_host(0.0);
-        assert!(degenerate
-            .to_json()
-            .to_string_compact()
-            .contains("\"sim_cycles_per_host_us\":0.0"));
+        let degenerate = RunReport::new("t", &e, &s).with_host(0.0).to_json();
+        let rate = degenerate.get("host").and_then(|h| h.get("sim_cycles_per_host_us"));
+        assert_eq!(rate.and_then(Json::as_f64), Some(0.0));
+        // The whatif payload is carried verbatim.
+        let wf = Json::obj().field("bound", "memory");
+        let with_wf = RunReport::new("t", &e, &s).with_whatif(wf.clone()).to_json();
+        let got = with_wf.get("whatif").expect("whatif section after with_whatif");
+        assert_eq!(got.to_string_compact(), wf.to_string_compact());
     }
 
     #[test]
-    fn run_report_json_is_parseable_shape() {
-        // No JSON parser in-tree: check structural balance as a smoke test.
+    fn run_report_json_round_trips() {
         let (e, s) = small_run();
-        let j = RunReport::new("t", &e, &s).to_json().to_string_compact();
-        assert!(j.starts_with('{') && j.ends_with('}'));
-        let mut depth = 0i64;
-        let mut in_str = false;
-        let mut esc = false;
-        for ch in j.chars() {
-            if esc {
-                esc = false;
-                continue;
-            }
-            match ch {
-                '\\' if in_str => esc = true,
-                '"' => in_str = !in_str,
-                '{' | '[' if !in_str => depth += 1,
-                '}' | ']' if !in_str => depth -= 1,
-                _ => {}
-            }
-            assert!(depth >= 0);
-        }
-        assert_eq!(depth, 0);
-        assert!(!in_str);
+        let report = RunReport::new("t", &e, &s)
+            .with_host(125.0)
+            .with_whatif(Json::obj().field("bound", "memory"));
+        let compact = report.to_json().to_string_compact();
+        let parsed = Json::parse(&compact).expect("report parses");
+        // Parsing preserves field order, so re-serialization is the identity.
+        assert_eq!(parsed.to_string_compact(), compact);
+        let pretty = report.to_json().to_string_pretty();
+        let reparsed = Json::parse(&pretty).expect("pretty report parses");
+        assert_eq!(reparsed.to_string_compact(), compact);
+        // Spot-check the parsed view sees the same totals the run measured.
+        let totals = parsed.get("totals").expect("totals");
+        assert_eq!(totals.get("cycles").and_then(Json::as_u64), Some(s.cycles));
+        assert_eq!(totals.get("flops").and_then(Json::as_u64), Some(s.flops));
+        assert_eq!(
+            parsed.get("layers").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(s.report.layers.len())
+        );
     }
 }

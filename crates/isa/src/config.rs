@@ -2,7 +2,8 @@
 //! platform presets matching Table I of the paper.
 
 use lva_sim::{
-    l2_latency_cycles, CacheConfig, LatencyModel, MemSystemConfig, StridePrefetcherConfig, VpuPath,
+    l2_latency_cycles, CacheConfig, IdealSpec, LatencyModel, MemSystemConfig,
+    StridePrefetcherConfig, VpuPath,
 };
 
 /// Default L1 data cache capacity (Table I: 64 kB, 4-way).
@@ -146,6 +147,10 @@ pub struct MachineConfig {
     pub mem: MemSystemConfig,
     /// Simulated memory arena capacity in MiB.
     pub arena_mib: usize,
+    /// Counterfactual idealization knobs (`lva-whatif`). Timing-only; with
+    /// the default [`IdealSpec::NONE`] the machine is bit-identical to one
+    /// built before this field existed.
+    pub ideal: IdealSpec,
 }
 
 impl MachineConfig {
@@ -194,6 +199,7 @@ impl MachineConfig {
                 sw_prefetch_effective: false,
             },
             arena_mib: 512,
+            ideal: IdealSpec::NONE,
         };
         cfg.validate();
         cfg
@@ -251,6 +257,7 @@ impl MachineConfig {
                 sw_prefetch_effective: false,
             },
             arena_mib: 512,
+            ideal: IdealSpec::NONE,
         };
         cfg.validate();
         cfg
@@ -301,6 +308,7 @@ impl MachineConfig {
                 sw_prefetch_effective: true,
             },
             arena_mib: 512,
+            ideal: IdealSpec::NONE,
         };
         cfg.validate();
         cfg

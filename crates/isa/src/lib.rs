@@ -41,4 +41,4 @@ pub use pred::Pred;
 pub use record::{EventKind, VecEvent};
 pub use stats::{KernelPhase, PhaseTimer, StallBreakdown, StallCause, VpuStats};
 
-pub use lva_sim::{Buf, Memory, PrefetchTarget};
+pub use lva_sim::{Buf, IdealKnob, IdealSpec, Memory, PrefetchTarget};

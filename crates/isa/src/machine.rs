@@ -25,7 +25,7 @@ use crate::config::{IsaKind, MachineConfig};
 use crate::pred::Pred;
 use crate::record::VecEvent;
 use crate::stats::{KernelPhase, PhaseTimer, StallBreakdown, StallCause, VpuStats};
-use lva_sim::{AccessKind, MemSystem, Memory, PrefetchTarget, TapScope, VpuPath};
+use lva_sim::{AccessKind, IdealSpec, MemSystem, Memory, PrefetchTarget, TapScope, VpuPath};
 
 /// Number of architectural vector registers (both RVV and SVE have 32).
 pub const NUM_VREGS: usize = 32;
@@ -100,9 +100,11 @@ pub struct Machine {
 impl Machine {
     pub fn new(cfg: MachineConfig) -> Self {
         let vlen_elems = cfg.vpu.vlen_elems();
+        let mut sys = MemSystem::new(cfg.mem.clone());
+        sys.set_ideal(cfg.ideal);
         Machine {
             mem: Memory::with_mib(cfg.arena_mib),
-            sys: MemSystem::new(cfg.mem.clone()),
+            sys,
             regs: vec![0.0; NUM_VREGS * vlen_elems],
             vlen_elems,
             now: 0,
@@ -136,6 +138,21 @@ impl Machine {
     /// Whether the per-element reference model is active.
     pub fn is_reference_model(&self) -> bool {
         self.ref_model
+    }
+
+    /// Select counterfactual idealization knobs (`lva-whatif`). Timing-only:
+    /// functional state, cache state transitions, statistics, and recorded
+    /// event streams are bit-identical to the factual machine under any
+    /// spec; with [`IdealSpec::NONE`] cycle counts are bit-identical too —
+    /// pinned the same way [`Self::set_reference_model`] is.
+    pub fn set_ideal(&mut self, spec: IdealSpec) {
+        self.cfg.ideal = spec;
+        self.sys.set_ideal(spec);
+    }
+
+    /// The active idealization spec.
+    pub fn ideal(&self) -> IdealSpec {
+        self.cfg.ideal
     }
 
     // ------------------------------------------------------------------
@@ -342,6 +359,65 @@ impl Machine {
         self.ready[r].saturating_sub(self.cfg.core.ooo_window)
     }
 
+    // Effective timing parameters under the active [`IdealSpec`]. Each is
+    // the identity with its knob off, so the factual machine's arithmetic is
+    // untouched; with the knob on the parameter takes its idealized value.
+    // All five only ever shrink a cost — that componentwise inequality is
+    // what makes every idealization cycle-monotone (DESIGN.md §13).
+
+    /// `startup()` — 0 under `zero_vector_startup`.
+    #[inline]
+    fn eff_startup(&self) -> u64 {
+        if self.cfg.ideal.zero_vector_startup {
+            0
+        } else {
+            self.cfg.vpu.startup()
+        }
+    }
+
+    /// Pipeline-depth share of memory result latency — 0 under
+    /// `zero_vector_startup` (the fill depth is the startup the knob removes).
+    #[inline]
+    fn eff_pipe_depth(&self) -> u64 {
+        if self.cfg.ideal.zero_vector_startup {
+            0
+        } else {
+            self.cfg.vpu.pipe_depth as u64
+        }
+    }
+
+    /// `chime(vl)` — 1 under `infinite_lanes`.
+    #[inline]
+    fn eff_chime(&self, vl: usize) -> u64 {
+        if self.cfg.ideal.infinite_lanes {
+            1
+        } else {
+            self.cfg.vpu.chime(vl)
+        }
+    }
+
+    /// A lane-throughput occupancy term (bus transfers, per-element
+    /// gather/scatter slots, permutes) — collapses to 1 cycle under
+    /// `infinite_lanes`. Exposed miss time is never routed through here.
+    #[inline]
+    fn eff_throughput(&self, cycles: u64) -> u64 {
+        if self.cfg.ideal.infinite_lanes {
+            cycles.min(1)
+        } else {
+            cycles
+        }
+    }
+
+    /// `inter_instr_gap` — 0 under `infinite_issue`.
+    #[inline]
+    fn eff_gap(&self) -> u64 {
+        if self.cfg.ideal.infinite_issue {
+            0
+        } else {
+            self.cfg.vpu.inter_instr_gap as u64
+        }
+    }
+
     /// Issue one vector instruction.
     ///
     /// `occupancy`: cycles the vector unit stays busy; `result_latency`:
@@ -362,7 +438,7 @@ impl Machine {
             start = start.max(self.src_ready(s));
         }
         self.attribute_stall(t0, unit_start, start, occupancy);
-        self.unit_free = start + occupancy + self.cfg.vpu.inter_instr_gap as u64;
+        self.unit_free = start + occupancy + self.eff_gap();
         if let Some(d) = dst {
             self.ready[d] = start + result_latency.max(occupancy);
         }
@@ -390,7 +466,7 @@ impl Machine {
         let recording = self.pipe.is_some();
         let unit_busy = unit_start - t0;
         if unit_busy > 0 {
-            let gap = unit_busy.min(self.cfg.vpu.inter_instr_gap as u64);
+            let gap = unit_busy.min(self.eff_gap());
             self.stalls.add(StallCause::IssueWidth, gap);
             let occ_wait = unit_busy - gap;
             if occ_wait > 0 {
@@ -433,7 +509,7 @@ impl Machine {
         }
         let raw_wait = start - unit_start;
         if raw_wait > 0 {
-            let ramp = raw_wait.min(self.cfg.vpu.startup());
+            let ramp = raw_wait.min(self.eff_startup());
             self.stalls.add(StallCause::VectorStartup, ramp);
             self.stalls.add(StallCause::RawHazard, raw_wait - ramp);
             if recording {
@@ -462,7 +538,7 @@ impl Machine {
     /// vector unit (reductions): the startup ramp plus dependency latency.
     #[inline]
     fn attribute_consume_wait(&mut self, lat: u64) {
-        let ramp = lat.min(self.cfg.vpu.startup());
+        let ramp = lat.min(self.eff_startup());
         self.stalls.add(StallCause::VectorStartup, ramp);
         self.stalls.add(StallCause::RawHazard, lat - ramp);
         self.stalls.note_total(lat);
@@ -527,8 +603,8 @@ impl Machine {
         let eff_mlp = (vpu.mlp as u64).max(n_lines / 2).min(8);
         let exposed = extra / eff_mlp;
         let tx = bytes.div_ceil(vpu.bus_bytes as u64);
-        let occ = tx + exposed;
-        let lat = vpu.pipe_depth as u64 + base_lat + occ;
+        let occ = self.eff_throughput(tx) + exposed;
+        let lat = self.eff_pipe_depth() + base_lat + occ;
         self.next_occ_mem = exposed;
         (occ.max(1), lat)
     }
@@ -757,8 +833,8 @@ impl Machine {
             }
         }
         let exposed = extra / vpu.mlp as u64;
-        let occ = vl as u64 * vpu.gather_elem_cycles as u64 + exposed;
-        let lat = vpu.pipe_depth as u64 + base_lat + occ;
+        let occ = self.eff_throughput(vl as u64 * vpu.gather_elem_cycles as u64) + exposed;
+        let lat = self.eff_pipe_depth() + base_lat + occ;
         self.next_occ_mem = exposed;
         (occ, lat)
     }
@@ -791,8 +867,8 @@ impl Machine {
             }
         }
         let exposed = extra / vpu.mlp as u64;
-        let occ = vl as u64 * vpu.gather_elem_cycles as u64 + exposed;
-        let lat = vpu.pipe_depth as u64 + base_lat + occ;
+        let occ = self.eff_throughput(vl as u64 * vpu.gather_elem_cycles as u64) + exposed;
+        let lat = self.eff_pipe_depth() + base_lat + occ;
         self.next_occ_mem = exposed;
         (occ, lat)
     }
@@ -993,8 +1069,8 @@ impl Machine {
         }
         let exposed = extra / vpu.mlp as u64;
         // One slot per 4-element group + 2 cycles of ZIP/TRN permutes.
-        let occ = active.div_ceil(4).max(1) + 2 + exposed;
-        let lat = vpu.pipe_depth as u64 + base_lat + occ;
+        let occ = self.eff_throughput(active.div_ceil(4).max(1) + 2) + exposed;
+        let lat = self.eff_pipe_depth() + base_lat + occ;
         self.next_occ_mem = exposed;
         (occ, lat)
     }
@@ -1023,8 +1099,8 @@ impl Machine {
             }
         }
         let exposed = extra / vpu.mlp as u64;
-        let occ = (active * vpu.gather_elem_cycles as u64).max(1) + exposed;
-        let lat = vpu.pipe_depth as u64 + base_lat + occ;
+        let occ = self.eff_throughput((active * vpu.gather_elem_cycles as u64).max(1)) + exposed;
+        let lat = self.eff_pipe_depth() + base_lat + occ;
         self.next_occ_mem = exposed;
         (occ, lat)
     }
@@ -1049,8 +1125,8 @@ impl Machine {
 
     #[inline]
     fn arith_cost(&self, vl: usize) -> (u64, u64) {
-        let chime = self.cfg.vpu.chime(vl);
-        (chime, self.cfg.vpu.startup() + chime)
+        let chime = self.eff_chime(vl);
+        (chime, self.eff_startup() + chime)
     }
 
     #[inline]
@@ -1229,8 +1305,8 @@ impl Machine {
             self.regs[vd * n + i] = self.regs[va * n + i] / self.regs[vb * n + i];
         }
         // Division is unpipelined-ish: several cycles per lane group.
-        let chime = 8 * self.cfg.vpu.chime(vl);
-        self.issue([Some(va), Some(vb)], Some(vd), chime, self.cfg.vpu.startup() + chime);
+        let chime = 8 * self.eff_chime(vl);
+        self.issue([Some(va), Some(vb)], Some(vd), chime, self.eff_startup() + chime);
         self.count_arith(vl, 1);
     }
 
@@ -1241,8 +1317,8 @@ impl Machine {
         for i in 0..vl {
             self.regs[vd * n + i] = self.regs[vs * n + i].sqrt();
         }
-        let chime = 8 * self.cfg.vpu.chime(vl);
-        self.issue([Some(vs), None], Some(vd), chime, self.cfg.vpu.startup() + chime);
+        let chime = 8 * self.eff_chime(vl);
+        self.issue([Some(vs), None], Some(vd), chime, self.eff_startup() + chime);
         self.count_arith(vl, 1);
     }
 
@@ -1252,8 +1328,10 @@ impl Machine {
         self.rec(|| VecEvent::reduce("vfredsum", vs, vl));
         let n = self.vlen_elems;
         let sum: f32 = self.regs[vs * n..vs * n + vl].iter().sum();
-        let chime = self.cfg.vpu.chime(vl) + (self.cfg.vpu.lanes as f64).log2().ceil() as u64;
-        let lat = self.cfg.vpu.startup() + chime;
+        // The log2(lanes) reduction-tree term stays even under
+        // `infinite_lanes`: more lanes deepen the tree, they don't flatten it.
+        let chime = self.eff_chime(vl) + (self.cfg.vpu.lanes as f64).log2().ceil() as u64;
+        let lat = self.eff_startup() + chime;
         self.issue([Some(vs), None], None, chime, lat);
         self.now += lat; // core consumes the scalar
         self.attribute_consume_wait(lat);
@@ -1266,8 +1344,8 @@ impl Machine {
         self.rec(|| VecEvent::reduce("vfredmax", vs, vl));
         let n = self.vlen_elems;
         let mx = self.regs[vs * n..vs * n + vl].iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let chime = self.cfg.vpu.chime(vl) + (self.cfg.vpu.lanes as f64).log2().ceil() as u64;
-        let lat = self.cfg.vpu.startup() + chime;
+        let chime = self.eff_chime(vl) + (self.cfg.vpu.lanes as f64).log2().ceil() as u64;
+        let lat = self.eff_startup() + chime;
         self.issue([Some(vs), None], None, chime, lat);
         self.now += lat;
         self.attribute_consume_wait(lat);

@@ -42,7 +42,7 @@ pub enum EventKind {
 /// One recorded vector operation. Fields that do not apply to the event's
 /// kind hold their neutral value (`None` registers, `lo == hi` for "no
 /// memory touched", `requested == 0` for non-grants).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VecEvent {
     pub kind: EventKind,
     /// Mnemonic (`"vle"`, `"vfmacc.vf"`, `"setvl"`, …); for phase markers,

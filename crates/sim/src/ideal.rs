@@ -1,0 +1,167 @@
+//! Opt-in timing-idealization knobs for counterfactual profiling.
+//!
+//! Correlational stall attribution (`StallBreakdown`) answers "where did the
+//! cycles go"; the co-design question is causal: "how many cycles come back
+//! if a co-designer *fixes* this subsystem". An [`IdealSpec`] selects
+//! subsystems to idealize; `lva-whatif` reruns a workload once per knob and
+//! measures the recovery directly.
+//!
+//! Every knob is **timing-only** by construction: cache state transitions,
+//! statistics, functional memory and register contents, and recorded event
+//! streams are bit-identical to the factual run — only returned latencies
+//! (here) and occupancy/latency arithmetic (in `lva_isa::Machine`) change.
+//! With all knobs off the arithmetic is the identity, so cycle counts are
+//! bit-identical too, pinned the same way `Machine::set_reference_model` is.
+
+/// Which subsystems to idealize. All off ([`IdealSpec::NONE`], the default)
+/// is the factual machine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IdealSpec {
+    /// The first memory level a request meets (L1 for scalar and through-L1
+    /// vector accesses, the vector cache on the decoupled-VPU path) always
+    /// serves at its hit latency. State transitions still happen, so the
+    /// miss counters are untouched — only the *cost* of missing vanishes.
+    pub perfect_l1: bool,
+    /// L2 misses cost the L2 hit latency: DRAM latency vanishes (the
+    /// infinite-L2 limit of the paper's Fig. 7/9 capacity axis).
+    pub perfect_l2: bool,
+    /// Vector start-up is free: pipeline fill depth and lane ramp
+    /// (`startup() = pipe_depth + lanes`) cost zero cycles (§V's overhead
+    /// that longer vectors amortize).
+    pub zero_vector_startup: bool,
+    /// Infinitely wide datapath: every lane-throughput occupancy (chime,
+    /// register-file fill transfers, per-element gather/scatter slots)
+    /// completes in one cycle. Exposed miss time is untouched.
+    pub infinite_lanes: bool,
+    /// Infinite issue bandwidth: the dead `inter_instr_gap` cycles between
+    /// consecutive vector instructions vanish.
+    pub infinite_issue: bool,
+}
+
+impl IdealSpec {
+    /// The factual machine: no idealization.
+    pub const NONE: IdealSpec = IdealSpec {
+        perfect_l1: false,
+        perfect_l2: false,
+        zero_vector_startup: false,
+        infinite_lanes: false,
+        infinite_issue: false,
+    };
+
+    /// Whether any knob is on.
+    pub fn any(self) -> bool {
+        self != Self::NONE
+    }
+
+    /// Short `+knob` summary (empty for [`Self::NONE`]), for report labels.
+    pub fn describe(self) -> String {
+        let mut out = String::new();
+        for knob in IdealKnob::ALL {
+            if knob.spec().is_subset_of(self) {
+                if !out.is_empty() {
+                    out.push(' ');
+                }
+                out.push('+');
+                out.push_str(knob.name());
+            }
+        }
+        out
+    }
+
+    fn is_subset_of(self, other: IdealSpec) -> bool {
+        (!self.perfect_l1 || other.perfect_l1)
+            && (!self.perfect_l2 || other.perfect_l2)
+            && (!self.zero_vector_startup || other.zero_vector_startup)
+            && (!self.infinite_lanes || other.infinite_lanes)
+            && (!self.infinite_issue || other.infinite_issue)
+    }
+}
+
+/// One idealization knob; the unit of counterfactual analysis. `lva-whatif`
+/// runs one counterfactual per knob and classifies each layer by the knob
+/// that recovers the most cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IdealKnob {
+    PerfectL1,
+    PerfectL2,
+    ZeroVectorStartup,
+    InfiniteLanes,
+    InfiniteIssue,
+}
+
+impl IdealKnob {
+    /// Every knob, in the canonical (deterministic) analysis order.
+    pub const ALL: [IdealKnob; 5] = [
+        IdealKnob::PerfectL1,
+        IdealKnob::PerfectL2,
+        IdealKnob::ZeroVectorStartup,
+        IdealKnob::InfiniteLanes,
+        IdealKnob::InfiniteIssue,
+    ];
+
+    /// Stable snake_case name used in JSON reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            IdealKnob::PerfectL1 => "perfect_l1",
+            IdealKnob::PerfectL2 => "perfect_l2",
+            IdealKnob::ZeroVectorStartup => "zero_vector_startup",
+            IdealKnob::InfiniteLanes => "infinite_lanes",
+            IdealKnob::InfiniteIssue => "infinite_issue",
+        }
+    }
+
+    /// The spec with only this knob on.
+    pub fn spec(self) -> IdealSpec {
+        let mut s = IdealSpec::NONE;
+        match self {
+            IdealKnob::PerfectL1 => s.perfect_l1 = true,
+            IdealKnob::PerfectL2 => s.perfect_l2 = true,
+            IdealKnob::ZeroVectorStartup => s.zero_vector_startup = true,
+            IdealKnob::InfiniteLanes => s.infinite_lanes = true,
+            IdealKnob::InfiniteIssue => s.infinite_issue = true,
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_default_and_empty() {
+        assert_eq!(IdealSpec::default(), IdealSpec::NONE);
+        assert!(!IdealSpec::NONE.any());
+        assert_eq!(IdealSpec::NONE.describe(), "");
+    }
+
+    #[test]
+    fn each_knob_spec_turns_exactly_one_field_on() {
+        for knob in IdealKnob::ALL {
+            let s = knob.spec();
+            assert!(s.any(), "{knob:?}");
+            let on = u32::from(s.perfect_l1)
+                + u32::from(s.perfect_l2)
+                + u32::from(s.zero_vector_startup)
+                + u32::from(s.infinite_lanes)
+                + u32::from(s.infinite_issue);
+            assert_eq!(on, 1, "{knob:?}");
+            assert_eq!(s.describe(), format!("+{}", knob.name()));
+        }
+    }
+
+    #[test]
+    fn knob_names_are_unique_and_ordered() {
+        let names: Vec<_> = IdealKnob::ALL.iter().map(|k| k.name()).collect();
+        let mut dedup = names.clone();
+        dedup.dedup();
+        assert_eq!(names, dedup);
+        assert_eq!(names[0], "perfect_l1");
+    }
+
+    #[test]
+    fn describe_combines_knobs_in_canonical_order() {
+        let s = IdealSpec { perfect_l2: true, infinite_issue: true, ..IdealSpec::NONE };
+        assert_eq!(s.describe(), "+perfect_l2 +infinite_issue");
+    }
+}

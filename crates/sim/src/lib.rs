@@ -26,6 +26,7 @@
 
 #![forbid(unsafe_code)]
 pub mod cache;
+pub mod ideal;
 pub mod latency;
 pub mod mem;
 pub mod memsys;
@@ -34,6 +35,7 @@ pub mod rng;
 pub mod tap;
 
 pub use cache::{AccessKind, Cache, CacheConfig, CacheStats, Miss3C};
+pub use ideal::{IdealKnob, IdealSpec};
 pub use latency::{l2_latency_cycles, LatencyModel};
 pub use mem::{AllocRecord, Buf, Memory};
 pub use memsys::{MemLevel, MemSystem, MemSystemConfig, VpuPath};

@@ -10,6 +10,7 @@
 //! accesses (§III-A), so L1 blocking and prefetching pay off (§VI-C).
 
 use crate::cache::{AccessKind, Cache, CacheConfig, CacheStats, Lookup};
+use crate::ideal::IdealSpec;
 use crate::prefetch::{PrefetchTarget, StridePrefetcher, StridePrefetcherConfig};
 use crate::tap::{AccessSink, TapLevel, TapScope};
 
@@ -98,6 +99,11 @@ pub struct MemSystem {
     /// per-level access after the cache classified it. Pure observation —
     /// latencies and cache state are bit-identical with or without a tap.
     tap: Option<Box<dyn AccessSink>>,
+    /// Counterfactual idealization knobs (see [`crate::ideal`]). Timing-only:
+    /// every lookup, state transition, statistic, and tap report happens
+    /// exactly as in the factual run; only the *returned latency* is clamped.
+    /// With [`IdealSpec::NONE`] (the default) latencies are bit-identical.
+    ideal: IdealSpec,
 }
 
 impl MemSystem {
@@ -128,9 +134,26 @@ impl MemSystem {
             dram_reads: 0,
             dram_writes: 0,
             tap: None,
+            ideal: IdealSpec::NONE,
             line_shift,
             cfg,
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Counterfactual idealization (the `lva-whatif` hook)
+    // ------------------------------------------------------------------
+
+    /// Select which memory levels to idealize (see [`crate::ideal`]). Only
+    /// the `perfect_l1` / `perfect_l2` knobs matter here; the VPU-side knobs
+    /// are consumed by `lva_isa::Machine`.
+    pub fn set_ideal(&mut self, spec: IdealSpec) {
+        self.ideal = spec;
+    }
+
+    /// The active idealization spec.
+    pub fn ideal(&self) -> IdealSpec {
+        self.ideal
     }
 
     // ------------------------------------------------------------------
@@ -235,7 +258,8 @@ impl MemSystem {
     }
 
     /// L2 access with DRAM fallback; returns the serving level and latency
-    /// measured from the L2 lookup.
+    /// measured from the L2 lookup. Under `perfect_l2` a miss still reaches
+    /// DRAM (state and counters unchanged) but costs only the L2 hit latency.
     fn l2_then_mem(&mut self, line: u64, kind: AccessKind) -> (MemLevel, u32) {
         match self.l2_access(line, kind) {
             Lookup::Hit => (MemLevel::L2, self.cfg.l2.hit_latency),
@@ -244,7 +268,8 @@ impl MemSystem {
                     self.dram_writes += 1;
                 }
                 self.dram_reads += 1;
-                (MemLevel::Dram, self.cfg.l2.hit_latency + self.cfg.mem_latency)
+                let dram = if self.ideal.perfect_l2 { 0 } else { self.cfg.mem_latency };
+                (MemLevel::Dram, self.cfg.l2.hit_latency + dram)
             }
         }
     }
@@ -280,6 +305,9 @@ impl MemSystem {
                     self.l2_access(line, AccessKind::Write);
                 }
                 let (lvl, lat) = self.l2_then_mem(line, kind);
+                // `perfect_l1`: the miss happened (state above), but costs
+                // nothing beyond the first-level hit latency.
+                let lat = if self.ideal.perfect_l1 { 0 } else { lat };
                 (lvl, self.cfg.l1.hit_latency + lat)
             }
         }
@@ -316,6 +344,7 @@ impl MemSystem {
                             self.l2_access(line, AccessKind::Write);
                         }
                         let (lvl, lat) = self.l2_then_mem(line, kind);
+                        let lat = if self.ideal.perfect_l1 { 0 } else { lat };
                         (lvl, self.cfg.l1.hit_latency + lat)
                     }
                 }
@@ -333,6 +362,8 @@ impl MemSystem {
                             self.l2_access(line, AccessKind::Write);
                         }
                         let (lvl, lat) = self.l2_then_mem(line, kind);
+                        // The vector cache is the VPU's first level here.
+                        let lat = if self.ideal.perfect_l1 { 0 } else { lat };
                         (lvl, 2 + lat)
                     }
                 }
@@ -572,6 +603,46 @@ mod tests {
         assert!(ms.has_tap());
         ms.take_tap();
         assert!(!ms.has_tap());
+    }
+
+    /// The idealization knobs clamp latency only: serving levels, cache
+    /// state, and every counter evolve exactly as in the factual system.
+    #[test]
+    fn ideal_knobs_are_timing_only() {
+        use crate::ideal::IdealSpec;
+        let run = |spec: IdealSpec| {
+            let mut ms =
+                MemSystem::new(cfg(VpuPath::DecoupledL2 { vcache_bytes: 2048 }, false, false));
+            ms.set_ideal(spec);
+            let mut lats = Vec::new();
+            let mut lvls = Vec::new();
+            for i in 0..300u64 {
+                let (lvl, lat) = ms.demand_vector((i % 96) * 64, AccessKind::Read);
+                lvls.push(lvl);
+                lats.push(lat);
+                let (lvl, lat) = ms.demand_scalar(0x10_0000 + (i % 40) * 64, AccessKind::Write);
+                lvls.push(lvl);
+                lats.push(lat);
+            }
+            (ms.stats(), lvls, lats)
+        };
+        let (s_base, lvl_base, lat_base) = run(IdealSpec::NONE);
+        for spec in [
+            IdealSpec { perfect_l1: true, ..IdealSpec::NONE },
+            IdealSpec { perfect_l2: true, ..IdealSpec::NONE },
+            IdealSpec { perfect_l1: true, perfect_l2: true, ..IdealSpec::NONE },
+        ] {
+            let (s, lvl, lat) = run(spec);
+            assert_eq!(s, s_base, "{spec:?}: counters must be untouched");
+            assert_eq!(lvl, lvl_base, "{spec:?}: serving levels must be untouched");
+            for (ideal, factual) in lat.iter().zip(&lat_base) {
+                assert!(ideal <= factual, "{spec:?}: latency may only shrink");
+            }
+            if spec.perfect_l1 {
+                // Every access costs exactly its first level's hit latency.
+                assert!(lat.iter().all(|&l| l == 2 || l == 4), "{spec:?}: {lat:?}");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,61 @@
+//! The causal-vs-correlational agreement contract: for every directly-mapped
+//! knob, the cycles a counterfactual actually recovers and the stall cycles
+//! PR 1's attribution charged to the matching cause stay within
+//! [`lva_whatif::AGREEMENT_TOLERANCE`] of each other (normalized by run
+//! length), across the whole `lva-check` kernel registry at the four
+//! Table II design points.
+//!
+//! The two views legitimately diverge — attribution charges the proximate
+//! cause at stall time, counterfactuals measure end-to-end recovery with all
+//! second-order interactions — so the tolerance is loose by design. What it
+//! catches is structural drift: a broken knob or a mis-mapped cause shows up
+//! as a normalized gap near 1.0.
+
+use lva_whatif::{analyze_kernel, KnobCause, AGREEMENT_TOLERANCE};
+
+#[test]
+fn causal_and_attributed_stalls_agree() {
+    let mut worst: Option<(String, f64)> = None;
+    let mut checked = 0usize;
+    for (profile, cfg) in lva_check::sweep_configs() {
+        for case in lva_check::registered_kernels() {
+            if !case.supports(cfg.vpu.isa) {
+                continue;
+            }
+            let w = analyze_kernel(&case, &cfg);
+            for a in &w.agreement {
+                checked += 1;
+                let label = format!(
+                    "{}/{profile} +{}: causal={} attributed={} gap={:.3}",
+                    case.name,
+                    a.knob.name(),
+                    a.causal_saved,
+                    a.attributed,
+                    a.norm_gap
+                );
+                assert!(
+                    a.norm_gap <= AGREEMENT_TOLERANCE,
+                    "agreement contract violated: {label} (tolerance {AGREEMENT_TOLERANCE})"
+                );
+                if worst.as_ref().is_none_or(|(_, g)| a.norm_gap > *g) {
+                    worst = Some((label, a.norm_gap));
+                }
+            }
+        }
+    }
+    // 13 kernels on RVV + 14 on SVE, 2 configs each, 4 mapped knobs.
+    assert_eq!(checked, (13 + 14) * 2 * 4, "full registry coverage");
+    let (label, _) = worst.expect("at least one check ran");
+    eprintln!("worst agreement gap: {label}");
+}
+
+/// The knob→cause mapping itself is what the contract rides on; pin that
+/// every mapped cause is distinct (no double counting in the cross-check).
+#[test]
+fn mapped_causes_are_distinct() {
+    let causes: Vec<_> = lva_isa::IdealKnob::ALL.iter().filter_map(|k| k.cause()).collect();
+    let mut dedup = causes.clone();
+    dedup.dedup();
+    assert_eq!(causes.len(), 4);
+    assert_eq!(dedup.len(), causes.len(), "two knobs map to the same cause");
+}
