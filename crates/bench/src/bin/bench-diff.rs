@@ -1,25 +1,32 @@
-//! Compare two benchmark reports (`BENCH_headline.json` shape) under the
-//! tolerance policy in `lva_bench::diff` and exit nonzero on regression.
+//! Compare two benchmark reports under the tolerance policy in
+//! `lva_bench::diff` and exit nonzero on regression.
 //!
 //! ```text
 //! bench-diff BASELINE.json CURRENT.json [--tol-total PCT] [--tol-layer PCT]
-//!            [--tol-hit-rate ABS] [--tol-stall PCT] [--inject-cycles PCT]
+//!            [--tol-hit-rate ABS] [--tol-stall PCT] [--tol-energy PCT]
+//!            [--tol-edp PCT] [--inject-cycles PCT]
 //! ```
 //!
-//! `--inject-cycles PCT` scales the *current* report's total and per-layer
-//! cycle counts by `1 + PCT/100` before comparing. CI uses it to prove the
-//! gate trips: after a passing real comparison, a 6% injected slowdown must
-//! make this binary exit 1.
+//! The report kind is autodetected from the top-level `"bench"` tag:
+//! `BENCH_headline.json`-shaped reports go through the run/layer/cache
+//! comparison, `BENCH_energy.json`-shaped reports through the per-point
+//! energy/EDP comparison (including the moved-optimum structural gate).
+//! Both inputs must be the same kind.
+//!
+//! `--inject-cycles PCT` scales the *current* headline report's total and
+//! per-layer cycle counts by `1 + PCT/100` before comparing. CI uses it to
+//! prove the gate trips: after a passing real comparison, a 6% injected
+//! slowdown must make this binary exit 1. (Headline reports only.)
 //!
 //! Exit codes: 0 = within tolerance, 1 = regression or structural mismatch,
-//! 2 = usage / unreadable / unparseable input.
+//! 2 = usage / unreadable / unparseable / mismatched-kind input.
 
-use lva_bench::diff::{compare, inject_cycles, Severity, Tolerance};
+use lva_bench::diff::{compare, compare_energy, inject_cycles, report_kind, Severity, Tolerance};
 use lva_trace::Json;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: bench-diff BASELINE.json CURRENT.json\n  --tol-total PCT     total-cycles tolerance, percent (default 2)\n  --tol-layer PCT     per-layer cycles tolerance, percent (default 5)\n  --tol-hit-rate ABS  hit-rate tolerance, absolute (default 0.01)\n  --tol-stall PCT     stall-cycles tolerance, percent (default 10)\n  --inject-cycles PCT scale CURRENT cycles up by PCT%% first (gate self-test)"
+        "usage: bench-diff BASELINE.json CURRENT.json\n  --tol-total PCT     total/per-point cycles tolerance, percent (default 2)\n  --tol-layer PCT     per-layer cycles tolerance, percent (default 5)\n  --tol-hit-rate ABS  hit-rate tolerance, absolute (default 0.01)\n  --tol-stall PCT     stall-cycles tolerance, percent (default 10)\n  --tol-energy PCT    per-point energy tolerance, percent (default 2)\n  --tol-edp PCT       per-point EDP tolerance, percent (default 4)\n  --inject-cycles PCT scale CURRENT cycles up by PCT%% first (gate\n                      self-test; headline reports only)"
     );
     std::process::exit(2);
 }
@@ -52,6 +59,8 @@ fn main() {
             "--tol-layer" => tol.layer_cycles_pct = num(&mut args, "--tol-layer"),
             "--tol-hit-rate" => tol.hit_rate_abs = num(&mut args, "--tol-hit-rate"),
             "--tol-stall" => tol.stall_pct = num(&mut args, "--tol-stall"),
+            "--tol-energy" => tol.energy_pct = num(&mut args, "--tol-energy"),
+            "--tol-edp" => tol.edp_pct = num(&mut args, "--tol-edp"),
             "--inject-cycles" => inject = Some(num(&mut args, "--inject-cycles")),
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => {
@@ -65,12 +74,27 @@ fn main() {
 
     let base = load(base_path);
     let mut cur = load(cur_path);
+    let kind = report_kind(&base);
+    if kind != report_kind(&cur) {
+        eprintln!(
+            "bench-diff: report kinds differ: {base_path} is \"{kind}\", {cur_path} is \"{}\"",
+            report_kind(&cur)
+        );
+        std::process::exit(2);
+    }
     if let Some(pct) = inject {
+        if kind != "headline" {
+            eprintln!("bench-diff: --inject-cycles only applies to headline reports");
+            std::process::exit(2);
+        }
         eprintln!("[injecting +{pct}% cycles into {cur_path} for gate self-test]");
         inject_cycles(&mut cur, pct);
     }
 
-    let report = compare(&base, &cur, &tol);
+    let report = match kind {
+        "energy" => compare_energy(&base, &cur, &tol),
+        _ => compare(&base, &cur, &tol),
+    };
     for f in &report.findings {
         let tag = match f.severity {
             Severity::Regression => "REGRESSION",

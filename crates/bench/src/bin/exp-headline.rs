@@ -92,17 +92,26 @@ fn main() {
         .iter()
         .zip(&results)
         .map(|((name, e), r)| {
-            let report = RunReport::new(name.clone(), e, &r.summary);
-            if !opts.whatif {
-                return report;
+            let mut report = RunReport::new(name.clone(), e, &r.summary);
+            if opts.whatif {
+                // --with-whatif: five idealized re-runs per design point
+                // merge the counterfactual analysis into this report. Note
+                // the file then legitimately differs from the knobs-off
+                // baseline.
+                eprintln!(".. whatif {} | {}", name, e.hw.describe());
+                report = report.with_whatif(
+                    lva_whatif::analyze_counterfactuals(e, &r.summary, opts.jobs).to_json(),
+                );
             }
-            // --with-whatif: five idealized re-runs per design point merge
-            // the counterfactual analysis into this report. Note the file
-            // then legitimately differs from the knobs-off baseline.
-            eprintln!(".. whatif {} | {}", name, e.hw.describe());
-            report.with_whatif(
-                lva_whatif::analyze_counterfactuals(e, &r.summary, opts.jobs).to_json(),
-            )
+            if opts.energy {
+                // --with-energy: one probed re-run streams the per-layer
+                // attribution; cycles are bit-identical to the table pass.
+                eprintln!(".. energy {} | {}", name, e.hw.describe());
+                let (s, att) = e.run_energy(&lva_core::EnergyModel::default());
+                assert_eq!(s.cycles, r.summary.cycles, "{name}: energy probe changed timing");
+                report = report.with_energy(att.to_json());
+            }
+            report
         })
         .collect();
     let profiles: Vec<(String, Json)> = specs

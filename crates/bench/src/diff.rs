@@ -28,6 +28,11 @@ pub struct Tolerance {
     pub layer_cycles_pct: f64,
     pub hit_rate_abs: f64,
     pub stall_pct: f64,
+    /// Per-point total energy, relative percent (`BENCH_energy.json` gate).
+    pub energy_pct: f64,
+    /// Per-point energy-delay product, relative percent. EDP compounds the
+    /// cycle and energy drifts, so its default is looser than either alone.
+    pub edp_pct: f64,
 }
 
 impl Default for Tolerance {
@@ -37,6 +42,8 @@ impl Default for Tolerance {
             layer_cycles_pct: 5.0,
             hit_rate_abs: 0.01,
             stall_pct: 10.0,
+            energy_pct: 2.0,
+            edp_pct: 4.0,
         }
     }
 }
@@ -100,6 +107,16 @@ fn rel_delta_pct(base: f64, cur: f64) -> f64 {
     }
 }
 
+/// Render a metric value readably whether it is a cycle count or a
+/// sub-unit float (joules, joule-seconds).
+fn fmt_metric(v: f64) -> String {
+    if v.abs() >= 1000.0 || v == v.trunc() {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.6}")
+    }
+}
+
 /// Compare a "higher is worse" metric under a relative tolerance.
 fn check_higher_worse(out: &mut DiffReport, what: &str, base: f64, cur: f64, tol_pct: f64) {
     out.compared += 1;
@@ -108,7 +125,10 @@ fn check_higher_worse(out: &mut DiffReport, what: &str, base: f64, cur: f64, tol
         return;
     }
     let sev = if d > 0.0 { Severity::Regression } else { Severity::Improvement };
-    out.push(sev, format!("{what}: {base:.0} -> {cur:.0} ({d:+.1}%, tol ±{tol_pct}%)"));
+    out.push(
+        sev,
+        format!("{what}: {} -> {} ({d:+.1}%, tol ±{tol_pct}%)", fmt_metric(base), fmt_metric(cur)),
+    );
 }
 
 fn run_name(run: &Json) -> &str {
@@ -225,6 +245,83 @@ pub fn compare(base: &Json, cur: &Json, tol: &Tolerance) -> DiffReport {
     out
 }
 
+/// The `bench` tag of a report's top-level object, used by `bench-diff` to
+/// autodetect which comparison applies. Reports written before the tag
+/// existed are headline-shaped, so that is the fallback.
+pub fn report_kind(j: &Json) -> &str {
+    j.get("bench").and_then(Json::as_str).unwrap_or("headline")
+}
+
+/// Compare two `BENCH_energy.json` grid records. Networks and design
+/// points are matched by name; per point, `cycles`, `total_j`, and
+/// `edp_js` are gated as higher-is-worse relative drifts. Either optimum
+/// moving to a different design point is **structural** (fatal): the
+/// committed baseline encodes the headline finite-EDP-optimum claim, so a
+/// shifted optimum must be re-baselined deliberately, not slide through.
+pub fn compare_energy(base: &Json, cur: &Json, tol: &Tolerance) -> DiffReport {
+    let mut out = DiffReport::default();
+    let nets = |j: &Json| {
+        j.get("networks").and_then(Json::as_arr).map(<[Json]>::to_vec).unwrap_or_default()
+    };
+    let (base_nets, cur_nets) = (nets(base), nets(cur));
+    if base_nets.is_empty() {
+        out.push(Severity::Structural, "baseline has no networks".to_string());
+        return out;
+    }
+    for b in &base_nets {
+        let name = run_name(b);
+        let Some(c) = cur_nets.iter().find(|c| run_name(c) == name) else {
+            out.push(Severity::Structural, format!("network {name} missing from current report"));
+            continue;
+        };
+        for opt in ["cycles_optimal", "edp_optimal"] {
+            let pick = |j: &Json| j.get(opt).and_then(Json::as_str).unwrap_or("?").to_string();
+            let (bo, co) = (pick(b), pick(c));
+            out.compared += 1;
+            if bo != co {
+                out.push(Severity::Structural, format!("{name}: {opt} moved {bo} -> {co}"));
+            }
+        }
+        let points = |j: &Json| {
+            j.get("points").and_then(Json::as_arr).map(<[Json]>::to_vec).unwrap_or_default()
+        };
+        let (bp, cp) = (points(b), points(c));
+        if bp.len() != cp.len() {
+            out.push(
+                Severity::Structural,
+                format!("{name}: point count {} -> {}", bp.len(), cp.len()),
+            );
+        }
+        for pb in &bp {
+            let pname = run_name(pb);
+            let Some(pc) = cp.iter().find(|p| run_name(p) == pname) else {
+                out.push(Severity::Structural, format!("{name}/{pname}: point missing"));
+                continue;
+            };
+            let metric = |p: &Json, k: &str| p.get(k).and_then(Json::as_f64);
+            for (key, what, pct) in [
+                ("cycles", "cycles", tol.total_cycles_pct),
+                ("total_j", "energy", tol.energy_pct),
+                ("edp_js", "EDP", tol.edp_pct),
+            ] {
+                match (metric(pb, key), metric(pc, key)) {
+                    (Some(bv), Some(cv)) => {
+                        check_higher_worse(
+                            &mut out,
+                            &format!("{name}/{pname}: {what}"),
+                            bv,
+                            cv,
+                            pct,
+                        );
+                    }
+                    _ => out.push(Severity::Structural, format!("{name}/{pname}: missing {key}")),
+                }
+            }
+        }
+    }
+    out
+}
+
 /// Multiply every `totals.cycles` and per-layer `cycles` in a report by
 /// `1 + pct/100`. Used by `bench-diff --inject-cycles` so CI can prove the
 /// gate actually trips on a synthetic slowdown.
@@ -333,6 +430,71 @@ mod tests {
         // Comparing nothing at all must not pass either.
         let d = compare(&empty, &empty, &Tolerance::default());
         assert!(!d.is_pass());
+    }
+
+    fn energy_report(cycles: u64, total_j: f64, edp_js: f64, edp_opt: &str) -> Json {
+        let point = |name: &str, c: u64, j: f64, e: f64| {
+            Json::obj()
+                .field("name", name)
+                .field("cycles", c)
+                .field("total_j", j)
+                .field("edp_js", e)
+        };
+        Json::obj().field("bench", "energy").field(
+            "networks",
+            Json::Arr(vec![Json::obj()
+                .field("name", "yolov3")
+                .field("cycles_optimal", "8192b/256MB")
+                .field("edp_optimal", edp_opt)
+                .field(
+                    "points",
+                    Json::Arr(vec![
+                        point("2048b/4MB", cycles, total_j, edp_js),
+                        point("8192b/256MB", cycles / 2, total_j * 2.0, edp_js),
+                    ]),
+                )]),
+        )
+    }
+
+    #[test]
+    fn report_kind_detects_energy_and_defaults_to_headline() {
+        assert_eq!(report_kind(&energy_report(1000, 0.01, 0.005, "2048b/4MB")), "energy");
+        assert_eq!(report_kind(&report(1000, 600, 400, 0.95)), "headline");
+        assert_eq!(report_kind(&Json::obj()), "headline");
+    }
+
+    #[test]
+    fn identical_energy_reports_pass_and_drift_gates() {
+        let b = energy_report(1000, 0.010, 0.005, "2048b/4MB");
+        let d = compare_energy(&b, &b, &Tolerance::default());
+        assert!(d.is_pass(), "{:?}", d.findings);
+        assert!(d.compared >= 8);
+        // +1% energy passes the 2% gate; +5% fails it (and drags EDP along
+        // past its 4% gate).
+        let ok = energy_report(1000, 0.0101, 0.00505, "2048b/4MB");
+        assert!(compare_energy(&b, &ok, &Tolerance::default()).is_pass());
+        let bad = energy_report(1000, 0.0105, 0.00525, "2048b/4MB");
+        let d = compare_energy(&b, &bad, &Tolerance::default());
+        assert!(!d.is_pass());
+        assert!(d.regressions() >= 2, "{:?}", d.findings);
+        // Energy *down* is an improvement, not a failure.
+        let better = energy_report(1000, 0.009, 0.0045, "2048b/4MB");
+        let d = compare_energy(&b, &better, &Tolerance::default());
+        assert!(d.is_pass(), "{:?}", d.findings);
+        assert!(d.count(Severity::Improvement) >= 2);
+    }
+
+    #[test]
+    fn moved_optimum_or_missing_point_is_structural() {
+        let b = energy_report(1000, 0.010, 0.005, "2048b/4MB");
+        let moved = energy_report(1000, 0.010, 0.005, "8192b/256MB");
+        let d = compare_energy(&b, &moved, &Tolerance::default());
+        assert!(!d.is_pass());
+        assert_eq!(d.structural(), 1);
+        assert!(d.findings[0].message.contains("edp_optimal moved"));
+        let empty = Json::obj().field("bench", "energy").field("networks", Json::Arr(vec![]));
+        assert!(!compare_energy(&b, &empty, &Tolerance::default()).is_pass());
+        assert!(!compare_energy(&empty, &empty, &Tolerance::default()).is_pass());
     }
 
     #[test]

@@ -10,10 +10,12 @@
 use std::env;
 
 pub mod diff;
+pub mod energy_report;
 pub mod microbench;
 pub mod sweep;
 pub mod whatif_report;
 
+pub use energy_report::{energy_grid_json, pareto_markdown};
 pub use sweep::{median_ms, run_sweep, SweepRun};
 pub use whatif_report::{codesign_markdown, whatif_json};
 
@@ -58,6 +60,10 @@ pub struct Opts {
     /// report (`--with-whatif`): five extra idealized simulations per design
     /// point. Off by default — the plain reports stay byte-identical.
     pub whatif: bool,
+    /// Attach the `lva-energy` streamed attribution to every run's JSON
+    /// report (`--with-energy`): one probed re-run per design point, cycle
+    /// counts unchanged. Off by default.
+    pub energy: bool,
 }
 
 impl Opts {
@@ -75,6 +81,7 @@ impl Opts {
             jobs: 1,
             wallclock: false,
             whatif: false,
+            energy: false,
         };
         let mut args = env::args().skip(1);
         while let Some(a) = args.next() {
@@ -102,6 +109,7 @@ impl Opts {
                 }
                 "--wallclock" => opts.wallclock = true,
                 "--with-whatif" => opts.whatif = true,
+                "--with-energy" => opts.energy = true,
                 "--chrome" => {
                     opts.chrome = Some(args.next().expect("--chrome needs a file path"));
                 }
@@ -113,7 +121,7 @@ impl Opts {
                 }
                 "--help" | "-h" => {
                     eprintln!(
-                        "{what}\n\nOptions:\n  --div N      input down-scale divisor (default {default_div}; 1 = paper size)\n  --layers N   layer prefix override\n  --csv/--no-csv  write results/<exp>.csv (default on)\n  --json       also write results/<exp>.json (machine-readable)\n  --profile    tap the cache hierarchy: reuse-distance histograms, 3C\n               miss classes, capacity curves (in the JSON output)\n  --chrome FILE  write a Chrome trace-event timeline (Perfetto) to FILE\n  --trace FILE stream JSONL telemetry spans to FILE\n  --jobs N     run independent design points on N threads (0 = all cores;\n               results and reports are identical to --jobs 1)\n  --wallclock  self-benchmark: time the sweep serial vs --jobs (median of\n               3 each) and write BENCH_sim_wallclock.json\n  --with-whatif  attach lva-whatif counterfactual analyses (bound\n               classification, cycles-saved-if-fixed) to the JSON reports"
+                        "{what}\n\nOptions:\n  --div N      input down-scale divisor (default {default_div}; 1 = paper size)\n  --layers N   layer prefix override\n  --csv/--no-csv  write results/<exp>.csv (default on)\n  --json       also write results/<exp>.json (machine-readable)\n  --profile    tap the cache hierarchy: reuse-distance histograms, 3C\n               miss classes, capacity curves (in the JSON output)\n  --chrome FILE  write a Chrome trace-event timeline (Perfetto) to FILE\n  --trace FILE stream JSONL telemetry spans to FILE\n  --jobs N     run independent design points on N threads (0 = all cores;\n               results and reports are identical to --jobs 1)\n  --wallclock  self-benchmark: time the sweep serial vs --jobs (median of\n               3 each) and write BENCH_sim_wallclock.json\n  --with-whatif  attach lva-whatif counterfactual analyses (bound\n               classification, cycles-saved-if-fixed) to the JSON reports\n  --with-energy  attach the lva-energy streamed attribution (per-layer\n               joules, EDP, energy roofline) to the JSON reports"
                     );
                     std::process::exit(0);
                 }

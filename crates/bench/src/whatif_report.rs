@@ -315,7 +315,9 @@ mod tests {
             jobs: 1,
             wallclock: false,
             whatif: false,
+            energy: false,
         };
         assert!(!opts.whatif);
+        assert!(!opts.energy);
     }
 }

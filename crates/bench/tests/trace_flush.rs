@@ -15,6 +15,7 @@ fn opts() -> Opts {
         jobs: 1,
         wallclock: false,
         whatif: false,
+        energy: false,
     }
 }
 

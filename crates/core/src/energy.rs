@@ -1,114 +1,14 @@
-//! Energy estimation for co-design points — an extension of the paper.
+//! Energy estimation for co-design points — re-exported from `lva-energy`.
 //!
-//! §I motivates vector CPUs by energy efficiency and §V notes that caches
-//! "occupy significant die area", but the paper stops at performance. This
-//! module closes the loop with a simple, documented event-energy model so
-//! the harness can report energy-per-inference and energy-delay product
-//! across the same design grid, exposing the point where ever-larger L2
-//! caches stop paying for their leakage.
-//!
-//! The constants are order-of-magnitude values for a 7 nm-class process
-//! (CACTI-flavoured SRAM access energies, DRAM interface energy, published
-//! FMA energy estimates). Absolute joules are indicative; *relative*
-//! comparisons across design points are the purpose.
+//! The model originally lived here as a post-hoc formula over run
+//! summaries. It moved to the `lva-energy` crate when energy gained
+//! streaming per-layer attribution (the same promotion `lva-prof` got for
+//! cache observation); this module keeps the `lva_core::energy` paths
+//! working and holds the experiment-level tests, which need
+//! [`crate::experiment::Experiment`] and therefore cannot live downstream
+//! in `lva-energy` itself.
 
-use crate::experiment::RunSummary;
-use lva_sim::memsys::MemSystemStats;
-
-/// Event energies and static power of a simulated design point.
-#[derive(Debug, Clone, Copy)]
-pub struct EnergyModel {
-    /// Energy per single-precision vector flop (pJ).
-    pub pj_per_vector_flop: f64,
-    /// Energy per scalar operation unit, fetch/decode included (pJ).
-    pub pj_per_scalar_op: f64,
-    /// Energy per vector instruction issued (control overhead) (pJ).
-    pub pj_per_vec_instr: f64,
-    /// Energy per L1 / vector-cache line access (pJ).
-    pub pj_per_l1_access: f64,
-    /// Energy per L2 access for a 1 MB array (pJ); scales with sqrt(size).
-    pub pj_per_l2_access_1mb: f64,
-    /// Energy per DRAM line transfer (pJ).
-    pub pj_per_dram_access: f64,
-    /// L2 leakage + refresh power per MiB (mW).
-    pub leakage_mw_per_mb_l2: f64,
-    /// Static core power excluding the L2 (mW).
-    pub core_static_mw: f64,
-    /// Clock frequency (GHz) used to convert cycles to seconds.
-    pub freq_ghz: f64,
-}
-
-impl Default for EnergyModel {
-    fn default() -> Self {
-        EnergyModel {
-            pj_per_vector_flop: 0.8,
-            pj_per_scalar_op: 8.0,
-            pj_per_vec_instr: 15.0,
-            pj_per_l1_access: 12.0,
-            pj_per_l2_access_1mb: 30.0,
-            pj_per_dram_access: 2_500.0,
-            leakage_mw_per_mb_l2: 8.0,
-            core_static_mw: 150.0,
-            freq_ghz: 2.0,
-        }
-    }
-}
-
-/// Energy estimate for one run.
-#[derive(Debug, Clone, Copy)]
-pub struct EnergyReport {
-    /// Dynamic compute energy (vector flops + scalar ops + issue), joules.
-    pub compute_j: f64,
-    /// Dynamic memory-hierarchy energy, joules.
-    pub memory_j: f64,
-    /// Static/leakage energy over the run's wall time, joules.
-    pub static_j: f64,
-    /// Run wall time in seconds.
-    pub seconds: f64,
-}
-
-impl EnergyReport {
-    pub fn total_j(&self) -> f64 {
-        self.compute_j + self.memory_j + self.static_j
-    }
-
-    /// Energy-delay product (J*s): the co-design figure of merit that
-    /// penalizes both slow and power-hungry points.
-    pub fn edp(&self) -> f64 {
-        self.total_j() * self.seconds
-    }
-}
-
-impl EnergyModel {
-    /// L2 access energy scaled to the configured capacity (bit-line and
-    /// wire energy grow roughly with the square root of the array).
-    fn pj_per_l2_access(&self, l2_bytes: usize) -> f64 {
-        let ratio = l2_bytes as f64 / (1 << 20) as f64;
-        self.pj_per_l2_access_1mb * ratio.max(1.0).sqrt()
-    }
-
-    /// Estimate the energy of a completed run on a design point with
-    /// `l2_bytes` of L2.
-    pub fn estimate(&self, summary: &RunSummary, l2_bytes: usize) -> EnergyReport {
-        let v = &summary.report.vpu;
-        let mem: &MemSystemStats = &summary.report.mem;
-        const PJ: f64 = 1e-12;
-        let compute_j = PJ
-            * (v.vec_flops as f64 * self.pj_per_vector_flop
-                + (v.scalar_ops + v.scalar_flops) as f64 * self.pj_per_scalar_op
-                + v.vec_instrs as f64 * self.pj_per_vec_instr);
-        let l1_accesses = mem.l1.accesses + mem.vcache.accesses;
-        let memory_j = PJ
-            * (l1_accesses as f64 * self.pj_per_l1_access
-                + mem.l2.accesses as f64 * self.pj_per_l2_access(l2_bytes)
-                + (mem.dram_reads + mem.dram_writes) as f64 * self.pj_per_dram_access);
-        let seconds = summary.cycles as f64 / (self.freq_ghz * 1e9);
-        let static_mw =
-            self.core_static_mw + self.leakage_mw_per_mb_l2 * (l2_bytes as f64 / (1 << 20) as f64);
-        let static_j = static_mw * 1e-3 * seconds;
-        EnergyReport { compute_j, memory_j, static_j, seconds }
-    }
-}
+pub use lva_energy::{EnergyBreakdown, EnergyCounts, EnergyModel, EnergyReport};
 
 #[cfg(test)]
 mod tests {
@@ -117,19 +17,18 @@ mod tests {
     use lva_kernels::GemmVariant;
     use lva_nn::{ConvPolicy, ModelId};
 
-    fn summary(l2: usize, vlen: usize) -> RunSummary {
+    fn experiment(l2: usize, vlen: usize) -> Experiment {
         Experiment::new(
             HwTarget::RvvGem5 { vlen_bits: vlen, lanes: 8, l2_bytes: l2 },
             ConvPolicy::gemm_only(GemmVariant::opt3()),
             Workload { model: ModelId::Yolov3, input_hw: 32, layer_limit: Some(4) },
         )
-        .run()
     }
 
     #[test]
     fn energy_is_positive_and_decomposes() {
-        let s = summary(1 << 20, 1024);
-        let e = EnergyModel::default().estimate(&s, 1 << 20);
+        let s = experiment(1 << 20, 1024).run();
+        let e = EnergyModel::default().estimate(&s.report, 1 << 20);
         assert!(e.compute_j > 0.0 && e.memory_j > 0.0 && e.static_j > 0.0);
         assert!((e.total_j() - (e.compute_j + e.memory_j + e.static_j)).abs() < 1e-15);
         assert!(e.edp() > 0.0);
@@ -140,33 +39,56 @@ mod tests {
         // Same workload: the 256 MB cache must carry a larger static bill
         // per second than the 1 MB cache.
         let model = EnergyModel::default();
-        let small = summary(1 << 20, 1024);
-        let big = summary(256 << 20, 1024);
-        let e_small = model.estimate(&small, 1 << 20);
-        let e_big = model.estimate(&big, 256 << 20);
+        let small = experiment(1 << 20, 1024).run();
+        let big = experiment(256 << 20, 1024).run();
+        let e_small = model.estimate(&small.report, 1 << 20);
+        let e_big = model.estimate(&big.report, 256 << 20);
         let rate_small = e_small.static_j / e_small.seconds;
         let rate_big = e_big.static_j / e_big.seconds;
         assert!(rate_big > 10.0 * rate_small, "leakage must scale with capacity");
     }
 
     #[test]
-    fn l2_access_energy_scales_sublinearly() {
-        let m = EnergyModel::default();
-        let e1 = m.pj_per_l2_access(1 << 20);
-        let e256 = m.pj_per_l2_access(256 << 20);
-        assert!(e256 > e1);
-        assert!(e256 < 256.0 * e1);
-        assert!((e256 / e1 - 16.0).abs() < 1e-9, "sqrt scaling");
-    }
-
-    #[test]
     fn longer_vectors_save_issue_energy() {
         // Fewer instructions for the same flops -> less control energy.
         let m = EnergyModel::default();
-        let short = summary(1 << 20, 512);
-        let long = summary(1 << 20, 8192);
-        let es = m.estimate(&short, 1 << 20);
-        let el = m.estimate(&long, 1 << 20);
+        let short = experiment(1 << 20, 512).run();
+        let long = experiment(1 << 20, 8192).run();
+        let es = m.estimate(&short.report, 1 << 20);
+        let el = m.estimate(&long.report, 1 << 20);
         assert!(el.compute_j < es.compute_j, "{} !< {}", el.compute_j, es.compute_j);
+    }
+
+    /// The streaming attribution (run through the probe) must reconcile
+    /// with the aggregate estimate — the sum-to-total invariant — and the
+    /// per-layer counts must sum to the run's aggregate counters exactly.
+    #[test]
+    fn streamed_attribution_reconciles_with_aggregate() {
+        let model = EnergyModel::default();
+        let (s, att) = experiment(4 << 20, 1024).run_energy(&model);
+        assert!(
+            att.reconciliation_rel_err() < 1e-6,
+            "streamed {} vs aggregate {}",
+            att.total.total_j(),
+            att.report.total_j()
+        );
+        let mut streamed = EnergyCounts::default();
+        for l in &att.layers {
+            streamed.add(&l.counts);
+        }
+        assert_eq!(streamed, EnergyCounts::from_report(&s.report), "integer counts must match");
+        assert!(att.layers.len() == 4, "one entry per layer");
+        assert!(att.outside.total_j() < 1e-3 * att.total.total_j(), "outside bucket near-empty");
+    }
+
+    /// Attaching the probe must not change timing (the timing-neutrality
+    /// contract of the hooks it rides on).
+    #[test]
+    fn energy_accounting_is_timing_neutral() {
+        let e = experiment(1 << 20, 2048);
+        let plain = e.run();
+        let (probed, _) = e.run_energy(&EnergyModel::default());
+        assert_eq!(plain.cycles, probed.cycles, "cycles bit-identical probe on/off");
+        assert_eq!(plain.report.vpu, probed.report.vpu);
     }
 }

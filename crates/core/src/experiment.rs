@@ -31,6 +31,13 @@ impl HwTarget {
         }
     }
 
+    /// L2 capacity of the design point in bytes (8 MB on the fixed A64FX
+    /// profile). The capacity the energy model's sqrt access scaling and
+    /// leakage terms key on.
+    pub fn l2_bytes(&self) -> usize {
+        self.machine_config().mem.l2.bytes
+    }
+
     pub fn describe(&self) -> String {
         match *self {
             HwTarget::RvvGem5 { vlen_bits, lanes, l2_bytes } => {
@@ -236,6 +243,28 @@ impl Experiment {
         // Refresh the snapshot so the report carries the 3C classification.
         report.mem = m.sys.stats();
         (Self::summarize(&m, report), profile)
+    }
+
+    /// Like [`Experiment::run`], with the `lva-energy` streaming probe
+    /// attached for the duration of the inference: every vector op, scalar
+    /// charge, cache access, DRAM transfer, and prefetch fill is charged
+    /// to the layer that caused it.
+    ///
+    /// Returns the summary plus the per-layer [`lva_energy::EnergyAttribution`],
+    /// whose streamed total reconciles with `model.estimate(...)` on the
+    /// same run. Pure observation: cycle counts are identical to an
+    /// unprobed run.
+    pub fn run_energy(
+        &self,
+        model: &lva_energy::EnergyModel,
+    ) -> (RunSummary, lva_energy::EnergyAttribution) {
+        let (mut m, mut net, shape) = self.build();
+        m.reset_timing();
+        let probe = lva_energy::attach(&mut m);
+        let image = host_random(shape.len(), self.seed ^ 0x1533);
+        let report = net.run(&mut m, &image);
+        let att = probe.finish(&mut m, &report, model, self.hw.l2_bytes());
+        (Self::summarize(&m, report), att)
     }
 
     /// Like [`Experiment::run`], recording pipeline events and returning a

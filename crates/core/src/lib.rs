@@ -18,8 +18,9 @@ pub mod par;
 pub mod report;
 pub mod run_report;
 
-pub use energy::{EnergyModel, EnergyReport};
+pub use energy::{EnergyBreakdown, EnergyCounts, EnergyModel, EnergyReport};
 pub use experiment::{scaled_input, Experiment, HwTarget, RunSummary, StreamSummary, Workload};
+pub use lva_energy::EnergyAttribution;
 pub use par::{default_jobs, parallel_map};
 pub use report::{ArityError, Table};
 pub use run_report::RunReport;

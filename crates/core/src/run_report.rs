@@ -42,6 +42,9 @@ pub struct RunReport {
     /// Counterfactual (`lva-whatif`) analysis for this run; `None` (the
     /// default) omits the section. See [`Self::with_whatif`].
     pub whatif: Option<Json>,
+    /// Streaming energy attribution (`lva-energy`) for this run; `None`
+    /// (the default) omits the section. See [`Self::with_energy`].
+    pub energy: Option<Json>,
 }
 
 fn algo_name(a: ConvAlgo) -> &'static str {
@@ -123,6 +126,7 @@ impl RunReport {
             summary: s.clone(),
             host: None,
             whatif: None,
+            energy: None,
         }
     }
 
@@ -140,6 +144,15 @@ impl RunReport {
     #[must_use]
     pub fn with_whatif(mut self, whatif: Json) -> Self {
         self.whatif = Some(whatif);
+        self
+    }
+
+    /// Attach a streaming energy attribution (produced by `lva-energy`,
+    /// typically `EnergyAttribution::to_json()`); [`Self::to_json`] then
+    /// emits it verbatim as an `energy` section.
+    #[must_use]
+    pub fn with_energy(mut self, energy: Json) -> Self {
+        self.energy = Some(energy);
         self
     }
 
@@ -201,7 +214,11 @@ impl RunReport {
         // Optional sections go through one uniform path: each is skipped
         // when absent, so deterministic report files stay byte-identical
         // and new sections cannot invent their own presence rules.
-        for (key, section) in [("host", self.host_json()), ("whatif", self.whatif.clone())] {
+        for (key, section) in [
+            ("host", self.host_json()),
+            ("whatif", self.whatif.clone()),
+            ("energy", self.energy.clone()),
+        ] {
             if let Some(sec) = section {
                 j = j.field(key, sec);
             }
@@ -275,7 +292,7 @@ mod tests {
     fn optional_sections_only_when_attached() {
         let (e, s) = small_run();
         let plain = RunReport::new("t", &e, &s).to_json();
-        for key in ["host", "whatif"] {
+        for key in ["host", "whatif", "energy"] {
             assert!(plain.get(key).is_none(), "optional section {key} present by default");
         }
         let timed = RunReport::new("t", &e, &s).with_host(250.0).to_json();
@@ -292,6 +309,11 @@ mod tests {
         let with_wf = RunReport::new("t", &e, &s).with_whatif(wf.clone()).to_json();
         let got = with_wf.get("whatif").expect("whatif section after with_whatif");
         assert_eq!(got.to_string_compact(), wf.to_string_compact());
+        // So is the energy payload.
+        let en = Json::obj().field("total_j", 1.5e-3);
+        let with_en = RunReport::new("t", &e, &s).with_energy(en.clone()).to_json();
+        let got = with_en.get("energy").expect("energy section after with_energy");
+        assert_eq!(got.to_string_compact(), en.to_string_compact());
     }
 
     #[test]
@@ -315,5 +337,29 @@ mod tests {
             parsed.get("layers").and_then(Json::as_arr).map(<[Json]>::len),
             Some(s.report.layers.len())
         );
+    }
+
+    /// A real streamed energy section survives the JSON round trip and
+    /// carries one entry per layer plus the headline totals.
+    #[test]
+    fn energy_section_round_trips() {
+        let e = Experiment::new(
+            HwTarget::RvvGem5 { vlen_bits: 1024, lanes: 8, l2_bytes: 1 << 20 },
+            ConvPolicy::gemm_only(lva_kernels::GemmVariant::opt3()),
+            Workload { model: ModelId::Yolov3, input_hw: 32, layer_limit: Some(3) },
+        );
+        let (s, att) = e.run_energy(&crate::energy::EnergyModel::default());
+        let report = RunReport::new("t", &e, &s).with_energy(att.to_json());
+        let compact = report.to_json().to_string_compact();
+        let parsed = Json::parse(&compact).expect("report with energy parses");
+        assert_eq!(parsed.to_string_compact(), compact);
+        let en = parsed.get("energy").expect("energy section");
+        assert_eq!(en.get("total_j").and_then(Json::as_f64), Some(att.total.total_j()));
+        assert_eq!(
+            en.get("layers").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(s.report.layers.len())
+        );
+        let err = en.get("reconciliation_rel_err").and_then(Json::as_f64).expect("rel err");
+        assert!(err < 1e-6, "round-tripped reconciliation error {err}");
     }
 }

@@ -1,0 +1,32 @@
+//! lva-energy: streaming energy attribution for the co-design study.
+//!
+//! The paper motivates long-vector CPUs by energy efficiency (§I) and
+//! warns that large caches occupy significant die area (§V), but evaluates
+//! performance only. This crate gives energy the same observability the
+//! stall attributor gives cycles:
+//!
+//! * [`EnergyModel`] — documented event energies (pJ per vector flop,
+//!   scalar op, issue, cache access, DRAM transfer) plus static power, with
+//!   sqrt-capacity scaling of the L2 access energy.
+//! * [`attach`]/[`EnergyProbe`] — a probe on the existing timing-neutral
+//!   hooks (the `VecEvent` recorder path and the `AccessSink` tap) that
+//!   streams every simulated event into exactly one bucket of a per-layer
+//!   [`EnergyBreakdown`]. Cycle counts are bit-identical with the probe on
+//!   or off.
+//! * [`EnergyAttribution`] — the finished per-layer view, which reconciles
+//!   with the aggregate [`EnergyModel::estimate`] to within 1e-6 relative
+//!   (the sum-to-total invariant; both paths multiply the same integer
+//!   counts by the same constants).
+//!
+//! Consumers: `lva-core` re-exports the model for `RunReport`'s optional
+//! `energy` section, `lva-whatif` derives energy counterfactuals and an
+//! EDP-based bound classification, and `exp-energy` sweeps the VL × L2
+//! grid into a cycles-vs-energy Pareto frontier.
+
+#![forbid(unsafe_code)]
+
+mod model;
+mod probe;
+
+pub use model::{EnergyBreakdown, EnergyCounts, EnergyModel, EnergyReport};
+pub use probe::{attach, flops_per_elem, EnergyAttribution, EnergyProbe, LayerEnergy};

@@ -1,0 +1,336 @@
+//! The streaming attribution probe: per-layer energy from the live hooks.
+//!
+//! [`attach`] installs two observers on a [`Machine`] — an `EventSink` on
+//! the VPU side (every vector op and scalar charge) and an [`AccessSink`]
+//! on the memory side (every cache access, DRAM line transfer, prefetch
+//! fill) — sharing one tally. Layer boundaries arrive through the tap's
+//! [`TapScope`] markers, so every count lands in the layer that caused it.
+//!
+//! Both hooks are the existing timing-neutral ones: the timing model never
+//! reads probe state, so cycle counts are bit-identical with the probe
+//! attached or not (asserted per kernel × design point in `lva-check` and
+//! per experiment in `lva-bench`).
+//!
+//! The probe accumulates *integer counts* only; joules appear when
+//! [`EnergyProbe::finish`] charges each layer through the same
+//! [`EnergyModel::charge`] the aggregate estimate uses. Because the hooks
+//! fire exactly once per counted event, the streamed per-layer counts sum
+//! to the run's aggregate counters, and the streamed joules reconcile with
+//! [`EnergyModel::estimate`] to float rounding (pinned at 1e-6 relative).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::model::{EnergyBreakdown, EnergyCounts, EnergyModel, EnergyReport};
+use lva_isa::record::{EventKind, EventSink, VecEvent};
+use lva_isa::Machine;
+use lva_nn::NetReport;
+use lva_sim::cache::AccessKind;
+use lva_sim::tap::{AccessSink, TapLevel, TapScope};
+use lva_trace::Json;
+
+/// Vector flops per element of a mnemonic — the same table the timing
+/// model's `count_arith` call sites use. The full-network reconciliation
+/// test (streamed vs aggregate within 1e-6) keeps the two in sync: a new
+/// mnemonic charged differently here would break it immediately.
+pub fn flops_per_elem(op: &str) -> u64 {
+    match op {
+        "vfmacc.vf" | "vfmacc.vv" | "vfnmsac.vv" => 2,
+        "vfmul.vf" | "vfmul.vv" | "vfadd.vv" | "vfadd.vf" | "vfsub.vv" | "vfmax.vf"
+        | "vfmax.vv" | "vfdiv.vv" | "vfsqrt" | "vfredsum" | "vfredmax" => 1,
+        _ => 0,
+    }
+}
+
+/// Shared mutable tally: counts per layer plus an `outside` bucket for
+/// events that fire before the first layer or between layers (expected to
+/// stay empty during a normal network run).
+#[derive(Debug, Default)]
+struct Tally {
+    /// Position in `layers` of the currently open layer, if any.
+    current: Option<usize>,
+    layers: Vec<(usize, String, EnergyCounts)>,
+    outside: EnergyCounts,
+}
+
+impl Tally {
+    fn bucket(&mut self) -> &mut EnergyCounts {
+        match self.current {
+            Some(i) => &mut self.layers[i].2,
+            None => &mut self.outside,
+        }
+    }
+}
+
+/// VPU-side half: charges vector ops and scalar work to the open layer.
+struct VpuProbe(Rc<RefCell<Tally>>);
+
+impl EventSink for VpuProbe {
+    fn event(&mut self, e: &VecEvent) {
+        match e.kind {
+            EventKind::Load | EventKind::Store | EventKind::Arith | EventKind::Reduce => {
+                let mut t = self.0.borrow_mut();
+                let b = t.bucket();
+                b.vec_instrs += 1;
+                b.vec_flops += e.vl as u64 * flops_per_elem(e.op);
+            }
+            // Grants charge their scalar op through the scalar hook; phase
+            // markers carry no energy.
+            EventKind::Grant | EventKind::PhaseBegin | EventKind::PhaseEnd => {}
+        }
+    }
+
+    fn scalar_ops(&mut self, n: u64) {
+        self.0.borrow_mut().bucket().scalar_ops += n;
+    }
+}
+
+/// Memory-side half: charges cache/DRAM traffic and tracks layer scope.
+struct MemProbe(Rc<RefCell<Tally>>);
+
+impl AccessSink for MemProbe {
+    fn access(&mut self, level: TapLevel, _line: u64, _kind: AccessKind, _hit: bool) {
+        let mut t = self.0.borrow_mut();
+        let b = t.bucket();
+        match level {
+            TapLevel::L1 | TapLevel::VectorCache => b.l1_accesses += 1,
+            TapLevel::L2 => b.l2_accesses += 1,
+        }
+    }
+
+    fn prefetch_fill(&mut self, level: TapLevel, _line: u64) {
+        let mut t = self.0.borrow_mut();
+        let b = t.bucket();
+        match level {
+            TapLevel::L1 | TapLevel::VectorCache => b.l1_prefetch_fills += 1,
+            TapLevel::L2 => b.l2_prefetch_fills += 1,
+        }
+    }
+
+    fn dram_transfer(&mut self, _kind: AccessKind) {
+        self.0.borrow_mut().bucket().dram_transfers += 1;
+    }
+
+    fn scope(&mut self, scope: TapScope<'_>) {
+        let mut t = self.0.borrow_mut();
+        match scope {
+            TapScope::LayerBegin { index, desc } => {
+                t.layers.push((index, desc.to_string(), EnergyCounts::default()));
+                t.current = Some(t.layers.len() - 1);
+            }
+            TapScope::LayerEnd => t.current = None,
+            TapScope::PhaseBegin { .. } | TapScope::PhaseEnd => {}
+        }
+    }
+}
+
+/// Owner side of an attached probe; call [`EnergyProbe::finish`] when the
+/// run is over.
+#[derive(Debug)]
+pub struct EnergyProbe {
+    tally: Rc<RefCell<Tally>>,
+}
+
+/// Install the streaming energy probe on `m` (both the VPU event sink and
+/// the memory tap). Attach after `reset_timing` and before the run; the
+/// probe observes only events from then on.
+///
+/// The probe occupies the machine's single tap slot, so it cannot be
+/// combined with `lva_prof::attach` on the same run.
+pub fn attach(m: &mut Machine) -> EnergyProbe {
+    let tally = Rc::new(RefCell::new(Tally::default()));
+    m.set_event_sink(Box::new(VpuProbe(Rc::clone(&tally))));
+    m.sys.set_tap(Box::new(MemProbe(Rc::clone(&tally))));
+    EnergyProbe { tally }
+}
+
+/// One layer's attributed energy.
+#[derive(Debug, Clone)]
+pub struct LayerEnergy {
+    pub index: usize,
+    pub desc: String,
+    /// Cycles the layer took (from its [`lva_nn::LayerReport`]); basis of
+    /// its static-energy share.
+    pub cycles: u64,
+    /// Integer event counts streamed into this layer.
+    pub counts: EnergyCounts,
+    /// The counts charged through the model.
+    pub breakdown: EnergyBreakdown,
+}
+
+/// The finished attribution: per-layer joules, the residual `outside`
+/// bucket, the streamed total, and the aggregate reference it reconciles
+/// against.
+#[derive(Debug, Clone)]
+pub struct EnergyAttribution {
+    pub layers: Vec<LayerEnergy>,
+    /// Events outside any layer plus static energy of cycles not covered
+    /// by a layer (run prologue/epilogue). Near-zero on a network run.
+    pub outside: EnergyBreakdown,
+    /// Integer counts behind `outside` (all of a bare kernel run's counts
+    /// land here — kernels open no layer scope).
+    pub outside_counts: EnergyCounts,
+    /// Sum of every layer's breakdown plus `outside` — the streamed total.
+    pub total: EnergyBreakdown,
+    /// The aggregate estimate from the run's counters (the reference of
+    /// the sum-to-total invariant).
+    pub report: EnergyReport,
+    /// Mathematical flops of the run (for the energy roofline).
+    pub flops: u64,
+    /// Run wall time in seconds.
+    pub seconds: f64,
+    /// Floor set by the datapath alone: mathematical flops at pJ/flop.
+    pub floor_j: f64,
+}
+
+impl EnergyProbe {
+    /// Detach both hooks and charge the streamed counts into per-layer
+    /// joules, using `report` for layer cycles and the aggregate reference.
+    pub fn finish(
+        self,
+        m: &mut Machine,
+        report: &NetReport,
+        model: &EnergyModel,
+        l2_bytes: usize,
+    ) -> EnergyAttribution {
+        drop(m.take_event_sink());
+        drop(m.sys.take_tap());
+        let tally = Rc::try_unwrap(self.tally)
+            .unwrap_or_else(|_| panic!("energy probe still installed elsewhere"))
+            .into_inner();
+
+        let mut layers = Vec::with_capacity(tally.layers.len());
+        let mut covered_cycles = 0u64;
+        let mut total = EnergyBreakdown::default();
+        for (index, desc, counts) in tally.layers {
+            let cycles = report.layers.iter().find(|l| l.index == index).map_or(0, |l| l.cycles);
+            covered_cycles += cycles;
+            let breakdown = model.charge(&counts, cycles, l2_bytes);
+            total.add(&breakdown);
+            layers.push(LayerEnergy { index, desc, cycles, counts, breakdown });
+        }
+        // Residual cycles (prologue/epilogue outside any layer) carry the
+        // remaining static energy, so layers + outside == whole run.
+        let residual = report.cycles.saturating_sub(covered_cycles);
+        let outside = model.charge(&tally.outside, residual, l2_bytes);
+        total.add(&outside);
+
+        let flops = report.flops();
+        EnergyAttribution {
+            layers,
+            outside,
+            outside_counts: tally.outside,
+            total,
+            report: model.estimate(report, l2_bytes),
+            flops,
+            seconds: model.seconds(report.cycles),
+            floor_j: 1e-12 * flops as f64 * model.pj_per_vector_flop,
+        }
+    }
+}
+
+impl EnergyAttribution {
+    /// Relative disagreement between the streamed total and the aggregate
+    /// estimate — the sum-to-total invariant, pinned below 1e-6 by tests.
+    pub fn reconciliation_rel_err(&self) -> f64 {
+        let agg = self.report.total_j();
+        if agg > 0.0 {
+            (self.total.total_j() - agg).abs() / agg
+        } else {
+            self.total.total_j().abs()
+        }
+    }
+
+    /// Energy roofline: how close the run's joules are to the datapath
+    /// floor (mathematical flops × pJ/flop), as % of total. 100% would
+    /// mean every joule went into mandatory arithmetic.
+    pub fn roofline_pct(&self) -> f64 {
+        let t = self.total.total_j();
+        if t > 0.0 {
+            100.0 * self.floor_j / t
+        } else {
+            0.0
+        }
+    }
+
+    fn breakdown_json(b: &EnergyBreakdown) -> Json {
+        let mut o = Json::obj().field("total_j", b.total_j());
+        for (name, j) in b.buckets() {
+            o = o.field(&format!("{name}_j"), j);
+        }
+        o
+    }
+
+    /// The `energy` section of a `RunReport`: run-level metrics, the
+    /// bucket breakdown, and per-layer joules.
+    pub fn to_json(&self) -> Json {
+        let layers: Vec<Json> = self
+            .layers
+            .iter()
+            .map(|l| {
+                Json::obj()
+                    .field("index", l.index)
+                    .field("desc", l.desc.as_str())
+                    .field("cycles", l.cycles)
+                    .field("total_j", l.breakdown.total_j())
+                    .field("breakdown", Self::breakdown_json(&l.breakdown))
+            })
+            .collect();
+        Json::obj()
+            .field("total_j", self.total.total_j())
+            .field("compute_j", self.total.compute_j())
+            .field("memory_j", self.total.memory_j())
+            .field("static_j", self.total.static_j)
+            .field("seconds", self.seconds)
+            .field("edp_js", self.report.edp())
+            .field("ed2p_js2", self.report.ed2p())
+            .field("avg_power_w", self.report.avg_power_w())
+            .field("pj_per_flop", self.report.pj_per_flop(self.flops))
+            .field("roofline_pct", self.roofline_pct())
+            .field("reconciliation_rel_err", self.reconciliation_rel_err())
+            .field("breakdown", Self::breakdown_json(&self.total))
+            .field("outside_j", self.outside.total_j())
+            .field("layers", layers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flops_table_covers_the_fma_and_ew_ops() {
+        assert_eq!(flops_per_elem("vfmacc.vf"), 2);
+        assert_eq!(flops_per_elem("vfredsum"), 1);
+        assert_eq!(flops_per_elem("vle"), 0);
+        assert_eq!(flops_per_elem("vbroadcast"), 0);
+    }
+
+    #[test]
+    fn tally_routes_counts_to_the_open_layer() {
+        let rc = Rc::new(RefCell::new(Tally::default()));
+        let mut vpu = VpuProbe(Rc::clone(&rc));
+        let mut mem = MemProbe(Rc::clone(&rc));
+
+        vpu.scalar_ops(3); // before any layer → outside
+        mem.scope(TapScope::LayerBegin { index: 0, desc: "conv" });
+        vpu.event(&VecEvent::load("vle", 1, 0, 64, 16));
+        vpu.event(&VecEvent::arith("vfmacc.vf", 2, [Some(1), None, None], 16));
+        vpu.event(&VecEvent::grant("setvl", 100, 16)); // no energy event
+        mem.access(TapLevel::L1, 0, AccessKind::Read, true);
+        mem.access(TapLevel::L2, 0, AccessKind::Read, false);
+        mem.dram_transfer(AccessKind::Read);
+        mem.prefetch_fill(TapLevel::L2, 4);
+        mem.scope(TapScope::LayerEnd);
+        drop((vpu, mem));
+
+        let t = Rc::try_unwrap(rc).unwrap().into_inner();
+        assert_eq!(t.outside.scalar_ops, 3);
+        assert_eq!(t.layers.len(), 1);
+        let c = t.layers[0].2;
+        assert_eq!(c.vec_instrs, 2, "grant is not an issued vector op");
+        assert_eq!(c.vec_flops, 32, "16 lanes x 2 flops for the fma");
+        assert_eq!((c.l1_accesses, c.l2_accesses, c.dram_transfers), (1, 1, 1));
+        assert_eq!(c.l2_prefetch_fills, 1);
+    }
+}

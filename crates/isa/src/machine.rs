@@ -23,7 +23,7 @@
 
 use crate::config::{IsaKind, MachineConfig};
 use crate::pred::Pred;
-use crate::record::VecEvent;
+use crate::record::{EventSink, VecEvent};
 use crate::stats::{KernelPhase, PhaseTimer, StallBreakdown, StallCause, VpuStats};
 use lva_sim::{AccessKind, IdealSpec, MemSystem, Memory, PrefetchTarget, TapScope, VpuPath};
 
@@ -83,6 +83,11 @@ pub struct Machine {
     /// [`VecEvent`]. Pure observation — the timing model never reads it, so
     /// cycle counts are bit-identical with recording on or off.
     rec: Option<Vec<VecEvent>>,
+    /// Opt-in streaming event sink (the `lva-energy` probe). Unlike `rec`,
+    /// which buffers events for post-hoc analysis, the sink consumes each
+    /// [`VecEvent`] as it happens plus the scalar-op charges the recorder
+    /// never sees. Pure observation under the same contract as `rec`.
+    sink: Option<Box<dyn EventSink>>,
     /// Opt-in pipeline-interval recorder for the timeline exporter
     /// (`lva-prof`): kernel-phase boundaries and per-cause stall intervals
     /// in simulated cycles. Pure observation, exactly like `rec`.
@@ -120,6 +125,7 @@ impl Machine {
             phases: PhaseTimer::default(),
             stalls: StallBreakdown::default(),
             rec: None,
+            sink: None,
             pipe: None,
             pipe_dropped: 0,
             ref_model: false,
@@ -174,12 +180,39 @@ impl Machine {
         self.rec.take().unwrap_or_default()
     }
 
-    /// Append an event if recording is on. The closure only runs when
-    /// enabled, so the disabled path costs one branch.
+    /// Install a streaming [`EventSink`] (replacing any previous one). The
+    /// sink sees the same [`VecEvent`]s the recorder would buffer, plus
+    /// scalar-op charges, as they happen. Pure observation: the timing
+    /// model never reads sink state, so cycle counts are bit-identical
+    /// with a sink installed or not.
+    pub fn set_event_sink(&mut self, sink: Box<dyn EventSink>) {
+        self.sink = Some(sink);
+    }
+
+    /// Remove and return the installed event sink, if any.
+    pub fn take_event_sink(&mut self) -> Option<Box<dyn EventSink>> {
+        self.sink.take()
+    }
+
+    /// Whether a streaming event sink is installed.
+    pub fn has_event_sink(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Feed an event to the recorder and/or sink. The closure only runs
+    /// when at least one observer is active, so the disabled path costs
+    /// two branches.
     #[inline]
     fn rec(&mut self, f: impl FnOnce() -> VecEvent) {
+        if self.rec.is_none() && self.sink.is_none() {
+            return;
+        }
+        let e = f();
+        if let Some(sink) = self.sink.as_mut() {
+            sink.event(&e);
+        }
         if let Some(events) = self.rec.as_mut() {
-            events.push(f());
+            events.push(e);
         }
     }
 
@@ -1410,6 +1443,9 @@ impl Machine {
     #[inline]
     pub fn charge_scalar_ops(&mut self, n: u64) {
         self.stats.scalar_ops += n;
+        if let Some(sink) = self.sink.as_mut() {
+            sink.scalar_ops(n);
+        }
         self.scalar_frac += n as f64 * self.cfg.core.scalar_cpi;
         self.commit_scalar();
     }
@@ -1418,6 +1454,9 @@ impl Machine {
     #[inline]
     pub fn charge_scalar_flops(&mut self, n: u64) {
         self.stats.scalar_flops += n;
+        if let Some(sink) = self.sink.as_mut() {
+            sink.scalar_ops(n);
+        }
         self.scalar_frac += n as f64 * self.cfg.core.scalar_cpi;
         self.commit_scalar();
     }

@@ -193,6 +193,14 @@ impl MemSystem {
         }
     }
 
+    /// Report a DRAM line transfer to the tap (no-op without one).
+    #[inline]
+    fn tap_dram(&mut self, kind: AccessKind) {
+        if let Some(t) = self.tap.as_mut() {
+            t.dram_transfer(kind);
+        }
+    }
+
     /// L1 demand access, reported to the tap.
     #[inline]
     fn l1_access(&mut self, line: u64, kind: AccessKind) -> Lookup {
@@ -266,8 +274,10 @@ impl MemSystem {
             Lookup::Miss { victim_dirty } => {
                 if victim_dirty {
                     self.dram_writes += 1;
+                    self.tap_dram(AccessKind::Write);
                 }
                 self.dram_reads += 1;
+                self.tap_dram(AccessKind::Read);
                 let dram = if self.ideal.perfect_l2 { 0 } else { self.cfg.mem_latency };
                 (MemLevel::Dram, self.cfg.l2.hit_latency + dram)
             }
@@ -511,6 +521,8 @@ mod tests {
         vc: u64,
         l2: u64,
         l2_hits: u64,
+        dram_r: u64,
+        dram_w: u64,
         scopes: u64,
     }
 
@@ -523,6 +535,12 @@ mod tests {
                     self.l2 += 1;
                     self.l2_hits += u64::from(hit);
                 }
+            }
+        }
+        fn dram_transfer(&mut self, kind: AccessKind) {
+            match kind {
+                AccessKind::Read => self.dram_r += 1,
+                AccessKind::Write => self.dram_w += 1,
             }
         }
         fn scope(&mut self, _scope: TapScope<'_>) {
@@ -579,6 +597,9 @@ mod tests {
             fn access(&mut self, level: TapLevel, line: u64, kind: AccessKind, hit: bool) {
                 self.0.borrow_mut().access(level, line, kind, hit);
             }
+            fn dram_transfer(&mut self, kind: AccessKind) {
+                self.0.borrow_mut().dram_transfer(kind);
+            }
             fn scope(&mut self, scope: TapScope<'_>) {
                 self.0.borrow_mut().scope(scope);
             }
@@ -599,6 +620,11 @@ mod tests {
         assert_eq!(c.vc, st.vcache.accesses);
         assert_eq!(c.l2, st.l2.accesses);
         assert_eq!(c.l2_hits, st.l2.hits);
+        // DRAM transfers fire exactly once per counted read and writeback —
+        // the 1:1 contract streamed energy attribution relies on.
+        assert_eq!(c.dram_r, st.dram_reads);
+        assert_eq!(c.dram_w, st.dram_writes);
+        assert!(c.dram_r > 0, "workload must reach DRAM for the check to bite");
         assert_eq!(c.scopes, 2);
         assert!(ms.has_tap());
         ms.take_tap();

@@ -23,7 +23,7 @@
 #![forbid(unsafe_code)]
 
 use lva_check::KernelCase;
-use lva_core::{parallel_map, Experiment, RunSummary};
+use lva_core::{parallel_map, EnergyModel, Experiment, RunSummary};
 use lva_isa::{IdealKnob, IdealSpec, Machine, MachineConfig, StallBreakdown, StallCause};
 use lva_trace::Json;
 
@@ -216,6 +216,107 @@ pub fn classify(factual_cycles: u64, saved: &[u64]) -> (Bound, Option<IdealKnob>
     }
 }
 
+/// Energy view of one knob's counterfactual run.
+///
+/// Idealization knobs are timing-only — functional state and every event
+/// counter are bit-identical to the factual run — so a counterfactual's
+/// *dynamic* energy equals the factual one and the entire saving is static
+/// energy over the recovered cycles. The interesting quantity is therefore
+/// EDP: a knob that halves cycles nearly halves EDP even though it barely
+/// moves joules.
+#[derive(Debug, Clone, Copy)]
+pub struct KnobEnergy {
+    pub knob: IdealKnob,
+    /// Total energy of the counterfactual run (J).
+    pub energy_j: f64,
+    /// `factual - counterfactual` joules: the energy recovered if this
+    /// bottleneck vanished (all static, see above).
+    pub energy_saved_j: f64,
+    /// EDP of the counterfactual run (J·s).
+    pub edp_js: f64,
+    /// Fraction of the factual EDP this knob recovers.
+    pub edp_saved_frac: f64,
+}
+
+/// The energy counterfactuals of one run plus the EDP-based bound
+/// re-classification (same dominant-recovery rule and
+/// [`COMPUTE_BOUND_THRESHOLD`] as the cycles classification, applied to
+/// EDP savings instead of cycle savings).
+#[derive(Debug, Clone)]
+pub struct EnergyWhatif {
+    /// Total energy of the factual run (J).
+    pub factual_j: f64,
+    /// EDP of the factual run (J·s).
+    pub factual_edp_js: f64,
+    /// One entry per knob, [`IdealKnob::ALL`] order.
+    pub knobs: Vec<KnobEnergy>,
+    /// What the run is bound by when the figure of merit is EDP.
+    pub bound: Bound,
+    pub dominant: Option<IdealKnob>,
+}
+
+impl EnergyWhatif {
+    fn from_runs(e: &Experiment, factual: &RunSummary, cf: &[(IdealKnob, RunSummary)]) -> Self {
+        let model = EnergyModel::default();
+        let l2 = e.hw.l2_bytes();
+        let f = model.estimate(&factual.report, l2);
+        let (factual_j, factual_edp) = (f.total_j(), f.edp());
+        let knobs: Vec<KnobEnergy> = cf
+            .iter()
+            .map(|(knob, s)| {
+                let r = model.estimate(&s.report, l2);
+                KnobEnergy {
+                    knob: *knob,
+                    energy_j: r.total_j(),
+                    energy_saved_j: (factual_j - r.total_j()).max(0.0),
+                    edp_js: r.edp(),
+                    edp_saved_frac: if factual_edp > 0.0 {
+                        ((factual_edp - r.edp()) / factual_edp).max(0.0)
+                    } else {
+                        0.0
+                    },
+                }
+            })
+            .collect();
+        let mut best = 0usize;
+        for (i, k) in knobs.iter().enumerate() {
+            if k.edp_saved_frac > knobs[best].edp_saved_frac {
+                best = i;
+            }
+        }
+        let (bound, dominant) =
+            if knobs.is_empty() || knobs[best].edp_saved_frac < COMPUTE_BOUND_THRESHOLD {
+                (Bound::Compute, None)
+            } else {
+                (Bound::of_knob(knobs[best].knob), Some(knobs[best].knob))
+            };
+        EnergyWhatif { factual_j, factual_edp_js: factual_edp, knobs, bound, dominant }
+    }
+
+    /// The `energy` subsection of the whatif report.
+    pub fn to_json(&self) -> Json {
+        let mut knobs = Json::obj();
+        for k in &self.knobs {
+            knobs = knobs.field(
+                k.knob.name(),
+                Json::obj()
+                    .field("energy_j", k.energy_j)
+                    .field("energy_saved_if_fixed_j", k.energy_saved_j)
+                    .field("edp_js", k.edp_js)
+                    .field("edp_saved_frac", k.edp_saved_frac),
+            );
+        }
+        let mut j = Json::obj()
+            .field("factual_j", self.factual_j)
+            .field("factual_edp_js", self.factual_edp_js)
+            .field("edp_bound", self.bound.name());
+        if let Some(k) = self.dominant {
+            j = j.field("edp_dominant_knob", k.name());
+        }
+        j.field("knobs", knobs)
+    }
+}
+
 /// One layer's counterfactual verdict.
 #[derive(Debug, Clone)]
 pub struct LayerWhatif {
@@ -239,10 +340,16 @@ pub struct WhatifAnalysis {
     pub dominant: Option<IdealKnob>,
     /// Cross-checks for every directly-mapped knob.
     pub agreement: Vec<CauseAgreement>,
+    /// Energy counterfactuals and the EDP-based re-classification.
+    pub energy: EnergyWhatif,
 }
 
 impl WhatifAnalysis {
-    fn from_runs(factual: &RunSummary, cf: &[(IdealKnob, RunSummary)]) -> WhatifAnalysis {
+    fn from_runs(
+        e: &Experiment,
+        factual: &RunSummary,
+        cf: &[(IdealKnob, RunSummary)],
+    ) -> WhatifAnalysis {
         let factual_cycles = factual.cycles;
         let outcomes: Vec<KnobOutcome> = cf
             .iter()
@@ -283,7 +390,8 @@ impl WhatifAnalysis {
         let saved: Vec<u64> = outcomes.iter().map(|o| o.saved).collect();
         let (bound, dominant) = classify(factual_cycles, &saved);
         let agreement = cross_check(&outcomes, &factual.report.stalls, factual_cycles);
-        WhatifAnalysis { factual_cycles, outcomes, layers, bound, dominant, agreement }
+        let energy = EnergyWhatif::from_runs(e, factual, cf);
+        WhatifAnalysis { factual_cycles, outcomes, layers, bound, dominant, agreement, energy }
     }
 
     /// The advisor's one-line verdict for the whole run.
@@ -355,6 +463,7 @@ impl WhatifAnalysis {
         j.field("recommendation", self.recommendation())
             .field("knobs", knobs)
             .field("agreement", agreement)
+            .field("energy", self.energy.to_json())
             .field("layers", layers)
     }
 }
@@ -383,7 +492,7 @@ pub fn analyze_experiment(e: &Experiment, jobs: usize) -> (RunSummary, WhatifAna
     });
     let factual = runs.remove(0);
     let cf: Vec<(IdealKnob, RunSummary)> = IdealKnob::ALL.into_iter().zip(runs).collect();
-    let analysis = WhatifAnalysis::from_runs(&factual, &cf);
+    let analysis = WhatifAnalysis::from_runs(e, &factual, &cf);
     (factual, analysis)
 }
 
@@ -398,7 +507,7 @@ pub fn analyze_counterfactuals(
     let knobs: Vec<IdealKnob> = IdealKnob::ALL.to_vec();
     let runs = parallel_map(&knobs, jobs, |_, knob| e.clone().with_ideal(knob.spec()).run());
     let cf: Vec<(IdealKnob, RunSummary)> = knobs.into_iter().zip(runs).collect();
-    WhatifAnalysis::from_runs(factual, &cf)
+    WhatifAnalysis::from_runs(e, factual, &cf)
 }
 
 /// Counterfactual verdict for one `lva-check` registry kernel at one design
@@ -488,6 +597,48 @@ mod tests {
         let a = agreement(IdealKnob::PerfectL1, StallCause::MemLatency, 50, 100, 1000);
         assert_eq!(a.ratio, 0.5);
         assert_eq!(a.norm_gap, 0.05);
+    }
+
+    #[test]
+    fn energy_counterfactuals_are_static_only_and_edp_classified() {
+        use lva_core::{ConvPolicy, GemmVariant, HwTarget, ModelId, Workload};
+        let e = Experiment::new(
+            HwTarget::RvvGem5 { vlen_bits: 1024, lanes: 8, l2_bytes: 1 << 20 },
+            ConvPolicy::gemm_only(GemmVariant::opt3()),
+            Workload { model: ModelId::Yolov3, input_hw: 32, layer_limit: Some(3) },
+        );
+        let (factual, a) = analyze_experiment(&e, 2);
+        let en = &a.energy;
+        assert_eq!(en.knobs.len(), IdealKnob::ALL.len());
+        assert!(en.factual_j > 0.0 && en.factual_edp_js > 0.0);
+        let model = EnergyModel::default();
+        let static_mw = model.static_mw(e.hw.l2_bytes());
+        for (o, k) in a.outcomes.iter().zip(&en.knobs) {
+            assert_eq!(o.knob, k.knob);
+            // Knobs are timing-only: every event counter is identical, so
+            // the whole saving is static power over the recovered cycles.
+            let want = static_mw * 1e-3 * model.seconds(o.saved);
+            assert!(
+                (k.energy_saved_j - want).abs() <= 1e-9 * en.factual_j.max(1e-12),
+                "{:?}: saved {} J != static-only {} J",
+                o.knob,
+                k.energy_saved_j,
+                want
+            );
+            // EDP savings are at least as large a fraction as cycle savings
+            // (both energy and delay shrink together).
+            assert!(k.edp_saved_frac >= o.saved_frac(factual.cycles) - 1e-12);
+            assert!(k.edp_saved_frac <= 1.0);
+        }
+        // The JSON subsection rides inside the whatif section.
+        let j = a.to_json();
+        let sec = j.get("energy").expect("energy subsection");
+        assert_eq!(sec.get("edp_bound").and_then(Json::as_str), Some(en.bound.name()));
+        assert!(sec
+            .get("knobs")
+            .and_then(|k| k.get("perfect_l1"))
+            .and_then(|k| k.get("energy_saved_if_fixed_j"))
+            .is_some());
     }
 
     #[test]

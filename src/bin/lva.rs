@@ -195,13 +195,7 @@ fn print_summary(cli: &Cli, hw: HwTarget, s: &RunSummary) {
         println!("\n{}", s.dump_stats());
     }
     if cli.energy {
-        let e = EnergyModel::default().estimate(
-            s,
-            match hw {
-                HwTarget::RvvGem5 { l2_bytes, .. } | HwTarget::SveGem5 { l2_bytes, .. } => l2_bytes,
-                HwTarget::A64fx => 8 << 20,
-            },
-        );
+        let e = EnergyModel::default().estimate(&s.report, hw.l2_bytes());
         println!(
             "\nenergy   : {:.2} mJ ({:.2} compute + {:.2} memory + {:.2} static), EDP {:.1} uJ*s",
             e.total_j() * 1e3,
