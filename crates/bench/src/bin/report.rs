@@ -1,23 +1,28 @@
-//! Re-render `results/CODESIGN_REPORT.md` from an existing
-//! `BENCH_whatif.json` — no simulation, just the deterministic markdown
-//! renderer. Lets you tweak nothing and regenerate, or render a record
-//! produced elsewhere (CI artifacts).
+//! Re-render a committed markdown report from an existing JSON record —
+//! no simulation, just the deterministic renderer. Lets you regenerate a
+//! report byte-for-byte, or render a record produced elsewhere (CI
+//! artifacts).
 //!
-//! Usage: `report [--in BENCH_whatif.json] [--out results/CODESIGN_REPORT.md]`
+//! The record's `"tool"` field selects the renderer: `lint-dataflow`
+//! records render the dataflow certifier report (`results/DATAFLOW.md`);
+//! everything else is treated as a `BENCH_whatif.json` co-design record
+//! (`results/CODESIGN_REPORT.md`).
+//!
+//! Usage: `report [--in BENCH_whatif.json] [--out results/…]`
 
-use lva_bench::{codesign_markdown, Json};
+use lva_bench::{codesign_markdown, dataflow_markdown, Json};
 
 fn main() {
     let mut input = String::from("BENCH_whatif.json");
-    let mut output = String::from("results/CODESIGN_REPORT.md");
+    let mut output: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--in" => input = args.next().expect("--in needs a file path"),
-            "--out" => output = args.next().expect("--out needs a file path"),
+            "--out" => output = Some(args.next().expect("--out needs a file path")),
             "--help" | "-h" => {
                 eprintln!(
-                    "Render the co-design advisor markdown from a BENCH_whatif.json.\n\nOptions:\n  --in FILE   input record (default BENCH_whatif.json)\n  --out FILE  output markdown (default results/CODESIGN_REPORT.md)"
+                    "Render a committed markdown report from its JSON record.\n\nOptions:\n  --in FILE   input record (default BENCH_whatif.json); a \"tool\":\n              \"lint-dataflow\" record renders the dataflow report\n  --out FILE  output markdown (default results/CODESIGN_REPORT.md, or\n              results/DATAFLOW.md for lint-dataflow records)"
                 );
                 std::process::exit(0);
             }
@@ -27,10 +32,17 @@ fn main() {
             }
         }
     }
-    let text = std::fs::read_to_string(&input)
-        .unwrap_or_else(|e| panic!("cannot read {input}: {e} (run exp-whatif first)"));
+    let text = std::fs::read_to_string(&input).unwrap_or_else(|e| {
+        panic!("cannot read {input}: {e} (run exp-whatif or lint-dataflow first)")
+    });
     let j = Json::parse(&text).unwrap_or_else(|e| panic!("{input} is not valid JSON: {e:?}"));
-    let md = codesign_markdown(&j);
+    let dataflow = j.get("tool").and_then(Json::as_str) == Some("lint-dataflow");
+    let (md, default_out) = if dataflow {
+        (dataflow_markdown(&j), "results/DATAFLOW.md")
+    } else {
+        (codesign_markdown(&j), "results/CODESIGN_REPORT.md")
+    };
+    let output = output.unwrap_or_else(|| default_out.to_string());
     if let Some(dir) = std::path::Path::new(&output).parent() {
         std::fs::create_dir_all(dir).expect("create output directory");
     }

@@ -7,14 +7,15 @@
 //! paper-vs-measured record.
 
 #![forbid(unsafe_code)]
-use std::env;
 
+pub mod dataflow_report;
 pub mod diff;
 pub mod energy_report;
 pub mod microbench;
 pub mod sweep;
 pub mod whatif_report;
 
+pub use dataflow_report::dataflow_markdown;
 pub use energy_report::{energy_grid_json, pareto_markdown};
 pub use sweep::{median_ms, run_sweep, SweepRun};
 pub use whatif_report::{codesign_markdown, whatif_json};
@@ -32,108 +33,11 @@ pub const SVE_VLENS: [usize; 3] = [512, 1024, 2048];
 /// The L2 capacities swept (1 MB .. 256 MB, Figs. 7-10).
 pub const L2_SIZES: [usize; 6] = [1 << 20, 4 << 20, 16 << 20, 64 << 20, 128 << 20, 256 << 20];
 
-/// Common options for experiment binaries.
-#[derive(Debug, Clone)]
-pub struct Opts {
-    /// Linear input down-scale divisor (1 = paper-native resolution).
-    pub div: usize,
-    /// Override the layer prefix length.
-    pub layers: Option<usize>,
-    /// Write a CSV under `results/`.
-    pub csv: bool,
-    /// Write machine-readable JSON under `results/`.
-    pub json: bool,
-    /// Attach an `lva-prof` memory profiler to every run (reuse-distance
-    /// histograms, 3C miss classes, hit-rate-vs-capacity curves in the
-    /// JSON output). Timing is unchanged.
-    pub profile: bool,
-    /// Write a Chrome trace-event timeline (Perfetto-loadable) to this path.
-    pub chrome: Option<String>,
-    /// Worker threads for independent design-point runs (`--jobs N`;
-    /// `--jobs 0` means all host cores). 1 = the serial loop.
-    pub jobs: usize,
-    /// Self-benchmark the simulator's wall-clock (`--wallclock`): run the
-    /// sweep serially and with `--jobs`, median-of-3 each, and write a
-    /// `BENCH_sim_wallclock.json` report.
-    pub wallclock: bool,
-    /// Attach an `lva-whatif` counterfactual analysis to every run's JSON
-    /// report (`--with-whatif`): five extra idealized simulations per design
-    /// point. Off by default — the plain reports stay byte-identical.
-    pub whatif: bool,
-    /// Attach the `lva-energy` streamed attribution to every run's JSON
-    /// report (`--with-energy`): one probed re-run per design point, cycle
-    /// counts unchanged. Off by default.
-    pub energy: bool,
-}
-
-impl Opts {
-    /// Parse `--div N`, `--layers N`, `--csv`, `--json`, `--trace FILE`,
-    /// `--help` from `std::env`. `default_div` is the experiment's default
-    /// scale. `--trace` installs a JSONL telemetry sink for the whole run.
-    pub fn parse(default_div: usize, what: &str) -> Opts {
-        let mut opts = Opts {
-            div: default_div,
-            layers: None,
-            csv: true,
-            json: false,
-            profile: false,
-            chrome: None,
-            jobs: 1,
-            wallclock: false,
-            whatif: false,
-            energy: false,
-        };
-        let mut args = env::args().skip(1);
-        while let Some(a) = args.next() {
-            match a.as_str() {
-                "--div" => {
-                    opts.div =
-                        args.next().and_then(|v| v.parse().ok()).expect("--div needs an integer");
-                }
-                "--layers" => {
-                    opts.layers = Some(
-                        args.next()
-                            .and_then(|v| v.parse().ok())
-                            .expect("--layers needs an integer"),
-                    );
-                }
-                "--no-csv" => opts.csv = false,
-                "--csv" => opts.csv = true,
-                "--json" => opts.json = true,
-                "--no-json" => opts.json = false,
-                "--profile" => opts.profile = true,
-                "--jobs" => {
-                    let n: usize =
-                        args.next().and_then(|v| v.parse().ok()).expect("--jobs needs an integer");
-                    opts.jobs = if n == 0 { lva_core::default_jobs() } else { n };
-                }
-                "--wallclock" => opts.wallclock = true,
-                "--with-whatif" => opts.whatif = true,
-                "--with-energy" => opts.energy = true,
-                "--chrome" => {
-                    opts.chrome = Some(args.next().expect("--chrome needs a file path"));
-                }
-                "--trace" => {
-                    let path = args.next().expect("--trace needs a file path");
-                    lva_trace::enable_to_file(&path)
-                        .unwrap_or_else(|e| panic!("cannot open trace file {path}: {e}"));
-                    eprintln!("[tracing to {path}]");
-                }
-                "--help" | "-h" => {
-                    eprintln!(
-                        "{what}\n\nOptions:\n  --div N      input down-scale divisor (default {default_div}; 1 = paper size)\n  --layers N   layer prefix override\n  --csv/--no-csv  write results/<exp>.csv (default on)\n  --json       also write results/<exp>.json (machine-readable)\n  --profile    tap the cache hierarchy: reuse-distance histograms, 3C\n               miss classes, capacity curves (in the JSON output)\n  --chrome FILE  write a Chrome trace-event timeline (Perfetto) to FILE\n  --trace FILE stream JSONL telemetry spans to FILE\n  --jobs N     run independent design points on N threads (0 = all cores;\n               results and reports are identical to --jobs 1)\n  --wallclock  self-benchmark: time the sweep serial vs --jobs (median of\n               3 each) and write BENCH_sim_wallclock.json\n  --with-whatif  attach lva-whatif counterfactual analyses (bound\n               classification, cycles-saved-if-fixed) to the JSON reports\n  --with-energy  attach the lva-energy streamed attribution (per-layer\n               joules, EDP, energy roofline) to the JSON reports"
-                    );
-                    std::process::exit(0);
-                }
-                other => {
-                    eprintln!("unknown option {other}; try --help");
-                    std::process::exit(2);
-                }
-            }
-        }
-        opts
-    }
-}
+/// Common options for experiment binaries — the single shared parser in
+/// `lva_core::cli`, re-exported here so every `exp-*` bin keeps saying
+/// `lva_bench::Opts`. The `lint-*` tools use [`Opts::parse_tool`]
+/// (`lva_core::cli::Opts::parse_tool`) for the flag subset they accept.
+pub use lva_core::cli::Opts;
 
 /// The nine named headline design points of §VI (exp-headline's sweep), in
 /// report order. Shared with `exp-whatif` and the co-design advisor so every

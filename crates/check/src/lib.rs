@@ -61,19 +61,45 @@ impl Finding {
     }
 }
 
+/// A registered kernel's recorded run on one machine configuration:
+/// everything the static analyses downstream (the sanitizer here, the
+/// dependence-graph certifier in `lva-depgraph`) need — the event stream,
+/// the named-allocation registry, the hardware vector length, and the
+/// simulated cycle count the run produced while being recorded.
+#[derive(Debug)]
+pub struct RecordedKernel {
+    pub events: Vec<lva_isa::VecEvent>,
+    pub allocs: Vec<lva_sim::AllocRecord>,
+    pub vlen_elems: usize,
+    pub cycles: u64,
+}
+
 /// Run one registered kernel on `cfg` with event recording enabled and
-/// sanitize the captured stream.
-pub fn check_kernel(case: &KernelCase, profile: &str, cfg: &MachineConfig) -> Vec<Finding> {
+/// return the captured run. Recording is timing-neutral, so `cycles` is
+/// bit-identical to an unrecorded run (asserted by tests here and in
+/// `lva-depgraph`).
+pub fn record_kernel(case: &KernelCase, cfg: &MachineConfig) -> RecordedKernel {
     let mut m = Machine::new(cfg.clone());
     m.record_events();
     (case.run)(&mut m);
-    let events = m.take_events();
+    RecordedKernel {
+        events: m.take_events(),
+        allocs: m.mem.allocs().to_vec(),
+        vlen_elems: m.vlen_elems(),
+        cycles: m.cycles(),
+    }
+}
+
+/// Run one registered kernel on `cfg` with event recording enabled and
+/// sanitize the captured stream.
+pub fn check_kernel(case: &KernelCase, profile: &str, cfg: &MachineConfig) -> Vec<Finding> {
+    let rec = record_kernel(case, cfg);
     let trace = EventTrace {
         kernel: case.name,
         profile,
-        events: &events,
-        allocs: m.mem.allocs(),
-        vlen_elems: m.vlen_elems(),
+        events: &rec.events,
+        allocs: &rec.allocs,
+        vlen_elems: rec.vlen_elems,
     };
     sanitize(&trace)
 }

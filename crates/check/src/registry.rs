@@ -24,6 +24,10 @@ use lva_winograd::{winograd_conv_vla, WinogradPlan};
 /// One kernel the linter knows how to drive.
 pub struct KernelCase {
     pub name: &'static str,
+    /// The representative shape the case instantiates, as a stable label
+    /// (recorded in `RetimeCertificate`s so a certificate names exactly
+    /// what was proven).
+    pub shape: &'static str,
     /// `None` runs on both ISA profiles; `Some(isa)` restricts it.
     pub isa: Option<IsaKind>,
     pub run: fn(&mut Machine),
@@ -38,20 +42,55 @@ impl KernelCase {
 /// Every kernel under the sanitizer's gate.
 pub fn registered_kernels() -> Vec<KernelCase> {
     vec![
-        KernelCase { name: "gemm_naive", isa: None, run: run_gemm_naive },
-        KernelCase { name: "gemm_opt3", isa: None, run: run_gemm_opt3 },
-        KernelCase { name: "gemm_opt6", isa: None, run: run_gemm_opt6 },
-        KernelCase { name: "im2col", isa: None, run: run_im2col },
-        KernelCase { name: "conv_im2col_gemm", isa: None, run: run_conv_im2col },
-        KernelCase { name: "conv_direct_3x3", isa: None, run: run_direct_3x3 },
-        KernelCase { name: "conv_direct_1x1", isa: None, run: run_direct_1x1 },
-        KernelCase { name: "conv_depthwise", isa: None, run: run_depthwise },
-        KernelCase { name: "maxpool", isa: None, run: run_maxpool },
-        KernelCase { name: "upsample2", isa: None, run: run_upsample2 },
-        KernelCase { name: "global_avgpool", isa: None, run: run_global_avgpool },
-        KernelCase { name: "fc_softmax", isa: None, run: run_fc_softmax },
-        KernelCase { name: "aux_ops", isa: None, run: run_aux_ops },
-        KernelCase { name: "winograd_f6x3", isa: Some(IsaKind::Sve), run: run_winograd },
+        KernelCase { name: "gemm_naive", shape: "m4 n40 k9", isa: None, run: run_gemm_naive },
+        KernelCase { name: "gemm_opt3", shape: "m8 n100 k27", isa: None, run: run_gemm_opt3 },
+        KernelCase {
+            name: "gemm_opt6",
+            shape: "m16 n96 k32 blocks 8x64x16",
+            isa: None,
+            run: run_gemm_opt6,
+        },
+        KernelCase { name: "im2col", shape: "3x9x9 k3 s2 p1", isa: None, run: run_im2col },
+        KernelCase {
+            name: "conv_im2col_gemm",
+            shape: "3x10x10 oc4 k3 s1 p1",
+            isa: None,
+            run: run_conv_im2col,
+        },
+        KernelCase {
+            name: "conv_direct_3x3",
+            shape: "4x10x10 oc6 k3 s1 p1",
+            isa: None,
+            run: run_direct_3x3,
+        },
+        KernelCase {
+            name: "conv_direct_1x1",
+            shape: "8x6x6 oc4 k1 s1 p0",
+            isa: None,
+            run: run_direct_1x1,
+        },
+        KernelCase {
+            name: "conv_depthwise",
+            shape: "4x10x10 k3 s1",
+            isa: None,
+            run: run_depthwise,
+        },
+        KernelCase { name: "maxpool", shape: "4x8x8 2x2 s2", isa: None, run: run_maxpool },
+        KernelCase { name: "upsample2", shape: "3x6x6 -> 3x12x12", isa: None, run: run_upsample2 },
+        KernelCase {
+            name: "global_avgpool",
+            shape: "4x7x7 -> 4x1x1",
+            isa: None,
+            run: run_global_avgpool,
+        },
+        KernelCase { name: "fc_softmax", shape: "10x64", isa: None, run: run_fc_softmax },
+        KernelCase { name: "aux_ops", shape: "c3 s50 + copy64", isa: None, run: run_aux_ops },
+        KernelCase {
+            name: "winograd_f6x3",
+            shape: "8x12x12 oc4 k3 s1 p1",
+            isa: Some(IsaKind::Sve),
+            run: run_winograd,
+        },
     ]
 }
 

@@ -1,0 +1,153 @@
+//! Shared command-line parsing for every workspace binary.
+//!
+//! The `exp-*` experiment drivers and the `lint-*` static-analysis tools
+//! all speak the same flag dialect (`--jobs`, `--json`, `--trace`, …).
+//! Each bin used to re-implement the loop by hand and PR 5/6 had to patch
+//! them one at a time for flag parity; [`Opts`] is now the single
+//! implementation. Experiment bins call [`Opts::parse`] (the full dialect,
+//! re-exported as `lva_bench::Opts`); lint tools call [`Opts::parse_tool`]
+//! (the `--jobs/--json/--trace` subset, with usage errors reported on the
+//! lint tools' "internal error" exit code 2).
+
+use std::env;
+
+/// Common options for experiment and lint binaries.
+#[derive(Debug, Clone)]
+pub struct Opts {
+    /// Linear input down-scale divisor (1 = paper-native resolution).
+    pub div: usize,
+    /// Override the layer prefix length.
+    pub layers: Option<usize>,
+    /// Write a CSV under `results/`.
+    pub csv: bool,
+    /// Write machine-readable JSON under `results/`.
+    pub json: bool,
+    /// Attach an `lva-prof` memory profiler to every run (reuse-distance
+    /// histograms, 3C miss classes, hit-rate-vs-capacity curves in the
+    /// JSON output). Timing is unchanged.
+    pub profile: bool,
+    /// Write a Chrome trace-event timeline (Perfetto-loadable) to this path.
+    pub chrome: Option<String>,
+    /// Worker threads for independent design-point runs (`--jobs N`;
+    /// `--jobs 0` means all host cores). 1 = the serial loop.
+    pub jobs: usize,
+    /// Self-benchmark the simulator's wall-clock (`--wallclock`): run the
+    /// sweep serially and with `--jobs`, median-of-3 each, and write a
+    /// `BENCH_sim_wallclock.json` report.
+    pub wallclock: bool,
+    /// Attach an `lva-whatif` counterfactual analysis to every run's JSON
+    /// report (`--with-whatif`): five extra idealized simulations per design
+    /// point. Off by default — the plain reports stay byte-identical.
+    pub whatif: bool,
+    /// Attach the `lva-energy` streamed attribution to every run's JSON
+    /// report (`--with-energy`): one probed re-run per design point, cycle
+    /// counts unchanged. Off by default.
+    pub energy: bool,
+}
+
+impl Opts {
+    fn defaults(default_div: usize) -> Opts {
+        Opts {
+            div: default_div,
+            layers: None,
+            csv: true,
+            json: false,
+            profile: false,
+            chrome: None,
+            jobs: 1,
+            wallclock: false,
+            whatif: false,
+            energy: false,
+        }
+    }
+
+    /// Parse `--div N`, `--layers N`, `--csv`, `--json`, `--trace FILE`,
+    /// `--help` from `std::env`. `default_div` is the experiment's default
+    /// scale. `--trace` installs a JSONL telemetry sink for the whole run.
+    pub fn parse(default_div: usize, what: &str) -> Opts {
+        let mut opts = Opts::defaults(default_div);
+        let mut args = env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--div" => {
+                    opts.div =
+                        args.next().and_then(|v| v.parse().ok()).expect("--div needs an integer");
+                }
+                "--layers" => {
+                    opts.layers = Some(
+                        args.next()
+                            .and_then(|v| v.parse().ok())
+                            .expect("--layers needs an integer"),
+                    );
+                }
+                "--no-csv" => opts.csv = false,
+                "--csv" => opts.csv = true,
+                "--json" => opts.json = true,
+                "--no-json" => opts.json = false,
+                "--profile" => opts.profile = true,
+                "--jobs" => opts.jobs = parse_jobs(&mut args),
+                "--wallclock" => opts.wallclock = true,
+                "--with-whatif" => opts.whatif = true,
+                "--with-energy" => opts.energy = true,
+                "--chrome" => {
+                    opts.chrome = Some(args.next().expect("--chrome needs a file path"));
+                }
+                "--trace" => install_trace(&mut args),
+                "--help" | "-h" => {
+                    eprintln!(
+                        "{what}\n\nOptions:\n  --div N      input down-scale divisor (default {default_div}; 1 = paper size)\n  --layers N   layer prefix override\n  --csv/--no-csv  write results/<exp>.csv (default on)\n  --json       also write results/<exp>.json (machine-readable)\n  --profile    tap the cache hierarchy: reuse-distance histograms, 3C\n               miss classes, capacity curves (in the JSON output)\n  --chrome FILE  write a Chrome trace-event timeline (Perfetto) to FILE\n  --trace FILE stream JSONL telemetry spans to FILE\n  --jobs N     run independent design points on N threads (0 = all cores;\n               results and reports are identical to --jobs 1)\n  --wallclock  self-benchmark: time the sweep serial vs --jobs (median of\n               3 each) and write BENCH_sim_wallclock.json\n  --with-whatif  attach lva-whatif counterfactual analyses (bound\n               classification, cycles-saved-if-fixed) to the JSON reports\n  --with-energy  attach the lva-energy streamed attribution (per-layer\n               joules, EDP, energy roofline) to the JSON reports"
+                    );
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown option {other}; try --help");
+                    std::process::exit(2);
+                }
+            }
+        }
+        opts
+    }
+
+    /// Parse the lint-tool subset: `--jobs N`, `--json`, `--trace FILE`,
+    /// `--help`. Used by `lint-kernels` and `lint-dataflow`, whose exit
+    /// codes distinguish findings (1) from internal/usage errors (2) —
+    /// unknown flags therefore exit 2, never 1.
+    pub fn parse_tool(what: &str) -> Opts {
+        let mut opts = Opts::defaults(1);
+        let mut args = env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--jobs" => opts.jobs = parse_jobs(&mut args),
+                "--json" => opts.json = true,
+                "--trace" => install_trace(&mut args),
+                "--help" | "-h" => {
+                    eprintln!(
+                        "{what}\n\nOptions:\n  --jobs N     check design points on N threads (0 = all cores;\n               the report is identical for every N)\n  --json       also save the report under results/\n  --trace FILE stream JSONL telemetry spans to FILE\n\nExit codes: 0 clean, 1 findings, 2 internal/usage error"
+                    );
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown option {other}; try --help");
+                    std::process::exit(2);
+                }
+            }
+        }
+        opts
+    }
+}
+
+fn parse_jobs(args: &mut impl Iterator<Item = String>) -> usize {
+    let n: usize = args.next().and_then(|v| v.parse().ok()).expect("--jobs needs an integer");
+    if n == 0 {
+        crate::par::default_jobs()
+    } else {
+        n
+    }
+}
+
+fn install_trace(args: &mut impl Iterator<Item = String>) {
+    let path = args.next().expect("--trace needs a file path");
+    lva_trace::enable_to_file(&path)
+        .unwrap_or_else(|e| panic!("cannot open trace file {path}: {e}"));
+    eprintln!("[tracing to {path}]");
+}

@@ -12,12 +12,14 @@
 //! per table/figure of the paper.
 
 #![forbid(unsafe_code)]
+pub mod cli;
 pub mod energy;
 pub mod experiment;
 pub mod par;
 pub mod report;
 pub mod run_report;
 
+pub use cli::Opts;
 pub use energy::{EnergyBreakdown, EnergyCounts, EnergyModel, EnergyReport};
 pub use experiment::{scaled_input, Experiment, HwTarget, RunSummary, StreamSummary, Workload};
 pub use lva_energy::EnergyAttribution;

@@ -1,0 +1,303 @@
+//! Critical-path cycle lower bounds from the dependence DAG.
+//!
+//! For each recorded op event we derive a **floor** on the occupancy and
+//! result latency the scoreboard in `lva_isa::machine` will charge — the
+//! cost of the instruction assuming every memory access hits (exposed miss
+//! time is the one non-negative term a static analysis cannot know, so the
+//! floor sets it to zero) while replicating every other term of the model
+//! exactly, including the active [`IdealSpec`] knobs. Two bounds follow:
+//!
+//! * **resource bound** — the vector unit is a single resource; every
+//!   instruction holds it for `occ + gap` cycles (reductions additionally
+//!   serialize the front end for their full latency), so the sum over the
+//!   stream bounds the finish time from below;
+//! * **dependence bound** — the longest path through the
+//!   [`DepGraph`], charging each RAW register edge the producer's result
+//!   latency (minus the core's out-of-order window) and every other edge
+//!   the producer's occupancy + issue gap, since program order drains
+//!   through the same unit.
+//!
+//! Both are provable floors of the simulated cycle count (the soundness
+//! argument is spelled out in DESIGN.md §15 and asserted over the whole
+//! kernel registry × design-point sweep by `tests/certify_registry.rs`);
+//! the reported bound is their max, and `tightness = bound / simulated` is
+//! the certifier's quality metric for how much of the schedule the DAG
+//! explains.
+//!
+//! [`IdealSpec`]: lva_isa::IdealSpec
+
+use lva_isa::{EventKind, MachineConfig, VecEvent};
+use lva_sim::VpuPath;
+
+use crate::graph::{DepGraph, DepKind, Via};
+
+/// Floor on what one op event costs on `cfg`: minimum occupancy, minimum
+/// result latency, and whether the op serializes the front end (reductions
+/// — the scalar core consumes the result before the next issue).
+#[derive(Debug, Clone, Copy)]
+pub struct OpFloor {
+    pub occ: u64,
+    pub lat: u64,
+    pub serial: bool,
+}
+
+/// Effective-parameter helpers mirroring `Machine::eff_*`: identity with
+/// the ideal knobs off, idealized value with them on. Floors must shrink
+/// exactly as the machine's own costs do or idealized configs would
+/// violate the bound.
+fn eff_startup(cfg: &MachineConfig) -> u64 {
+    if cfg.ideal.zero_vector_startup {
+        0
+    } else {
+        cfg.vpu.startup()
+    }
+}
+
+fn eff_pipe_depth(cfg: &MachineConfig) -> u64 {
+    if cfg.ideal.zero_vector_startup {
+        0
+    } else {
+        cfg.vpu.pipe_depth as u64
+    }
+}
+
+fn eff_chime(cfg: &MachineConfig, vl: usize) -> u64 {
+    if cfg.ideal.infinite_lanes {
+        1
+    } else {
+        cfg.vpu.chime(vl)
+    }
+}
+
+fn eff_throughput(cfg: &MachineConfig, cycles: u64) -> u64 {
+    if cfg.ideal.infinite_lanes {
+        cycles.min(1)
+    } else {
+        cycles
+    }
+}
+
+/// The post-issue gap every instruction leaves on the unit.
+pub fn eff_gap(cfg: &MachineConfig) -> u64 {
+    if cfg.ideal.infinite_issue {
+        0
+    } else {
+        cfg.vpu.inter_instr_gap as u64
+    }
+}
+
+/// Base memory latency of the VPU's attach point (L1 hit latency, or the
+/// fixed 2-cycle vector-cache hit of the decoupled RVV path).
+fn base_mem_lat(cfg: &MachineConfig) -> u64 {
+    match cfg.mem.vpu_path {
+        VpuPath::ThroughL1 => cfg.mem.l1.hit_latency as u64,
+        VpuPath::DecoupledL2 { .. } => 2,
+    }
+}
+
+/// The cost floor of one op event on `cfg`. Exact for arithmetic and
+/// reductions (their costs are state-independent); for memory ops it is the
+/// all-hits cost — `exposed = 0` is the only dropped term, and it is
+/// non-negative, so `floor <= charged` always.
+pub fn op_floor(cfg: &MachineConfig, ev: &VecEvent) -> OpFloor {
+    let startup = eff_startup(cfg);
+    match ev.kind {
+        EventKind::Arith => {
+            let chime = match ev.op {
+                // Broadcasts are charged as single-element arithmetic.
+                "vbroadcast" => eff_chime(cfg, 1),
+                // Division/sqrt: several cycles per lane group.
+                "vfdiv.vv" | "vfsqrt" => 8 * eff_chime(cfg, ev.vl),
+                _ => eff_chime(cfg, ev.vl),
+            };
+            OpFloor { occ: chime, lat: startup + chime, serial: false }
+        }
+        EventKind::Reduce => {
+            // Reduction-tree depth stays even under `infinite_lanes`.
+            let tree = (cfg.vpu.lanes as f64).log2().ceil() as u64;
+            let chime = eff_chime(cfg, ev.vl) + tree;
+            OpFloor { occ: chime, lat: startup + chime, serial: true }
+        }
+        EventKind::Load | EventKind::Store => {
+            let occ = mem_occ_floor(cfg, ev);
+            let lat = if ev.kind == EventKind::Load {
+                eff_pipe_depth(cfg) + base_mem_lat(cfg) + occ
+            } else {
+                // Stores retire through the store buffer: latency == occupancy.
+                occ
+            };
+            OpFloor { occ, lat, serial: false }
+        }
+        // Grants and phase markers never reach the issue stage.
+        EventKind::Grant | EventKind::PhaseBegin | EventKind::PhaseEnd => {
+            OpFloor { occ: 0, lat: 0, serial: false }
+        }
+    }
+}
+
+/// Occupancy floor of a memory op, keyed by mnemonic (each has its own
+/// slot model in the machine).
+fn mem_occ_floor(cfg: &MachineConfig, ev: &VecEvent) -> u64 {
+    let gec = cfg.vpu.gather_elem_cycles as u64;
+    match ev.op {
+        // Unit-stride: bus transfers for the moved bytes.
+        "vle" | "vse" => {
+            let tx = (4 * ev.vl as u64).div_ceil(cfg.vpu.bus_bytes as u64);
+            eff_throughput(cfg, tx).max(1)
+        }
+        // Strided: one gather slot per element.
+        "vlse" | "vsse" => eff_throughput(cfg, ev.vl as u64 * gec),
+        // Indexed: one slot per *active* (non-sentinel) lane.
+        "vgather" | "vscatter" => eff_throughput(cfg, (ev.active as u64 * gec).max(1)),
+        // Structured group-of-4: one slot per group plus 2 permute cycles.
+        "vgather4" | "vscatter4" => eff_throughput(cfg, (ev.active as u64).div_ceil(4).max(1) + 2),
+        // Unknown memory op: 1 cycle is the smallest occupancy the issue
+        // path ever charges, so the bound stays sound.
+        _ => 1,
+    }
+}
+
+/// The two lower bounds for one recorded stream, plus the critical path
+/// (node indices into the DAG) realizing the dependence bound.
+#[derive(Debug)]
+pub struct LowerBound {
+    /// Unit-occupancy bound: `sum(occ + gap)` with reductions serialized.
+    pub resource: u64,
+    /// Longest dependence path through the DAG.
+    pub dependence: u64,
+    /// `max(resource, dependence)` — the certified floor.
+    pub bound: u64,
+    /// Nodes of one maximal dependence path, in program order.
+    pub critical_path: Vec<usize>,
+}
+
+/// Compute both bounds for `events` on `cfg`, using the prebuilt `graph`
+/// (whose nodes index into `events` via `graph.node_events`).
+pub fn lower_bound(cfg: &MachineConfig, events: &[VecEvent], graph: &DepGraph) -> LowerBound {
+    let gap = eff_gap(cfg);
+    let ooo = cfg.core.ooo_window;
+    let floors: Vec<OpFloor> =
+        graph.node_events.iter().map(|&ei| op_floor(cfg, &events[ei])).collect();
+
+    // Resource bound: each instruction advances `unit_free` by at least
+    // `occ + gap` past its start, and a reduction additionally advances the
+    // front-end clock by its full latency before the next issue can start.
+    let resource: u64 =
+        floors.iter().map(|f| if f.serial { (f.occ + gap).max(f.lat) } else { f.occ + gap }).sum();
+
+    // Dependence bound: longest path. Every edge at minimum chains through
+    // the unit (`occ + gap`); a RAW register edge additionally waits for the
+    // producer's result, less the out-of-order window; an edge out of a
+    // serializing reduction waits for the front end to consume the scalar.
+    let edge_weight = |e: &crate::graph::DepEdge| {
+        let f = &floors[e.from];
+        let through_unit = f.occ + gap;
+        if f.serial {
+            through_unit.max(f.lat)
+        } else if e.dep == DepKind::Raw && matches!(e.via, Via::Reg(_)) {
+            through_unit.max(f.lat.max(f.occ).saturating_sub(ooo))
+        } else {
+            through_unit
+        }
+    };
+    // The path's last node must itself drain: the unit stays busy for
+    // `occ + gap`, a destination register becomes ready at
+    // `max(lat, occ)`, and a reduction holds the front end for `lat`.
+    let node_tail = |n: usize| {
+        let f = &floors[n];
+        let has_dst = events[graph.node_events[n]].dst.is_some();
+        let mut tail = f.occ + gap;
+        if f.serial || has_dst {
+            tail = tail.max(f.lat.max(f.occ));
+        }
+        tail
+    };
+    let (dependence, critical_path) = graph.longest_path(edge_weight, node_tail);
+
+    LowerBound { resource, dependence, bound: resource.max(dependence), critical_path }
+}
+
+/// Tightness of a bound against the simulated cycle count, in percent.
+/// 100% means the DAG fully explains the schedule; the gap is exposed miss
+/// time plus slack the in-order issue logic could not reclaim.
+pub fn tightness_pct(bound: u64, simulated: u64) -> f64 {
+    if simulated == 0 {
+        100.0
+    } else {
+        100.0 * bound as f64 / simulated as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lva_isa::DEFAULT_L2_BYTES;
+
+    fn rvv() -> MachineConfig {
+        MachineConfig::rvv_gem5(4096, 8, DEFAULT_L2_BYTES)
+    }
+
+    #[test]
+    fn arith_floor_matches_chime_model() {
+        let cfg = rvv();
+        let f = op_floor(&cfg, &VecEvent::arith("vfadd.vv", 1, [Some(2), Some(3), None], 128));
+        // 128 elems / 8 lanes = 16-cycle chime; startup = pipe 8 + lanes 8.
+        assert_eq!((f.occ, f.lat, f.serial), (16, 32, false));
+    }
+
+    #[test]
+    fn broadcast_floor_is_single_element() {
+        let cfg = rvv();
+        let f = op_floor(&cfg, &VecEvent::arith("vbroadcast", 1, [None, None, None], 128));
+        assert_eq!((f.occ, f.lat), (1, 17));
+    }
+
+    #[test]
+    fn reduce_floor_is_serial_with_tree_term() {
+        let cfg = rvv();
+        let f = op_floor(&cfg, &VecEvent::reduce("vfredsum", 1, 128));
+        // chime 16 + log2(8 lanes) = 19.
+        assert_eq!((f.occ, f.lat, f.serial), (19, 35, true));
+    }
+
+    #[test]
+    fn load_floor_counts_bus_transfers() {
+        let cfg = rvv();
+        let f = op_floor(&cfg, &VecEvent::load("vle", 1, 0x100, 0x300, 128));
+        // 512 bytes / 32-byte bus = 16 transfers; +pipe 8 +vcache hit 2.
+        assert_eq!((f.occ, f.lat), (16, 26));
+        let s = op_floor(&cfg, &VecEvent::store("vse", 1, 0x100, 0x300, 128));
+        assert_eq!((s.occ, s.lat), (16, 16));
+    }
+
+    #[test]
+    fn ideal_knobs_shrink_floors() {
+        let mut cfg = rvv();
+        cfg.ideal.infinite_lanes = true;
+        cfg.ideal.zero_vector_startup = true;
+        let f = op_floor(&cfg, &VecEvent::arith("vfadd.vv", 1, [Some(2), Some(3), None], 128));
+        assert_eq!((f.occ, f.lat), (1, 1));
+        let l = op_floor(&cfg, &VecEvent::load("vle", 1, 0x100, 0x300, 128));
+        assert_eq!((l.occ, l.lat), (1, 3));
+    }
+
+    #[test]
+    fn dependence_chain_beats_resource_on_serial_raw() {
+        let cfg = rvv();
+        // load -> fma -> store, all through v1: a pure RAW chain.
+        let events = vec![
+            VecEvent::load("vle", 1, 0x100, 0x300, 128),
+            VecEvent::arith("vfmul.vf", 2, [Some(1), None, None], 128),
+            VecEvent::store("vse", 2, 0x400, 0x600, 128),
+        ];
+        let g = DepGraph::build(&events, &[]);
+        let lb = lower_bound(&cfg, &events, &g);
+        // Chain of RAW latencies: load result at 26 (> occ+gap = 19), the
+        // fma's result at +32 (startup 16 + chime 16), store drains for
+        // occ+gap = 19.
+        assert_eq!(lb.dependence, 26 + 32 + 19);
+        assert_eq!(lb.resource, (16 + 3) * 3);
+        assert_eq!(lb.bound, 77);
+        assert_eq!(lb.critical_path, vec![0, 1, 2]);
+    }
+}

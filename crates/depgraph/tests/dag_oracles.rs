@@ -1,0 +1,144 @@
+//! Handcrafted event-stream oracles pinning the *exact* dependence edge
+//! sets and critical-path structure `DepGraph::build` must produce.
+//!
+//! These are the ground truth the certifier and the lower bound stand on:
+//! every hazard class (RAW/WAR/WAW), both carriers (register and memory
+//! byte range), partial-overlap interval splitting, and the
+//! accumulate-into-destination pattern (`vfmacc` reading its own output
+//! register) are each pinned against a stream small enough to verify by
+//! hand.
+
+use lva_depgraph::{DepEdge, DepGraph, DepKind, Via};
+use lva_isa::VecEvent;
+use lva_sim::{AllocRecord, Buf};
+
+fn edge(from: usize, to: usize, dep: DepKind, via: Via) -> DepEdge {
+    DepEdge { from, to, dep, via }
+}
+
+#[test]
+fn mixed_register_and_memory_hazards_pin_the_full_edge_set() {
+    // node:        0             1             2              3             4             5
+    // stream: setvl; vle v1 <- x; vle v2 <- x+; v3 = v1 * v2; vse v3 -> y; vle v1 <- y; vse v1 -> y
+    let events = vec![
+        VecEvent::grant("setvl", 16, 16), // not an op node
+        VecEvent::load("vle", 1, 0x1000, 0x1040, 16),
+        VecEvent::load("vle", 2, 0x1040, 0x1080, 16),
+        VecEvent::arith("vfmul.vv", 3, [Some(1), Some(2), None], 16),
+        VecEvent::store("vse", 3, 0x2000, 0x2040, 16),
+        VecEvent::load("vle", 1, 0x2000, 0x2040, 16),
+        VecEvent::store("vse", 1, 0x2000, 0x2040, 16),
+    ];
+    let g = DepGraph::build(&events, &[]);
+
+    // The grant is excluded from the DAG; nodes map to stream indices 1..=6.
+    assert_eq!(g.nodes(), 6);
+    assert_eq!(g.node_events, vec![1, 2, 3, 4, 5, 6]);
+
+    let expected = vec![
+        edge(0, 2, DepKind::Raw, Via::Reg(1)), // v1 into the multiply
+        edge(1, 2, DepKind::Raw, Via::Reg(2)), // v2 into the multiply
+        edge(2, 3, DepKind::Raw, Via::Reg(3)), // product into the store
+        edge(0, 4, DepKind::Waw, Via::Reg(1)), // reload redefines v1
+        edge(2, 4, DepKind::War, Via::Reg(1)), // ... after the multiply read it
+        edge(3, 4, DepKind::Raw, Via::Mem),    // reload reads the stored bytes
+        edge(3, 5, DepKind::Waw, Via::Mem),    // final store overwrites them
+        edge(4, 5, DepKind::Raw, Via::Reg(1)), // v1 into the final store
+        edge(4, 5, DepKind::War, Via::Mem),    // ... which clobbers what node 4 read
+    ];
+    let mut want = expected;
+    want.sort();
+    assert_eq!(g.edges, want);
+
+    // Unit edge weights: the longest chain is load -> mul -> store ->
+    // reload -> store. The tie between the two loads resolves to node 0
+    // (first relaxed wins strictly-greater updates).
+    let (len, path) = g.longest_path(|_| 1, |_| 0);
+    assert_eq!(len, 4);
+    assert_eq!(path, vec![0, 2, 3, 4, 5]);
+}
+
+#[test]
+fn partial_overlaps_split_memory_intervals() {
+    let allocs = vec![AllocRecord {
+        label: "x".to_string(),
+        buf: Buf { base: 0x100, words: 64 }, // bytes [0x100, 0x200)
+    }];
+    // node 0 writes [0x100,0x180); node 1 reads [0x140,0x1c0) — the upper
+    // half of the write plus 0x40 unwritten bytes; node 2 overwrites the
+    // untouched lower half; node 3 overwrites across the read.
+    let events = vec![
+        VecEvent::store("vse", 1, 0x100, 0x180, 32),
+        VecEvent::load("vle", 2, 0x140, 0x1c0, 32),
+        VecEvent::store("vse", 3, 0x100, 0x140, 16),
+        VecEvent::store("vse", 4, 0x160, 0x1a0, 16),
+    ];
+    let g = DepGraph::build(&events, &allocs);
+    let expected = vec![
+        edge(0, 1, DepKind::Raw, Via::Mem), // read of the written overlap
+        edge(0, 2, DepKind::Waw, Via::Mem), // lower half overwritten, never read
+        edge(0, 3, DepKind::Waw, Via::Mem), // [0x160,0x180) still node 0's bytes
+        edge(1, 3, DepKind::War, Via::Mem), // node 1 read [0x160,0x1a0) first
+    ];
+    let mut want = expected;
+    want.sort();
+    assert_eq!(g.edges, want);
+    // No WAR edge into node 2: node 1 never read [0x100,0x140).
+    assert_eq!(g.edges_of(DepKind::War).len(), 1);
+}
+
+#[test]
+fn accumulator_chains_serialize_without_self_edges() {
+    // vfmacc reads its own destination: each accumulate depends on the
+    // previous one (RAW + WAW on the accumulator) but must not generate a
+    // self-edge, and the final reduction reads the accumulator.
+    let events = vec![
+        VecEvent::load("vle", 1, 0x100, 0x140, 16),
+        VecEvent::arith("vfmacc.vv", 2, [Some(1), Some(2), None], 16),
+        VecEvent::arith("vfmacc.vv", 2, [Some(1), Some(2), None], 16),
+        VecEvent::reduce("vfredsum", 2, 16),
+    ];
+    let g = DepGraph::build(&events, &[]);
+    let expected = vec![
+        edge(0, 1, DepKind::Raw, Via::Reg(1)),
+        edge(0, 2, DepKind::Raw, Via::Reg(1)),
+        edge(1, 2, DepKind::Raw, Via::Reg(2)), // old accumulator value
+        edge(1, 2, DepKind::Waw, Via::Reg(2)), // accumulator redefinition
+        edge(2, 3, DepKind::Raw, Via::Reg(2)), // reduction reads the result
+    ];
+    let mut want = expected;
+    want.sort();
+    assert_eq!(g.edges, want);
+    assert!(g.edges.iter().all(|e| e.from != e.to), "no self-edges");
+
+    // The accumulator chain is the critical path.
+    let (len, path) = g.longest_path(|_| 1, |_| 0);
+    assert_eq!(len, 3);
+    assert_eq!(path, vec![0, 1, 2, 3]);
+}
+
+#[test]
+fn independent_streams_share_no_edges() {
+    // Two disjoint load/compute/store pipelines: the DAG must be two
+    // disconnected chains, so retiming may interleave them freely.
+    let events = vec![
+        VecEvent::load("vle", 1, 0x100, 0x140, 16),
+        VecEvent::load("vle", 2, 0x200, 0x240, 16),
+        VecEvent::arith("vfadd.vf", 3, [Some(1), None, None], 16),
+        VecEvent::arith("vfadd.vf", 4, [Some(2), None, None], 16),
+        VecEvent::store("vse", 3, 0x300, 0x340, 16),
+        VecEvent::store("vse", 4, 0x400, 0x440, 16),
+    ];
+    let g = DepGraph::build(&events, &[]);
+    let expected = vec![
+        edge(0, 2, DepKind::Raw, Via::Reg(1)),
+        edge(1, 3, DepKind::Raw, Via::Reg(2)),
+        edge(2, 4, DepKind::Raw, Via::Reg(3)),
+        edge(3, 5, DepKind::Raw, Via::Reg(4)),
+    ];
+    let mut want = expected;
+    want.sort();
+    assert_eq!(g.edges, want);
+    let (len, _) = g.longest_path(|_| 1, |_| 0);
+    assert_eq!(len, 2, "each chain is two edges long");
+}

@@ -38,7 +38,7 @@ pub use config::{
 };
 pub use machine::{Machine, PipeEvent, VReg, NUM_VREGS};
 pub use pred::Pred;
-pub use record::{EventKind, EventSink, VecEvent};
+pub use record::{stream_hash, EventKind, EventSink, StreamHasher, VecEvent};
 pub use stats::{KernelPhase, PhaseTimer, StallBreakdown, StallCause, VpuStats};
 
 pub use lva_sim::{Buf, IdealKnob, IdealSpec, Memory, PrefetchTarget};

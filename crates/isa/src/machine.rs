@@ -924,7 +924,7 @@ impl Machine {
         }
         self.rec(|| {
             let (lo, hi) = range.unwrap_or((0, 0));
-            VecEvent::load("vgather", vd, lo, hi, vl)
+            VecEvent::load("vgather", vd, lo, hi, vl).with_active(active_lanes(&idx[..vl]))
         });
         self.gather_elems(vd, base, &idx[..vl], range);
         let (occ, lat) = self.indexed_cost(base, &idx[..vl], AccessKind::Read);
@@ -948,7 +948,7 @@ impl Machine {
         }
         self.rec(|| {
             let (lo, hi) = range.unwrap_or((0, 0));
-            VecEvent::store("vscatter", vs, lo, hi, vl)
+            VecEvent::store("vscatter", vs, lo, hi, vl).with_active(active_lanes(&idx[..vl]))
         });
         self.scatter_elems(vs, base, &idx[..vl], range);
         let (occ, _) = self.indexed_cost(base, &idx[..vl], AccessKind::Write);
@@ -976,7 +976,7 @@ impl Machine {
         }
         self.rec(|| {
             let (lo, hi) = range.unwrap_or((0, 0));
-            VecEvent::load("vgather4", vd, lo, hi, vl)
+            VecEvent::load("vgather4", vd, lo, hi, vl).with_active(active_lanes(&idx[..vl]))
         });
         self.gather_elems(vd, base, &idx[..vl], range);
         let (occ, lat) = self.grouped_cost(base, &idx[..vl], AccessKind::Read);
@@ -999,7 +999,7 @@ impl Machine {
         }
         self.rec(|| {
             let (lo, hi) = range.unwrap_or((0, 0));
-            VecEvent::store("vscatter4", vs, lo, hi, vl)
+            VecEvent::store("vscatter4", vs, lo, hi, vl).with_active(active_lanes(&idx[..vl]))
         });
         self.scatter_elems(vs, base, &idx[..vl], range);
         let (occ, _) = self.grouped_cost(base, &idx[..vl], AccessKind::Write);
@@ -1553,6 +1553,14 @@ fn indexed_range(base: u64, idx: &[u32]) -> Option<(u64, u64)> {
         hi = hi.max(a + 4);
     }
     (lo < hi).then_some((lo, hi))
+}
+
+/// Lanes of an indexed access that are not sentinel-predicated — the count
+/// the per-element gather/scatter occupancy charges, recorded as
+/// [`VecEvent::active`] (only evaluated inside a recording closure).
+#[inline]
+fn active_lanes(idx: &[u32]) -> usize {
+    idx.iter().filter(|&&ix| ix != u32::MAX).count()
 }
 
 #[cfg(test)]

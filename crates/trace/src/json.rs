@@ -503,6 +503,14 @@ impl Json {
         }
     }
 
+    /// Boolean value. `None` otherwise.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// String value. `None` otherwise.
     pub fn as_str(&self) -> Option<&str> {
         match self {
