@@ -23,7 +23,7 @@ fn main() {
         format!("Fig. 10 — Winograd VL x L2 on SVE @ gem5, {}", workload.describe()),
         &["vlen_bits", "l2", "cycles", "speedup_vs_512b_1MB", "l2_miss_%"],
     );
-    let mut base = None;
+    let mut specs: Vec<(String, Experiment)> = Vec::new();
     for vlen in SVE_VLENS {
         for l2 in L2_SIZES {
             let e = Experiment::new(
@@ -31,7 +31,15 @@ fn main() {
                 wino,
                 workload,
             );
-            let s = run_logged(&e);
+            specs.push((format!("vlen{vlen}_l2_{}", lva_core::experiment::fmt_bytes(l2)), e));
+        }
+    }
+    let runs = run_sweep(&specs, opts.jobs, false, false);
+    let mut runs = runs.into_iter();
+    let mut base = None;
+    for vlen in SVE_VLENS {
+        for l2 in L2_SIZES {
+            let s = runs.next().expect("one run per cell").summary;
             let b = *base.get_or_insert(s.cycles);
             table.row(vec![
                 vlen.to_string(),
@@ -51,10 +59,20 @@ fn main() {
         &["vlen_bits", "winograd_cycles", "gemm_cycles", "speedup", "paper"],
     );
     let paper = ["1.4x", "1.5x", "1.3x"];
+    let cmp_specs: Vec<(String, Experiment)> = SVE_VLENS
+        .iter()
+        .flat_map(|&vlen| {
+            let hw = HwTarget::SveGem5 { vlen_bits: vlen, l2_bytes: 1 << 20 };
+            [
+                (format!("wino_vlen{vlen}"), Experiment::new(hw, wino, workload)),
+                (format!("gemm_vlen{vlen}"), Experiment::new(hw, gemm, workload)),
+            ]
+        })
+        .collect();
+    let cmp_runs = run_sweep(&cmp_specs, opts.jobs, false, false);
     for (i, vlen) in SVE_VLENS.into_iter().enumerate() {
-        let hw = HwTarget::SveGem5 { vlen_bits: vlen, l2_bytes: 1 << 20 };
-        let w = run_logged(&Experiment::new(hw, wino, workload));
-        let g = run_logged(&Experiment::new(hw, gemm, workload));
+        let w = &cmp_runs[2 * i].summary;
+        let g = &cmp_runs[2 * i + 1].summary;
         cmp.row(vec![
             vlen.to_string(),
             fmt_cycles(w.cycles),

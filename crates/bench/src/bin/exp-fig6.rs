@@ -20,14 +20,20 @@ fn main() {
         format!("Fig. 6 — vector length vs performance, {}", workload.describe()),
         &["vlen_bits", "cycles", "speedup_vs_512", "avg_vlen_bits", "l2_miss_%"],
     );
+    let specs: Vec<(String, Experiment)> = RVV_VLENS
+        .iter()
+        .map(|&vlen| {
+            let e = Experiment::new(
+                HwTarget::RvvGem5 { vlen_bits: vlen, lanes: 8, l2_bytes: 1 << 20 },
+                policy,
+                workload,
+            );
+            (format!("vlen{vlen}"), e)
+        })
+        .collect();
     let mut base = None;
-    for vlen in RVV_VLENS {
-        let e = Experiment::new(
-            HwTarget::RvvGem5 { vlen_bits: vlen, lanes: 8, l2_bytes: 1 << 20 },
-            policy,
-            workload,
-        );
-        let s = run_logged(&e);
+    for (vlen, r) in RVV_VLENS.iter().zip(run_sweep(&specs, opts.jobs, false, false)) {
+        let s = r.summary;
         let base_cycles = *base.get_or_insert(s.cycles);
         table.row(vec![
             vlen.to_string(),

@@ -20,15 +20,23 @@ fn main() {
         format!("Fig. 7 — L2 size vs performance per VL, {}", workload.describe()),
         &["vlen_bits", "l2", "cycles", "speedup_vs_1MB", "l2_miss_%"],
     );
+    let mut specs: Vec<(String, Experiment)> = Vec::new();
     for vlen in RVV_VLENS {
-        let mut base = None;
         for l2 in L2_SIZES {
             let e = Experiment::new(
                 HwTarget::RvvGem5 { vlen_bits: vlen, lanes: 8, l2_bytes: l2 },
                 policy,
                 workload,
             );
-            let s = run_logged(&e);
+            specs.push((format!("vlen{vlen}_l2_{}", lva_core::experiment::fmt_bytes(l2)), e));
+        }
+    }
+    let runs = run_sweep(&specs, opts.jobs, false, false);
+    let mut runs = runs.into_iter();
+    for vlen in RVV_VLENS {
+        let mut base = None;
+        for l2 in L2_SIZES {
+            let s = runs.next().expect("one run per cell").summary;
             let b = *base.get_or_insert(s.cycles);
             table.row(vec![
                 vlen.to_string(),

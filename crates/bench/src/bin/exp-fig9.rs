@@ -21,7 +21,7 @@ fn main() {
         format!("Fig. 9 — Winograd VL x L2 on SVE @ gem5, {}", workload.describe()),
         &["vlen_bits", "l2", "cycles", "speedup_vs_512b_1MB", "l2_miss_%"],
     );
-    let mut base = None;
+    let mut specs: Vec<(String, Experiment)> = Vec::new();
     for vlen in SVE_VLENS {
         for l2 in L2_SIZES {
             let e = Experiment::new(
@@ -29,7 +29,15 @@ fn main() {
                 policy,
                 workload,
             );
-            let s = run_logged(&e);
+            specs.push((format!("vlen{vlen}_l2_{}", lva_core::experiment::fmt_bytes(l2)), e));
+        }
+    }
+    let runs = run_sweep(&specs, opts.jobs, false, false);
+    let mut runs = runs.into_iter();
+    let mut base = None;
+    for vlen in SVE_VLENS {
+        for l2 in L2_SIZES {
+            let s = runs.next().expect("one run per cell").summary;
             let b = *base.get_or_insert(s.cycles);
             table.row(vec![
                 vlen.to_string(),

@@ -19,15 +19,23 @@ fn main() {
         format!("Vector lanes vs performance per VL, {}", workload.describe()),
         &["vlen_bits", "lanes", "cycles", "speedup_vs_2_lanes"],
     );
+    let mut specs: Vec<(String, Experiment)> = Vec::new();
     for vlen in [512usize, 2048, 8192] {
-        let mut base = None;
         for lanes in [2usize, 4, 8] {
             let e = Experiment::new(
                 HwTarget::RvvGem5 { vlen_bits: vlen, lanes, l2_bytes: 1 << 20 },
                 policy,
                 workload,
             );
-            let s = run_logged(&e);
+            specs.push((format!("vlen{vlen}_lanes{lanes}"), e));
+        }
+    }
+    let runs = run_sweep(&specs, opts.jobs, false, false);
+    let mut runs = runs.into_iter();
+    for vlen in [512usize, 2048, 8192] {
+        let mut base = None;
+        for lanes in [2usize, 4, 8] {
+            let s = runs.next().expect("one run per cell").summary;
             let b = *base.get_or_insert(s.cycles);
             table.row(vec![
                 vlen.to_string(),

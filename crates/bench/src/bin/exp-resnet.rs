@@ -20,19 +20,39 @@ fn main() {
         "Winograd-policy speedup by network architecture (A64FX)",
         &["model", "conv_layers", "winograd_layers", "gemm_cycles", "wino_cycles", "gain"],
     );
-    for model in [ModelId::Vgg16, ModelId::Yolov3, ModelId::Resnet50, ModelId::MobilenetV1] {
-        let workload =
-            Workload { model, input_hw: scaled_input(model, opts.div), layer_limit: opts.layers };
-        let gemm = run_logged(&Experiment::new(
-            HwTarget::A64fx,
-            ConvPolicy::gemm_only(GemmVariant::opt6()),
-            workload,
-        ));
-        let wino = run_logged(&Experiment::new(
-            HwTarget::A64fx,
-            ConvPolicy::winograd_default(GemmVariant::opt6()),
-            workload,
-        ));
+    let models = [ModelId::Vgg16, ModelId::Yolov3, ModelId::Resnet50, ModelId::MobilenetV1];
+    let specs: Vec<(String, Experiment)> = models
+        .iter()
+        .flat_map(|&model| {
+            let workload = Workload {
+                model,
+                input_hw: scaled_input(model, opts.div),
+                layer_limit: opts.layers,
+            };
+            [
+                (
+                    format!("gemm_{}", model.name()),
+                    Experiment::new(
+                        HwTarget::A64fx,
+                        ConvPolicy::gemm_only(GemmVariant::opt6()),
+                        workload,
+                    ),
+                ),
+                (
+                    format!("wino_{}", model.name()),
+                    Experiment::new(
+                        HwTarget::A64fx,
+                        ConvPolicy::winograd_default(GemmVariant::opt6()),
+                        workload,
+                    ),
+                ),
+            ]
+        })
+        .collect();
+    let runs = run_sweep(&specs, opts.jobs, false, false);
+    for (i, model) in models.into_iter().enumerate() {
+        let gemm = &runs[2 * i].summary;
+        let wino = &runs[2 * i + 1].summary;
         let convs = wino.report.layers.iter().filter(|l| l.algo.is_some()).count();
         let wcount =
             wino.report.layers.iter().filter(|l| l.algo == Some(ConvAlgo::Winograd)).count();

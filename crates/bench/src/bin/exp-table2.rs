@@ -18,8 +18,20 @@ fn main() {
     };
     let hw = HwTarget::RvvGem5 { vlen_bits: 2048, lanes: 8, l2_bytes: 1 << 20 };
 
-    let opt3 =
-        run_logged(&Experiment::new(hw, ConvPolicy::gemm_only(GemmVariant::opt3()), workload));
+    let mut specs: Vec<(String, Experiment)> = vec![(
+        "opt3_reference".to_string(),
+        Experiment::new(hw, ConvPolicy::gemm_only(GemmVariant::opt3()), workload),
+    )];
+    for blocks in BlockSizes::TABLE2_SWEEP {
+        let e = Experiment::new(
+            hw,
+            ConvPolicy::gemm_only(GemmVariant::Opt6 { unroll: 16, blocks }),
+            workload,
+        );
+        specs.push((format!("opt6_{}x{}x{}", blocks.m, blocks.n, blocks.k), e));
+    }
+    let runs = run_sweep(&specs, opts.jobs, false, false);
+    let opt3 = &runs[0].summary;
 
     let paper = ["0.90", "0.95", "0.98", "0.96", "0.97", "0.95"];
     let mut table = Table::new(
@@ -27,12 +39,7 @@ fn main() {
         &["blockM x blockN x blockK", "cycles_6loop", "normalized_perf_vs_3loop", "paper"],
     );
     for (i, blocks) in BlockSizes::TABLE2_SWEEP.into_iter().enumerate() {
-        let e = Experiment::new(
-            hw,
-            ConvPolicy::gemm_only(GemmVariant::Opt6 { unroll: 16, blocks }),
-            workload,
-        );
-        let s = run_logged(&e);
+        let s = &runs[i + 1].summary;
         table.row(vec![
             format!("{}x{}x{}", blocks.m, blocks.n, blocks.k),
             fmt_cycles(s.cycles),

@@ -24,13 +24,20 @@ fn main() {
         &["vlen_bits", "avg_consumed_vlen_bits", "l2_miss_%", "paper_l2_miss_%"],
     );
     let paper_miss = [32.0, 36.0, 39.0, 42.0, 61.0, 79.0];
-    for (i, vlen) in RVV_VLENS.into_iter().enumerate() {
-        let e = Experiment::new(
-            HwTarget::RvvGem5 { vlen_bits: vlen, lanes: 8, l2_bytes: 1 << 20 },
-            policy,
-            workload,
-        );
-        let s = run_logged(&e);
+    let specs: Vec<(String, Experiment)> = RVV_VLENS
+        .iter()
+        .map(|&vlen| {
+            let e = Experiment::new(
+                HwTarget::RvvGem5 { vlen_bits: vlen, lanes: 8, l2_bytes: 1 << 20 },
+                policy,
+                workload,
+            );
+            (format!("vlen{vlen}"), e)
+        })
+        .collect();
+    let runs = run_sweep(&specs, opts.jobs, false, false);
+    for (i, (vlen, r)) in RVV_VLENS.into_iter().zip(runs).enumerate() {
+        let s = r.summary;
         table.row(vec![
             vlen.to_string(),
             format!("{:.1}", s.avg_vlen_bits),

@@ -22,29 +22,48 @@ fn main() {
         &["workload", "comparison", "measured", "paper"],
     );
 
-    for model in [ModelId::Vgg16, ModelId::Yolov3] {
+    let models = [ModelId::Vgg16, ModelId::Yolov3];
+    let specs: Vec<(String, Experiment)> = models
+        .iter()
+        .flat_map(|&model| {
+            let workload = Workload {
+                model,
+                input_hw: scaled_input(model, opts.div),
+                layer_limit: opts.layers,
+            };
+            // Winograd everywhere it applies, including stride-2 (the paper
+            // measured stride-2 separately before excluding it from §VII-B).
+            let mut pol = ConvPolicy::winograd_default(GemmVariant::opt6());
+            pol.winograd_stride2 = true;
+            [
+                (
+                    format!("gemm_{}", model.name()),
+                    Experiment::new(
+                        HwTarget::A64fx,
+                        ConvPolicy::gemm_only(GemmVariant::opt6()),
+                        workload,
+                    ),
+                ),
+                (format!("wino_{}", model.name()), Experiment::new(HwTarget::A64fx, pol, workload)),
+            ]
+        })
+        .collect();
+    let runs = run_sweep(&specs, opts.jobs, false, false);
+    for (i, model) in models.into_iter().enumerate() {
         let workload =
             Workload { model, input_hw: scaled_input(model, opts.div), layer_limit: opts.layers };
-        let gemm = run_logged(&Experiment::new(
-            HwTarget::A64fx,
-            ConvPolicy::gemm_only(GemmVariant::opt6()),
-            workload,
-        ));
-        // Winograd everywhere it applies, including stride-2 (the paper
-        // measured stride-2 separately before excluding it from §VII-B).
-        let mut pol = ConvPolicy::winograd_default(GemmVariant::opt6());
-        pol.winograd_stride2 = true;
-        let wino = run_logged(&Experiment::new(HwTarget::A64fx, pol, workload));
+        let gemm = &runs[2 * i].summary;
+        let wino = &runs[2 * i + 1].summary;
 
         // Whole-network conv time (the paper's default policy: stride-1
         // Winograd only -> charge stride-2 layers at their GEMM cost).
         let is3x3s1 = |l: &lva_nn::LayerReport| l.desc.contains("3x3/1");
         let is3x3s2 = |l: &lva_nn::LayerReport| l.desc.contains("3x3/2");
-        let g_all = conv_cycles(&gemm, |_| true);
-        let w_s1 = conv_cycles(&wino, is3x3s1);
-        let g_s1 = conv_cycles(&gemm, is3x3s1);
-        let w_s2 = conv_cycles(&wino, is3x3s2);
-        let g_s2 = conv_cycles(&gemm, is3x3s2);
+        let g_all = conv_cycles(gemm, |_| true);
+        let w_s1 = conv_cycles(wino, is3x3s1);
+        let g_s1 = conv_cycles(gemm, is3x3s1);
+        let w_s2 = conv_cycles(wino, is3x3s2);
+        let g_s2 = conv_cycles(gemm, is3x3s2);
         let other_g = g_all - g_s1 - g_s2;
         // Default policy total: Winograd s1 + GEMM s2 + GEMM rest.
         let default_total = w_s1 + g_s2 + other_g;

@@ -3,14 +3,15 @@
 //! report byte-for-byte, or render a record produced elsewhere (CI
 //! artifacts).
 //!
-//! The record's `"tool"` field selects the renderer: `lint-dataflow`
-//! records render the dataflow certifier report (`results/DATAFLOW.md`);
-//! everything else is treated as a `BENCH_whatif.json` co-design record
-//! (`results/CODESIGN_REPORT.md`).
+//! The record's tags select the renderer: `"tool": "lint-dataflow"`
+//! records render the dataflow certifier report (`results/DATAFLOW.md`),
+//! `"bench": "serving"` records render the serving load report
+//! (`results/SERVING.md`); everything else is treated as a
+//! `BENCH_whatif.json` co-design record (`results/CODESIGN_REPORT.md`).
 //!
 //! Usage: `report [--in BENCH_whatif.json] [--out results/…]`
 
-use lva_bench::{codesign_markdown, dataflow_markdown, Json};
+use lva_bench::{codesign_markdown, dataflow_markdown, serving_markdown, Json};
 
 fn main() {
     let mut input = String::from("BENCH_whatif.json");
@@ -22,7 +23,7 @@ fn main() {
             "--out" => output = Some(args.next().expect("--out needs a file path")),
             "--help" | "-h" => {
                 eprintln!(
-                    "Render a committed markdown report from its JSON record.\n\nOptions:\n  --in FILE   input record (default BENCH_whatif.json); a \"tool\":\n              \"lint-dataflow\" record renders the dataflow report\n  --out FILE  output markdown (default results/CODESIGN_REPORT.md, or\n              results/DATAFLOW.md for lint-dataflow records)"
+                    "Render a committed markdown report from its JSON record.\n\nOptions:\n  --in FILE   input record (default BENCH_whatif.json); a \"tool\":\n              \"lint-dataflow\" record renders the dataflow report, a\n              \"bench\": \"serving\" record the serving load report\n  --out FILE  output markdown (default results/CODESIGN_REPORT.md,\n              results/DATAFLOW.md for lint-dataflow records, or\n              results/SERVING.md for serving records)"
                 );
                 std::process::exit(0);
             }
@@ -37,8 +38,11 @@ fn main() {
     });
     let j = Json::parse(&text).unwrap_or_else(|e| panic!("{input} is not valid JSON: {e:?}"));
     let dataflow = j.get("tool").and_then(Json::as_str) == Some("lint-dataflow");
+    let serving = j.get("bench").and_then(Json::as_str) == Some("serving");
     let (md, default_out) = if dataflow {
         (dataflow_markdown(&j), "results/DATAFLOW.md")
+    } else if serving {
+        (serving_markdown(&j), "results/SERVING.md")
     } else {
         (codesign_markdown(&j), "results/CODESIGN_REPORT.md")
     };

@@ -33,6 +33,13 @@ pub struct Tolerance {
     /// Per-point energy-delay product, relative percent. EDP compounds the
     /// cycle and energy drifts, so its default is looser than either alone.
     pub edp_pct: f64,
+    /// Per-cell overall p50 latency, relative percent (`BENCH_serving.json`
+    /// gate). The median is a stable statistic, so it gets the tight gate.
+    pub p50_pct: f64,
+    /// Per-cell overall p99 latency, relative percent. The tail sits on
+    /// log-bucket edges, so a tolerance looser than p50's absorbs a sample
+    /// stepping one sub-bucket without letting a real regression through.
+    pub p99_pct: f64,
 }
 
 impl Default for Tolerance {
@@ -44,6 +51,8 @@ impl Default for Tolerance {
             stall_pct: 10.0,
             energy_pct: 2.0,
             edp_pct: 4.0,
+            p50_pct: 2.0,
+            p99_pct: 5.0,
         }
     }
 }
@@ -322,6 +331,103 @@ pub fn compare_energy(base: &Json, cur: &Json, tol: &Tolerance) -> DiffReport {
     out
 }
 
+/// Compare two `BENCH_serving.json` records. Design points are matched by
+/// name and their load cells by index (the intensity grid is part of the
+/// record's shape — a changed grid is structural). Per cell, the overall
+/// `p50_ms` / `p99_ms` are gated as higher-is-worse relative drifts and
+/// `deadline_misses` must match **exactly**: the simulator is
+/// deterministic, so a single extra miss at a pinned configuration is a
+/// behavior change, not noise. The SLO recommendation moving to a
+/// different design point is structural (fatal) — the committed baseline
+/// encodes the headline cheapest-point claim, so a shifted recommendation
+/// must be re-baselined deliberately.
+pub fn compare_serving(base: &Json, cur: &Json, tol: &Tolerance) -> DiffReport {
+    let mut out = DiffReport::default();
+    let points =
+        |j: &Json| j.get("points").and_then(Json::as_arr).map(<[Json]>::to_vec).unwrap_or_default();
+    let (bp, cp) = (points(base), points(cur));
+    if bp.is_empty() {
+        out.push(Severity::Structural, "baseline has no design points".to_string());
+        return out;
+    }
+
+    // The recommendation gate first: it is the record's headline claim.
+    let pick = |j: &Json| {
+        j.get("slo_recommendation")
+            .and_then(|r| r.get("recommended"))
+            .and_then(|p| p.get("point"))
+            .and_then(Json::as_str)
+            .unwrap_or("<none>")
+            .to_string()
+    };
+    let (br, cr) = (pick(base), pick(cur));
+    out.compared += 1;
+    if br != cr {
+        out.push(Severity::Structural, format!("slo recommendation moved {br} -> {cr}"));
+    }
+
+    for b in &bp {
+        let name = run_name(b);
+        let Some(c) = cp.iter().find(|c| run_name(c) == name) else {
+            out.push(Severity::Structural, format!("point {name} missing from current report"));
+            continue;
+        };
+        let loads = |j: &Json| {
+            j.get("loads").and_then(Json::as_arr).map(<[Json]>::to_vec).unwrap_or_default()
+        };
+        let (bl, cl) = (loads(b), loads(c));
+        if bl.len() != cl.len() {
+            out.push(
+                Severity::Structural,
+                format!("{name}: load count {} -> {}", bl.len(), cl.len()),
+            );
+        }
+        for (i, (lb, lc)) in bl.iter().zip(&cl).enumerate() {
+            let rho = |l: &Json| l.get("intensity").and_then(Json::as_f64);
+            if rho(lb) != rho(lc) {
+                out.push(Severity::Structural, format!("{name}: load {i} intensity changed"));
+                continue;
+            }
+            let cell = format!("{name}@{}x", rho(lb).unwrap_or(0.0));
+            let overall =
+                |l: &Json, k: &str| l.get("overall").and_then(|o| o.get(k)).and_then(Json::as_f64);
+            for (key, what, pct) in [("p50_ms", "p50", tol.p50_pct), ("p99_ms", "p99", tol.p99_pct)]
+            {
+                match (overall(lb, key), overall(lc, key)) {
+                    (Some(bv), Some(cv)) => {
+                        check_higher_worse(&mut out, &format!("{cell}: {what}"), bv, cv, pct);
+                    }
+                    _ => out.push(Severity::Structural, format!("{cell}: missing {key}")),
+                }
+            }
+            match (overall(lb, "deadline_misses"), overall(lc, "deadline_misses")) {
+                (Some(bv), Some(cv)) => {
+                    out.compared += 1;
+                    if bv != cv {
+                        out.push(
+                            Severity::Regression,
+                            format!(
+                                "{cell}: deadline misses {bv:.0} -> {cv:.0} (exact gate: the \
+                                 simulator is deterministic)"
+                            ),
+                        );
+                    }
+                }
+                _ => out.push(Severity::Structural, format!("{cell}: missing deadline_misses")),
+            }
+        }
+    }
+    for c in &cp {
+        if !bp.iter().any(|b| run_name(b) == run_name(c)) {
+            out.push(
+                Severity::Improvement,
+                format!("point {} is new (not in baseline)", run_name(c)),
+            );
+        }
+    }
+    out
+}
+
 /// Multiply every `totals.cycles` and per-layer `cycles` in a report by
 /// `1 + pct/100`. Used by `bench-diff --inject-cycles` so CI can prove the
 /// gate actually trips on a synthetic slowdown.
@@ -495,6 +601,87 @@ mod tests {
         let empty = Json::obj().field("bench", "energy").field("networks", Json::Arr(vec![]));
         assert!(!compare_energy(&b, &empty, &Tolerance::default()).is_pass());
         assert!(!compare_energy(&empty, &empty, &Tolerance::default()).is_pass());
+    }
+
+    fn serving_report_fixture(p99: f64, misses: u64, recommended: &str) -> Json {
+        let cell = |rho: f64, p50: f64, p99: f64, misses: u64| {
+            Json::obj().field("intensity", rho).field(
+                "overall",
+                Json::obj()
+                    .field("p50_ms", p50)
+                    .field("p99_ms", p99)
+                    .field("deadline_misses", misses),
+            )
+        };
+        let point = |name: &str, p99: f64, misses: u64| {
+            Json::obj().field("name", name).field(
+                "loads",
+                Json::Arr(vec![cell(0.5, 1.0, p99 / 2.0, 0), cell(0.95, 1.2, p99, misses)]),
+            )
+        };
+        Json::obj()
+            .field("bench", "serving")
+            .field(
+                "slo_recommendation",
+                Json::obj()
+                    .field("target_p99_ms", 4.0)
+                    .field("met", true)
+                    .field("recommended", Json::obj().field("point", recommended)),
+            )
+            .field(
+                "points",
+                Json::Arr(vec![
+                    point("sve512/1MB", p99 * 3.0, misses + 7),
+                    point("a64fx", p99, misses),
+                ]),
+            )
+    }
+
+    #[test]
+    fn report_kind_detects_serving() {
+        assert_eq!(report_kind(&serving_report_fixture(3.0, 2, "a64fx")), "serving");
+    }
+
+    #[test]
+    fn identical_serving_reports_pass_and_latency_drift_gates() {
+        let b = serving_report_fixture(3.0, 2, "a64fx");
+        let d = compare_serving(&b, &b, &Tolerance::default());
+        assert!(d.is_pass(), "{:?}", d.findings);
+        // 1 recommendation + 2 points × 2 loads × 3 metrics.
+        assert_eq!(d.compared, 13);
+        // +4% p99 passes the 5% gate; +8% fails it.
+        let ok = serving_report_fixture(3.12, 2, "a64fx");
+        assert!(compare_serving(&b, &ok, &Tolerance::default()).is_pass());
+        let bad = serving_report_fixture(3.24, 2, "a64fx");
+        let d = compare_serving(&b, &bad, &Tolerance::default());
+        assert!(!d.is_pass());
+        assert!(d.regressions() >= 1, "{:?}", d.findings);
+        // Faster tails are improvements, not failures.
+        let better = serving_report_fixture(2.7, 2, "a64fx");
+        let d = compare_serving(&b, &better, &Tolerance::default());
+        assert!(d.is_pass(), "{:?}", d.findings);
+    }
+
+    #[test]
+    fn deadline_miss_count_gates_exactly() {
+        let b = serving_report_fixture(3.0, 2, "a64fx");
+        let one_more = serving_report_fixture(3.0, 3, "a64fx");
+        let d = compare_serving(&b, &one_more, &Tolerance::default());
+        assert!(!d.is_pass(), "one extra miss must fail: {:?}", d.findings);
+        assert!(d.regressions() >= 1);
+        assert!(d.findings.iter().any(|f| f.message.contains("deadline misses")));
+    }
+
+    #[test]
+    fn moved_recommendation_or_missing_point_is_structural() {
+        let b = serving_report_fixture(3.0, 2, "a64fx");
+        let moved = serving_report_fixture(3.0, 2, "sve512/1MB");
+        let d = compare_serving(&b, &moved, &Tolerance::default());
+        assert!(!d.is_pass());
+        assert!(d.findings.iter().any(|f| f.message.contains("recommendation moved")));
+        let empty = Json::obj().field("bench", "serving").field("points", Json::Arr(vec![]));
+        assert!(!compare_serving(&b, &empty, &Tolerance::default()).is_pass());
+        assert!(!compare_serving(&empty, &empty, &Tolerance::default()).is_pass());
     }
 
     #[test]

@@ -12,11 +12,13 @@ pub mod dataflow_report;
 pub mod diff;
 pub mod energy_report;
 pub mod microbench;
+pub mod serving_report;
 pub mod sweep;
 pub mod whatif_report;
 
 pub use dataflow_report::dataflow_markdown;
 pub use energy_report::{energy_grid_json, pareto_markdown};
+pub use serving_report::{knee_chrome_trace, serving_grid_json, serving_markdown};
 pub use sweep::{median_ms, run_sweep, SweepRun};
 pub use whatif_report::{codesign_markdown, whatif_json};
 

@@ -45,6 +45,10 @@ pub struct RunReport {
     /// Streaming energy attribution (`lva-energy`) for this run; `None`
     /// (the default) omits the section. See [`Self::with_energy`].
     pub energy: Option<Json>,
+    /// Serving-tier observability (`lva-serve` latency/queue/SLO stats) for
+    /// this run; `None` (the default) omits the section. See
+    /// [`Self::with_serving`].
+    pub serving: Option<Json>,
 }
 
 fn algo_name(a: ConvAlgo) -> &'static str {
@@ -127,6 +131,7 @@ impl RunReport {
             host: None,
             whatif: None,
             energy: None,
+            serving: None,
         }
     }
 
@@ -153,6 +158,15 @@ impl RunReport {
     #[must_use]
     pub fn with_energy(mut self, energy: Json) -> Self {
         self.energy = Some(energy);
+        self
+    }
+
+    /// Attach serving-tier observability (produced by `lva-serve`: latency
+    /// histograms, queue telemetry, SLO outcomes); [`Self::to_json`] then
+    /// emits it verbatim as a `serving` section.
+    #[must_use]
+    pub fn with_serving(mut self, serving: Json) -> Self {
+        self.serving = Some(serving);
         self
     }
 
@@ -218,6 +232,7 @@ impl RunReport {
             ("host", self.host_json()),
             ("whatif", self.whatif.clone()),
             ("energy", self.energy.clone()),
+            ("serving", self.serving.clone()),
         ] {
             if let Some(sec) = section {
                 j = j.field(key, sec);
@@ -292,7 +307,7 @@ mod tests {
     fn optional_sections_only_when_attached() {
         let (e, s) = small_run();
         let plain = RunReport::new("t", &e, &s).to_json();
-        for key in ["host", "whatif", "energy"] {
+        for key in ["host", "whatif", "energy", "serving"] {
             assert!(plain.get(key).is_none(), "optional section {key} present by default");
         }
         let timed = RunReport::new("t", &e, &s).with_host(250.0).to_json();
@@ -314,6 +329,11 @@ mod tests {
         let with_en = RunReport::new("t", &e, &s).with_energy(en.clone()).to_json();
         let got = with_en.get("energy").expect("energy section after with_energy");
         assert_eq!(got.to_string_compact(), en.to_string_compact());
+        // And the serving payload.
+        let sv = Json::obj().field("p99_ms", 4.25).field("deadline_misses", 3u64);
+        let with_sv = RunReport::new("t", &e, &s).with_serving(sv.clone()).to_json();
+        let got = with_sv.get("serving").expect("serving section after with_serving");
+        assert_eq!(got.to_string_compact(), sv.to_string_compact());
     }
 
     #[test]
@@ -321,7 +341,13 @@ mod tests {
         let (e, s) = small_run();
         let report = RunReport::new("t", &e, &s)
             .with_host(125.0)
-            .with_whatif(Json::obj().field("bound", "memory"));
+            .with_whatif(Json::obj().field("bound", "memory"))
+            .with_serving(
+                Json::obj()
+                    .field("tenant", "yolov3_tiny")
+                    .field("latency", Json::obj().field("p50_ms", 1.5).field("p99_ms", 6.0))
+                    .field("slo", Json::obj().field("p99_met", true).field("budget_burn", 0.2)),
+            );
         let compact = report.to_json().to_string_compact();
         let parsed = Json::parse(&compact).expect("report parses");
         // Parsing preserves field order, so re-serialization is the identity.

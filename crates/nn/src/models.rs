@@ -36,6 +36,20 @@ impl ModelId {
         }
     }
 
+    /// Stable lowercase key for JSON records, CSV columns, and serving
+    /// tenant names — unlike [`Self::name`], never contains capitals,
+    /// dashes followed by digits, or other characters that make awkward
+    /// map keys.
+    pub fn slug(self) -> &'static str {
+        match self {
+            ModelId::Yolov3 => "yolov3",
+            ModelId::Yolov3Tiny => "yolov3_tiny",
+            ModelId::Vgg16 => "vgg16",
+            ModelId::Resnet50 => "resnet50",
+            ModelId::MobilenetV1 => "mobilenet_v1",
+        }
+    }
+
     /// The network-native input resolution used by the paper.
     pub fn native_input(self) -> usize {
         match self {
@@ -310,6 +324,24 @@ mod tests {
 
     fn count_convs(l: &[LayerSpec]) -> usize {
         l.iter().filter(|s| matches!(s, LayerSpec::Conv { .. })).count()
+    }
+
+    #[test]
+    fn slugs_are_stable_lowercase_keys() {
+        let all = [
+            ModelId::Yolov3,
+            ModelId::Yolov3Tiny,
+            ModelId::Vgg16,
+            ModelId::Resnet50,
+            ModelId::MobilenetV1,
+        ];
+        let mut seen = Vec::new();
+        for m in all {
+            let s = m.slug();
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+            assert!(!seen.contains(&s), "slug {s} not unique");
+            seen.push(s);
+        }
     }
 
     #[test]

@@ -1,0 +1,121 @@
+//! SLO accounting: latency targets and error-budget burn.
+//!
+//! Semantics (DESIGN.md §16): a tenant's SLO has two parts —
+//!
+//! * a **p99 latency target** in milliseconds: met iff the measured p99
+//!   over completed requests is at or under the target;
+//! * a **deadline-miss error budget**: the fraction of offered requests
+//!   allowed to miss their deadline (shed or completed late). The **burn**
+//!   is `miss_fraction / budget_fraction` — burn 1.0 means the budget is
+//!   exactly spent, above 1.0 the SLO is violated. Burn is the standard
+//!   SRE framing: it composes across windows and reads the same at every
+//!   traffic level.
+//!
+//! Both are pure functions of the simulation's own histograms and
+//! counters, so the monitor is as deterministic as the simulator.
+
+use crate::sim::TenantStats;
+use lva_trace::Json;
+
+/// Per-tenant service-level objective.
+#[derive(Debug, Clone, Copy)]
+pub struct SloPolicy {
+    /// p99 latency target (milliseconds).
+    pub target_p99_ms: f64,
+    /// Allowed deadline-miss fraction of offered requests (e.g. 0.05).
+    pub miss_budget_frac: f64,
+}
+
+/// Evaluated SLO state for one tenant over one run.
+#[derive(Debug, Clone, Copy)]
+pub struct SloOutcome {
+    pub target_p99_ms: f64,
+    pub p99_ms: f64,
+    /// p99 at or under target.
+    pub p99_met: bool,
+    pub miss_frac: f64,
+    /// `miss_frac / miss_budget_frac`; > 1.0 means the budget is blown.
+    pub budget_burn: f64,
+}
+
+/// Evaluate a tenant's stats against its SLO. Latencies are converted from
+/// cycles at `freq_ghz`.
+pub fn evaluate(stats: &TenantStats, policy: &SloPolicy, freq_ghz: f64) -> SloOutcome {
+    assert!(policy.miss_budget_frac > 0.0, "a zero miss budget makes burn undefined");
+    let p99_ms = stats.latency.percentile(0.99) as f64 / (freq_ghz * 1e6);
+    let miss_frac = if stats.offered == 0 {
+        0.0
+    } else {
+        stats.deadline_misses() as f64 / stats.offered as f64
+    };
+    SloOutcome {
+        target_p99_ms: policy.target_p99_ms,
+        p99_ms,
+        p99_met: p99_ms <= policy.target_p99_ms,
+        miss_frac,
+        budget_burn: miss_frac / policy.miss_budget_frac,
+    }
+}
+
+impl SloOutcome {
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("target_p99_ms", self.target_p99_ms)
+            .field("p99_ms", self.p99_ms)
+            .field("p99_met", self.p99_met)
+            .field("miss_frac", self.miss_frac)
+            .field("budget_burn", self.budget_burn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrivals::trace_arrivals;
+    use crate::sim::{simulate, ServeConfig, TenantProfile};
+
+    #[test]
+    fn burn_tracks_miss_fraction_and_p99_gate() {
+        // Ten requests, service 100 cycles each, deadline 150 cycles:
+        // request k completes at (k+1)*100, so 2..10 miss (8 of 10 = 80%).
+        let arr = trace_arrivals(0, &[0; 10], 150);
+        let r = simulate(
+            &[TenantProfile { cold_cycles: 100, steady_cycles: 100 }],
+            &arr,
+            &ServeConfig { max_batch: 1 },
+        );
+        let st = &r.tenants[0];
+        // Four execute before the rest go hopeless and shed at formation.
+        assert_eq!(st.completed + st.shed, 10);
+        let misses = st.deadline_misses();
+        let policy = SloPolicy { target_p99_ms: 1.0, miss_budget_frac: 0.05 };
+        let o = evaluate(st, &policy, 2.0);
+        assert!((o.miss_frac - misses as f64 / 10.0).abs() < 1e-12);
+        assert!((o.budget_burn - o.miss_frac / 0.05).abs() < 1e-12);
+        assert!(o.budget_burn > 1.0, "80% misses blow a 5% budget");
+        // At 2 GHz, 1000 cycles = 0.5 µs — far under a 1 ms target.
+        assert!(o.p99_met);
+        let tight = SloPolicy { target_p99_ms: 1e-9, miss_budget_frac: 0.05 };
+        assert!(!evaluate(st, &tight, 2.0).p99_met);
+        // Round-trips through JSON.
+        let j = o.to_json();
+        assert_eq!(j.get("p99_met").and_then(Json::as_bool), Some(true));
+        assert_eq!(j.get("budget_burn").and_then(Json::as_f64), Some(o.budget_burn));
+    }
+
+    #[test]
+    fn zero_traffic_burns_nothing() {
+        let st = {
+            let r = simulate(
+                &[TenantProfile { cold_cycles: 1, steady_cycles: 1 }],
+                &[],
+                &ServeConfig::default(),
+            );
+            r.tenants[0].clone()
+        };
+        let o = evaluate(&st, &SloPolicy { target_p99_ms: 1.0, miss_budget_frac: 0.01 }, 2.0);
+        assert_eq!(o.miss_frac, 0.0);
+        assert_eq!(o.budget_burn, 0.0);
+        assert!(o.p99_met);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property tests: the log-bucketed histogram against an exact sort-based
+//! percentile oracle, on randomized SplitMix64 workloads.
+//!
+//! Two contracts from DESIGN.md §16:
+//!
+//! 1. **Bounded relative error.** For every quantile `q`, the histogram
+//!    answer is at most the exact rank statistic and within
+//!    `MAX_REL_ERROR` (one sub-bucket width) below it.
+//! 2. **Exact merge.** `merge(h(a), h(b)) == h(a ∪ b)` — bucket counts,
+//!    count, sum, min, and max all equal — so `parallel_map` shards can be
+//!    folded without any loss.
+
+use lva_serve::{LatencyHistogram, MAX_REL_ERROR};
+use lva_sim::Rng;
+
+/// Exact rank statistic matching the histogram's definition: the
+/// `ceil(q·n)`-th smallest sample.
+fn oracle(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+const QUANTILES: [f64; 6] = [0.01, 0.25, 0.5, 0.95, 0.99, 0.999];
+
+fn check_against_oracle(samples: &[u64], what: &str) {
+    let mut h = LatencyHistogram::new();
+    let mut sorted = samples.to_vec();
+    for &v in samples {
+        h.record(v);
+    }
+    sorted.sort_unstable();
+    assert_eq!(h.count(), samples.len() as u64);
+    assert_eq!(h.min(), sorted[0]);
+    assert_eq!(h.max(), *sorted.last().unwrap());
+    let exact_mean = sorted.iter().map(|&v| v as f64).sum::<f64>() / sorted.len() as f64;
+    assert!((h.mean() - exact_mean).abs() <= 1e-9 * exact_mean.max(1.0), "{what}: mean");
+    for q in QUANTILES {
+        let exact = oracle(&sorted, q);
+        let approx = h.percentile(q);
+        assert!(approx <= exact, "{what} q={q}: histogram {approx} above exact {exact}");
+        let err = exact - approx;
+        let bound = (exact as f64 * MAX_REL_ERROR).floor() as u64;
+        assert!(
+            err <= bound,
+            "{what} q={q}: err {err} > bound {bound} (exact {exact}, approx {approx})"
+        );
+    }
+}
+
+/// A workload family: uniform, exponential-ish (geometric over octaves),
+/// heavy-tailed, and tiny-value streams — each at several sizes.
+fn workload(rng: &mut Rng, family: usize, n: usize) -> Vec<u64> {
+    (0..n)
+        .map(|_| match family {
+            // Uniform over a wide range.
+            0 => rng.gen_range(1, 10_000_000),
+            // Exponential-ish: uniform mantissa at a geometric scale.
+            1 => {
+                let octave = rng.gen_range(0, 30);
+                rng.gen_range(1, 2 + (1u64 << octave))
+            }
+            // Heavy tail: mostly small, occasional huge.
+            2 => {
+                if rng.gen_bool(0.95) {
+                    rng.gen_range(100, 5_000)
+                } else {
+                    rng.gen_range(1_000_000, 50_000_000_000)
+                }
+            }
+            // Tiny values exercise the exact unit-bucket range.
+            _ => rng.gen_range(0, 64),
+        })
+        .collect()
+}
+
+#[test]
+fn quantiles_match_the_sort_oracle_within_bucket_width() {
+    let mut rng = Rng::new(0x5e71_a7e0);
+    for family in 0..4 {
+        for n in [1usize, 2, 17, 1000, 20_000] {
+            let samples = workload(&mut rng, family, n);
+            check_against_oracle(&samples, &format!("family {family} n {n}"));
+        }
+    }
+}
+
+#[test]
+fn merge_of_shards_equals_histogram_of_union_exactly() {
+    let mut rng = Rng::new(0xd06_f00d);
+    for family in 0..4 {
+        // Split one workload into ragged shards, as parallel_map would.
+        let all = workload(&mut rng, family, 5000);
+        let cuts = [0usize, 17, 1700, 1701, 4000, 5000];
+        let mut merged = LatencyHistogram::new();
+        for w in cuts.windows(2) {
+            let mut shard = LatencyHistogram::new();
+            for &v in &all[w[0]..w[1]] {
+                shard.record(v);
+            }
+            merged.merge(&shard);
+        }
+        let mut whole = LatencyHistogram::new();
+        for &v in &all {
+            whole.record(v);
+        }
+        // Exact structural equality: counts, sum, min, max, every bucket.
+        assert_eq!(merged, whole, "family {family}");
+        for q in QUANTILES {
+            assert_eq!(merged.percentile(q), whole.percentile(q));
+        }
+    }
+}
+
+#[test]
+fn merging_an_empty_shard_is_identity() {
+    let mut rng = Rng::new(1);
+    let samples = workload(&mut rng, 2, 300);
+    let mut h = LatencyHistogram::new();
+    for &v in &samples {
+        h.record(v);
+    }
+    let before = h.clone();
+    h.merge(&LatencyHistogram::new());
+    assert_eq!(h, before);
+    // And empty ∪ x == x.
+    let mut e = LatencyHistogram::new();
+    e.merge(&before);
+    assert_eq!(e, before);
+}

@@ -30,12 +30,16 @@ enum Ev {
     Complete { name: String, ts: u64, dur: u64 },
     Begin { name: String, ts: u64 },
     End { ts: u64 },
+    Counter { name: String, ts: u64, value: f64 },
 }
 
 impl Ev {
     fn ts(&self) -> u64 {
         match self {
-            Ev::Complete { ts, .. } | Ev::Begin { ts, .. } | Ev::End { ts } => *ts,
+            Ev::Complete { ts, .. }
+            | Ev::Begin { ts, .. }
+            | Ev::End { ts }
+            | Ev::Counter { ts, .. } => *ts,
         }
     }
 }
@@ -83,6 +87,14 @@ impl ChromeTrace {
         self.track_mut(track).push(Ev::End { ts });
     }
 
+    /// Append a counter (`C`) sample: series `name` on `track` has `value`
+    /// from `ts` on. Chrome/Perfetto render counter tracks as step charts
+    /// (queue depths, batch sizes, occupancy) — one `args` entry per
+    /// series, so several series on one track stack.
+    pub fn counter(&mut self, track: &str, name: &str, ts: u64, value: f64) {
+        self.track_mut(track).push(Ev::Counter { name: name.to_string(), ts, value });
+    }
+
     /// Number of events across all tracks.
     pub fn len(&self) -> usize {
         self.tracks.iter().map(|(_, evs)| evs.len()).sum()
@@ -127,6 +139,13 @@ impl ChromeTrace {
                         }
                     },
                     Ev::Complete { .. } => {}
+                    Ev::Counter { name, value, .. } => {
+                        if !value.is_finite() {
+                            return Err(format!(
+                                "track {track:?} event {i}: counter {name:?} value {value} is not finite"
+                            ));
+                        }
+                    }
                 }
             }
             if let Some((name, ts)) = open.pop() {
@@ -171,6 +190,13 @@ impl ChromeTrace {
                         .field("ts", *ts)
                         .field("pid", PID)
                         .field("tid", tid),
+                    Ev::Counter { name, ts, value } => Json::obj()
+                        .field("name", name.as_str())
+                        .field("ph", "C")
+                        .field("ts", *ts)
+                        .field("pid", PID)
+                        .field("tid", tid)
+                        .field("args", Json::obj().field(name.as_str(), *value)),
                 };
                 events.push(e);
             }
@@ -247,6 +273,30 @@ mod tests {
         let mut t = ChromeTrace::new();
         t.end("p", 4);
         assert!(t.validate().unwrap_err().contains("E without open B"));
+    }
+
+    #[test]
+    fn counter_events_serialize_as_ph_c_and_reject_non_finite() {
+        let mut t = ChromeTrace::new();
+        t.counter("queue", "depth", 0, 0.0);
+        t.counter("queue", "depth", 10, 3.0);
+        t.counter("queue", "depth", 25, 1.0);
+        assert_eq!(t.validate(), Ok(()));
+        let j = t.to_json();
+        let evs = j.get("traceEvents").and_then(Json::as_arr).expect("traceEvents array");
+        // 3 counter samples + 1 thread_name metadata record.
+        assert_eq!(evs.len(), 4);
+        let c = &evs[2]; // second sample
+        assert_eq!(c.get("ph").and_then(Json::as_str), Some("C"));
+        assert_eq!(c.get("name").and_then(Json::as_str), Some("depth"));
+        assert_eq!(c.get("args").and_then(|a| a.get("depth")).and_then(Json::as_f64), Some(3.0));
+        // Counter samples interleave with duration events on other tracks.
+        t.complete("exec", "batch", 5, 10);
+        assert_eq!(t.validate(), Ok(()));
+        // Non-finite values are rejected, not silently emitted.
+        let mut bad = ChromeTrace::new();
+        bad.counter("queue", "depth", 0, f64::NAN);
+        assert!(bad.validate().unwrap_err().contains("not finite"));
     }
 
     #[test]

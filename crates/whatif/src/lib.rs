@@ -22,6 +22,10 @@
 
 #![forbid(unsafe_code)]
 
+pub mod slo;
+
+pub use slo::{design_cost, recommend, ServingPoint, SloRecommendation};
+
 use lva_check::KernelCase;
 use lva_core::{parallel_map, EnergyModel, Experiment, RunSummary};
 use lva_isa::{IdealKnob, IdealSpec, Machine, MachineConfig, StallBreakdown, StallCause};

@@ -1,0 +1,165 @@
+//! SLO-aware design-point recommendation: the serving-tier extension of
+//! the co-design advisor.
+//!
+//! The cycles/energy advisor answers "what is this run bound by"; the
+//! serving observatory (`lva-serve` + `exp-serve`) measures what traffic a
+//! design point can hold to a latency target. This module closes the loop:
+//! given the measured tail latency of every Table II-style design point at
+//! one offered load, name the **cheapest** point whose p99 meets the SLO —
+//! and show the next-cheaper point that misses it, so the recommendation
+//! carries its own counterfactual ("one rung down the ladder and you blow
+//! the budget").
+//!
+//! Cost is a unitless hardware-provisioning proxy, not dollars: datapath
+//! area scales with `lanes × (vlen/512)` (wider lanes and longer registers
+//! both cost silicon), SRAM with L2 megabytes, and the A64FX's hardware
+//! prefetch engine adds a constant. The absolute scale is arbitrary — only
+//! the *order* of the ladder matters to the recommendation, and the order
+//! is stable under any positive rescaling of the three terms' ratios used
+//! here.
+
+use lva_core::HwTarget;
+use lva_trace::Json;
+
+/// Unitless provisioning cost of a design point (see module docs).
+pub fn design_cost(hw: &HwTarget) -> f64 {
+    let cfg = hw.machine_config();
+    let datapath = (cfg.vpu.vlen_bits as f64 / 512.0) * cfg.vpu.lanes as f64;
+    let sram = cfg.mem.l2.bytes as f64 / (1 << 20) as f64;
+    let prefetch = if matches!(hw, HwTarget::A64fx) { 2.0 } else { 0.0 };
+    datapath + sram + prefetch
+}
+
+/// One design point's measured serving outcome at the load being decided.
+#[derive(Debug, Clone)]
+pub struct ServingPoint {
+    /// Stable point name (e.g. `rvv2048x8/1MB`).
+    pub name: String,
+    /// [`design_cost`] of the point.
+    pub cost: f64,
+    /// Measured overall p99 latency (ms) at the decision load.
+    pub p99_ms: f64,
+    /// Measured deadline-miss fraction at the decision load.
+    pub miss_frac: f64,
+}
+
+/// The advisor's serving verdict for one latency target.
+#[derive(Debug, Clone)]
+pub struct SloRecommendation {
+    pub target_p99_ms: f64,
+    /// Cheapest point whose measured p99 meets the target, if any does.
+    pub recommended: Option<ServingPoint>,
+    /// Most expensive point cheaper than the recommendation (the
+    /// counterfactual rung: what you would buy if you shaved cost, and why
+    /// it is not enough). `None` when the recommendation is already the
+    /// cheapest point.
+    pub next_cheaper: Option<ServingPoint>,
+}
+
+impl SloRecommendation {
+    /// The `slo_recommendation` report section.
+    pub fn to_json(&self) -> Json {
+        let point = |p: &ServingPoint| {
+            Json::obj()
+                .field("point", p.name.as_str())
+                .field("cost", p.cost)
+                .field("p99_ms", p.p99_ms)
+                .field("miss_frac", p.miss_frac)
+        };
+        let mut j = Json::obj().field("target_p99_ms", self.target_p99_ms);
+        match &self.recommended {
+            Some(p) => {
+                j = j.field("met", true).field("recommended", point(p));
+                if let Some(n) = &self.next_cheaper {
+                    j = j.field("next_cheaper_misses", point(n));
+                }
+            }
+            None => {
+                j = j.field("met", false);
+            }
+        }
+        j
+    }
+}
+
+/// Pick the cheapest point meeting `target_p99_ms` (ties on cost break on
+/// name, so the choice is total). By construction every point cheaper than
+/// the recommendation misses the target — `next_cheaper` exhibits the
+/// dearest such witness.
+pub fn recommend(points: &[ServingPoint], target_p99_ms: f64) -> SloRecommendation {
+    assert!(target_p99_ms > 0.0);
+    let mut sorted: Vec<&ServingPoint> = points.iter().collect();
+    sorted.sort_by(|a, b| {
+        a.cost.partial_cmp(&b.cost).expect("finite costs").then_with(|| a.name.cmp(&b.name))
+    });
+    let idx = sorted.iter().position(|p| p.p99_ms <= target_p99_ms);
+    let recommended = idx.map(|i| sorted[i].clone());
+    let next_cheaper = match idx {
+        Some(i) if i > 0 => Some(sorted[i - 1].clone()),
+        _ => None,
+    };
+    SloRecommendation { target_p99_ms, recommended, next_cheaper }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn design_cost_orders_the_table_ii_ladder() {
+        let sve512_1m = HwTarget::SveGem5 { vlen_bits: 512, l2_bytes: 1 << 20 };
+        let sve512_4m = HwTarget::SveGem5 { vlen_bits: 512, l2_bytes: 4 << 20 };
+        let a64fx = HwTarget::A64fx;
+        let rvv2048_1m = HwTarget::RvvGem5 { vlen_bits: 2048, lanes: 8, l2_bytes: 1 << 20 };
+        let rvv2048_4m = HwTarget::RvvGem5 { vlen_bits: 2048, lanes: 8, l2_bytes: 4 << 20 };
+        let ladder = [sve512_1m, sve512_4m, a64fx, rvv2048_1m, rvv2048_4m];
+        let costs: Vec<f64> = ladder.iter().map(design_cost).collect();
+        for w in costs.windows(2) {
+            assert!(w[0] < w[1], "ladder must be strictly cost-ordered: {costs:?}");
+        }
+        // Spot-check the arithmetic: 2048/512 × 8 lanes + 1 MB = 33.
+        assert_eq!(design_cost(&rvv2048_1m), 33.0);
+    }
+
+    fn pt(name: &str, cost: f64, p99: f64) -> ServingPoint {
+        ServingPoint { name: name.into(), cost, p99_ms: p99, miss_frac: 0.01 }
+    }
+
+    #[test]
+    fn recommend_picks_cheapest_meeting_and_exhibits_the_miss_below() {
+        // Latency improves up the ladder; target sits between b and c.
+        let points =
+            [pt("a", 9.0, 40.0), pt("b", 12.0, 20.0), pt("c", 26.0, 8.0), pt("d", 33.0, 5.0)];
+        let r = recommend(&points, 10.0);
+        assert_eq!(r.recommended.as_ref().unwrap().name, "c");
+        assert_eq!(r.next_cheaper.as_ref().unwrap().name, "b");
+        assert!(r.next_cheaper.as_ref().unwrap().p99_ms > 10.0, "witness must miss");
+        let j = r.to_json();
+        assert_eq!(j.get("met").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            j.get("recommended").and_then(|p| p.get("point")).and_then(Json::as_str),
+            Some("c")
+        );
+        assert_eq!(
+            j.get("next_cheaper_misses").and_then(|p| p.get("point")).and_then(Json::as_str),
+            Some("b")
+        );
+    }
+
+    #[test]
+    fn recommend_edges_cheapest_point_and_unmeetable_target() {
+        let points = [pt("a", 9.0, 4.0), pt("b", 12.0, 3.0)];
+        // The cheapest point already meets: no counterfactual rung below.
+        let r = recommend(&points, 10.0);
+        assert_eq!(r.recommended.as_ref().unwrap().name, "a");
+        assert!(r.next_cheaper.is_none());
+        // Nobody meets: honest `met: false`, no recommendation.
+        let r = recommend(&points, 1.0);
+        assert!(r.recommended.is_none());
+        assert!(r.next_cheaper.is_none());
+        assert_eq!(r.to_json().get("met").and_then(Json::as_bool), Some(false));
+        // Order of the input slice is irrelevant (sorting is internal).
+        let shuffled = [pt("b", 12.0, 3.0), pt("a", 9.0, 4.0)];
+        assert_eq!(recommend(&shuffled, 10.0).recommended.unwrap().name, "a");
+    }
+}
