@@ -11,7 +11,8 @@
 //!
 //! Usage: `report [--in BENCH_whatif.json] [--out results/…]`
 
-use lva_bench::{codesign_markdown, dataflow_markdown, serving_markdown, Json};
+use lva_bench::{codesign_markdown, serving_markdown, Json};
+use lva_depgraph::dataflow_markdown;
 
 fn main() {
     let mut input = String::from("BENCH_whatif.json");

@@ -8,7 +8,6 @@
 
 #![forbid(unsafe_code)]
 
-pub mod dataflow_report;
 pub mod diff;
 pub mod energy_report;
 pub mod microbench;
@@ -16,11 +15,12 @@ pub mod serving_report;
 pub mod sweep;
 pub mod whatif_report;
 
-pub use dataflow_report::dataflow_markdown;
-pub use energy_report::{energy_grid_json, pareto_markdown};
-pub use serving_report::{knee_chrome_trace, serving_grid_json, serving_markdown};
-pub use sweep::{median_ms, run_sweep, SweepRun};
-pub use whatif_report::{codesign_markdown, whatif_json};
+pub use energy_report::{energy_grid_json, energy_grid_json_with, pareto_markdown};
+pub use serving_report::{
+    knee_chrome_trace, serving_grid_json, serving_grid_json_with, serving_markdown,
+};
+pub use sweep::{median_ms, run_sweep, run_sweep_retimed, SweepRun};
+pub use whatif_report::{codesign_markdown, whatif_json, whatif_json_with};
 
 pub use lva_core::report::{fmt_cycles, fmt_speedup};
 pub use lva_core::{
@@ -39,7 +39,8 @@ pub const L2_SIZES: [usize; 6] = [1 << 20, 4 << 20, 16 << 20, 64 << 20, 128 << 2
 /// `lva_core::cli`, re-exported here so every `exp-*` bin keeps saying
 /// `lva_bench::Opts`. The `lint-*` tools use [`Opts::parse_tool`]
 /// (`lva_core::cli::Opts::parse_tool`) for the flag subset they accept.
-pub use lva_core::cli::Opts;
+pub use lva_core::cli::{Opts, RetimeOpt};
+pub use lva_retime::RetimeEngine;
 
 /// The nine named headline design points of §VI (exp-headline's sweep), in
 /// report order. Shared with `exp-whatif` and the co-design advisor so every
@@ -105,6 +106,38 @@ pub fn emit(table: &Table, name: &str, opts: &Opts) {
         }
     }
     lva_trace::flush();
+}
+
+/// Build the retime engine an `exp-*` binary's `--retime` flag asks for
+/// (`None` when the flag is off).
+pub fn retime_engine(opts: &Opts) -> Option<RetimeEngine> {
+    opts.retime.enabled().then(|| RetimeEngine::new(opts.retime))
+}
+
+/// Log the retime engine's provenance to stderr after a sweep: path
+/// counts, memo hits, and the refusal reason if certification failed.
+/// Stderr only — the machine-readable records stay byte-identical to
+/// their full-simulation counterparts so CI can compare them directly.
+pub fn log_retime(engine: Option<&RetimeEngine>) {
+    let Some(eng) = engine else { return };
+    let c = eng.counters();
+    eprintln!(
+        "[retime: {} captures, {} tape refits, {} live replays, {} stream captures, \
+         {} stream refits, {} stream live replays, {} energy retimes, {} memo hits, \
+         {} verified]",
+        c.captures,
+        c.tape_refits,
+        c.live_replays,
+        c.stream_captures,
+        c.stream_refits,
+        c.stream_live_replays,
+        c.energy_retimes,
+        c.run_memo_hits,
+        c.verified
+    );
+    if let Some(reason) = eng.refusal() {
+        eprintln!("[retime refused: {reason}]");
+    }
 }
 
 /// Run an experiment, logging the design point to stderr.

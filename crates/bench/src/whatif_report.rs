@@ -74,11 +74,28 @@ pub fn whatif_json(
     jobs: usize,
     headline: Option<&Json>,
 ) -> Json {
+    whatif_json_with(specs, div, jobs, headline, None)
+}
+
+/// [`whatif_json`] with an optional retime engine: when present, every
+/// factual and counterfactual run goes through the engine's serial front
+/// door (one capture per spec, then five re-timed idealizations) instead
+/// of six full simulations per spec. Output is bit-identical either way.
+pub fn whatif_json_with(
+    specs: &[(String, Experiment)],
+    div: usize,
+    jobs: usize,
+    headline: Option<&Json>,
+    mut engine: Option<&mut lva_retime::RetimeEngine>,
+) -> Json {
     let mut reports = Vec::with_capacity(specs.len());
     let mut factuals = Vec::with_capacity(specs.len());
     for (name, e) in specs {
         eprintln!(".. whatif {} | {} | {}", name, e.hw.describe(), e.workload.describe());
-        let (factual, analysis) = analyze_experiment(e, jobs);
+        let (factual, analysis) = match engine.as_deref_mut() {
+            Some(eng) => lva_whatif::analyze_experiment_with(e, &mut |x| eng.run(x)),
+            None => analyze_experiment(e, jobs),
+        };
         eprintln!("   {} bound; top: {}", analysis.bound.name(), analysis.recommendation());
         let report = RunReport::new(name.clone(), e, &factual)
             .with_whatif(analysis.to_json())
@@ -316,6 +333,7 @@ mod tests {
             wallclock: false,
             whatif: false,
             energy: false,
+            retime: lva_core::RetimeOpt::Off,
         };
         assert!(!opts.whatif);
         assert!(!opts.energy);

@@ -16,6 +16,7 @@ fn opts() -> Opts {
         wallclock: false,
         whatif: false,
         energy: false,
+        retime: lva_core::RetimeOpt::Off,
     }
 }
 

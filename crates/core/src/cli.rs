@@ -43,6 +43,31 @@ pub struct Opts {
     /// report (`--with-energy`): one probed re-run per design point, cycle
     /// counts unchanged. Off by default.
     pub energy: bool,
+    /// Route runs through the `lva-retime` memoizing retime engine
+    /// (`--retime`), or through it *and* the full simulator with a
+    /// bit-identity assertion per run (`--retime=verify`).
+    pub retime: RetimeOpt,
+}
+
+/// The `--retime` flag's three settings, shared by every experiment bin
+/// (the `lva-retime` engine consumes it as its mode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RetimeOpt {
+    /// Full simulation for every run (the default).
+    #[default]
+    Off,
+    /// Trace once per semantic stream, re-time everywhere else; fall back
+    /// to full simulation when no certificate covers the stream.
+    On,
+    /// `On`, plus a full simulation per run with a bit-identity assertion
+    /// (cycles and the complete report must match the retimed result).
+    Verify,
+}
+
+impl RetimeOpt {
+    pub fn enabled(self) -> bool {
+        self != RetimeOpt::Off
+    }
 }
 
 impl Opts {
@@ -58,6 +83,7 @@ impl Opts {
             wallclock: false,
             whatif: false,
             energy: false,
+            retime: RetimeOpt::Off,
         }
     }
 
@@ -89,13 +115,16 @@ impl Opts {
                 "--wallclock" => opts.wallclock = true,
                 "--with-whatif" => opts.whatif = true,
                 "--with-energy" => opts.energy = true,
+                "--retime" => opts.retime = RetimeOpt::On,
+                "--retime=verify" => opts.retime = RetimeOpt::Verify,
+                "--retime=off" => opts.retime = RetimeOpt::Off,
                 "--chrome" => {
                     opts.chrome = Some(args.next().expect("--chrome needs a file path"));
                 }
                 "--trace" => install_trace(&mut args),
                 "--help" | "-h" => {
                     eprintln!(
-                        "{what}\n\nOptions:\n  --div N      input down-scale divisor (default {default_div}; 1 = paper size)\n  --layers N   layer prefix override\n  --csv/--no-csv  write results/<exp>.csv (default on)\n  --json       also write results/<exp>.json (machine-readable)\n  --profile    tap the cache hierarchy: reuse-distance histograms, 3C\n               miss classes, capacity curves (in the JSON output)\n  --chrome FILE  write a Chrome trace-event timeline (Perfetto) to FILE\n  --trace FILE stream JSONL telemetry spans to FILE\n  --jobs N     run independent design points on N threads (0 = all cores;\n               results and reports are identical to --jobs 1)\n  --wallclock  self-benchmark: time the sweep serial vs --jobs (median of\n               3 each) and write BENCH_sim_wallclock.json\n  --with-whatif  attach lva-whatif counterfactual analyses (bound\n               classification, cycles-saved-if-fixed) to the JSON reports\n  --with-energy  attach the lva-energy streamed attribution (per-layer\n               joules, EDP, energy roofline) to the JSON reports"
+                        "{what}\n\nOptions:\n  --div N      input down-scale divisor (default {default_div}; 1 = paper size)\n  --layers N   layer prefix override\n  --csv/--no-csv  write results/<exp>.csv (default on)\n  --json       also write results/<exp>.json (machine-readable)\n  --profile    tap the cache hierarchy: reuse-distance histograms, 3C\n               miss classes, capacity curves (in the JSON output)\n  --chrome FILE  write a Chrome trace-event timeline (Perfetto) to FILE\n  --trace FILE stream JSONL telemetry spans to FILE\n  --jobs N     run independent design points on N threads (0 = all cores;\n               results and reports are identical to --jobs 1)\n  --wallclock  self-benchmark: time the sweep serial vs --jobs (median of\n               3 each) and write BENCH_sim_wallclock.json\n  --with-whatif  attach lva-whatif counterfactual analyses (bound\n               classification, cycles-saved-if-fixed) to the JSON reports\n  --with-energy  attach the lva-energy streamed attribution (per-layer\n               joules, EDP, energy roofline) to the JSON reports\n  --retime     trace each semantic stream once, re-time every other design\n               point through the memoizing retime engine (bit-identical;\n               certificate-gated, falls back to full simulation)\n  --retime=verify  retime AND fully simulate every run, asserting the\n               results are bit-identical"
                     );
                     std::process::exit(0);
                 }

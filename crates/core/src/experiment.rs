@@ -1,9 +1,13 @@
 //! Experiment definition and execution.
 
-use lva_isa::{IdealSpec, Machine, MachineConfig};
-use lva_nn::network::{estimate_arena_words, Network};
+use lva_isa::{
+    IdealSpec, LayerMemo, Machine, MachineConfig, ProbeTape, RefitGeometry, RefitPlan, ReplayTrace,
+    SegmentReplay,
+};
+use lva_nn::network::{estimate_arena_words, LayerReport, Network};
 use lva_nn::{ConvPolicy, ModelId, NetReport};
 use lva_tensor::host_random;
+use std::sync::Arc;
 
 /// A hardware design point of the co-design space (§V).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -153,6 +157,46 @@ impl RunSummary {
     }
 }
 
+/// One experiment executed once under the semantic recorder: the op stream
+/// every timing decision depends on, the probe tape (per-probe serving
+/// levels at the capture geometry), and the summary the capture run itself
+/// produced. Capture costs one full simulation; the stream can then be
+/// re-timed at arbitrarily many design points without re-executing kernels.
+#[derive(Debug, Clone)]
+pub struct CapturedRun {
+    pub trace: Arc<ReplayTrace>,
+    pub tape: Arc<ProbeTape>,
+    /// The summary at the capture configuration — bit-identical to what
+    /// [`Experiment::run`] returns, and the source of the static per-layer
+    /// metadata (flops, GEMM dims, algorithm, shapes) that re-timed
+    /// summaries inherit.
+    pub summary: RunSummary,
+}
+
+impl CapturedRun {
+    /// Approximate captured-state footprint in bytes (trace + tape).
+    pub fn approx_bytes(&self) -> usize {
+        self.trace.approx_bytes() + self.tape.approx_bytes()
+    }
+}
+
+/// A streaming experiment executed once under the semantic recorder: the
+/// multi-frame op stream (setup + every frame, `ResetTiming`-delimited),
+/// the probe tape, and the stream summary the capture itself produced.
+#[derive(Debug, Clone)]
+pub struct CapturedStream {
+    pub trace: Arc<ReplayTrace>,
+    pub tape: Arc<ProbeTape>,
+    pub summary: StreamSummary,
+}
+
+impl CapturedStream {
+    /// Approximate captured-state footprint in bytes (trace + tape).
+    pub fn approx_bytes(&self) -> usize {
+        self.trace.approx_bytes() + self.tape.approx_bytes()
+    }
+}
+
 /// Result of a multi-image streaming run (§VI: "continuously running
 /// inference over a stream of images" is the paper's deployment model —
 /// setup is paid once, caches stay warm between frames).
@@ -189,6 +233,10 @@ impl Experiment {
     }
 
     fn build(&self) -> (Machine, Network, lva_tensor::Shape) {
+        self.build_inner(false)
+    }
+
+    fn build_inner(&self, capture: bool) -> (Machine, Network, lva_tensor::Shape) {
         let (specs, shape) = self.workload.model.build(self.workload.input_hw);
         let specs = match self.workload.layer_limit {
             Some(n) => specs[..n.min(specs.len())].to_vec(),
@@ -199,6 +247,12 @@ impl Experiment {
         let words = estimate_arena_words(&specs, shape, &self.policy);
         cfg.arena_mib = (words * 4 / (1 << 20) + 32).max(64);
         let mut m = Machine::new(cfg);
+        if capture {
+            // Capture from the very first op so replay reproduces the cache
+            // state the measured segment starts from (setup warms the
+            // hierarchy exactly as it did on the capture run).
+            m.start_capture();
+        }
         let net = Network::build(&mut m, &specs, shape, self.policy, self.seed);
         (m, net, shape)
     }
@@ -314,6 +368,262 @@ impl Experiment {
             last = Some(Self::summarize(&m, report));
         }
         StreamSummary { per_frame_cycles: per_frame, steady: last.expect("frames > 0") }
+    }
+
+    /// Like [`Experiment::run`], but capturing the semantic op stream and
+    /// probe tape alongside the (identical) summary. One capture feeds any
+    /// number of [`Experiment::retime_live`] / [`Experiment::retime_tape`]
+    /// calls at other design points.
+    pub fn run_traced(&self) -> CapturedRun {
+        let (mut m, mut net, shape) = self.build_inner(true);
+        m.reset_timing();
+        let image = host_random(shape.len(), self.seed ^ 0x1533);
+        let report = net.run(&mut m, &image);
+        let summary = Self::summarize(&m, report);
+        let (trace, tape) = m.finish_capture().expect("capture started in build_inner");
+        CapturedRun { trace: Arc::new(trace), tape: Arc::new(tape), summary }
+    }
+
+    /// [`Experiment::run_stream`] under the semantic recorder: one capture
+    /// of the whole multi-frame stream (setup plus `frames` inferences),
+    /// re-timeable at other design points like a [`CapturedRun`].
+    ///
+    /// # Panics
+    /// Panics if `frames == 0`.
+    pub fn run_stream_traced(&self, frames: usize) -> CapturedStream {
+        assert!(frames > 0, "need at least one frame");
+        let (mut m, mut net, shape) = self.build_inner(true);
+        let mut per_frame = Vec::with_capacity(frames);
+        let mut last = None;
+        for f in 0..frames {
+            m.reset_timing();
+            let image = host_random(shape.len(), self.seed ^ (0x1533 + f as u64));
+            let report = net.run(&mut m, &image);
+            per_frame.push(report.cycles);
+            last = Some(Self::summarize(&m, report));
+        }
+        let summary =
+            StreamSummary { per_frame_cycles: per_frame, steady: last.expect("frames > 0") };
+        let (trace, tape) = m.finish_capture().expect("capture started in build_inner");
+        CapturedStream { trace: Arc::new(trace), tape: Arc::new(tape), summary }
+    }
+
+    /// A machine for re-timing a captured stream at this experiment's
+    /// configuration. Replay never executes functionally, so the arena is
+    /// kept at the minimum the allocator accepts.
+    fn replay_machine(&self) -> Machine {
+        let mut cfg = self.hw.machine_config();
+        cfg.ideal = self.ideal;
+        cfg.arena_mib = 1;
+        Machine::new(cfg)
+    }
+
+    /// Re-time a captured stream at this experiment's design point by
+    /// re-driving the full memory hierarchy with the recorded addresses
+    /// (live replay). Exact on every configuration axis — including cache
+    /// geometry changes the probe tape cannot absorb — at the cost of
+    /// simulating the hierarchy again.
+    pub fn retime_live(&self, cap: &CapturedRun) -> RunSummary {
+        let mut m = self.replay_machine();
+        let segs = m.replay(&cap.trace);
+        Self::reconstruct(cap, segs)
+    }
+
+    /// [`Experiment::retime_live`], additionally recording a fresh probe
+    /// tape at this configuration's geometry so later timing-only variations
+    /// can use the (much faster) [`Experiment::retime_tape`] path.
+    pub fn retime_live_recording(&self, cap: &CapturedRun) -> (RunSummary, ProbeTape) {
+        let mut m = self.replay_machine();
+        m.record_probe_tape();
+        let segs = m.replay(&cap.trace);
+        let tape = m.take_probe_tape().expect("tape recording was on");
+        (Self::reconstruct(cap, segs), tape)
+    }
+
+    /// Re-time a captured stream by replaying the probe tape: each memory
+    /// probe's serving level is read back instead of re-simulated, so the
+    /// hierarchy state machine never runs. Exact for every timing-only axis
+    /// (latency constants, lanes, core CPI, `IdealSpec`); refuses with an
+    /// error if this configuration changes the hierarchy's *state* geometry
+    /// (capacities, associativity, line size, prefetcher).
+    pub fn retime_tape(&self, cap: &CapturedRun) -> Result<RunSummary, String> {
+        self.retime_tape_with(cap, &cap.tape)
+    }
+
+    /// [`Experiment::retime_tape`] with an explicit tape — e.g. one recorded
+    /// by [`Experiment::retime_live_recording`] at a different geometry than
+    /// the original capture.
+    pub fn retime_tape_with(
+        &self,
+        cap: &CapturedRun,
+        tape: &Arc<ProbeTape>,
+    ) -> Result<RunSummary, String> {
+        let mut m = self.replay_machine();
+        m.play_probe_tape(Arc::clone(tape))?;
+        let segs = m.replay(&cap.trace);
+        Ok(Self::reconstruct(cap, segs))
+    }
+
+    /// The probe-count / miss-ring geometry of this experiment's memory
+    /// system, for building [`RefitPlan`]s and scoping [`LayerMemo`]s.
+    pub fn refit_geometry(&self) -> RefitGeometry {
+        let cfg = self.hw.machine_config();
+        RefitGeometry {
+            line_bytes: cfg.mem.l1.line_bytes as u64,
+            hw_prefetch: cfg.mem.hw_prefetch.is_some(),
+        }
+    }
+
+    /// [`Experiment::retime_tape`] through a per-layer timing memo: layers
+    /// whose reduced op region, tape slice and relative entry state were
+    /// seen before are applied as stored state deltas instead of
+    /// re-interpreted (bit-identical; see `lva_isa::refit`). `plan` must be
+    /// built from `cap.trace` at [`Experiment::refit_geometry`], and `memo`
+    /// scoped to exactly this design point — the `lva-retime` store manages
+    /// both.
+    pub fn retime_tape_memoized(
+        &self,
+        cap: &CapturedRun,
+        plan: &RefitPlan,
+        memo: &mut LayerMemo,
+    ) -> Result<RunSummary, String> {
+        self.retime_tape_memoized_with(cap, &cap.tape, plan, memo)
+    }
+
+    /// [`Experiment::retime_tape_memoized`] with an explicit tape (one
+    /// recorded at this configuration's geometry by
+    /// [`Experiment::retime_live_recording`] when it differs from the
+    /// capture's).
+    pub fn retime_tape_memoized_with(
+        &self,
+        cap: &CapturedRun,
+        tape: &Arc<ProbeTape>,
+        plan: &RefitPlan,
+        memo: &mut LayerMemo,
+    ) -> Result<RunSummary, String> {
+        let mut m = self.replay_machine();
+        m.play_probe_tape(Arc::clone(tape))?;
+        let segs = m.replay_with(&cap.trace, Some((plan, memo)));
+        Ok(Self::reconstruct(cap, segs))
+    }
+
+    /// Re-time a captured multi-frame stream through the probe tape and
+    /// per-layer memo, reconstructing the per-frame cycle series and the
+    /// steady-state summary. Bit-identical to [`Experiment::run_stream`]
+    /// at this design point (stream-equivalence permitting, as certified
+    /// by `lva-depgraph`).
+    pub fn retime_stream_tape_memoized(
+        &self,
+        cap: &CapturedStream,
+        plan: &RefitPlan,
+        memo: &mut LayerMemo,
+    ) -> Result<StreamSummary, String> {
+        let mut m = self.replay_machine();
+        m.play_probe_tape(Arc::clone(&cap.tape))?;
+        let segs = m.replay_with(&cap.trace, Some((plan, memo)));
+        Ok(Self::reconstruct_stream(cap, segs))
+    }
+
+    /// Re-time a captured multi-frame stream by re-driving the memory
+    /// hierarchy with the recorded addresses (live replay) — exact on every
+    /// configuration axis, including cache-geometry changes.
+    pub fn retime_stream_live(&self, cap: &CapturedStream) -> StreamSummary {
+        let mut m = self.replay_machine();
+        let segs = m.replay(&cap.trace);
+        Self::reconstruct_stream(cap, segs)
+    }
+
+    /// Re-time a captured stream *with the energy probe attached*: live
+    /// replay (the probe's memory tap needs the real hierarchy) split at
+    /// the setup boundary so the probe observes exactly what it would on
+    /// [`Experiment::run_energy`] — attached after setup, before the
+    /// measured inference. Functional execution and kernel planning are
+    /// skipped; the attribution is bit-identical.
+    pub fn retime_energy(
+        &self,
+        cap: &CapturedRun,
+        model: &lva_energy::EnergyModel,
+    ) -> (RunSummary, lva_energy::EnergyAttribution) {
+        let mut m = self.replay_machine();
+        let start = m.replay_setup(&cap.trace);
+        let probe = lva_energy::attach(&mut m);
+        let segs = m.replay_from(&cap.trace, start);
+        assert_eq!(segs.len(), 1, "captured run has exactly one measured segment");
+        let summary = Self::reconstruct(cap, segs);
+        let att = probe.finish(&mut m, &summary.report, model, self.hw.l2_bytes());
+        (summary, att)
+    }
+
+    /// Rebuild a [`RunSummary`] from the measured segment of a replay,
+    /// grafting the capture run's static per-layer metadata (flops, GEMM
+    /// dims, algorithm, output shapes) onto the re-timed dynamics.
+    fn reconstruct(cap: &CapturedRun, mut segs: Vec<SegmentReplay>) -> RunSummary {
+        // `replay` sees both the setup and measured segments;
+        // `replay_from` (after `replay_setup`) sees only the measured one.
+        assert!(!segs.is_empty(), "captured stream produced no segments");
+        let seg = segs.pop().expect("non-empty");
+        Self::reconstruct_seg(&cap.summary.report.layers, seg)
+    }
+
+    /// Rebuild a [`StreamSummary`] from a multi-frame replay: segment 0 is
+    /// setup, segments 1.. are the frames, and the last frame reconstructs
+    /// the steady-state summary.
+    fn reconstruct_stream(cap: &CapturedStream, mut segs: Vec<SegmentReplay>) -> StreamSummary {
+        let frames = cap.summary.per_frame_cycles.len();
+        assert_eq!(segs.len(), frames + 1, "frame count drifted across replay");
+        let steady_seg = segs.pop().expect("at least one frame");
+        let per_frame_cycles: Vec<u64> = segs
+            .iter()
+            .skip(1)
+            .map(|s| s.cycles)
+            .chain(std::iter::once(steady_seg.cycles))
+            .collect();
+        let steady = Self::reconstruct_seg(&cap.summary.steady.report.layers, steady_seg);
+        StreamSummary { per_frame_cycles, steady }
+    }
+
+    fn reconstruct_seg(stat_layers: &[LayerReport], seg: SegmentReplay) -> RunSummary {
+        assert_eq!(seg.layers.len(), stat_layers.len(), "layer count drifted across replay");
+        let layers: Vec<LayerReport> = seg
+            .layers
+            .into_iter()
+            .zip(stat_layers)
+            .map(|(l, stat)| {
+                debug_assert_eq!(l.index, stat.index);
+                let avg_vlen_bits =
+                    if l.d_instrs == 0 { 0.0 } else { 32.0 * l.d_elems as f64 / l.d_instrs as f64 };
+                LayerReport {
+                    index: l.index,
+                    desc: l.desc,
+                    cycles: l.cycles,
+                    flops: stat.flops,
+                    mnk: stat.mnk,
+                    algo: stat.algo,
+                    out_shape: stat.out_shape,
+                    stalls: l.stalls,
+                    avg_vlen_bits,
+                }
+            })
+            .collect();
+        let avg_vlen_bits = seg.vpu.avg_vlen_bits();
+        let l1_miss_rate = seg.mem.l1.miss_rate();
+        let l2_miss_rate = seg.mem.l2.miss_rate();
+        let report = NetReport {
+            layers,
+            cycles: seg.cycles,
+            phases: seg.phases,
+            vpu: seg.vpu,
+            mem: seg.mem,
+            stalls: seg.stalls,
+        };
+        RunSummary {
+            cycles: seg.cycles,
+            flops: report.flops(),
+            avg_vlen_bits,
+            l1_miss_rate,
+            l2_miss_rate,
+            report,
+        }
     }
 }
 

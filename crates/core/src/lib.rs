@@ -19,9 +19,12 @@ pub mod par;
 pub mod report;
 pub mod run_report;
 
-pub use cli::Opts;
+pub use cli::{Opts, RetimeOpt};
 pub use energy::{EnergyBreakdown, EnergyCounts, EnergyModel, EnergyReport};
-pub use experiment::{scaled_input, Experiment, HwTarget, RunSummary, StreamSummary, Workload};
+pub use experiment::{
+    scaled_input, CapturedRun, CapturedStream, Experiment, HwTarget, RunSummary, StreamSummary,
+    Workload,
+};
 pub use lva_energy::EnergyAttribution;
 pub use par::{default_jobs, parallel_map};
 pub use report::{ArityError, Table};

@@ -49,6 +49,10 @@ pub struct RunReport {
     /// this run; `None` (the default) omits the section. See
     /// [`Self::with_serving`].
     pub serving: Option<Json>,
+    /// Retime-engine provenance (`lva-retime`: which path produced this
+    /// result, memo counters, refusals); `None` (the default) omits the
+    /// section. See [`Self::with_retime`].
+    pub retime: Option<Json>,
 }
 
 fn algo_name(a: ConvAlgo) -> &'static str {
@@ -132,6 +136,7 @@ impl RunReport {
             whatif: None,
             energy: None,
             serving: None,
+            retime: None,
         }
     }
 
@@ -158,6 +163,15 @@ impl RunReport {
     #[must_use]
     pub fn with_energy(mut self, energy: Json) -> Self {
         self.energy = Some(energy);
+        self
+    }
+
+    /// Attach retime-engine provenance (produced by `lva-retime`'s
+    /// `RetimeEngine::report()`); [`Self::to_json`] then emits it verbatim
+    /// as a `retime` section.
+    #[must_use]
+    pub fn with_retime(mut self, retime: Json) -> Self {
+        self.retime = Some(retime);
         self
     }
 
@@ -233,6 +247,7 @@ impl RunReport {
             ("whatif", self.whatif.clone()),
             ("energy", self.energy.clone()),
             ("serving", self.serving.clone()),
+            ("retime", self.retime.clone()),
         ] {
             if let Some(sec) = section {
                 j = j.field(key, sec);
@@ -307,7 +322,7 @@ mod tests {
     fn optional_sections_only_when_attached() {
         let (e, s) = small_run();
         let plain = RunReport::new("t", &e, &s).to_json();
-        for key in ["host", "whatif", "energy", "serving"] {
+        for key in ["host", "whatif", "energy", "serving", "retime"] {
             assert!(plain.get(key).is_none(), "optional section {key} present by default");
         }
         let timed = RunReport::new("t", &e, &s).with_host(250.0).to_json();

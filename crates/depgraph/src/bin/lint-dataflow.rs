@@ -110,7 +110,7 @@ fn save_markdown(report: &Json) {
         std::process::exit(2);
     }
     let path = dir.join("DATAFLOW.md");
-    if let Err(e) = std::fs::write(&path, lva_bench::dataflow_markdown(report)) {
+    if let Err(e) = std::fs::write(&path, lva_depgraph::dataflow_markdown(report)) {
         eprintln!("could not save {}: {e}", path.display());
         std::process::exit(2);
     }

@@ -30,10 +30,12 @@
 
 pub mod bounds;
 pub mod certify;
+pub mod dataflow_report;
 pub mod graph;
 pub mod lints;
 
 pub use bounds::{lower_bound, op_floor, tightness_pct, LowerBound, OpFloor};
 pub use certify::{certify_kernel, RetimeCertificate, VlSummary};
+pub use dataflow_report::dataflow_markdown;
 pub use graph::{DepEdge, DepGraph, DepKind, Via};
 pub use lints::{allowlisted, lint_dataflow, ALLOWLIST};

@@ -30,6 +30,8 @@ pub mod config;
 pub mod machine;
 pub mod pred;
 pub mod record;
+pub mod refit;
+pub mod replay;
 pub mod stats;
 
 pub use config::{
@@ -39,6 +41,10 @@ pub use config::{
 pub use machine::{Machine, PipeEvent, VReg, NUM_VREGS};
 pub use pred::Pred;
 pub use record::{stream_hash, EventKind, EventSink, StreamHasher, VecEvent};
+pub use refit::{Fold128, LayerMemo, LayerRegion, RefitGeometry, RefitPlan};
+pub use replay::{
+    LayerReplay, ProbeTape, ReplayOp, ReplayTrace, SegmentReplay, TapeSegment, VArithOp,
+};
 pub use stats::{KernelPhase, PhaseTimer, StallBreakdown, StallCause, VpuStats};
 
 pub use lva_sim::{Buf, IdealKnob, IdealSpec, Memory, PrefetchTarget};

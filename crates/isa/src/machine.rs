@@ -24,8 +24,17 @@
 use crate::config::{IsaKind, MachineConfig};
 use crate::pred::Pred;
 use crate::record::{EventSink, VecEvent};
+use crate::refit::{
+    fold_levels, phases_delta, vpu_accum, vpu_delta, EntrySnapshot, Fold128, LayerEffect,
+    LayerMemo, MemoKey, RefitPlan,
+};
+use crate::replay::{
+    r32, ArithShape, IndexedOp, LayerReplay, ProbeTape, ReduceOp, ReplayOp, ReplayTrace,
+    SegmentReplay, TapePlayer, TapeRecorder, VArithOp,
+};
 use crate::stats::{KernelPhase, PhaseTimer, StallBreakdown, StallCause, VpuStats};
 use lva_sim::{AccessKind, IdealSpec, MemSystem, Memory, PrefetchTarget, TapScope, VpuPath};
+use std::sync::Arc;
 
 /// Number of architectural vector registers (both RVV and SVE have 32).
 pub const NUM_VREGS: usize = 32;
@@ -100,6 +109,18 @@ pub struct Machine {
     /// path is the pre-coalescing code, kept so equivalence tests can prove
     /// the fast paths bit-identical in cycles, stats, and register contents.
     ref_model: bool,
+    /// Opt-in semantic replay log (the `lva-retime` capture hook): every
+    /// public op appends one [`ReplayOp`] with the arguments its timing
+    /// depends on. Pure observation, exactly like `rec`.
+    rlog: Option<ReplayTrace>,
+    /// Opt-in probe-tape recorder: stores the serving level of every cache
+    /// probe so later refits can skip the cache arrays. Pure observation.
+    tape_rec: Option<TapeRecorder>,
+    /// Probe-tape playback: when set, cache probes read serving levels from
+    /// the tape instead of touching `sys`'s cache arrays, and latencies are
+    /// computed by [`MemSystem::served_latency`]. Only installed by the
+    /// replay executor; never active on a live machine.
+    tape_play: Option<TapePlayer>,
 }
 
 impl Machine {
@@ -129,6 +150,9 @@ impl Machine {
             pipe: None,
             pipe_dropped: 0,
             ref_model: false,
+            rlog: None,
+            tape_rec: None,
+            tape_play: None,
             cfg,
         }
     }
@@ -262,6 +286,103 @@ impl Machine {
         }
     }
 
+    // ------------------------------------------------------------------
+    // Semantic replay log + probe tape (the `lva-retime` hooks)
+    // ------------------------------------------------------------------
+
+    /// Start capturing the semantic replay log and the probe tape (clears
+    /// any previous capture). Pure observation: timing, statistics, and
+    /// functional state are bit-identical with capturing on or off.
+    pub fn start_capture(&mut self) {
+        self.rlog = Some(ReplayTrace::default());
+        self.tape_rec = Some(TapeRecorder {
+            tape: ProbeTape { geometry: self.cfg.mem.state_fingerprint(), ..ProbeTape::default() },
+        });
+    }
+
+    /// Whether a semantic capture is active.
+    pub fn is_capturing(&self) -> bool {
+        self.rlog.is_some()
+    }
+
+    /// Stop capturing and return the semantic trace plus the probe tape
+    /// (with the final segment closed). `None` if no capture was active.
+    pub fn finish_capture(&mut self) -> Option<(ReplayTrace, ProbeTape)> {
+        let trace = self.rlog.take()?;
+        let tape = self.take_probe_tape().expect("capture always records a tape");
+        Some((trace, tape))
+    }
+
+    /// Start recording only the probe tape (used during a live replay to
+    /// make later same-geometry refits possible). Clears any previous tape.
+    pub fn record_probe_tape(&mut self) {
+        self.tape_rec = Some(TapeRecorder {
+            tape: ProbeTape { geometry: self.cfg.mem.state_fingerprint(), ..ProbeTape::default() },
+        });
+    }
+
+    /// Stop tape recording and return the tape with its final segment
+    /// closed on the current `sys` statistics.
+    pub fn take_probe_tape(&mut self) -> Option<ProbeTape> {
+        let mut rec = self.tape_rec.take()?;
+        rec.end_segment(self.sys.stats());
+        Some(rec.tape)
+    }
+
+    /// Install a probe tape for refit playback. Fails (leaving the machine
+    /// untouched) unless the tape's state-geometry fingerprint matches this
+    /// machine's memory system — the refit validity condition.
+    pub fn play_probe_tape(&mut self, tape: Arc<ProbeTape>) -> Result<(), String> {
+        let mine = self.cfg.mem.state_fingerprint();
+        if tape.geometry != mine {
+            return Err(format!(
+                "probe tape geometry mismatch: tape recorded at [{}], machine is [{mine}]",
+                tape.geometry
+            ));
+        }
+        self.tape_play = Some(TapePlayer { tape, cursor: 0, seg: 0 });
+        Ok(())
+    }
+
+    /// Append a semantic op if capturing (closure only runs when enabled).
+    #[inline]
+    fn rlog(&mut self, f: impl FnOnce() -> ReplayOp) {
+        if let Some(log) = self.rlog.as_mut() {
+            log.ops.push(f());
+        }
+    }
+
+    /// Probe the memory system for a scalar access, honoring tape playback
+    /// and tape recording. Returns the access latency in cycles.
+    #[inline]
+    fn probe_scalar(&mut self, addr: u64, kind: AccessKind) -> u32 {
+        if let Some(tp) = self.tape_play.as_mut() {
+            let lvl = tp.next_level();
+            return self.sys.served_latency(lvl, false);
+        }
+        let (lvl, lat) = self.sys.demand_scalar(addr, kind);
+        if let Some(tr) = self.tape_rec.as_mut() {
+            tr.tape.levels.push(lvl.to_u8());
+        }
+        lat
+    }
+
+    /// Probe the memory system for a vector access (see
+    /// [`Self::probe_scalar`]). `train` gates hardware-prefetcher training,
+    /// exactly as [`MemSystem::demand_vector_opts`] does.
+    #[inline]
+    fn probe_vector(&mut self, addr: u64, kind: AccessKind, train: bool) -> u32 {
+        if let Some(tp) = self.tape_play.as_mut() {
+            let lvl = tp.next_level();
+            return self.sys.served_latency(lvl, true);
+        }
+        let (lvl, lat) = self.sys.demand_vector_opts(addr, kind, train);
+        if let Some(tr) = self.tape_rec.as_mut() {
+            tr.tape.levels.push(lvl.to_u8());
+        }
+        lat
+    }
+
     /// Hard bounds check for a vector memory access: the byte range
     /// `[lo, hi)` must lie inside the allocated arena. Panics with the
     /// offending op, address, `vl`, and the nearest buffer's name instead of
@@ -293,6 +414,11 @@ impl Machine {
     /// Reset the clock, scoreboard and statistics (cache contents survive,
     /// like the paper's exclusion of the network-setup phase).
     pub fn reset_timing(&mut self) {
+        self.rlog(|| ReplayOp::ResetTiming);
+        if let Some(tr) = self.tape_rec.as_mut() {
+            // Snapshot the segment's stats before they are zeroed below.
+            tr.end_segment(self.sys.stats());
+        }
         self.now = 0;
         self.unit_free = 0;
         self.ready = [0; NUM_VREGS];
@@ -312,18 +438,52 @@ impl Machine {
     pub fn phase<R>(&mut self, p: KernelPhase, f: impl FnOnce(&mut Self) -> R) -> R {
         let t0 = self.cycles();
         let mut sp = lva_trace::span(p.name());
-        self.rec(|| VecEvent::phase_marker(true, p));
-        self.pipe(|| PipeEvent::PhaseBegin { phase: p, at: t0 });
-        self.sys.tap_scope(TapScope::PhaseBegin { name: p.name() });
+        self.rlog(|| ReplayOp::PhaseBegin { phase: p });
+        self.tl_phase_begin(p);
         let r = f(self);
-        self.rec(|| VecEvent::phase_marker(false, p));
-        let t1 = self.cycles();
-        self.pipe(|| PipeEvent::PhaseEnd { phase: p, at: t1 });
-        self.sys.tap_scope(TapScope::PhaseEnd);
+        self.rlog(|| ReplayOp::PhaseEnd { phase: p });
+        let t1 = self.tl_phase_end(p);
         let dt = t1 - t0;
         self.phases.add(p, dt);
         sp.set("cycles", dt);
         r
+    }
+
+    /// Observer half of a phase opening (recorded event, pipeline marker,
+    /// tap scope) — shared between [`Self::phase`] and the replay executor.
+    #[inline]
+    fn tl_phase_begin(&mut self, p: KernelPhase) {
+        let t0 = self.cycles();
+        self.rec(|| VecEvent::phase_marker(true, p));
+        self.pipe(|| PipeEvent::PhaseBegin { phase: p, at: t0 });
+        self.sys.tap_scope(TapScope::PhaseBegin { name: p.name() });
+    }
+
+    /// Observer half of a phase closing; returns the closing cycle count.
+    #[inline]
+    fn tl_phase_end(&mut self, p: KernelPhase) -> u64 {
+        self.rec(|| VecEvent::phase_marker(false, p));
+        let t1 = self.cycles();
+        self.pipe(|| PipeEvent::PhaseEnd { phase: p, at: t1 });
+        self.sys.tap_scope(TapScope::PhaseEnd);
+        t1
+    }
+
+    /// Mark the start of network layer `index` (`lva-nn` calls this around
+    /// each layer's kernels): forwards the boundary to the address-stream
+    /// tap and the replay log.
+    pub fn layer_begin(&mut self, index: usize, desc: &str) {
+        if let Some(log) = self.rlog.as_mut() {
+            let d = log.push_desc(desc);
+            log.ops.push(ReplayOp::LayerBegin { index: index as u32, desc: d });
+        }
+        self.sys.tap_scope(TapScope::LayerBegin { index, desc });
+    }
+
+    /// Mark the end of the innermost open network layer.
+    pub fn layer_end(&mut self) {
+        self.rlog(|| ReplayOp::LayerEnd);
+        self.sys.tap_scope(TapScope::LayerEnd);
     }
 
     // ------------------------------------------------------------------
@@ -626,7 +786,7 @@ impl Machine {
         let mut n_lines: u64 = 0;
         let lb = self.sys.line_bytes() as u64;
         for addr in lines {
-            let (_lvl, lat) = self.sys.demand_vector(addr, kind);
+            let lat = self.probe_vector(addr, kind, true);
             let raw = (lat as u64).saturating_sub(base_lat);
             extra += if raw > 0 { self.miss_extra(addr / lb, raw) } else { 0 };
             n_lines += 1;
@@ -649,7 +809,15 @@ impl Machine {
     /// RVV `vsetvl`: granted vector length for a requested `rvl` elements.
     #[inline]
     pub fn setvl(&mut self, rvl: usize) -> usize {
-        self.charge_scalar_ops(1);
+        self.rlog(|| ReplayOp::Setvl { rvl: r32(rvl as u64, "setvl rvl") });
+        self.tl_setvl(rvl)
+    }
+
+    /// Timing half of [`Self::setvl`] (shared with the replay executor):
+    /// the scalar-op charge and the recorded grant event.
+    #[inline]
+    fn tl_setvl(&mut self, rvl: usize) -> usize {
+        self.scalar_ops_tl(1);
         let granted = rvl.min(self.vlen_elems);
         self.rec(|| VecEvent::grant("setvl", rvl, granted));
         granted
@@ -658,7 +826,17 @@ impl Machine {
     /// SVE `whilelt`: predicate for lanes `i..n`.
     #[inline]
     pub fn whilelt(&mut self, i: usize, n: usize) -> Pred {
-        self.charge_scalar_ops(1);
+        self.rlog(|| ReplayOp::Whilelt {
+            i: r32(i as u64, "whilelt i"),
+            n: r32(n as u64, "whilelt n"),
+        });
+        self.tl_whilelt(i, n)
+    }
+
+    /// Timing half of [`Self::whilelt`] (shared with the replay executor).
+    #[inline]
+    fn tl_whilelt(&mut self, i: usize, n: usize) -> Pred {
+        self.scalar_ops_tl(1);
         let p = Pred::whilelt(i, n, self.vlen_elems);
         self.rec(|| VecEvent::grant("whilelt", n.saturating_sub(i), p.active));
         p
@@ -681,7 +859,7 @@ impl Machine {
             return;
         }
         self.check_vec("vle", addr, addr + 4 * vl as u64, vl);
-        self.rec(|| VecEvent::load("vle", vd, addr, addr + 4 * vl as u64, vl));
+        self.rlog(|| ReplayOp::VLoad { vd: vd as u8, vl: vl as u16, addr: r32(addr, "vle addr") });
         // Functional.
         let n = self.vlen_elems;
         if self.ref_model {
@@ -697,7 +875,12 @@ impl Machine {
             let dst = &mut self.regs[vd * n..vd * n + vl];
             dst.copy_from_slice(words);
         }
-        // Timing.
+        self.tl_vle(vd, addr, vl);
+    }
+
+    /// Timing half of [`Self::vle`] (shared with the replay executor).
+    fn tl_vle(&mut self, vd: VReg, addr: u64, vl: usize) {
+        self.rec(|| VecEvent::load("vle", vd, addr, addr + 4 * vl as u64, vl));
         let lb = self.sys.line_bytes() as u64;
         let first = addr / lb;
         let last = (addr + 4 * vl as u64 - 1) / lb;
@@ -718,7 +901,7 @@ impl Machine {
             return;
         }
         self.check_vec("vse", addr, addr + 4 * vl as u64, vl);
-        self.rec(|| VecEvent::store("vse", vs, addr, addr + 4 * vl as u64, vl));
+        self.rlog(|| ReplayOp::VStore { vs: vs as u8, vl: vl as u16, addr: r32(addr, "vse addr") });
         let n = self.vlen_elems;
         if self.ref_model {
             for i in 0..vl {
@@ -729,6 +912,12 @@ impl Machine {
             let reg_row = vd_row(&self.regs, vs, n, vl);
             self.mem.words_mut(addr, vl).copy_from_slice(reg_row);
         }
+        self.tl_vse(vs, addr, vl);
+    }
+
+    /// Timing half of [`Self::vse`] (shared with the replay executor).
+    fn tl_vse(&mut self, vs: VReg, addr: u64, vl: usize) {
+        self.rec(|| VecEvent::store("vse", vs, addr, addr + 4 * vl as u64, vl));
         let lb = self.sys.line_bytes() as u64;
         let first = addr / lb;
         let last = (addr + 4 * vl as u64 - 1) / lb;
@@ -752,7 +941,12 @@ impl Machine {
         }
         let hi = addr + (vl as u64 - 1) * stride_bytes + 4;
         self.check_vec("vlse", addr, hi, vl);
-        self.rec(|| VecEvent::load("vlse", vd, addr, hi, vl));
+        self.rlog(|| ReplayOp::VLoadStrided {
+            vd: vd as u8,
+            vl: vl as u16,
+            addr: r32(addr, "vlse addr"),
+            stride: r32(stride_bytes, "vlse stride"),
+        });
         let n = self.vlen_elems;
         if self.ref_model || !stride_bytes.is_multiple_of(4) {
             for i in 0..vl {
@@ -771,6 +965,14 @@ impl Machine {
                 *d = *s;
             }
         }
+        self.tl_vlse(vd, addr, stride_bytes, vl);
+    }
+
+    /// Timing half of [`Self::vlse`] (shared with the replay executor).
+    fn tl_vlse(&mut self, vd: VReg, addr: u64, stride_bytes: u64, vl: usize) {
+        self.rec(|| {
+            VecEvent::load("vlse", vd, addr, addr + (vl as u64 - 1) * stride_bytes + 4, vl)
+        });
         let (occ, lat) = self.strided_cost(addr, stride_bytes, vl, AccessKind::Read);
         self.issue([None, None], Some(vd), occ, lat);
         self.stats.vec_mem_instrs += 1;
@@ -785,7 +987,12 @@ impl Machine {
         }
         let hi = addr + (vl as u64 - 1) * stride_bytes + 4;
         self.check_vec("vsse", addr, hi, vl);
-        self.rec(|| VecEvent::store("vsse", vs, addr, hi, vl));
+        self.rlog(|| ReplayOp::VStoreStrided {
+            vs: vs as u8,
+            vl: vl as u16,
+            addr: r32(addr, "vsse addr"),
+            stride: r32(stride_bytes, "vsse stride"),
+        });
         let n = self.vlen_elems;
         if self.ref_model || !stride_bytes.is_multiple_of(4) || stride_bytes == 0 {
             // Per-element reference path; also the stride-0 case, where
@@ -802,6 +1009,14 @@ impl Machine {
                 words[k * step] = v;
             }
         }
+        self.tl_vsse(vs, addr, stride_bytes, vl);
+    }
+
+    /// Timing half of [`Self::vsse`] (shared with the replay executor).
+    fn tl_vsse(&mut self, vs: VReg, addr: u64, stride_bytes: u64, vl: usize) {
+        self.rec(|| {
+            VecEvent::store("vsse", vs, addr, addr + (vl as u64 - 1) * stride_bytes + 4, vl)
+        });
         let (occ, _) = self.strided_cost(addr, stride_bytes, vl, AccessKind::Write);
         self.issue([Some(vs), None], None, occ, occ);
         self.stats.vec_mem_instrs += 1;
@@ -839,7 +1054,7 @@ impl Machine {
         let mut extra: u64 = 0;
         if stride_bytes == 0 {
             // Every element reads the same address: one probe.
-            let (_lvl, lat) = self.sys.demand_vector_opts(addr, kind, false);
+            let lat = self.probe_vector(addr, kind, false);
             extra = (lat as u64).saturating_sub(base_lat);
         } else if stride_bytes < lb {
             // Sub-line stride: every line between the first and last element
@@ -847,7 +1062,7 @@ impl Machine {
             let last = addr + (vl as u64 - 1) * stride_bytes;
             let mut a = addr;
             loop {
-                let (_lvl, lat) = self.sys.demand_vector_opts(a, kind, false);
+                let lat = self.probe_vector(a, kind, false);
                 extra += (lat as u64).saturating_sub(base_lat);
                 let next_line_start = ((a >> lb_shift) + 1) << lb_shift;
                 if last < next_line_start {
@@ -860,7 +1075,7 @@ impl Machine {
             // distinct lines, so every element's line is probed.
             let mut a = addr;
             for _ in 0..vl {
-                let (_lvl, lat) = self.sys.demand_vector_opts(a, kind, false);
+                let lat = self.probe_vector(a, kind, false);
                 extra += (lat as u64).saturating_sub(base_lat);
                 a += stride_bytes;
             }
@@ -894,7 +1109,7 @@ impl Machine {
             let a = addr + i as u64 * stride_bytes;
             let line = a / lb;
             if line != last_line {
-                let (_lvl, lat) = self.sys.demand_vector_opts(a, kind, false);
+                let lat = self.probe_vector(a, kind, false);
                 extra += (lat as u64).saturating_sub(base_lat);
                 last_line = line;
             }
@@ -922,15 +1137,9 @@ impl Machine {
         if let Some((lo, hi)) = range {
             self.check_vec("vgather", lo, hi, vl);
         }
-        self.rec(|| {
-            let (lo, hi) = range.unwrap_or((0, 0));
-            VecEvent::load("vgather", vd, lo, hi, vl).with_active(active_lanes(&idx[..vl]))
-        });
+        self.rlog_indexed(IndexedOp::Gather, vd, base, &idx[..vl]);
         self.gather_elems(vd, base, &idx[..vl], range);
-        let (occ, lat) = self.indexed_cost(base, &idx[..vl], AccessKind::Read);
-        self.issue([None, None], Some(vd), occ, lat);
-        self.stats.vec_mem_instrs += 1;
-        self.stats.active_elems += vl as u64;
+        self.tl_indexed(IndexedOp::Gather, vd, base, &idx[..vl]);
     }
 
     /// Indexed scatter store: element `i` goes to `base + 4 * idx[i]`.
@@ -946,15 +1155,9 @@ impl Machine {
         if let Some((lo, hi)) = range {
             self.check_vec("vscatter", lo, hi, vl);
         }
-        self.rec(|| {
-            let (lo, hi) = range.unwrap_or((0, 0));
-            VecEvent::store("vscatter", vs, lo, hi, vl).with_active(active_lanes(&idx[..vl]))
-        });
+        self.rlog_indexed(IndexedOp::Scatter, vs, base, &idx[..vl]);
         self.scatter_elems(vs, base, &idx[..vl], range);
-        let (occ, _) = self.indexed_cost(base, &idx[..vl], AccessKind::Write);
-        self.issue([Some(vs), None], None, occ, occ);
-        self.stats.vec_mem_instrs += 1;
-        self.stats.active_elems += vl as u64;
+        self.tl_indexed(IndexedOp::Scatter, vs, base, &idx[..vl]);
     }
 
     /// Structured gather where lanes come in contiguous groups of four
@@ -974,15 +1177,9 @@ impl Machine {
         if let Some((lo, hi)) = range {
             self.check_vec("vgather4", lo, hi, vl);
         }
-        self.rec(|| {
-            let (lo, hi) = range.unwrap_or((0, 0));
-            VecEvent::load("vgather4", vd, lo, hi, vl).with_active(active_lanes(&idx[..vl]))
-        });
+        self.rlog_indexed(IndexedOp::Gather4, vd, base, &idx[..vl]);
         self.gather_elems(vd, base, &idx[..vl], range);
-        let (occ, lat) = self.grouped_cost(base, &idx[..vl], AccessKind::Read);
-        self.issue([None, None], Some(vd), occ, lat);
-        self.stats.vec_mem_instrs += 1;
-        self.stats.active_elems += vl as u64;
+        self.tl_indexed(IndexedOp::Gather4, vd, base, &idx[..vl]);
     }
 
     /// Structured scatter, the store-side counterpart of [`Self::vgather4`]
@@ -997,15 +1194,9 @@ impl Machine {
         if let Some((lo, hi)) = range {
             self.check_vec("vscatter4", lo, hi, vl);
         }
-        self.rec(|| {
-            let (lo, hi) = range.unwrap_or((0, 0));
-            VecEvent::store("vscatter4", vs, lo, hi, vl).with_active(active_lanes(&idx[..vl]))
-        });
+        self.rlog_indexed(IndexedOp::Scatter4, vs, base, &idx[..vl]);
         self.scatter_elems(vs, base, &idx[..vl], range);
-        let (occ, _) = self.grouped_cost(base, &idx[..vl], AccessKind::Write);
-        self.issue([Some(vs), None], None, occ, occ);
-        self.stats.vec_mem_instrs += 1;
-        self.stats.active_elems += vl as u64;
+        self.tl_indexed(IndexedOp::Scatter4, vs, base, &idx[..vl]);
     }
 
     /// Functional half of an indexed gather: lane `i` reads
@@ -1094,7 +1285,7 @@ impl Machine {
             let a = base + 4 * ix as u64;
             let line = a / lb;
             if line != last_line {
-                let (_lvl, lat) = self.sys.demand_vector_opts(a, kind, false);
+                let lat = self.probe_vector(a, kind, false);
                 let raw = (lat as u64).saturating_sub(base_lat);
                 extra += if raw > 0 { self.miss_extra(line, raw) } else { 0 };
                 last_line = line;
@@ -1126,7 +1317,7 @@ impl Machine {
             let a = base + 4 * ix as u64;
             let line = a / lb;
             if line != last_line {
-                let (_lvl, lat) = self.sys.demand_vector_opts(a, kind, false);
+                let lat = self.probe_vector(a, kind, false);
                 extra += (lat as u64).saturating_sub(base_lat);
                 last_line = line;
             }
@@ -1138,16 +1329,76 @@ impl Machine {
         (occ, lat)
     }
 
+    /// Append a [`ReplayOp::VIndexed`] with the lane indices copied into the
+    /// trace's shared pool (no-op unless capturing).
+    fn rlog_indexed(&mut self, op: IndexedOp, reg: VReg, base: u64, idx: &[u32]) {
+        if let Some(log) = self.rlog.as_mut() {
+            let range = log.push_idx(idx);
+            log.ops.push(ReplayOp::VIndexed {
+                op,
+                reg: reg as u8,
+                base: r32(base, "indexed base"),
+                idx: range,
+            });
+        }
+    }
+
+    /// Timing half of the four indexed ops (shared with the replay
+    /// executor): recorded event, cache/occupancy cost, issue, statistics.
+    fn tl_indexed(&mut self, op: IndexedOp, reg: VReg, base: u64, idx: &[u32]) {
+        let vl = idx.len();
+        self.rec(|| {
+            let (lo, hi) = indexed_range(base, idx).unwrap_or((0, 0));
+            let ev = match op {
+                IndexedOp::Gather => VecEvent::load("vgather", reg, lo, hi, vl),
+                IndexedOp::Scatter => VecEvent::store("vscatter", reg, lo, hi, vl),
+                IndexedOp::Gather4 => VecEvent::load("vgather4", reg, lo, hi, vl),
+                IndexedOp::Scatter4 => VecEvent::store("vscatter4", reg, lo, hi, vl),
+            };
+            ev.with_active(active_lanes(idx))
+        });
+        match op {
+            IndexedOp::Gather => {
+                let (occ, lat) = self.indexed_cost(base, idx, AccessKind::Read);
+                self.issue([None, None], Some(reg), occ, lat);
+            }
+            IndexedOp::Scatter => {
+                let (occ, _) = self.indexed_cost(base, idx, AccessKind::Write);
+                self.issue([Some(reg), None], None, occ, occ);
+            }
+            IndexedOp::Gather4 => {
+                let (occ, lat) = self.grouped_cost(base, idx, AccessKind::Read);
+                self.issue([None, None], Some(reg), occ, lat);
+            }
+            IndexedOp::Scatter4 => {
+                let (occ, _) = self.grouped_cost(base, idx, AccessKind::Write);
+                self.issue([Some(reg), None], None, occ, occ);
+            }
+        }
+        self.stats.vec_mem_instrs += 1;
+        self.stats.active_elems += vl as u64;
+    }
+
     /// Software prefetch of the line at `addr` (§IV-A: dropped by the RVV
     /// compiler, a no-op on SVE@gem5, effective on A64FX).
     pub fn prefetch(&mut self, addr: u64, target: PrefetchTarget) {
+        self.rlog(|| ReplayOp::Prefetch { addr: r32(addr, "prefetch addr"), target });
+        self.tl_prefetch(addr, target);
+    }
+
+    /// Timing half of [`Self::prefetch`] (shared with the replay executor).
+    /// Under tape playback the prefetch request itself is skipped — its
+    /// effect on serving levels is already baked into the tape.
+    fn tl_prefetch(&mut self, addr: u64, target: PrefetchTarget) {
         self.stats.sw_prefetches += 1;
         if self.cfg.mem.sw_prefetch_effective {
-            self.sys.sw_prefetch(addr, target);
-            self.charge_scalar_ops(1);
+            if self.tape_play.is_none() {
+                self.sys.sw_prefetch(addr, target);
+            }
+            self.scalar_ops_tl(1);
         } else if self.cfg.vpu.isa == IsaKind::Sve {
             // gem5 executes the instruction as a no-op: one issue slot.
-            self.charge_scalar_ops(1);
+            self.scalar_ops_tl(1);
         }
         // RVV: the compiler drops the intrinsic entirely — zero cost.
     }
@@ -1168,16 +1419,57 @@ impl Machine {
         self.stats.vec_flops += vl as u64 * flops_per_elem;
     }
 
+    /// Append a [`ReplayOp::VArith`] (no-op unless capturing).
+    #[inline]
+    fn rlog_arith(&mut self, op: VArithOp, vd: VReg, a: VReg, b: VReg, vl: usize) {
+        self.rlog(|| ReplayOp::VArith { op, vd: vd as u8, a: a as u8, b: b as u8, vl: vl as u16 });
+    }
+
+    /// Timing half of every vector arithmetic op (shared between the public
+    /// per-instruction API and the replay executor): the recorded event, the
+    /// issue-stage source list, the occupancy/latency cost and the FLOP
+    /// count, all reconstructed from the op's [`ArithShape`]. Register
+    /// operands that a shape does not use are ignored.
+    fn tl_varith(&mut self, op: VArithOp, vd: VReg, a: VReg, b: VReg, vl: usize) {
+        let shape = op.shape();
+        self.rec(|| {
+            let ev_vl = if matches!(op, VArithOp::Broadcast) { vl.max(1) } else { vl };
+            let srcs = match shape {
+                ArithShape::Nullary => [None, None, None],
+                ArithShape::Unary => [Some(a), None, None],
+                ArithShape::UnaryAcc => [Some(a), Some(vd), None],
+                ArithShape::Binary => [Some(a), Some(b), None],
+                ArithShape::BinaryAcc => [Some(a), Some(b), Some(vd)],
+            };
+            VecEvent::arith(op.name(), vd, srcs, ev_vl)
+        });
+        let srcs = match shape {
+            ArithShape::Nullary => [None, None],
+            ArithShape::Unary => [Some(a), None],
+            ArithShape::UnaryAcc => [Some(a), Some(vd)],
+            ArithShape::Binary | ArithShape::BinaryAcc => [Some(a), Some(b)],
+        };
+        if op.is_slow() {
+            // Division/sqrt are unpipelined-ish: several cycles per lane group.
+            let chime = 8 * self.eff_chime(vl);
+            self.issue(srcs, Some(vd), chime, self.eff_startup() + chime);
+        } else {
+            // Broadcast occupies a single slot regardless of `vl`.
+            let cost_vl = if matches!(op, VArithOp::Broadcast) { 1 } else { vl };
+            let (occ, lat) = self.arith_cost(cost_vl);
+            self.issue(srcs, Some(vd), occ, lat);
+        }
+        self.count_arith(vl, op.flops_per_elem());
+    }
+
     /// Broadcast a scalar into all lanes (RVV `vfmv.v.f` / SVE `svdup`).
     pub fn vbroadcast(&mut self, vd: VReg, x: f32, vl: usize) {
-        // Functionally fills vl.max(1) lanes; record the same so the
-        // uninitialized-read pass sees the true defined prefix.
-        self.rec(|| VecEvent::arith("vbroadcast", vd, [None, None, None], vl.max(1)));
+        self.rlog_arith(VArithOp::Broadcast, vd, 0, 0, vl);
+        // Functionally fills vl.max(1) lanes; the recorded event says the
+        // same so the uninitialized-read pass sees the true defined prefix.
         let n = self.vlen_elems;
         self.regs[vd * n..vd * n + vl.max(1)].fill(x);
-        let (occ, lat) = self.arith_cost(1);
-        self.issue([None, None], Some(vd), occ, lat);
-        self.count_arith(vl, 0);
+        self.tl_varith(VArithOp::Broadcast, vd, 0, 0, vl);
     }
 
     /// Register move `vd = vs`.
@@ -1185,63 +1477,55 @@ impl Machine {
         if vd == vs {
             return;
         }
-        self.rec(|| VecEvent::arith("vmv", vd, [Some(vs), None, None], vl));
+        self.rlog_arith(VArithOp::Mv, vd, vs, 0, vl);
         let (d, s) = self.vreg_pair(vd, vs);
         d[..vl].copy_from_slice(&s[..vl]);
-        let (occ, lat) = self.arith_cost(vl);
-        self.issue([Some(vs), None], Some(vd), occ, lat);
-        self.count_arith(vl, 0);
+        self.tl_varith(VArithOp::Mv, vd, vs, 0, vl);
     }
 
     /// `vd[i] += a * vs[i]` — RVV `vfmacc.vf` / SVE `svmla_n` (Fig. 2 l.11).
     pub fn vfmacc_vf(&mut self, vd: VReg, a: f32, vs: VReg, vl: usize) {
-        self.rec(|| VecEvent::arith("vfmacc.vf", vd, [Some(vs), Some(vd), None], vl));
+        self.rlog_arith(VArithOp::MaccVf, vd, vs, 0, vl);
         {
             let (d, s) = self.vreg_pair(vd, vs);
             for (d, &s) in d[..vl].iter_mut().zip(&s[..vl]) {
                 *d = fma32(a, s, *d);
             }
         }
-        let (occ, lat) = self.arith_cost(vl);
-        self.issue([Some(vs), Some(vd)], Some(vd), occ, lat);
-        self.count_arith(vl, 2);
+        self.tl_varith(VArithOp::MaccVf, vd, vs, 0, vl);
     }
 
     /// `vd[i] -= va[i] * vb[i]` — RVV `vfnmsac.vv` / SVE `FMLS`.
     pub fn vfnmsac_vv(&mut self, vd: VReg, va: VReg, vb: VReg, vl: usize) {
         debug_assert!(vd != va && vd != vb);
-        self.rec(|| VecEvent::arith("vfnmsac.vv", vd, [Some(va), Some(vb), Some(vd)], vl));
+        self.rlog_arith(VArithOp::NmsacVv, vd, va, vb, vl);
         {
             let (d, a, b) = self.vreg_tri(vd, va, vb);
             for ((d, &x), &y) in d[..vl].iter_mut().zip(&a[..vl]).zip(&b[..vl]) {
                 *d = fma32(-x, y, *d);
             }
         }
-        let (occ, lat) = self.arith_cost(vl);
-        self.issue([Some(va), Some(vb)], Some(vd), occ, lat);
-        self.count_arith(vl, 2);
+        self.tl_varith(VArithOp::NmsacVv, vd, va, vb, vl);
     }
 
     /// `vd[i] += va[i] * vb[i]` — RVV `vfmacc.vv`.
     pub fn vfmacc_vv(&mut self, vd: VReg, va: VReg, vb: VReg, vl: usize) {
         debug_assert!(vd != va && vd != vb);
-        self.rec(|| VecEvent::arith("vfmacc.vv", vd, [Some(va), Some(vb), Some(vd)], vl));
+        self.rlog_arith(VArithOp::MaccVv, vd, va, vb, vl);
         {
             let (d, a, b) = self.vreg_tri(vd, va, vb);
             for ((d, &x), &y) in d[..vl].iter_mut().zip(&a[..vl]).zip(&b[..vl]) {
                 *d = fma32(x, y, *d);
             }
         }
-        let (occ, lat) = self.arith_cost(vl);
-        self.issue([Some(va), Some(vb)], Some(vd), occ, lat);
-        self.count_arith(vl, 2);
+        self.tl_varith(VArithOp::MaccVv, vd, va, vb, vl);
     }
 
     /// `vd[i] = va[i] * b + vc_scalar`-style helpers are composed from the
     /// primitives below.
     /// `vd[i] = vs[i] * a`.
     pub fn vfmul_vf(&mut self, vd: VReg, vs: VReg, a: f32, vl: usize) {
-        self.rec(|| VecEvent::arith("vfmul.vf", vd, [Some(vs), None, None], vl));
+        self.rlog_arith(VArithOp::MulVf, vd, vs, 0, vl);
         if vd == vs {
             let n = self.vlen_elems;
             for x in &mut self.regs[vd * n..vd * n + vl] {
@@ -1253,114 +1537,93 @@ impl Machine {
                 d[i] = s[i] * a;
             }
         }
-        let (occ, lat) = self.arith_cost(vl);
-        self.issue([Some(vs), None], Some(vd), occ, lat);
-        self.count_arith(vl, 1);
+        self.tl_varith(VArithOp::MulVf, vd, vs, 0, vl);
     }
 
     /// `vd[i] = va[i] * vb[i]`.
     pub fn vfmul_vv(&mut self, vd: VReg, va: VReg, vb: VReg, vl: usize) {
-        self.rec(|| VecEvent::arith("vfmul.vv", vd, [Some(va), Some(vb), None], vl));
+        self.rlog_arith(VArithOp::MulVv, vd, va, vb, vl);
         let n = self.vlen_elems;
         for i in 0..vl {
             self.regs[vd * n + i] = self.regs[va * n + i] * self.regs[vb * n + i];
         }
-        let (occ, lat) = self.arith_cost(vl);
-        self.issue([Some(va), Some(vb)], Some(vd), occ, lat);
-        self.count_arith(vl, 1);
+        self.tl_varith(VArithOp::MulVv, vd, va, vb, vl);
     }
 
     /// `vd[i] = va[i] + vb[i]`.
     pub fn vfadd_vv(&mut self, vd: VReg, va: VReg, vb: VReg, vl: usize) {
-        self.rec(|| VecEvent::arith("vfadd.vv", vd, [Some(va), Some(vb), None], vl));
+        self.rlog_arith(VArithOp::AddVv, vd, va, vb, vl);
         let n = self.vlen_elems;
         for i in 0..vl {
             self.regs[vd * n + i] = self.regs[va * n + i] + self.regs[vb * n + i];
         }
-        let (occ, lat) = self.arith_cost(vl);
-        self.issue([Some(va), Some(vb)], Some(vd), occ, lat);
-        self.count_arith(vl, 1);
+        self.tl_varith(VArithOp::AddVv, vd, va, vb, vl);
     }
 
     /// `vd[i] = vs[i] + a`.
     pub fn vfadd_vf(&mut self, vd: VReg, vs: VReg, a: f32, vl: usize) {
-        self.rec(|| VecEvent::arith("vfadd.vf", vd, [Some(vs), None, None], vl));
+        self.rlog_arith(VArithOp::AddVf, vd, vs, 0, vl);
         let n = self.vlen_elems;
         for i in 0..vl {
             self.regs[vd * n + i] = self.regs[vs * n + i] + a;
         }
-        let (occ, lat) = self.arith_cost(vl);
-        self.issue([Some(vs), None], Some(vd), occ, lat);
-        self.count_arith(vl, 1);
+        self.tl_varith(VArithOp::AddVf, vd, vs, 0, vl);
     }
 
     /// `vd[i] = va[i] - vb[i]`.
     pub fn vfsub_vv(&mut self, vd: VReg, va: VReg, vb: VReg, vl: usize) {
-        self.rec(|| VecEvent::arith("vfsub.vv", vd, [Some(va), Some(vb), None], vl));
+        self.rlog_arith(VArithOp::SubVv, vd, va, vb, vl);
         let n = self.vlen_elems;
         for i in 0..vl {
             self.regs[vd * n + i] = self.regs[va * n + i] - self.regs[vb * n + i];
         }
-        let (occ, lat) = self.arith_cost(vl);
-        self.issue([Some(va), Some(vb)], Some(vd), occ, lat);
-        self.count_arith(vl, 1);
+        self.tl_varith(VArithOp::SubVv, vd, va, vb, vl);
     }
 
     /// `vd[i] = max(vs[i], a)` (leaky/ReLU building block).
     pub fn vfmax_vf(&mut self, vd: VReg, vs: VReg, a: f32, vl: usize) {
-        self.rec(|| VecEvent::arith("vfmax.vf", vd, [Some(vs), None, None], vl));
+        self.rlog_arith(VArithOp::MaxVf, vd, vs, 0, vl);
         let n = self.vlen_elems;
         for i in 0..vl {
             self.regs[vd * n + i] = self.regs[vs * n + i].max(a);
         }
-        let (occ, lat) = self.arith_cost(vl);
-        self.issue([Some(vs), None], Some(vd), occ, lat);
-        self.count_arith(vl, 1);
+        self.tl_varith(VArithOp::MaxVf, vd, vs, 0, vl);
     }
 
     /// `vd[i] = max(va[i], vb[i])` (maxpool building block).
     pub fn vfmax_vv(&mut self, vd: VReg, va: VReg, vb: VReg, vl: usize) {
-        self.rec(|| VecEvent::arith("vfmax.vv", vd, [Some(va), Some(vb), None], vl));
+        self.rlog_arith(VArithOp::MaxVv, vd, va, vb, vl);
         let n = self.vlen_elems;
         for i in 0..vl {
             self.regs[vd * n + i] = self.regs[va * n + i].max(self.regs[vb * n + i]);
         }
-        let (occ, lat) = self.arith_cost(vl);
-        self.issue([Some(va), Some(vb)], Some(vd), occ, lat);
-        self.count_arith(vl, 1);
+        self.tl_varith(VArithOp::MaxVv, vd, va, vb, vl);
     }
 
     /// `vd[i] = va[i] / vb[i]`.
     pub fn vfdiv_vv(&mut self, vd: VReg, va: VReg, vb: VReg, vl: usize) {
-        self.rec(|| VecEvent::arith("vfdiv.vv", vd, [Some(va), Some(vb), None], vl));
+        self.rlog_arith(VArithOp::DivVv, vd, va, vb, vl);
         let n = self.vlen_elems;
         for i in 0..vl {
             self.regs[vd * n + i] = self.regs[va * n + i] / self.regs[vb * n + i];
         }
-        // Division is unpipelined-ish: several cycles per lane group.
-        let chime = 8 * self.eff_chime(vl);
-        self.issue([Some(va), Some(vb)], Some(vd), chime, self.eff_startup() + chime);
-        self.count_arith(vl, 1);
+        self.tl_varith(VArithOp::DivVv, vd, va, vb, vl);
     }
 
     /// `vd[i] = sqrt(vs[i])`.
     pub fn vfsqrt(&mut self, vd: VReg, vs: VReg, vl: usize) {
-        self.rec(|| VecEvent::arith("vfsqrt", vd, [Some(vs), None, None], vl));
+        self.rlog_arith(VArithOp::Sqrt, vd, vs, 0, vl);
         let n = self.vlen_elems;
         for i in 0..vl {
             self.regs[vd * n + i] = self.regs[vs * n + i].sqrt();
         }
-        let chime = 8 * self.eff_chime(vl);
-        self.issue([Some(vs), None], Some(vd), chime, self.eff_startup() + chime);
-        self.count_arith(vl, 1);
+        self.tl_varith(VArithOp::Sqrt, vd, vs, 0, vl);
     }
 
-    /// Horizontal sum of the first `vl` lanes; the scalar result is consumed
-    /// by the core, so the front end waits for it.
-    pub fn vfredsum(&mut self, vs: VReg, vl: usize) -> f32 {
-        self.rec(|| VecEvent::reduce("vfredsum", vs, vl));
-        let n = self.vlen_elems;
-        let sum: f32 = self.regs[vs * n..vs * n + vl].iter().sum();
+    /// Timing half of the reductions (shared with the replay executor): the
+    /// front end waits for the scalar result.
+    fn tl_reduce(&mut self, op: ReduceOp, vs: VReg, vl: usize) {
+        self.rec(|| VecEvent::reduce(op.name(), vs, vl));
         // The log2(lanes) reduction-tree term stays even under
         // `infinite_lanes`: more lanes deepen the tree, they don't flatten it.
         let chime = self.eff_chime(vl) + (self.cfg.vpu.lanes as f64).log2().ceil() as u64;
@@ -1369,25 +1632,30 @@ impl Machine {
         self.now += lat; // core consumes the scalar
         self.attribute_consume_wait(lat);
         self.count_arith(vl, 1);
+    }
+
+    /// Horizontal sum of the first `vl` lanes; the scalar result is consumed
+    /// by the core, so the front end waits for it.
+    pub fn vfredsum(&mut self, vs: VReg, vl: usize) -> f32 {
+        self.rlog(|| ReplayOp::Reduce { op: ReduceOp::Sum, vs: vs as u8, vl: vl as u16 });
+        let n = self.vlen_elems;
+        let sum: f32 = self.regs[vs * n..vs * n + vl].iter().sum();
+        self.tl_reduce(ReduceOp::Sum, vs, vl);
         sum
     }
 
     /// Horizontal max of the first `vl` lanes.
     pub fn vfredmax(&mut self, vs: VReg, vl: usize) -> f32 {
-        self.rec(|| VecEvent::reduce("vfredmax", vs, vl));
+        self.rlog(|| ReplayOp::Reduce { op: ReduceOp::Max, vs: vs as u8, vl: vl as u16 });
         let n = self.vlen_elems;
         let mx = self.regs[vs * n..vs * n + vl].iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let chime = self.eff_chime(vl) + (self.cfg.vpu.lanes as f64).log2().ceil() as u64;
-        let lat = self.eff_startup() + chime;
-        self.issue([Some(vs), None], None, chime, lat);
-        self.now += lat;
-        self.attribute_consume_wait(lat);
-        self.count_arith(vl, 1);
+        self.tl_reduce(ReduceOp::Max, vs, vl);
         mx
     }
 
     /// Record a register spill inserted by a kernel (unroll > registers).
     pub fn note_spill(&mut self) {
+        self.rlog(|| ReplayOp::Spill);
         self.stats.spills += 1;
     }
 
@@ -1442,6 +1710,17 @@ impl Machine {
     /// Charge `n` scalar operation units (address arithmetic, branches, …).
     #[inline]
     pub fn charge_scalar_ops(&mut self, n: u64) {
+        self.rlog(|| ReplayOp::ScalarOps { n: r32(n, "scalar-op count") });
+        self.scalar_ops_tl(n);
+    }
+
+    /// Timing half of [`Self::charge_scalar_ops`], also used by ops that
+    /// charge scalar work internally (`setvl`, `whilelt`, `prefetch`) so the
+    /// replay log never records the same charge twice. One fractional-cycle
+    /// addition per call — replaying call-by-call keeps the `f64`
+    /// accumulation bit-identical.
+    #[inline]
+    fn scalar_ops_tl(&mut self, n: u64) {
         self.stats.scalar_ops += n;
         if let Some(sink) = self.sink.as_mut() {
             sink.scalar_ops(n);
@@ -1453,6 +1732,13 @@ impl Machine {
     /// Charge `n` scalar floating-point operations.
     #[inline]
     pub fn charge_scalar_flops(&mut self, n: u64) {
+        self.rlog(|| ReplayOp::ScalarFlops { n: r32(n, "scalar-flop count") });
+        self.scalar_flops_tl(n);
+    }
+
+    /// Timing half of [`Self::charge_scalar_flops`].
+    #[inline]
+    fn scalar_flops_tl(&mut self, n: u64) {
         self.stats.scalar_flops += n;
         if let Some(sink) = self.sink.as_mut() {
             sink.scalar_ops(n);
@@ -1468,17 +1754,8 @@ impl Machine {
     pub fn scalar_read(&mut self, addr: u64) -> f32 {
         self.check_vec("scalar_read", addr, addr + 4, 1);
         let v = self.mem.read_addr(addr);
-        let (_lvl, lat) = self.sys.demand_scalar(addr, AccessKind::Read);
-        // Hits expose no latency: their charge is exactly the kernel CPI
-        // (`0.0 + cpi == cpi` in f64), so the hit path skips the exposure
-        // arithmetic without perturbing the accumulated fraction.
-        self.scalar_frac += if lat > self.cfg.mem.l1.hit_latency {
-            f64::from(lat - self.cfg.mem.l1.hit_latency) * self.cfg.core.scalar_miss_exposure
-                + self.cfg.core.kernel_scalar_cpi
-        } else {
-            self.cfg.core.kernel_scalar_cpi
-        };
-        self.commit_scalar();
+        self.rlog(|| ReplayOp::ScalarRead { addr: r32(addr, "scalar_read addr") });
+        self.tl_scalar_mem(addr, AccessKind::Read);
         v
     }
 
@@ -1487,7 +1764,18 @@ impl Machine {
     pub fn scalar_write(&mut self, addr: u64, v: f32) {
         self.check_vec("scalar_write", addr, addr + 4, 1);
         self.mem.write_addr(addr, v);
-        let (_lvl, lat) = self.sys.demand_scalar(addr, AccessKind::Write);
+        self.rlog(|| ReplayOp::ScalarWrite { addr: r32(addr, "scalar_write addr") });
+        self.tl_scalar_mem(addr, AccessKind::Write);
+    }
+
+    /// Timing half of [`Self::scalar_read`] / [`Self::scalar_write`]
+    /// (shared with the replay executor).
+    #[inline]
+    fn tl_scalar_mem(&mut self, addr: u64, kind: AccessKind) {
+        let lat = self.probe_scalar(addr, kind);
+        // Hits expose no latency: their charge is exactly the kernel CPI
+        // (`0.0 + cpi == cpi` in f64), so the hit path skips the exposure
+        // arithmetic without perturbing the accumulated fraction.
         self.scalar_frac += if lat > self.cfg.mem.l1.hit_latency {
             f64::from(lat - self.cfg.mem.l1.hit_latency) * self.cfg.core.scalar_miss_exposure
                 + self.cfg.core.kernel_scalar_cpi
@@ -1505,17 +1793,380 @@ impl Machine {
         if words == 0 {
             return;
         }
+        self.rlog(|| ReplayOp::ScalarStream {
+            addr: r32(addr, "scalar_stream addr"),
+            words: r32(words as u64, "scalar_stream words"),
+            write: matches!(kind, AccessKind::Write),
+        });
+        self.tl_scalar_stream(addr, words, kind);
+    }
+
+    /// Timing half of [`Self::scalar_stream`] (shared with the replay
+    /// executor).
+    fn tl_scalar_stream(&mut self, addr: u64, words: usize, kind: AccessKind) {
         let lb = self.sys.line_bytes() as u64;
         let first = addr / lb;
         let last = (addr + 4 * words as u64 - 1) / lb;
         let mut exposed = 0.0;
         for line in first..=last {
-            let (_lvl, lat) = self.sys.demand_scalar(line * lb, kind);
+            let lat = self.probe_scalar(line * lb, kind);
             exposed += (lat.saturating_sub(self.cfg.mem.l1.hit_latency)) as f64
                 * self.cfg.core.scalar_miss_exposure;
         }
         self.scalar_frac += exposed;
         self.commit_scalar();
+    }
+
+    // ------------------------------------------------------------------
+    // The replay executor (the `lva-retime` engine's workhorse)
+    // ------------------------------------------------------------------
+
+    /// Re-execute a captured semantic trace through the timing model,
+    /// skipping all functional work. Returns one [`SegmentReplay`] per
+    /// `reset_timing()`-delimited segment (a segment boundary snapshot plus
+    /// the final tail), each carrying exactly what the full simulator would
+    /// have reported for that segment.
+    ///
+    /// The machine must be freshly built for the target design point with
+    /// the same hardware vector length the trace was captured at (vector
+    /// lengths recorded in the ops are grants of the capture machine; the
+    /// caller enforces the stream-key match). For a **tape refit**, install
+    /// the capture's probe tape with [`Self::play_probe_tape`] first; for a
+    /// **live replay**, leave it out and the recorded addresses drive this
+    /// machine's real memory hierarchy (optionally recording a fresh tape
+    /// via [`Self::record_probe_tape`]).
+    pub fn replay(&mut self, trace: &ReplayTrace) -> Vec<SegmentReplay> {
+        self.replay_with(trace, None)
+    }
+
+    /// [`Self::replay`] with an optional per-layer timing memo (the
+    /// retime-many fast path; see [`crate::refit`]). On a **tape refit**
+    /// with no observers installed, each `LayerBegin..LayerEnd` region
+    /// whose [`MemoKey`] (reduced op signature × tape slice × relative
+    /// entry state) is already in `memo` is *applied* as a stored state
+    /// delta instead of interpreted — bit-identical by the timing model's
+    /// translation invariance — and missed regions are interpreted once and
+    /// stored. With observers present (event sink, recorder, pipeline
+    /// recorder, address tap, replay log, tape recorder), on a live replay,
+    /// or on the reference model, the memo is ignored entirely: those paths
+    /// have per-op side effects a state delta cannot reproduce.
+    ///
+    /// `memo` must be scoped to exactly this machine configuration and the
+    /// installed tape's geometry; the caller (the `lva-retime` store) keys
+    /// its memo instances accordingly.
+    pub fn replay_with(
+        &mut self,
+        trace: &ReplayTrace,
+        memo: Option<(&RefitPlan, &mut LayerMemo)>,
+    ) -> Vec<SegmentReplay> {
+        self.replay_span(trace, 0, false, memo).0
+    }
+
+    /// Replay only the setup prologue — everything up to and including the
+    /// first `ResetTiming` — and return the index of the first measured op.
+    /// Lets a caller install observers (e.g. the energy probe) *between*
+    /// setup and the measured segment, exactly where a full run attaches
+    /// them, before finishing with [`Self::replay_from`].
+    pub fn replay_setup(&mut self, trace: &ReplayTrace) -> usize {
+        self.replay_span(trace, 0, true, None).1
+    }
+
+    /// Replay from op index `start` (as returned by [`Self::replay_setup`])
+    /// to the end of the trace, returning one [`SegmentReplay`] per
+    /// remaining segment.
+    pub fn replay_from(&mut self, trace: &ReplayTrace, start: usize) -> Vec<SegmentReplay> {
+        self.replay_span(trace, start, false, None).0
+    }
+
+    /// The replay executor: run ops from `start`, optionally stopping right
+    /// after the first `ResetTiming` boundary; returns the completed
+    /// segments and the index of the next unexecuted op.
+    fn replay_span(
+        &mut self,
+        trace: &ReplayTrace,
+        start: usize,
+        stop_after_reset: bool,
+        mut memo: Option<(&RefitPlan, &mut LayerMemo)>,
+    ) -> (Vec<SegmentReplay>, usize) {
+        let mut segments = Vec::new();
+        // (phase, cycles at open) — mirrors the call stack of `phase()`.
+        let mut phase_stack: Vec<(KernelPhase, u64)> = Vec::new();
+        // Open layer: (index, desc, cycles/stalls/instr/elem snapshots).
+        let mut layer_open: Option<(usize, u32, u64, StallBreakdown, u64, u64)> = None;
+        let mut layers: Vec<LayerReplay> = Vec::new();
+        // Memoization is sound only when replay state is *all* the state:
+        // tape playback (no cache arrays evolving) and no per-op observers.
+        let memo_static_ok = self.tape_play.is_some()
+            && self.rec.is_none()
+            && self.sink.is_none()
+            && self.pipe.is_none()
+            && self.rlog.is_none()
+            && self.tape_rec.is_none()
+            && !self.ref_model
+            && !self.sys.has_tap();
+        // Next entry of the plan's region list (one per LayerBegin).
+        let mut next_region = 0usize;
+        // Entry snapshot of a missed region being interpreted for capture.
+        let mut pending: Option<EntrySnapshot> = None;
+        let ops = &trace.ops;
+        let mut i = start;
+        while i < ops.len() {
+            match ops[i] {
+                ReplayOp::Setvl { rvl } => {
+                    self.tl_setvl(rvl as usize);
+                }
+                ReplayOp::Whilelt { i, n } => {
+                    self.tl_whilelt(i as usize, n as usize);
+                }
+                ReplayOp::VLoad { vd, vl, addr } => {
+                    self.tl_vle(vd as VReg, addr as u64, vl as usize);
+                }
+                ReplayOp::VStore { vs, vl, addr } => {
+                    self.tl_vse(vs as VReg, addr as u64, vl as usize);
+                }
+                ReplayOp::VLoadStrided { vd, vl, addr, stride } => {
+                    self.tl_vlse(vd as VReg, addr as u64, stride as u64, vl as usize);
+                }
+                ReplayOp::VStoreStrided { vs, vl, addr, stride } => {
+                    self.tl_vsse(vs as VReg, addr as u64, stride as u64, vl as usize);
+                }
+                ReplayOp::VIndexed { op, reg, base, idx } => {
+                    let lanes = &trace.idx_pool[idx.off as usize..(idx.off + idx.len) as usize];
+                    self.tl_indexed(op, reg as VReg, base as u64, lanes);
+                }
+                ReplayOp::VArith { op, vd, a, b, vl } => {
+                    self.tl_varith(op, vd as VReg, a as VReg, b as VReg, vl as usize);
+                }
+                ReplayOp::Reduce { op, vs, vl } => {
+                    self.tl_reduce(op, vs as VReg, vl as usize);
+                }
+                ReplayOp::Prefetch { addr, target } => {
+                    self.tl_prefetch(addr as u64, target);
+                }
+                ReplayOp::ScalarOps { n } => {
+                    self.scalar_ops_tl(n as u64);
+                }
+                ReplayOp::ScalarFlops { n } => {
+                    self.scalar_flops_tl(n as u64);
+                }
+                ReplayOp::ScalarRead { addr } => {
+                    self.tl_scalar_mem(addr as u64, AccessKind::Read);
+                }
+                ReplayOp::ScalarWrite { addr } => {
+                    self.tl_scalar_mem(addr as u64, AccessKind::Write);
+                }
+                ReplayOp::ScalarStream { addr, words, write } => {
+                    let kind = if write { AccessKind::Write } else { AccessKind::Read };
+                    self.tl_scalar_stream(addr as u64, words as usize, kind);
+                }
+                ReplayOp::PhaseBegin { phase } => {
+                    let t0 = self.cycles();
+                    self.tl_phase_begin(phase);
+                    phase_stack.push((phase, t0));
+                }
+                ReplayOp::PhaseEnd { phase } => {
+                    let t1 = self.tl_phase_end(phase);
+                    let (p, t0) = phase_stack.pop().expect("replay: PhaseEnd without open phase");
+                    debug_assert_eq!(p, phase, "replay: mismatched phase nesting");
+                    self.phases.add(phase, t1 - t0);
+                }
+                ReplayOp::LayerBegin { index, desc } => {
+                    self.sys.tap_scope(TapScope::LayerBegin {
+                        index: index as usize,
+                        desc: &trace.descs[desc as usize],
+                    });
+                    layer_open = Some((
+                        index as usize,
+                        desc,
+                        self.cycles(),
+                        self.stalls,
+                        self.stats.vec_instrs,
+                        self.stats.active_elems,
+                    ));
+                    if memo_static_ok {
+                        if let Some((plan, store)) = memo.as_mut() {
+                            let region = plan.regions[next_region];
+                            next_region += 1;
+                            debug_assert_eq!(
+                                region.begin_op, i,
+                                "refit plan misaligned with trace"
+                            );
+                            // Below the out-of-order window the scoreboard's
+                            // `saturating_sub` breaks translation invariance;
+                            // interpret such (rare, run-initial) layers.
+                            if region.balanced && self.now >= self.cfg.core.ooo_window {
+                                let tp = self.tape_play.as_ref().expect("memo requires tape");
+                                let key = MemoKey {
+                                    sig: region.sig,
+                                    slice: fold_levels(tp.peek(region.probes)),
+                                    entry: self.entry_fold(plan.geometry.hw_prefetch),
+                                };
+                                if let Some(eff) = store.map.get(&key) {
+                                    let eff = eff.clone();
+                                    self.apply_effect(&eff);
+                                    self.tape_play
+                                        .as_mut()
+                                        .expect("memo requires tape")
+                                        .skip(region.probes);
+                                    store.hits += 1;
+                                    // Resume at the region's LayerEnd, which
+                                    // runs its normal bookkeeping.
+                                    i = region.end_op;
+                                    continue;
+                                }
+                                store.misses += 1;
+                                pending = Some(EntrySnapshot {
+                                    key,
+                                    now: self.now,
+                                    cursor: self
+                                        .tape_play
+                                        .as_ref()
+                                        .expect("memo requires tape")
+                                        .cursor,
+                                    probes: region.probes,
+                                    stalls: self.stalls,
+                                    phases: self.phases.clone(),
+                                    stats: self.stats,
+                                });
+                            }
+                        }
+                    }
+                }
+                ReplayOp::LayerEnd => {
+                    if let Some(snap) = pending.take() {
+                        let (plan, store) =
+                            memo.as_mut().expect("pending memo capture without context");
+                        let consumed = self.tape_play.as_ref().expect("memo requires tape").cursor
+                            - snap.cursor;
+                        assert_eq!(
+                            consumed as u64, snap.probes,
+                            "refit plan probe count diverged from timing consumption"
+                        );
+                        let eff = self.effect_since(&snap, plan.geometry.hw_prefetch);
+                        store.map.insert(snap.key, eff);
+                    }
+                    self.sys.tap_scope(TapScope::LayerEnd);
+                    let (index, desc, t0, stalls0, instrs0, elems0) =
+                        layer_open.take().expect("replay: LayerEnd without open layer");
+                    layers.push(LayerReplay {
+                        index,
+                        desc: trace.descs[desc as usize].clone(),
+                        cycles: self.cycles() - t0,
+                        stalls: self.stalls.since(&stalls0),
+                        d_instrs: self.stats.vec_instrs - instrs0,
+                        d_elems: self.stats.active_elems - elems0,
+                    });
+                }
+                ReplayOp::Spill => {
+                    self.stats.spills += 1;
+                }
+                ReplayOp::ResetTiming => {
+                    segments.push(self.segment_snapshot(std::mem::take(&mut layers)));
+                    if let Some(tp) = self.tape_play.as_mut() {
+                        tp.next_segment();
+                    }
+                    self.reset_timing();
+                    if stop_after_reset {
+                        return (segments, i + 1);
+                    }
+                }
+            }
+            i += 1;
+        }
+        assert!(!stop_after_reset, "replay_setup: trace has no ResetTiming boundary");
+        segments.push(self.segment_snapshot(layers));
+        (segments, i)
+    }
+
+    /// Fold the timing-relevant machine state *relative to `now`* — the
+    /// entry-state component of a layer [`MemoKey`]. Everything the timing
+    /// functions read that is not config or op-stream: scoreboard distances,
+    /// the fractional scalar accumulator, the occupancy-split carry-overs,
+    /// and (only when a hardware prefetcher can read it) the recent-miss
+    /// ring with its absolute line numbers.
+    fn entry_fold(&self, ring_relevant: bool) -> Fold128 {
+        let mut f = Fold128::new(0x0045_4E54_5259);
+        let now = self.now as i64;
+        f.push((self.unit_free as i64 - now) as u64);
+        for &r in &self.ready {
+            f.push((r as i64 - now) as u64);
+        }
+        f.push(self.scalar_frac.to_bits());
+        f.push(self.next_occ_mem);
+        f.push(self.last_occ_mem);
+        f.push(self.last_occ_total);
+        if ring_relevant {
+            for &m in &self.recent_misses {
+                f.push(m);
+            }
+            f.push(self.recent_miss_pos as u64);
+        }
+        f.finish()
+    }
+
+    /// Diff the machine state against a region-entry snapshot into a
+    /// [`LayerEffect`]: scoreboard exits relative to the entry `now`
+    /// (translation-invariant), determined exit values, and accumulator
+    /// deltas.
+    fn effect_since(&self, snap: &EntrySnapshot, ring_relevant: bool) -> LayerEffect {
+        let base = snap.now as i64;
+        let mut ready_rel = [0i64; NUM_VREGS];
+        for (rel, &r) in ready_rel.iter_mut().zip(self.ready.iter()) {
+            *rel = r as i64 - base;
+        }
+        LayerEffect {
+            d_now: self.now - snap.now,
+            uf_rel: self.unit_free as i64 - base,
+            ready_rel,
+            frac_bits: self.scalar_frac.to_bits(),
+            next_occ_mem: self.next_occ_mem,
+            last_occ_mem: self.last_occ_mem,
+            last_occ_total: self.last_occ_total,
+            ring: ring_relevant.then_some((self.recent_misses, self.recent_miss_pos)),
+            stalls_d: self.stalls.since(&snap.stalls),
+            phases_d: phases_delta(&snap.phases, &self.phases),
+            stats_d: vpu_delta(&snap.stats, &self.stats),
+        }
+    }
+
+    /// Apply a stored [`LayerEffect`] at the current `now` — the memo-hit
+    /// fast path, bit-identical to interpreting the region (given an equal
+    /// [`MemoKey`] and `now >= ooo_window`; see [`crate::refit`]).
+    fn apply_effect(&mut self, eff: &LayerEffect) {
+        let base = self.now as i64;
+        self.now += eff.d_now;
+        self.unit_free = (base + eff.uf_rel) as u64;
+        for (r, &rel) in self.ready.iter_mut().zip(eff.ready_rel.iter()) {
+            *r = (base + rel) as u64;
+        }
+        self.scalar_frac = f64::from_bits(eff.frac_bits);
+        self.next_occ_mem = eff.next_occ_mem;
+        self.last_occ_mem = eff.last_occ_mem;
+        self.last_occ_total = eff.last_occ_total;
+        if let Some((ring, pos)) = eff.ring {
+            self.recent_misses = ring;
+            self.recent_miss_pos = pos;
+        }
+        self.stalls.merge(&eff.stalls_d);
+        self.phases.merge(&eff.phases_d);
+        vpu_accum(&mut self.stats, &eff.stats_d);
+    }
+
+    /// The current segment's complete timing results (cache statistics from
+    /// the tape under refit playback, from the live counters otherwise).
+    fn segment_snapshot(&mut self, layers: Vec<LayerReplay>) -> SegmentReplay {
+        let mem = match self.tape_play.as_ref() {
+            Some(tp) => tp.segment_stats(),
+            None => self.sys.stats(),
+        };
+        SegmentReplay {
+            cycles: self.cycles(),
+            stalls: self.stalls,
+            phases: self.phases.clone(),
+            vpu: self.stats,
+            mem,
+            layers,
+        }
     }
 }
 

@@ -257,7 +257,7 @@ const _: () = {
 };
 
 /// Accumulates cycles per [`KernelPhase`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PhaseTimer {
     cycles: [u64; 15],
 }

@@ -12,7 +12,7 @@ use lva_kernels::gemm::GemmWorkspace;
 use lva_kernels::pool::{global_avgpool_vec, maxpool_vec, upsample2_vec, PoolParams};
 use lva_kernels::{conv_direct_vec, conv_im2col_gemm, ConvParams, GemmVariant};
 use lva_sim::memsys::MemSystemStats;
-use lva_sim::{Buf, TapScope};
+use lva_sim::Buf;
 use lva_tensor::{host_random, Shape, Tensor};
 use lva_winograd::{winograd_conv_vla, WinogradPlan, WinogradScratch};
 
@@ -79,7 +79,7 @@ pub struct Layer {
 }
 
 /// Per-layer execution record.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LayerReport {
     pub index: usize,
     pub desc: String,
@@ -112,7 +112,7 @@ impl LayerReport {
 /// the end of the run; callers that want a clean measurement reset the
 /// machine timing before calling [`Network::run`] (the paper excludes the
 /// network-setup phase the same way).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NetReport {
     pub layers: Vec<LayerReport>,
     pub cycles: u64,
@@ -468,7 +468,7 @@ impl Network {
             // Opened before the layer body so kernel-phase spans nest inside.
             let mut layer_span = lva_trace::span("layer");
             let desc = self.layers[i].spec.describe();
-            m.sys.tap_scope(TapScope::LayerBegin { index: i, desc: &desc });
+            m.layer_begin(i, &desc);
             let prev_out: Tensor = if i == 0 { self.input } else { self.layers[i - 1].out };
             let (mnk, algo, flops);
             // Take what we need out of the layer to satisfy the borrow
@@ -585,7 +585,7 @@ impl Network {
                     softmax_vec(m, out.buf, out.shape.len());
                 }
             }
-            m.sys.tap_scope(TapScope::LayerEnd);
+            m.layer_end();
             let cycles = m.cycles() - t0;
             let stalls = m.stalls.since(&stalls0);
             let d_instrs = m.stats.vec_instrs - vpu0.vec_instrs;

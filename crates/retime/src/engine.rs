@@ -1,0 +1,362 @@
+//! The retime engine: one front door for experiment execution that
+//! transparently picks the cheapest sound path.
+//!
+//! Dispatch per request, in order:
+//!
+//! 1. mode `Off` → full simulation (the engine is a no-op).
+//! 2. certificate gate refused → full simulation, refusal recorded.
+//! 3. run memo hit → cloned summary.
+//! 4. no recording for the stream → capture (one full simulation under
+//!    the recorder; its summary *is* the answer).
+//! 5. recording + a tape at this geometry → memoized tape refit.
+//! 6. recording, no tape at this geometry → live replay, recording a
+//!    fresh tape so the next run at this geometry refits.
+//!
+//! Under mode `Verify` every request additionally runs the full
+//! simulator and asserts the results are bit-identical — cycles, flops,
+//! the complete per-layer report with stall breakdowns, VPU statistics
+//! and cache statistics.
+//!
+//! Results are independent of memo state (every path is bit-identical),
+//! so a sweep driven through the engine produces byte-identical reports
+//! for any execution order or warm/cold store.
+
+use crate::cert::CertGate;
+use crate::key::{ConfigKey, StreamKey};
+use crate::store::RetimeStore;
+use lva_core::{Experiment, RetimeOpt, RunSummary, StreamSummary};
+use lva_trace::Json;
+use std::sync::Arc;
+
+/// Aggregate path counters, all monotone.
+#[derive(Debug, Default, Clone)]
+pub struct Counters {
+    pub full_runs: u64,
+    pub refused_runs: u64,
+    pub run_memo_hits: u64,
+    pub captures: u64,
+    pub tape_refits: u64,
+    pub live_replays: u64,
+    pub verified: u64,
+    pub stream_captures: u64,
+    pub stream_refits: u64,
+    pub stream_live_replays: u64,
+    pub energy_retimes: u64,
+}
+
+/// See the module docs.
+#[derive(Debug)]
+pub struct RetimeEngine {
+    mode: RetimeOpt,
+    gate: CertGate,
+    store: RetimeStore,
+    counters: Counters,
+    /// First refusal reason observed, if any (stable across runs: the
+    /// gate verdict is computed once).
+    refusal: Option<String>,
+}
+
+fn mem_fingerprint(e: &Experiment) -> String {
+    e.hw.machine_config().mem.state_fingerprint()
+}
+
+impl RetimeEngine {
+    pub fn new(mode: RetimeOpt) -> Self {
+        Self::with_gate(mode, CertGate::standard())
+    }
+
+    /// An engine with an explicit certificate gate (tests inject synthetic
+    /// kernel sets or pre-decided verdicts).
+    pub fn with_gate(mode: RetimeOpt, gate: CertGate) -> Self {
+        RetimeEngine {
+            mode,
+            gate,
+            store: RetimeStore::new(),
+            counters: Counters::default(),
+            refusal: None,
+        }
+    }
+
+    /// Cap the recording store's byte budget.
+    #[must_use]
+    pub fn with_store(mut self, store: RetimeStore) -> Self {
+        self.store = store;
+        self
+    }
+
+    pub fn mode(&self) -> RetimeOpt {
+        self.mode
+    }
+
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    pub fn store(&self) -> &RetimeStore {
+        &self.store
+    }
+
+    /// The refusal reason, if the certificate gate refused retiming.
+    pub fn refusal(&self) -> Option<&str> {
+        self.refusal.as_deref()
+    }
+
+    /// `Ok` if retiming is certified; records the refusal otherwise.
+    fn gate_ok(&mut self) -> bool {
+        match self.gate.check() {
+            Ok(()) => true,
+            Err(reason) => {
+                self.refusal = Some(reason);
+                false
+            }
+        }
+    }
+
+    /// Run one experiment through the engine (see module docs for the
+    /// dispatch order). Bit-identical to [`Experiment::run`] on every
+    /// path; asserted per run under mode `Verify`.
+    pub fn run(&mut self, e: &Experiment) -> RunSummary {
+        self.run_explained(e).0
+    }
+
+    /// [`Self::run`], also naming the path that produced the result.
+    pub fn run_explained(&mut self, e: &Experiment) -> (RunSummary, &'static str) {
+        if !self.mode.enabled() {
+            self.counters.full_runs += 1;
+            return (e.run(), "full");
+        }
+        if !self.gate_ok() {
+            self.counters.refused_runs += 1;
+            return (e.run(), "refused");
+        }
+        let sk = StreamKey::of(e);
+        let ck = ConfigKey::of(e);
+        if let Some(s) = self.store.run_cached(&sk, &ck) {
+            self.counters.run_memo_hits += 1;
+            self.verify(e, &s);
+            return (s, "run-memo");
+        }
+        let fp = mem_fingerprint(e);
+        let (summary, path) = match self.store.lookup(&sk, &fp, e.refit_geometry()) {
+            None => {
+                let cap = e.run_traced();
+                let s = cap.summary.clone();
+                self.store.insert_trace(sk.clone(), cap, fp);
+                self.counters.captures += 1;
+                (s, "capture")
+            }
+            Some((cap, Some(tape), plan)) => {
+                let memo = self.store.layer_memo_mut(ck.clone());
+                let s = e
+                    .retime_tape_memoized_with(&cap, &tape, &plan, memo)
+                    .expect("tape indexed under this geometry fingerprint");
+                self.counters.tape_refits += 1;
+                (s, "tape-refit")
+            }
+            Some((cap, None, _plan)) => {
+                let (s, tape) = e.retime_live_recording(&cap);
+                self.store.add_tape(&sk, fp, Arc::new(tape));
+                self.counters.live_replays += 1;
+                (s, "live-replay")
+            }
+        };
+        self.verify(e, &summary);
+        self.store.store_run(sk, ck, summary.clone());
+        (summary, path)
+    }
+
+    /// [`Experiment::run_stream`] through the engine: streaming captures
+    /// are recorded per (stream, frame count) and re-timed like runs.
+    pub fn run_stream(&mut self, e: &Experiment, frames: usize) -> StreamSummary {
+        if !self.mode.enabled() {
+            self.counters.full_runs += 1;
+            return e.run_stream(frames);
+        }
+        if !self.gate_ok() {
+            self.counters.refused_runs += 1;
+            return e.run_stream(frames);
+        }
+        let sk = StreamKey::of(e);
+        let ck = ConfigKey::of(e);
+        if let Some(s) = self.store.stream_cached(&sk, frames, &ck) {
+            self.counters.run_memo_hits += 1;
+            self.verify_stream(e, frames, &s);
+            return s;
+        }
+        let fp = mem_fingerprint(e);
+        let summary = match self.store.lookup_stream(&sk, frames, e.refit_geometry()) {
+            None => {
+                let cap = e.run_stream_traced(frames);
+                let s = cap.summary.clone();
+                self.store.insert_stream(sk.clone(), frames, cap, fp);
+                self.counters.stream_captures += 1;
+                s
+            }
+            Some((cap, tape_fp, plan)) => {
+                if tape_fp == fp {
+                    let memo = self.store.layer_memo_mut(ck.clone());
+                    self.counters.stream_refits += 1;
+                    e.retime_stream_tape_memoized(&cap, &plan, memo)
+                        .expect("fingerprint-matched stream tape")
+                } else {
+                    self.counters.stream_live_replays += 1;
+                    e.retime_stream_live(&cap)
+                }
+            }
+        };
+        self.verify_stream(e, frames, &summary);
+        self.store.store_stream_run(sk, frames, ck, summary.clone());
+        summary
+    }
+
+    /// [`Experiment::run_energy`] through the engine. The energy probe
+    /// consumes the live event stream, so this path live-replays the
+    /// recording with the probe attached at the setup boundary (skipping
+    /// functional execution); attribution and summary are bit-identical
+    /// to the full probed run.
+    pub fn run_energy(
+        &mut self,
+        e: &Experiment,
+        model: &lva_core::EnergyModel,
+    ) -> (RunSummary, lva_core::EnergyAttribution) {
+        if !self.mode.enabled() {
+            self.counters.full_runs += 1;
+            return e.run_energy(model);
+        }
+        if !self.gate_ok() {
+            self.counters.refused_runs += 1;
+            return e.run_energy(model);
+        }
+        let sk = StreamKey::of(e);
+        let ck = ConfigKey::of(e);
+        let fp = mem_fingerprint(e);
+        if self.store.lookup(&sk, &fp, e.refit_geometry()).is_none() {
+            let cap = e.run_traced();
+            self.store.insert_trace(sk.clone(), cap, fp.clone());
+            self.counters.captures += 1;
+        }
+        let (cap, _, _) =
+            self.store.lookup(&sk, &fp, e.refit_geometry()).expect("trace just ensured");
+        let (summary, att) = e.retime_energy(&cap, model);
+        self.counters.energy_retimes += 1;
+        self.verify(e, &summary);
+        self.store.store_run(sk, ck, summary.clone());
+        (summary, att)
+    }
+
+    /// Mode `Verify`: run the full simulator and require bit-identity.
+    fn verify(&mut self, e: &Experiment, got: &RunSummary) {
+        if self.mode != RetimeOpt::Verify {
+            return;
+        }
+        let full = e.run();
+        assert_eq!(
+            got.cycles,
+            full.cycles,
+            "retime verify: cycles diverged at {} ({})",
+            e.hw.describe(),
+            e.workload.describe()
+        );
+        assert_eq!(got.flops, full.flops, "retime verify: flops diverged at {}", e.hw.describe());
+        assert_eq!(
+            got.report,
+            full.report,
+            "retime verify: report diverged at {} ({})",
+            e.hw.describe(),
+            e.workload.describe()
+        );
+        assert_eq!(
+            got.avg_vlen_bits.to_bits(),
+            full.avg_vlen_bits.to_bits(),
+            "retime verify: avg vlen diverged at {}",
+            e.hw.describe()
+        );
+        assert_eq!(
+            (got.l1_miss_rate.to_bits(), got.l2_miss_rate.to_bits()),
+            (full.l1_miss_rate.to_bits(), full.l2_miss_rate.to_bits()),
+            "retime verify: miss rates diverged at {}",
+            e.hw.describe()
+        );
+        self.counters.verified += 1;
+    }
+
+    fn verify_stream(&mut self, e: &Experiment, frames: usize, got: &StreamSummary) {
+        if self.mode != RetimeOpt::Verify {
+            return;
+        }
+        let full = e.run_stream(frames);
+        assert_eq!(
+            got.per_frame_cycles,
+            full.per_frame_cycles,
+            "retime verify: per-frame cycles diverged at {}",
+            e.hw.describe()
+        );
+        assert_eq!(
+            got.steady.report,
+            full.steady.report,
+            "retime verify: steady report diverged at {}",
+            e.hw.describe()
+        );
+        self.counters.verified += 1;
+    }
+
+    /// The engine's provenance report — the `retime` section of run
+    /// reports and the wallclock benchmark.
+    pub fn report(&self) -> Json {
+        let c = &self.counters;
+        let (configs, entries, hits, misses, bytes) = self.store.layer_memo_totals();
+        let looked = hits + misses;
+        let hit_rate = if looked == 0 { 0.0 } else { hits as f64 / looked as f64 };
+        let mode = match self.mode {
+            RetimeOpt::Off => "off",
+            RetimeOpt::On => "on",
+            RetimeOpt::Verify => "verify",
+        };
+        let mut j = Json::obj()
+            .field("mode", mode)
+            .field(
+                "paths",
+                Json::obj()
+                    .field("full", c.full_runs)
+                    .field("refused", c.refused_runs)
+                    .field("run_memo_hits", c.run_memo_hits)
+                    .field("captures", c.captures)
+                    .field("tape_refits", c.tape_refits)
+                    .field("live_replays", c.live_replays)
+                    .field("stream_captures", c.stream_captures)
+                    .field("stream_refits", c.stream_refits)
+                    .field("stream_live_replays", c.stream_live_replays)
+                    .field("energy_retimes", c.energy_retimes)
+                    .field("verified", c.verified),
+            )
+            .field(
+                "run_memo",
+                Json::obj()
+                    .field("hits", self.store.run_hits)
+                    .field("misses", self.store.run_misses),
+            )
+            .field(
+                "layer_memo",
+                Json::obj()
+                    .field("configs", configs as u64)
+                    .field("entries", entries as u64)
+                    .field("hits", hits)
+                    .field("misses", misses)
+                    .field("hit_rate", hit_rate)
+                    .field("approx_bytes", bytes as u64),
+            )
+            .field(
+                "store",
+                Json::obj()
+                    .field("recordings", self.store.trace_count() as u64)
+                    .field("approx_bytes", self.store.approx_bytes() as u64)
+                    .field("capacity_bytes", self.store.capacity_bytes() as u64)
+                    .field("evictions", self.store.evictions),
+            )
+            .field("cert_ms", self.gate.cert_ms);
+        if let Some(r) = &self.refusal {
+            j = j.field("refusal", r.as_str());
+        }
+        j
+    }
+}

@@ -1,0 +1,114 @@
+//! Memoization keys: which recordings and timings can be shared.
+//!
+//! The engine's soundness rests on two equivalences, each captured by a
+//! key type:
+//!
+//! * [`StreamKey`] — two experiments share a *semantic stream* (and hence
+//!   one recording) iff their kernels make identical decisions. Kernels
+//!   see the ISA profile, the granted vector lengths, the conv policy and
+//!   the workload data — but never lanes, latencies, cache capacities or
+//!   `IdealSpec` knobs (that independence is exactly what the
+//!   `lva-depgraph` certificates prove, and what `--retime=verify`
+//!   re-checks end to end).
+//! * [`ConfigKey`] — two runs share *timing* (and hence a layer memo) iff
+//!   they agree on every timing input: the full hardware point plus the
+//!   idealization spec.
+
+use lva_core::{Experiment, HwTarget};
+
+/// Identity of a semantic op stream: everything a kernel's control flow
+/// can observe. Lanes and L2 capacity are deliberately absent (they are
+/// timing-only; the certificate gate refuses retiming if any registered
+/// kernel lets them leak into its stream). The A64FX profile is its own
+/// class — its prefetch-enabled kernel paths differ from gem5-SVE at the
+/// same vector length.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct StreamKey(String);
+
+impl StreamKey {
+    pub fn of(e: &Experiment) -> Self {
+        let class = match e.hw {
+            HwTarget::RvvGem5 { vlen_bits, .. } => format!("rvv/{vlen_bits}b"),
+            HwTarget::SveGem5 { vlen_bits, .. } => format!("sve/{vlen_bits}b"),
+            HwTarget::A64fx => "a64fx".into(),
+        };
+        StreamKey(format!("{class}|{:?}|{:?}|seed={}", e.policy, e.workload, e.seed))
+    }
+
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+/// Identity of a timing configuration: the complete design point
+/// (including the axes [`StreamKey`] ignores) plus the `IdealSpec`.
+/// Layer memos are scoped per `ConfigKey` and shared across streams —
+/// sound because the layer `MemoKey` already folds the stream content
+/// (op signatures, tape slice, entry state) the effect depends on.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ConfigKey(String);
+
+impl ConfigKey {
+    pub fn of(e: &Experiment) -> Self {
+        ConfigKey(format!("{:?}|{:?}", e.hw, e.ideal))
+    }
+
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lva_core::{scaled_input, Workload};
+    use lva_kernels::GemmVariant;
+    use lva_nn::{ConvPolicy, ModelId};
+    use lva_sim::IdealKnob;
+
+    fn base() -> Experiment {
+        Experiment::new(
+            HwTarget::RvvGem5 { vlen_bits: 2048, lanes: 8, l2_bytes: 1 << 20 },
+            ConvPolicy::gemm_only(GemmVariant::opt3()),
+            Workload {
+                model: ModelId::Yolov3Tiny,
+                input_hw: scaled_input(ModelId::Yolov3Tiny, 13),
+                layer_limit: Some(2),
+            },
+        )
+    }
+
+    #[test]
+    fn stream_key_ignores_timing_axes_only() {
+        let e = base();
+        let mut lanes = e.clone();
+        lanes.hw = HwTarget::RvvGem5 { vlen_bits: 2048, lanes: 4, l2_bytes: 1 << 20 };
+        let mut l2 = e.clone();
+        l2.hw = HwTarget::RvvGem5 { vlen_bits: 2048, lanes: 8, l2_bytes: 4 << 20 };
+        let ideal = e.clone().with_ideal(IdealKnob::PerfectL2.spec());
+        // Timing-only changes share the stream...
+        assert_eq!(StreamKey::of(&e), StreamKey::of(&lanes));
+        assert_eq!(StreamKey::of(&e), StreamKey::of(&l2));
+        assert_eq!(StreamKey::of(&e), StreamKey::of(&ideal));
+        // ...but never the timing config.
+        assert_ne!(ConfigKey::of(&e), ConfigKey::of(&lanes));
+        assert_ne!(ConfigKey::of(&e), ConfigKey::of(&l2));
+        assert_ne!(ConfigKey::of(&e), ConfigKey::of(&ideal));
+    }
+
+    #[test]
+    fn stream_key_splits_semantic_axes() {
+        let e = base();
+        let mut vlen = e.clone();
+        vlen.hw = HwTarget::RvvGem5 { vlen_bits: 4096, lanes: 8, l2_bytes: 1 << 20 };
+        let mut isa = e.clone();
+        isa.hw = HwTarget::SveGem5 { vlen_bits: 2048, l2_bytes: 1 << 20 };
+        let mut seed = e.clone();
+        seed.seed = 7;
+        let mut shape = e.clone();
+        shape.workload.layer_limit = Some(3);
+        for other in [&vlen, &isa, &seed, &shape] {
+            assert_ne!(StreamKey::of(&e), StreamKey::of(other));
+        }
+    }
+}

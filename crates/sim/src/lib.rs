@@ -38,7 +38,9 @@ pub use cache::{AccessKind, Cache, CacheConfig, CacheStats, Miss3C};
 pub use ideal::{IdealKnob, IdealSpec};
 pub use latency::{l2_latency_cycles, LatencyModel};
 pub use mem::{AllocRecord, Buf, Memory};
-pub use memsys::{MemLevel, MemSystem, MemSystemConfig, VpuPath};
+pub use memsys::{
+    MemLevel, MemSystem, MemSystemConfig, MemSystemStats, VpuPath, VCACHE_HIT_LATENCY,
+};
 pub use prefetch::{PrefetchTarget, StridePrefetcher, StridePrefetcherConfig};
 pub use rng::Rng;
 pub use tap::{AccessSink, TapLevel, TapScope};

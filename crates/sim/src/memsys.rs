@@ -23,6 +23,34 @@ pub enum MemLevel {
     Dram,
 }
 
+impl MemLevel {
+    /// Compact encoding for probe tapes (see `lva-isa`'s replay module).
+    #[inline]
+    pub fn to_u8(self) -> u8 {
+        match self {
+            MemLevel::L1 => 0,
+            MemLevel::VectorCache => 1,
+            MemLevel::L2 => 2,
+            MemLevel::Dram => 3,
+        }
+    }
+
+    /// Inverse of [`Self::to_u8`].
+    #[inline]
+    pub fn from_u8(v: u8) -> MemLevel {
+        match v {
+            0 => MemLevel::L1,
+            1 => MemLevel::VectorCache,
+            2 => MemLevel::L2,
+            _ => MemLevel::Dram,
+        }
+    }
+}
+
+/// Hit latency of the small fully-associative vector cache on the decoupled
+/// VPU path (the 2 KB buffer in the paper's gem5 fork).
+pub const VCACHE_HIT_LATENCY: u32 = 2;
+
 /// How vector memory operations reach the hierarchy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum VpuPath {
@@ -53,6 +81,26 @@ pub struct MemSystemConfig {
 }
 
 impl MemSystemConfig {
+    /// Fingerprint of everything that determines cache **state transitions**
+    /// (and therefore per-access serving levels): capacities, associativity,
+    /// line size, prefetcher configuration, and the VPU path — but *not* the
+    /// per-level hit/DRAM latencies, which only scale the latency returned
+    /// for a given serving level (see [`MemSystem::served_latency`]). Two
+    /// configs with equal fingerprints produce identical serving-level
+    /// sequences for the same access stream; that is the validity condition
+    /// for probe-tape reuse in `lva-isa` trace replay.
+    pub fn state_fingerprint(&self) -> String {
+        let geom = |c: &CacheConfig| format!("{}b/{}l/{}w", c.bytes, c.line_bytes, c.assoc);
+        format!(
+            "l1={};l2={};path={:?};hwpf={:?};swpf={}",
+            geom(&self.l1),
+            geom(&self.l2),
+            self.vpu_path,
+            self.hw_prefetch,
+            self.sw_prefetch_effective,
+        )
+    }
+
     /// Consistency checks shared by all constructors.
     fn validate(&self) {
         assert_eq!(
@@ -118,7 +166,7 @@ impl MemSystem {
                     bytes: vcache_bytes,
                     line_bytes: cfg.l1.line_bytes,
                     assoc: lines, // fully associative
-                    hit_latency: 2,
+                    hit_latency: VCACHE_HIT_LATENCY,
                 }))
             }
         };
@@ -265,12 +313,12 @@ impl MemSystem {
         addr >> self.line_shift
     }
 
-    /// L2 access with DRAM fallback; returns the serving level and latency
-    /// measured from the L2 lookup. Under `perfect_l2` a miss still reaches
-    /// DRAM (state and counters unchanged) but costs only the L2 hit latency.
-    fn l2_then_mem(&mut self, line: u64, kind: AccessKind) -> (MemLevel, u32) {
+    /// L2 access with DRAM fallback; returns the level that served the line.
+    /// Pure state transition — the latency for the level is computed
+    /// separately by [`Self::served_latency`].
+    fn l2_then_mem(&mut self, line: u64, kind: AccessKind) -> MemLevel {
         match self.l2_access(line, kind) {
-            Lookup::Hit => (MemLevel::L2, self.cfg.l2.hit_latency),
+            Lookup::Hit => MemLevel::L2,
             Lookup::Miss { victim_dirty } => {
                 if victim_dirty {
                     self.dram_writes += 1;
@@ -278,10 +326,38 @@ impl MemSystem {
                 }
                 self.dram_reads += 1;
                 self.tap_dram(AccessKind::Read);
-                let dram = if self.ideal.perfect_l2 { 0 } else { self.cfg.mem_latency };
-                (MemLevel::Dram, self.cfg.l2.hit_latency + dram)
+                MemLevel::Dram
             }
         }
+    }
+
+    /// Latency of an access served by `level`, as a **pure function** of the
+    /// configured per-level latencies and the idealization spec. `vector`
+    /// selects the VPU's first level (the 2-cycle vector cache on the
+    /// decoupled path); scalar accesses always start at the L1. Under
+    /// `perfect_l1` every access costs only its first level's hit latency;
+    /// under `perfect_l2` a DRAM-served access costs only an L2 hit.
+    ///
+    /// Both the live demand paths below and probe-tape replay in `lva-isa`
+    /// compute latencies through this one function — which is what makes
+    /// replayed timings bit-identical to live simulation by construction.
+    #[inline]
+    pub fn served_latency(&self, level: MemLevel, vector: bool) -> u32 {
+        let first = if vector && matches!(self.cfg.vpu_path, VpuPath::DecoupledL2 { .. }) {
+            VCACHE_HIT_LATENCY
+        } else {
+            self.cfg.l1.hit_latency
+        };
+        let beyond = match level {
+            MemLevel::L1 | MemLevel::VectorCache => 0,
+            MemLevel::L2 => self.cfg.l2.hit_latency,
+            MemLevel::Dram => {
+                self.cfg.l2.hit_latency
+                    + if self.ideal.perfect_l2 { 0 } else { self.cfg.mem_latency }
+            }
+        };
+        let beyond = if self.ideal.perfect_l1 { 0 } else { beyond };
+        first + beyond
     }
 
     /// Feed the hardware prefetcher with a demand line; install predictions.
@@ -307,20 +383,17 @@ impl MemSystem {
     pub fn demand_scalar(&mut self, addr: u64, kind: AccessKind) -> (MemLevel, u32) {
         let line = self.line_of(addr);
         self.train_hw_prefetch(line);
-        match self.l1_access(line, kind) {
-            Lookup::Hit => (MemLevel::L1, self.cfg.l1.hit_latency),
+        let lvl = match self.l1_access(line, kind) {
+            Lookup::Hit => MemLevel::L1,
             Lookup::Miss { victim_dirty } => {
                 if victim_dirty {
                     // L1 writeback lands in L2 (write access, counts traffic).
                     self.l2_access(line, AccessKind::Write);
                 }
-                let (lvl, lat) = self.l2_then_mem(line, kind);
-                // `perfect_l1`: the miss happened (state above), but costs
-                // nothing beyond the first-level hit latency.
-                let lat = if self.ideal.perfect_l1 { 0 } else { lat };
-                (lvl, self.cfg.l1.hit_latency + lat)
+                self.l2_then_mem(line, kind)
             }
-        }
+        };
+        (lvl, self.served_latency(lvl, false))
     }
 
     /// Demand access from the **vector** unit; the route depends on
@@ -341,21 +414,19 @@ impl MemSystem {
         train: bool,
     ) -> (MemLevel, u32) {
         let line = self.line_of(addr);
-        match self.cfg.vpu_path {
+        let lvl = match self.cfg.vpu_path {
             VpuPath::ThroughL1 => {
                 // Same path as scalar accesses (SVE).
                 if train {
                     self.train_hw_prefetch(line);
                 }
                 match self.l1_access(line, kind) {
-                    Lookup::Hit => (MemLevel::L1, self.cfg.l1.hit_latency),
+                    Lookup::Hit => MemLevel::L1,
                     Lookup::Miss { victim_dirty } => {
                         if victim_dirty {
                             self.l2_access(line, AccessKind::Write);
                         }
-                        let (lvl, lat) = self.l2_then_mem(line, kind);
-                        let lat = if self.ideal.perfect_l1 { 0 } else { lat };
-                        (lvl, self.cfg.l1.hit_latency + lat)
+                        self.l2_then_mem(line, kind)
                     }
                 }
             }
@@ -366,19 +437,18 @@ impl MemSystem {
                     t.access(TapLevel::VectorCache, line, kind, matches!(r, Lookup::Hit));
                 }
                 match r {
-                    Lookup::Hit => (MemLevel::VectorCache, 2),
+                    Lookup::Hit => MemLevel::VectorCache,
                     Lookup::Miss { victim_dirty } => {
                         if victim_dirty {
                             self.l2_access(line, AccessKind::Write);
                         }
-                        let (lvl, lat) = self.l2_then_mem(line, kind);
                         // The vector cache is the VPU's first level here.
-                        let lat = if self.ideal.perfect_l1 { 0 } else { lat };
-                        (lvl, 2 + lat)
+                        self.l2_then_mem(line, kind)
                     }
                 }
             }
-        }
+        };
+        (lvl, self.served_latency(lvl, true))
     }
 
     /// Software prefetch of the line containing `addr` into `target`. No-op

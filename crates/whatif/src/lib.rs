@@ -500,6 +500,24 @@ pub fn analyze_experiment(e: &Experiment, jobs: usize) -> (RunSummary, WhatifAna
     (factual, analysis)
 }
 
+/// [`analyze_experiment`] through a caller-supplied serial runner — the
+/// `--retime` path hands `lva-retime`'s engine here so each idealized
+/// variant re-times the shared recording instead of re-simulating.
+/// Bit-identical to the parallel path (the engine guarantees equality
+/// per run; everything downstream is pure).
+pub fn analyze_experiment_with(
+    e: &Experiment,
+    run: &mut dyn FnMut(&Experiment) -> RunSummary,
+) -> (RunSummary, WhatifAnalysis) {
+    let factual = run(e);
+    let cf: Vec<(IdealKnob, RunSummary)> = IdealKnob::ALL
+        .into_iter()
+        .map(|knob| (knob, run(&e.clone().with_ideal(knob.spec()))))
+        .collect();
+    let analysis = WhatifAnalysis::from_runs(e, &factual, &cf);
+    (factual, analysis)
+}
+
 /// Like [`analyze_experiment`] but reusing an already-measured factual run
 /// (five counterfactual simulations instead of six) — the
 /// `exp-headline --with-whatif` path.
@@ -511,6 +529,20 @@ pub fn analyze_counterfactuals(
     let knobs: Vec<IdealKnob> = IdealKnob::ALL.to_vec();
     let runs = parallel_map(&knobs, jobs, |_, knob| e.clone().with_ideal(knob.spec()).run());
     let cf: Vec<(IdealKnob, RunSummary)> = knobs.into_iter().zip(runs).collect();
+    WhatifAnalysis::from_runs(e, factual, &cf)
+}
+
+/// [`analyze_counterfactuals`] through a caller-supplied serial runner
+/// (see [`analyze_experiment_with`]).
+pub fn analyze_counterfactuals_with(
+    e: &Experiment,
+    factual: &RunSummary,
+    run: &mut dyn FnMut(&Experiment) -> RunSummary,
+) -> WhatifAnalysis {
+    let cf: Vec<(IdealKnob, RunSummary)> = IdealKnob::ALL
+        .into_iter()
+        .map(|knob| (knob, run(&e.clone().with_ideal(knob.spec()))))
+        .collect();
     WhatifAnalysis::from_runs(e, factual, &cf)
 }
 
