@@ -11,10 +11,12 @@
 //! `BENCH_headline.json`-shaped reports go through the run/layer/cache
 //! comparison, `BENCH_energy.json`-shaped reports through the per-point
 //! energy/EDP comparison (including the moved-optimum structural gate),
-//! and `BENCH_serving.json`-shaped reports through the per-cell latency
+//! `BENCH_serving.json`-shaped reports through the per-cell latency
 //! comparison (p50/p99 tolerances, exact deadline-miss counts, and the
-//! moved-recommendation structural gate). Both inputs must be the same
-//! kind.
+//! moved-recommendation structural gate), and `BENCH_scaling.json`-shaped
+//! reports through the per-cell SoC comparison (throughput and stall-share
+//! tolerances, moved-knee/lever structural gates). Both inputs must be the
+//! same kind.
 //!
 //! `--inject-cycles PCT` scales the *current* headline report's total and
 //! per-layer cycle counts by `1 + PCT/100` before comparing. CI uses it to
@@ -25,13 +27,14 @@
 //! 2 = usage / unreadable / unparseable / mismatched-kind input.
 
 use lva_bench::diff::{
-    compare, compare_energy, compare_serving, inject_cycles, report_kind, Severity, Tolerance,
+    compare, compare_energy, compare_scaling, compare_serving, inject_cycles, report_kind,
+    Severity, Tolerance,
 };
 use lva_trace::Json;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: bench-diff BASELINE.json CURRENT.json\n  --tol-total PCT     total/per-point cycles tolerance, percent (default 2)\n  --tol-layer PCT     per-layer cycles tolerance, percent (default 5)\n  --tol-hit-rate ABS  hit-rate tolerance, absolute (default 0.01)\n  --tol-stall PCT     stall-cycles tolerance, percent (default 10)\n  --tol-energy PCT    per-point energy tolerance, percent (default 2)\n  --tol-edp PCT       per-point EDP tolerance, percent (default 4)\n  --tol-p50 PCT       per-cell serving p50 tolerance, percent (default 2)\n  --tol-p99 PCT       per-cell serving p99 tolerance, percent (default 5)\n  --inject-cycles PCT scale CURRENT cycles up by PCT%% first (gate\n                      self-test; headline reports only)"
+        "usage: bench-diff BASELINE.json CURRENT.json\n  --tol-total PCT     total/per-point cycles tolerance, percent (default 2)\n  --tol-layer PCT     per-layer cycles tolerance, percent (default 5)\n  --tol-hit-rate ABS  hit-rate tolerance, absolute (default 0.01)\n  --tol-stall PCT     stall-cycles tolerance, percent (default 10)\n  --tol-energy PCT    per-point energy tolerance, percent (default 2)\n  --tol-edp PCT       per-point EDP tolerance, percent (default 4)\n  --tol-p50 PCT       per-cell serving p50 tolerance, percent (default 2)\n  --tol-p99 PCT       per-cell serving p99 tolerance, percent (default 5)\n  --tol-throughput PCT per-cell scaling throughput tolerance, percent (default 2)\n  --inject-cycles PCT scale CURRENT cycles up by PCT%% first (gate\n                      self-test; headline reports only)"
     );
     std::process::exit(2);
 }
@@ -68,6 +71,7 @@ fn main() {
             "--tol-edp" => tol.edp_pct = num(&mut args, "--tol-edp"),
             "--tol-p50" => tol.p50_pct = num(&mut args, "--tol-p50"),
             "--tol-p99" => tol.p99_pct = num(&mut args, "--tol-p99"),
+            "--tol-throughput" => tol.throughput_pct = num(&mut args, "--tol-throughput"),
             "--inject-cycles" => inject = Some(num(&mut args, "--inject-cycles")),
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => {
@@ -101,6 +105,7 @@ fn main() {
     let report = match kind {
         "energy" => compare_energy(&base, &cur, &tol),
         "serving" => compare_serving(&base, &cur, &tol),
+        "scaling" => compare_scaling(&base, &cur, &tol),
         _ => compare(&base, &cur, &tol),
     };
     for f in &report.findings {

@@ -6,12 +6,13 @@
 //! The record's tags select the renderer: `"tool": "lint-dataflow"`
 //! records render the dataflow certifier report (`results/DATAFLOW.md`),
 //! `"bench": "serving"` records render the serving load report
-//! (`results/SERVING.md`); everything else is treated as a
-//! `BENCH_whatif.json` co-design record (`results/CODESIGN_REPORT.md`).
+//! (`results/SERVING.md`), `"bench": "scaling"` records render the
+//! scale-out report (`results/SCALING.md`); everything else is treated as
+//! a `BENCH_whatif.json` co-design record (`results/CODESIGN_REPORT.md`).
 //!
 //! Usage: `report [--in BENCH_whatif.json] [--out results/…]`
 
-use lva_bench::{codesign_markdown, serving_markdown, Json};
+use lva_bench::{codesign_markdown, scaling_markdown, serving_markdown, Json};
 use lva_depgraph::dataflow_markdown;
 
 fn main() {
@@ -24,7 +25,7 @@ fn main() {
             "--out" => output = Some(args.next().expect("--out needs a file path")),
             "--help" | "-h" => {
                 eprintln!(
-                    "Render a committed markdown report from its JSON record.\n\nOptions:\n  --in FILE   input record (default BENCH_whatif.json); a \"tool\":\n              \"lint-dataflow\" record renders the dataflow report, a\n              \"bench\": \"serving\" record the serving load report\n  --out FILE  output markdown (default results/CODESIGN_REPORT.md,\n              results/DATAFLOW.md for lint-dataflow records, or\n              results/SERVING.md for serving records)"
+                    "Render a committed markdown report from its JSON record.\n\nOptions:\n  --in FILE   input record (default BENCH_whatif.json); a \"tool\":\n              \"lint-dataflow\" record renders the dataflow report, a\n              \"bench\": \"serving\" record the serving load report, a\n              \"bench\": \"scaling\" record the scale-out report\n  --out FILE  output markdown (default results/CODESIGN_REPORT.md,\n              results/DATAFLOW.md for lint-dataflow records,\n              results/SERVING.md for serving records, or\n              results/SCALING.md for scaling records)"
                 );
                 std::process::exit(0);
             }
@@ -40,10 +41,13 @@ fn main() {
     let j = Json::parse(&text).unwrap_or_else(|e| panic!("{input} is not valid JSON: {e:?}"));
     let dataflow = j.get("tool").and_then(Json::as_str) == Some("lint-dataflow");
     let serving = j.get("bench").and_then(Json::as_str) == Some("serving");
+    let scaling = j.get("bench").and_then(Json::as_str) == Some("scaling");
     let (md, default_out) = if dataflow {
         (dataflow_markdown(&j), "results/DATAFLOW.md")
     } else if serving {
         (serving_markdown(&j), "results/SERVING.md")
+    } else if scaling {
+        (scaling_markdown(&j), "results/SCALING.md")
     } else {
         (codesign_markdown(&j), "results/CODESIGN_REPORT.md")
     };

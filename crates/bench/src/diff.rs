@@ -40,6 +40,9 @@ pub struct Tolerance {
     /// log-bucket edges, so a tolerance looser than p50's absorbs a sample
     /// stepping one sub-bucket without letting a real regression through.
     pub p99_pct: f64,
+    /// Per-cell SoC throughput (frames/kcycle), relative percent
+    /// (`BENCH_scaling.json` gate). Lower is worse.
+    pub throughput_pct: f64,
 }
 
 impl Default for Tolerance {
@@ -53,6 +56,7 @@ impl Default for Tolerance {
             edp_pct: 4.0,
             p50_pct: 2.0,
             p99_pct: 5.0,
+            throughput_pct: 2.0,
         }
     }
 }
@@ -134,6 +138,21 @@ fn check_higher_worse(out: &mut DiffReport, what: &str, base: f64, cur: f64, tol
         return;
     }
     let sev = if d > 0.0 { Severity::Regression } else { Severity::Improvement };
+    out.push(
+        sev,
+        format!("{what}: {} -> {} ({d:+.1}%, tol ±{tol_pct}%)", fmt_metric(base), fmt_metric(cur)),
+    );
+}
+
+/// Compare a "lower is worse" metric (throughput) under a relative
+/// tolerance.
+fn check_lower_worse(out: &mut DiffReport, what: &str, base: f64, cur: f64, tol_pct: f64) {
+    out.compared += 1;
+    let d = rel_delta_pct(base, cur);
+    if d.abs() <= tol_pct {
+        return;
+    }
+    let sev = if d < 0.0 { Severity::Regression } else { Severity::Improvement };
     out.push(
         sev,
         format!("{what}: {} -> {} ({d:+.1}%, tol ±{tol_pct}%)", fmt_metric(base), fmt_metric(cur)),
@@ -428,6 +447,148 @@ pub fn compare_serving(base: &Json, cur: &Json, tol: &Tolerance) -> DiffReport {
     out
 }
 
+/// Compare two `BENCH_scaling.json` records. Networks and design points
+/// are matched by name, curves by sharding strategy, cells by index (the
+/// core ladder is part of the record's shape — a changed ladder is
+/// structural). Per cell, throughput is gated as a lower-is-worse relative
+/// drift and every stall-cause share as a higher-is-worse relative drift
+/// (with a small absolute floor so a share that is exactly zero in the
+/// baseline — contention at one core — doesn't turn numeric dust into an
+/// infinite relative delta). A curve's knee moving to a different core
+/// count, or its recovery lever changing, is **structural** (fatal): the
+/// committed baseline encodes the headline where-it-bends claim, so a
+/// shifted knee must be re-baselined deliberately.
+pub fn compare_scaling(base: &Json, cur: &Json, tol: &Tolerance) -> DiffReport {
+    /// Shares below this are "both zero" for gating purposes.
+    const SHARE_FLOOR: f64 = 0.001;
+    let mut out = DiffReport::default();
+    let nets = |j: &Json| {
+        j.get("networks").and_then(Json::as_arr).map(<[Json]>::to_vec).unwrap_or_default()
+    };
+    let (bn, cn) = (nets(base), nets(cur));
+    if bn.is_empty() {
+        out.push(Severity::Structural, "baseline has no networks".to_string());
+        return out;
+    }
+    for b in &bn {
+        let net = run_name(b);
+        let Some(c) = cn.iter().find(|c| run_name(c) == net) else {
+            out.push(Severity::Structural, format!("network {net} missing from current report"));
+            continue;
+        };
+        let points = |j: &Json| {
+            j.get("points").and_then(Json::as_arr).map(<[Json]>::to_vec).unwrap_or_default()
+        };
+        for pb in &points(b) {
+            let pname = run_name(pb);
+            let Some(pc) = points(c).into_iter().find(|p| run_name(p) == pname) else {
+                out.push(Severity::Structural, format!("{net}/{pname}: point missing"));
+                continue;
+            };
+            let curves = |j: &Json| {
+                j.get("curves").and_then(Json::as_arr).map(<[Json]>::to_vec).unwrap_or_default()
+            };
+            for cb in &curves(pb) {
+                let sharding = cb.get("sharding").and_then(Json::as_str).unwrap_or("?");
+                let tag = format!("{net}/{pname}/{sharding}");
+                let Some(cc) = curves(&pc)
+                    .into_iter()
+                    .find(|c| c.get("sharding").and_then(Json::as_str) == Some(sharding))
+                else {
+                    out.push(Severity::Structural, format!("{tag}: curve missing"));
+                    continue;
+                };
+
+                // The headline claim first: knee and lever must not move.
+                let advice = |j: &Json, k: &str| {
+                    j.get("advice").and_then(|a| a.get(k)).cloned().unwrap_or(Json::Null)
+                };
+                for key in ["knee_cores", "lever"] {
+                    let (bv, cv) = (advice(cb, key), advice(&cc, key));
+                    out.compared += 1;
+                    if bv != cv {
+                        out.push(
+                            Severity::Structural,
+                            format!(
+                                "{tag}: {key} moved {} -> {}",
+                                bv.to_string_compact(),
+                                cv.to_string_compact()
+                            ),
+                        );
+                    }
+                }
+
+                let cells = |j: &Json| {
+                    j.get("cells").and_then(Json::as_arr).map(<[Json]>::to_vec).unwrap_or_default()
+                };
+                let (bcells, ccells) = (cells(cb), cells(&cc));
+                if bcells.len() != ccells.len() {
+                    out.push(
+                        Severity::Structural,
+                        format!("{tag}: cell count {} -> {}", bcells.len(), ccells.len()),
+                    );
+                }
+                for (lb, lc) in bcells.iter().zip(&ccells) {
+                    let cores = |l: &Json| l.get("cores").and_then(Json::as_u64);
+                    if cores(lb) != cores(lc) {
+                        out.push(Severity::Structural, format!("{tag}: core ladder changed"));
+                        continue;
+                    }
+                    let cell = format!("{tag} x{}", cores(lb).unwrap_or(0));
+                    let thr = |l: &Json| l.get("throughput_fpkc").and_then(Json::as_f64);
+                    match (thr(lb), thr(lc)) {
+                        (Some(bv), Some(cv)) => check_lower_worse(
+                            &mut out,
+                            &format!("{cell}: throughput"),
+                            bv,
+                            cv,
+                            tol.throughput_pct,
+                        ),
+                        _ => out
+                            .push(Severity::Structural, format!("{cell}: missing throughput_fpkc")),
+                    }
+                    let Some(Json::Obj(shares)) = lb.get("stall_shares") else {
+                        out.push(Severity::Structural, format!("{cell}: missing stall_shares"));
+                        continue;
+                    };
+                    for (cause, bs) in shares {
+                        let bv = bs.as_f64().unwrap_or(0.0);
+                        let cv = lc
+                            .get("stall_shares")
+                            .and_then(|s| s.get(cause))
+                            .and_then(Json::as_f64);
+                        let Some(cv) = cv else {
+                            out.push(
+                                Severity::Structural,
+                                format!("{cell}: stall share {cause} missing"),
+                            );
+                            continue;
+                        };
+                        out.compared += 1;
+                        if bv.max(cv) < SHARE_FLOOR {
+                            continue;
+                        }
+                        let d = rel_delta_pct(bv, cv);
+                        if d.abs() > tol.stall_pct {
+                            let sev =
+                                if d > 0.0 { Severity::Regression } else { Severity::Improvement };
+                            out.push(
+                                sev,
+                                format!(
+                                    "{cell}: {cause} stall share {bv:.4} -> {cv:.4} \
+                                     ({d:+.1}%, tol ±{}%)",
+                                    tol.stall_pct
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
 /// Multiply every `totals.cycles` and per-layer `cycles` in a report by
 /// `1 + pct/100`. Used by `bench-diff --inject-cycles` so CI can prove the
 /// gate actually trips on a synthetic slowdown.
@@ -682,6 +843,88 @@ mod tests {
         let empty = Json::obj().field("bench", "serving").field("points", Json::Arr(vec![]));
         assert!(!compare_serving(&b, &empty, &Tolerance::default()).is_pass());
         assert!(!compare_serving(&empty, &empty, &Tolerance::default()).is_pass());
+    }
+
+    fn scaling_report_fixture(thr8: f64, cont8: f64, knee: Option<u64>, lever: &str) -> Json {
+        let cell = |cores: u64, thr: f64, cont: f64| {
+            Json::obj()
+                .field("cores", cores)
+                .field("throughput_fpkc", thr)
+                .field("stall_shares", Json::obj().field("mem", 0.2).field("contention", cont))
+        };
+        let mut advice = Json::obj();
+        if let Some(k) = knee {
+            advice = advice.field("knee_cores", k).field("lever", lever);
+        }
+        let curve = Json::obj()
+            .field("sharding", "batch")
+            .field(
+                "cells",
+                Json::Arr(vec![cell(1, 1.0, 0.0), cell(4, 3.2, cont8 / 2.0), cell(8, thr8, cont8)]),
+            )
+            .field("advice", advice);
+        Json::obj().field("bench", "scaling").field(
+            "networks",
+            Json::Arr(vec![Json::obj().field("name", "yolov3_tiny").field(
+                "points",
+                Json::Arr(vec![Json::obj()
+                    .field("name", "rvv2048x8/1MB")
+                    .field("curves", Json::Arr(vec![curve]))]),
+            )]),
+        )
+    }
+
+    #[test]
+    fn report_kind_detects_scaling() {
+        assert_eq!(report_kind(&scaling_report_fixture(4.8, 0.3, Some(8), "grow_l2")), "scaling");
+    }
+
+    #[test]
+    fn identical_scaling_reports_pass_and_throughput_drift_gates() {
+        let b = scaling_report_fixture(4.8, 0.3, Some(8), "grow_l2");
+        let d = compare_scaling(&b, &b, &Tolerance::default());
+        assert!(d.is_pass(), "{:?}", d.findings);
+        // 2 advice keys + 3 cells × (1 throughput + 2 shares).
+        assert_eq!(d.compared, 11);
+        // -1% throughput passes the 2% gate; -5% fails it as a regression.
+        let ok = scaling_report_fixture(4.752, 0.3, Some(8), "grow_l2");
+        assert!(compare_scaling(&b, &ok, &Tolerance::default()).is_pass());
+        let bad = scaling_report_fixture(4.56, 0.3, Some(8), "grow_l2");
+        let d = compare_scaling(&b, &bad, &Tolerance::default());
+        assert!(!d.is_pass());
+        assert!(d.regressions() >= 1, "{:?}", d.findings);
+        // Faster is an improvement, not a failure.
+        let better = scaling_report_fixture(5.2, 0.3, Some(8), "grow_l2");
+        let d = compare_scaling(&b, &better, &Tolerance::default());
+        assert!(d.is_pass(), "{:?}", d.findings);
+        assert!(d.count(Severity::Improvement) >= 1);
+    }
+
+    #[test]
+    fn grown_stall_share_gates_and_zero_shares_do_not_blow_up() {
+        let b = scaling_report_fixture(4.8, 0.3, Some(8), "grow_l2");
+        // Contention share +20% relative fails the 10% gate; the 1-core
+        // cell's exactly-zero share on both sides never trips.
+        let worse = scaling_report_fixture(4.8, 0.36, Some(8), "grow_l2");
+        let d = compare_scaling(&b, &worse, &Tolerance::default());
+        assert!(!d.is_pass());
+        assert!(d.findings.iter().any(|f| f.message.contains("contention stall share")));
+    }
+
+    #[test]
+    fn moved_knee_or_lever_is_structural() {
+        let b = scaling_report_fixture(4.8, 0.3, Some(8), "grow_l2");
+        let moved = scaling_report_fixture(4.8, 0.3, Some(4), "grow_l2");
+        let d = compare_scaling(&b, &moved, &Tolerance::default());
+        assert!(!d.is_pass());
+        assert!(d.findings.iter().any(|f| f.message.contains("knee_cores moved")));
+        let relever = scaling_report_fixture(4.8, 0.3, Some(8), "fewer_cores");
+        let d = compare_scaling(&b, &relever, &Tolerance::default());
+        assert!(!d.is_pass());
+        assert!(d.findings.iter().any(|f| f.message.contains("lever moved")));
+        let empty = Json::obj().field("bench", "scaling").field("networks", Json::Arr(vec![]));
+        assert!(!compare_scaling(&b, &empty, &Tolerance::default()).is_pass());
+        assert!(!compare_scaling(&empty, &empty, &Tolerance::default()).is_pass());
     }
 
     #[test]

@@ -11,11 +11,16 @@
 pub mod diff;
 pub mod energy_report;
 pub mod microbench;
+pub mod scaling_report;
 pub mod serving_report;
 pub mod sweep;
 pub mod whatif_report;
 
 pub use energy_report::{energy_grid_json, energy_grid_json_with, pareto_markdown};
+pub use scaling_report::{
+    scaling_chrome_trace, scaling_grid_json, scaling_grid_json_with, scaling_markdown,
+    SCALING_CORES,
+};
 pub use serving_report::{
     knee_chrome_trace, serving_grid_json, serving_grid_json_with, serving_markdown,
 };

@@ -53,6 +53,10 @@ pub struct RunReport {
     /// result, memo counters, refusals); `None` (the default) omits the
     /// section. See [`Self::with_retime`].
     pub retime: Option<Json>,
+    /// Multi-core scaling observatory (`lva-scale`: per-core contention
+    /// attribution, shared-port counters, throughput-vs-cores); `None`
+    /// (the default) omits the section. See [`Self::with_scaling`].
+    pub scaling: Option<Json>,
 }
 
 fn algo_name(a: ConvAlgo) -> &'static str {
@@ -137,6 +141,7 @@ impl RunReport {
             energy: None,
             serving: None,
             retime: None,
+            scaling: None,
         }
     }
 
@@ -181,6 +186,15 @@ impl RunReport {
     #[must_use]
     pub fn with_serving(mut self, serving: Json) -> Self {
         self.serving = Some(serving);
+        self
+    }
+
+    /// Attach a multi-core scaling section (produced by `lva-scale`/
+    /// `lva-bench`'s scaling observatory); [`Self::to_json`] then emits it
+    /// verbatim as a `scaling` section.
+    #[must_use]
+    pub fn with_scaling(mut self, scaling: Json) -> Self {
+        self.scaling = Some(scaling);
         self
     }
 
@@ -248,6 +262,7 @@ impl RunReport {
             ("energy", self.energy.clone()),
             ("serving", self.serving.clone()),
             ("retime", self.retime.clone()),
+            ("scaling", self.scaling.clone()),
         ] {
             if let Some(sec) = section {
                 j = j.field(key, sec);
@@ -322,7 +337,7 @@ mod tests {
     fn optional_sections_only_when_attached() {
         let (e, s) = small_run();
         let plain = RunReport::new("t", &e, &s).to_json();
-        for key in ["host", "whatif", "energy", "serving", "retime"] {
+        for key in ["host", "whatif", "energy", "serving", "retime", "scaling"] {
             assert!(plain.get(key).is_none(), "optional section {key} present by default");
         }
         let timed = RunReport::new("t", &e, &s).with_host(250.0).to_json();
@@ -349,6 +364,11 @@ mod tests {
         let with_sv = RunReport::new("t", &e, &s).with_serving(sv.clone()).to_json();
         let got = with_sv.get("serving").expect("serving section after with_serving");
         assert_eq!(got.to_string_compact(), sv.to_string_compact());
+        // And the scaling payload.
+        let sc = Json::obj().field("cores", 4u64).field("contention_share", 0.31);
+        let with_sc = RunReport::new("t", &e, &s).with_scaling(sc.clone()).to_json();
+        let got = with_sc.get("scaling").expect("scaling section after with_scaling");
+        assert_eq!(got.to_string_compact(), sc.to_string_compact());
     }
 
     #[test]

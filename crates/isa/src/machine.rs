@@ -78,9 +78,16 @@ pub struct Machine {
     /// Exposed-miss share of the occupancy of the *next* instruction to
     /// issue; set by the memory-cost helpers, consumed by [`Self::issue`].
     next_occ_mem: u64,
+    /// Shared-port contention share of the next instruction's occupancy
+    /// (multi-core SoC runs only; identically zero on a single core). Unlike
+    /// `next_occ_mem` the port wait is serialized — it never divides by the
+    /// memory-level parallelism.
+    next_occ_cont: u64,
     /// Occupancy split of the last issued instruction (exposed-miss part /
-    /// total), used to attribute the unit-busy wait of its successor.
+    /// contention part / total), used to attribute the unit-busy wait of its
+    /// successor.
     last_occ_mem: u64,
+    last_occ_cont: u64,
     last_occ_total: u64,
     pub stats: VpuStats,
     pub phases: PhaseTimer,
@@ -140,7 +147,9 @@ impl Machine {
             recent_misses: [u64::MAX - 1; 8],
             recent_miss_pos: 0,
             next_occ_mem: 0,
+            next_occ_cont: 0,
             last_occ_mem: 0,
+            last_occ_cont: 0,
             last_occ_total: 0,
             stats: VpuStats::default(),
             phases: PhaseTimer::default(),
@@ -424,7 +433,9 @@ impl Machine {
         self.ready = [0; NUM_VREGS];
         self.scalar_frac = 0.0;
         self.next_occ_mem = 0;
+        self.next_occ_cont = 0;
         self.last_occ_mem = 0;
+        self.last_occ_cont = 0;
         self.last_occ_total = 0;
         self.stats = VpuStats::default();
         self.phases = PhaseTimer::default();
@@ -665,16 +676,26 @@ impl Machine {
             if occ_wait > 0 {
                 // `last_occ_mem == 0` (pure-compute predecessor, the common
                 // case) makes the proportional split trivially 0 — skip the
-                // integer division on that path.
+                // integer division on that path. Same guard for the
+                // contention share, which doubles as the single-core
+                // bit-identity argument: with no shared port it is always
+                // zero and this path computes exactly what it always did.
                 let mem = if self.last_occ_mem == 0 {
                     0
                 } else {
                     (occ_wait * self.last_occ_mem).checked_div(self.last_occ_total).unwrap_or(0)
                 };
+                let cont = if self.last_occ_cont == 0 {
+                    0
+                } else {
+                    (occ_wait * self.last_occ_cont).checked_div(self.last_occ_total).unwrap_or(0)
+                };
                 self.stalls.add(StallCause::MemLatency, mem);
-                self.stalls.add(StallCause::LaneOccupancy, occ_wait - mem);
+                self.stalls.add(StallCause::Contention, cont);
+                self.stalls.add(StallCause::LaneOccupancy, occ_wait - mem - cont);
                 // Chronologically the occupancy wait fills [t0, unit_start - gap);
-                // the proportional mem/lane split is laid out mem-first.
+                // the proportional mem/contention/lane split is laid out in
+                // that order.
                 if recording {
                     if mem > 0 {
                         self.pipe(|| PipeEvent::Stall {
@@ -683,10 +704,17 @@ impl Machine {
                             end: t0 + mem,
                         });
                     }
-                    if occ_wait > mem {
+                    if cont > 0 {
+                        self.pipe(|| PipeEvent::Stall {
+                            cause: StallCause::Contention,
+                            start: t0 + mem,
+                            end: t0 + mem + cont,
+                        });
+                    }
+                    if occ_wait > mem + cont {
                         self.pipe(|| PipeEvent::Stall {
                             cause: StallCause::LaneOccupancy,
-                            start: t0 + mem,
+                            start: t0 + mem + cont,
                             end: t0 + occ_wait,
                         });
                     }
@@ -724,6 +752,10 @@ impl Machine {
         }
         self.stalls.note_total(start - t0);
         self.last_occ_mem = std::mem::take(&mut self.next_occ_mem).min(occupancy);
+        // Clamp so `mem + cont ≤ total` and the proportional split above can
+        // never over-attribute the occupancy wait.
+        self.last_occ_cont =
+            std::mem::take(&mut self.next_occ_cont).min(occupancy - self.last_occ_mem);
         self.last_occ_total = occupancy;
     }
 
@@ -795,10 +827,15 @@ impl Machine {
         // grows with the number of lines in flight (capped).
         let eff_mlp = (vpu.mlp as u64).max(n_lines / 2).min(8);
         let exposed = extra / eff_mlp;
+        // Shared-port arbitration waits (multi-core SoC runs; always zero on
+        // a single core) are serialized transfers: they extend the occupancy
+        // un-divided by MLP.
+        let cont = self.sys.take_contention();
         let tx = bytes.div_ceil(vpu.bus_bytes as u64);
-        let occ = self.eff_throughput(tx) + exposed;
+        let occ = self.eff_throughput(tx) + exposed + cont;
         let lat = self.eff_pipe_depth() + base_lat + occ;
         self.next_occ_mem = exposed;
+        self.next_occ_cont = cont;
         (occ.max(1), lat)
     }
 
@@ -1081,9 +1118,11 @@ impl Machine {
             }
         }
         let exposed = extra / vpu.mlp as u64;
-        let occ = self.eff_throughput(vl as u64 * vpu.gather_elem_cycles as u64) + exposed;
+        let cont = self.sys.take_contention();
+        let occ = self.eff_throughput(vl as u64 * vpu.gather_elem_cycles as u64) + exposed + cont;
         let lat = self.eff_pipe_depth() + base_lat + occ;
         self.next_occ_mem = exposed;
+        self.next_occ_cont = cont;
         (occ, lat)
     }
 
@@ -1115,9 +1154,11 @@ impl Machine {
             }
         }
         let exposed = extra / vpu.mlp as u64;
-        let occ = self.eff_throughput(vl as u64 * vpu.gather_elem_cycles as u64) + exposed;
+        let cont = self.sys.take_contention();
+        let occ = self.eff_throughput(vl as u64 * vpu.gather_elem_cycles as u64) + exposed + cont;
         let lat = self.eff_pipe_depth() + base_lat + occ;
         self.next_occ_mem = exposed;
+        self.next_occ_cont = cont;
         (occ, lat)
     }
 
@@ -1292,10 +1333,12 @@ impl Machine {
             }
         }
         let exposed = extra / vpu.mlp as u64;
+        let cont = self.sys.take_contention();
         // One slot per 4-element group + 2 cycles of ZIP/TRN permutes.
-        let occ = self.eff_throughput(active.div_ceil(4).max(1) + 2) + exposed;
+        let occ = self.eff_throughput(active.div_ceil(4).max(1) + 2) + exposed + cont;
         let lat = self.eff_pipe_depth() + base_lat + occ;
         self.next_occ_mem = exposed;
+        self.next_occ_cont = cont;
         (occ, lat)
     }
 
@@ -1323,9 +1366,12 @@ impl Machine {
             }
         }
         let exposed = extra / vpu.mlp as u64;
-        let occ = self.eff_throughput((active * vpu.gather_elem_cycles as u64).max(1)) + exposed;
+        let cont = self.sys.take_contention();
+        let occ =
+            self.eff_throughput((active * vpu.gather_elem_cycles as u64).max(1)) + exposed + cont;
         let lat = self.eff_pipe_depth() + base_lat + occ;
         self.next_occ_mem = exposed;
+        self.next_occ_cont = cont;
         (occ, lat)
     }
 
@@ -1783,6 +1829,7 @@ impl Machine {
             self.cfg.core.kernel_scalar_cpi
         };
         self.commit_scalar();
+        self.charge_scalar_contention();
     }
 
     /// Bulk timing for a sequential scalar read of `words` elements starting
@@ -1815,6 +1862,26 @@ impl Machine {
         }
         self.scalar_frac += exposed;
         self.commit_scalar();
+        self.charge_scalar_contention();
+    }
+
+    /// Charge shared-port waits accumulated by *scalar* cache probes
+    /// directly to the clock (multi-core SoC runs only). The scalar side has
+    /// no occupancy machinery to carry the wait into the next issue, so the
+    /// stall is taken — and attributed to `Contention` — on the spot. A
+    /// single core drains exactly zero here, leaving the arithmetic of this
+    /// function unreached (the bit-identity contract).
+    #[inline]
+    fn charge_scalar_contention(&mut self) {
+        let cont = self.sys.take_contention();
+        if cont == 0 {
+            return;
+        }
+        let t0 = self.now;
+        self.now += cont;
+        self.stalls.add(StallCause::Contention, cont);
+        self.stalls.note_total(cont);
+        self.pipe(|| PipeEvent::Stall { cause: StallCause::Contention, start: t0, end: t0 + cont });
     }
 
     // ------------------------------------------------------------------
@@ -1876,6 +1943,92 @@ impl Machine {
     /// remaining segment.
     pub fn replay_from(&mut self, trace: &ReplayTrace, start: usize) -> Vec<SegmentReplay> {
         self.replay_span(trace, start, false, None).0
+    }
+
+    /// Execute the recorded op under `cur` and advance the cursor; `false`
+    /// once the cursor's range is exhausted (no op executed).
+    ///
+    /// This is the steppable face of the replay executor: the multi-core SoC
+    /// event loop (`lva-scale`) interleaves N machines by driving each one
+    /// recorded op at a time, publishing the core's clock to the shared
+    /// memory port before every step. Op-for-op it runs exactly the `tl_*`
+    /// timing functions the batch executor runs, so a cursor walked start to
+    /// end is bit-identical to [`Self::replay_from`] over the same range.
+    /// Segment boundaries stay with the caller: a [`ReplayOp::ResetTiming`]
+    /// inside the range is a contract violation (panics) — the SoC loop owns
+    /// its barrier protocol and slices cursors between boundaries.
+    pub fn replay_step(&mut self, trace: &ReplayTrace, cur: &mut ReplayCursor) -> bool {
+        let Some(&op) = trace.ops.get(cur.i).filter(|_| cur.i < cur.end) else {
+            return false;
+        };
+        cur.i += 1;
+        match op {
+            ReplayOp::Setvl { rvl } => {
+                self.tl_setvl(rvl as usize);
+            }
+            ReplayOp::Whilelt { i, n } => {
+                self.tl_whilelt(i as usize, n as usize);
+            }
+            ReplayOp::VLoad { vd, vl, addr } => self.tl_vle(vd as VReg, addr as u64, vl as usize),
+            ReplayOp::VStore { vs, vl, addr } => self.tl_vse(vs as VReg, addr as u64, vl as usize),
+            ReplayOp::VLoadStrided { vd, vl, addr, stride } => {
+                self.tl_vlse(vd as VReg, addr as u64, stride as u64, vl as usize);
+            }
+            ReplayOp::VStoreStrided { vs, vl, addr, stride } => {
+                self.tl_vsse(vs as VReg, addr as u64, stride as u64, vl as usize);
+            }
+            ReplayOp::VIndexed { op, reg, base, idx } => {
+                let lanes = &trace.idx_pool[idx.off as usize..(idx.off + idx.len) as usize];
+                self.tl_indexed(op, reg as VReg, base as u64, lanes);
+            }
+            ReplayOp::VArith { op, vd, a, b, vl } => {
+                self.tl_varith(op, vd as VReg, a as VReg, b as VReg, vl as usize);
+            }
+            ReplayOp::Reduce { op, vs, vl } => self.tl_reduce(op, vs as VReg, vl as usize),
+            ReplayOp::Prefetch { addr, target } => self.tl_prefetch(addr as u64, target),
+            ReplayOp::ScalarOps { n } => self.scalar_ops_tl(n as u64),
+            ReplayOp::ScalarFlops { n } => self.scalar_flops_tl(n as u64),
+            ReplayOp::ScalarRead { addr } => self.tl_scalar_mem(addr as u64, AccessKind::Read),
+            ReplayOp::ScalarWrite { addr } => self.tl_scalar_mem(addr as u64, AccessKind::Write),
+            ReplayOp::ScalarStream { addr, words, write } => {
+                let kind = if write { AccessKind::Write } else { AccessKind::Read };
+                self.tl_scalar_stream(addr as u64, words as usize, kind);
+            }
+            ReplayOp::PhaseBegin { phase } => {
+                let t0 = self.cycles();
+                self.tl_phase_begin(phase);
+                cur.phase_stack.push((phase, t0));
+            }
+            ReplayOp::PhaseEnd { phase } => {
+                let t1 = self.tl_phase_end(phase);
+                let (p, t0) = cur.phase_stack.pop().expect("replay_step: PhaseEnd without open");
+                debug_assert_eq!(p, phase, "replay_step: mismatched phase nesting");
+                self.phases.add(phase, t1 - t0);
+            }
+            ReplayOp::LayerBegin { index, desc } => {
+                self.sys.tap_scope(TapScope::LayerBegin {
+                    index: index as usize,
+                    desc: &trace.descs[desc as usize],
+                });
+            }
+            ReplayOp::LayerEnd => self.sys.tap_scope(TapScope::LayerEnd),
+            ReplayOp::Spill => self.stats.spills += 1,
+            ReplayOp::ResetTiming => {
+                panic!("replay_step: ResetTiming inside a cursor range — slice at boundaries")
+            }
+        }
+        true
+    }
+
+    /// Advance the front-end clock to at least `t` without doing work: an
+    /// *idle* wait, deliberately not a stall (nothing was issued and nothing
+    /// blocked the front-end — the core simply has no frame to work on).
+    /// Used by the SoC pipeline-sharding loop for inter-stage frame
+    /// handoffs; `lva-scale` reports the skipped span separately as pipeline
+    /// idle time.
+    pub fn advance_to(&mut self, t: u64) {
+        self.commit_scalar();
+        self.now = self.now.max(t);
     }
 
     /// The replay executor: run ops from `start`, optionally stopping right
@@ -2093,7 +2246,9 @@ impl Machine {
         }
         f.push(self.scalar_frac.to_bits());
         f.push(self.next_occ_mem);
+        f.push(self.next_occ_cont);
         f.push(self.last_occ_mem);
+        f.push(self.last_occ_cont);
         f.push(self.last_occ_total);
         if ring_relevant {
             for &m in &self.recent_misses {
@@ -2120,7 +2275,9 @@ impl Machine {
             ready_rel,
             frac_bits: self.scalar_frac.to_bits(),
             next_occ_mem: self.next_occ_mem,
+            next_occ_cont: self.next_occ_cont,
             last_occ_mem: self.last_occ_mem,
+            last_occ_cont: self.last_occ_cont,
             last_occ_total: self.last_occ_total,
             ring: ring_relevant.then_some((self.recent_misses, self.recent_miss_pos)),
             stalls_d: self.stalls.since(&snap.stalls),
@@ -2141,7 +2298,9 @@ impl Machine {
         }
         self.scalar_frac = f64::from_bits(eff.frac_bits);
         self.next_occ_mem = eff.next_occ_mem;
+        self.next_occ_cont = eff.next_occ_cont;
         self.last_occ_mem = eff.last_occ_mem;
+        self.last_occ_cont = eff.last_occ_cont;
         self.last_occ_total = eff.last_occ_total;
         if let Some((ring, pos)) = eff.ring {
             self.recent_misses = ring;
@@ -2167,6 +2326,34 @@ impl Machine {
             mem,
             layers,
         }
+    }
+}
+
+/// Position state of a steppable replay (see [`Machine::replay_step`]): the
+/// next op index, the exclusive range end, and the open-phase stack that
+/// mirrors `phase()` nesting across steps.
+#[derive(Debug, Clone)]
+pub struct ReplayCursor {
+    i: usize,
+    end: usize,
+    phase_stack: Vec<(KernelPhase, u64)>,
+}
+
+impl ReplayCursor {
+    /// Cursor over `ops[start..end)` of a [`ReplayTrace`].
+    pub fn new(start: usize, end: usize) -> Self {
+        assert!(start <= end, "cursor range reversed: {start}..{end}");
+        ReplayCursor { i: start, end, phase_stack: Vec::new() }
+    }
+
+    /// Next op index to execute.
+    pub fn pos(&self) -> usize {
+        self.i
+    }
+
+    /// Whether the range is exhausted.
+    pub fn done(&self) -> bool {
+        self.i >= self.end
     }
 }
 

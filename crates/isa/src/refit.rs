@@ -345,7 +345,9 @@ pub struct LayerEffect {
     pub(crate) ready_rel: [i64; NUM_VREGS],
     pub(crate) frac_bits: u64,
     pub(crate) next_occ_mem: u64,
+    pub(crate) next_occ_cont: u64,
     pub(crate) last_occ_mem: u64,
+    pub(crate) last_occ_cont: u64,
     pub(crate) last_occ_total: u64,
     pub(crate) ring: Option<([u64; 8], usize)>,
     pub(crate) stalls_d: StallBreakdown,

@@ -74,15 +74,21 @@ pub enum StallCause {
     /// Dead cycles between back-to-back vector instructions
     /// (`inter_instr_gap`: decode/dispatch bandwidth of the front-end).
     IssueWidth,
+    /// Cycles spent waiting for the shared L2/DRAM port behind another
+    /// core's in-flight transfer (`lva-scale` multi-core SoC runs). Always
+    /// zero on a single-core machine: the port model only charges
+    /// *cross-core* interference, never a core's own serialization.
+    Contention,
 }
 
 impl StallCause {
-    pub const ALL: [StallCause; 5] = [
+    pub const ALL: [StallCause; 6] = [
         StallCause::RawHazard,
         StallCause::VectorStartup,
         StallCause::MemLatency,
         StallCause::LaneOccupancy,
         StallCause::IssueWidth,
+        StallCause::Contention,
     ];
 
     pub fn name(self) -> &'static str {
@@ -92,6 +98,7 @@ impl StallCause {
             StallCause::MemLatency => "mem_latency",
             StallCause::LaneOccupancy => "lane_occupancy",
             StallCause::IssueWidth => "issue_width",
+            StallCause::Contention => "contention",
         }
     }
 
@@ -118,7 +125,7 @@ const _: () = {
 /// identity.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StallBreakdown {
-    by_cause: [u64; 5],
+    by_cause: [u64; 6],
     total: u64,
 }
 

@@ -101,6 +101,23 @@ impl RetimeEngine {
         self.refusal.as_deref()
     }
 
+    /// Refuse to retime a shared-port (multi-core) simulation and record
+    /// why. Kernel certificates prove a stream is invariant under
+    /// *single-core* timing perturbations; with N cores contending on one
+    /// L2/DRAM port, each core's timing depends on every other core's
+    /// interleaved traffic — a global property no per-kernel certificate
+    /// covers. Callers (`exp-scale --retime`) invoke this once per sweep
+    /// and fall back to the full SoC simulation, which is exactly the
+    /// engine's contract for any refusal: bit-identical output, no
+    /// speedup. Returns the recorded reason.
+    pub fn refuse_contention(&mut self) -> &'static str {
+        self.counters.refused_runs += 1;
+        if self.refusal.is_none() {
+            self.refusal = Some(crate::cert::CONTENTION_REFUSAL.to_string());
+        }
+        crate::cert::CONTENTION_REFUSAL
+    }
+
     /// `Ok` if retiming is certified; records the refusal otherwise.
     fn gate_ok(&mut self) -> bool {
         match self.gate.check() {

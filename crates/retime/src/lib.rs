@@ -39,7 +39,7 @@ pub mod engine;
 pub mod key;
 pub mod store;
 
-pub use cert::CertGate;
+pub use cert::{CertGate, CONTENTION_REFUSAL};
 pub use engine::RetimeEngine;
 pub use key::{ConfigKey, StreamKey};
 pub use lva_core::RetimeOpt as RetimeMode;

@@ -123,6 +123,29 @@ fn config_varying_kernel_is_refused_and_falls_back() {
     assert!(json.contains("config_varying"), "kernel named in --json: {json}");
 }
 
+/// Multi-core refusal: the engine categorically declines to retime a
+/// shared-port simulation — certificates are single-core timing proofs —
+/// records the named reason, and surfaces it in the JSON report. The
+/// caller (exp-scale --retime) then runs the full SoC simulation, so the
+/// output stays byte-identical to the unretimed path (pinned again on the
+/// whole scaling record in `lva-bench`).
+#[test]
+fn shared_port_contention_is_refused_with_a_named_reason() {
+    let mut engine = RetimeEngine::with_gate(RetimeOpt::On, CertGate::decided(Ok(())));
+    let reason = engine.refuse_contention();
+    assert_eq!(reason, lva_retime::CONTENTION_REFUSAL);
+    assert!(reason.contains("single-core timing proofs"), "reason names the limit: {reason}");
+    assert!(reason.contains("falling back to full SoC simulation"), "names the fallback: {reason}");
+    assert_eq!(engine.refusal(), Some(lva_retime::CONTENTION_REFUSAL));
+    assert_eq!(engine.counters().refused_runs, 1);
+    let json = engine.report().to_string_pretty();
+    assert!(json.contains("single-core timing proofs"), "refusal surfaces in --json: {json}");
+    // A second refusal bumps the counter but keeps the first reason.
+    engine.refuse_contention();
+    assert_eq!(engine.counters().refused_runs, 2);
+    assert_eq!(engine.refusal(), Some(lva_retime::CONTENTION_REFUSAL));
+}
+
 /// The positive gate: a well-behaved registry kernel certifies, and the
 /// engine retimes.
 #[test]

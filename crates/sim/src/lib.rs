@@ -32,6 +32,7 @@ pub mod mem;
 pub mod memsys;
 pub mod prefetch;
 pub mod rng;
+pub mod shared;
 pub mod tap;
 
 pub use cache::{AccessKind, Cache, CacheConfig, CacheStats, Miss3C};
@@ -43,4 +44,7 @@ pub use memsys::{
 };
 pub use prefetch::{PrefetchTarget, StridePrefetcher, StridePrefetcherConfig};
 pub use rng::Rng;
+pub use shared::{
+    PortEvent, PortObserver, SharedPort, SharedPortConfig, SharedPortHandle, SharedPortStats,
+};
 pub use tap::{AccessSink, TapLevel, TapScope};

@@ -12,6 +12,7 @@
 use crate::cache::{AccessKind, Cache, CacheConfig, CacheStats, Lookup};
 use crate::ideal::IdealSpec;
 use crate::prefetch::{PrefetchTarget, StridePrefetcher, StridePrefetcherConfig};
+use crate::shared::SharedPortHandle;
 use crate::tap::{AccessSink, TapLevel, TapScope};
 
 /// Which level ultimately served an access.
@@ -152,6 +153,23 @@ pub struct MemSystem {
     /// exactly as in the factual run; only the *returned latency* is clamped.
     /// With [`IdealSpec::NONE`] (the default) latencies are bit-identical.
     ideal: IdealSpec,
+    /// Attachment to a multi-core shared L2/DRAM port (see [`crate::shared`]).
+    /// `None` — the default and the whole single-core world — keeps the
+    /// private L2 path below.
+    shared: Option<SharedAttachment>,
+}
+
+/// Per-core state of a [`SharedPortHandle`] attachment.
+#[derive(Debug)]
+struct SharedAttachment {
+    port: SharedPortHandle,
+    /// This core's index at the port.
+    core: usize,
+    /// This core's current front-end cycle, published by the SoC event loop
+    /// before each replayed instruction (see [`MemSystem::set_port_now`]).
+    now: u64,
+    /// Port arbitration wait cycles accumulated since the last drain.
+    pending: u64,
 }
 
 impl MemSystem {
@@ -183,8 +201,50 @@ impl MemSystem {
             dram_writes: 0,
             tap: None,
             ideal: IdealSpec::NONE,
+            shared: None,
             line_shift,
             cfg,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Shared L2/DRAM port (the `lva-scale` hook)
+    // ------------------------------------------------------------------
+
+    /// Attach this (per-core) memory system to a multi-core shared port as
+    /// `core`. From then on all L2 traffic — demand fills, dirty writebacks,
+    /// prefetch installs — routes to the shared cache and arbitrates for
+    /// port bandwidth; the private L2 array sits cold. DRAM transfer
+    /// *counters* stay per-core (each core's fills remain attributable),
+    /// while the shared-L2 statistics live on the port.
+    pub fn attach_shared_port(&mut self, port: SharedPortHandle, core: usize) {
+        self.shared = Some(SharedAttachment { port, core, now: 0, pending: 0 });
+    }
+
+    /// Whether a shared port is attached.
+    pub fn has_shared_port(&self) -> bool {
+        self.shared.is_some()
+    }
+
+    /// Publish the attached core's current front-end cycle: subsequent
+    /// shared-port transactions arbitrate at this time. No-op without an
+    /// attachment.
+    #[inline]
+    pub fn set_port_now(&mut self, now: u64) {
+        if let Some(sh) = self.shared.as_mut() {
+            sh.now = now;
+        }
+    }
+
+    /// Drain the shared-port wait cycles accumulated since the last call.
+    /// The `lva-isa` machine drains this after every memory instruction and
+    /// charges the cycles to the `Contention` stall cause. Always zero
+    /// without an attachment — one branch is all the single-core world pays.
+    #[inline]
+    pub fn take_contention(&mut self) -> u64 {
+        match self.shared.as_mut() {
+            None => 0,
+            Some(sh) => std::mem::take(&mut sh.pending),
         }
     }
 
@@ -260,14 +320,31 @@ impl MemSystem {
     }
 
     /// L2 demand access (demand misses from above *and* dirty writebacks),
-    /// reported to the tap.
+    /// reported to the tap. Routed to the shared port when one is attached.
     #[inline]
     fn l2_access(&mut self, line: u64, kind: AccessKind) -> Lookup {
-        let r = self.l2.access_line(line, kind);
+        let r = match self.shared.as_mut() {
+            None => self.l2.access_line(line, kind),
+            Some(sh) => {
+                let (r, wait) = sh.port.borrow_mut().l2_access(sh.core, line, kind, sh.now);
+                sh.pending += wait;
+                r
+            }
+        };
         if let Some(t) = self.tap.as_mut() {
             t.access(TapLevel::L2, line, kind, matches!(r, Lookup::Hit));
         }
         r
+    }
+
+    /// Prefetcher install into the L2, routed to the shared port when one
+    /// is attached (state change only; prefetches claim no port time).
+    #[inline]
+    fn l2_prefetch(&mut self, line: u64) -> bool {
+        match self.shared.as_mut() {
+            None => self.l2.prefetch_line(line),
+            Some(sh) => sh.port.borrow_mut().prefetch_line(line),
+        }
     }
 
     /// The (uniform) cache line size in bytes.
@@ -368,7 +445,7 @@ impl MemSystem {
         pf.observe(line, &mut scratch);
         for &l in &scratch {
             // Prefetches fill L2 and L1 (next-level inclusive fill).
-            if self.l2.prefetch_line(l) {
+            if self.l2_prefetch(l) {
                 self.tap_prefetch(TapLevel::L2, l);
             }
             if self.l1.prefetch_line(l) {
@@ -461,7 +538,7 @@ impl MemSystem {
         match target {
             PrefetchTarget::L1 => {
                 // Fill both levels, as PRFM PLDL1KEEP effectively does.
-                if self.l2.prefetch_line(line) {
+                if self.l2_prefetch(line) {
                     self.tap_prefetch(TapLevel::L2, line);
                 }
                 if self.l1.prefetch_line(line) {
@@ -469,7 +546,7 @@ impl MemSystem {
                 }
             }
             PrefetchTarget::L2 => {
-                if self.l2.prefetch_line(line) {
+                if self.l2_prefetch(line) {
                     self.tap_prefetch(TapLevel::L2, line);
                 }
             }
@@ -739,6 +816,41 @@ mod tests {
                 assert!(lat.iter().all(|&l| l == 2 || l == 4), "{spec:?}: {lat:?}");
             }
         }
+    }
+
+    /// A single core behind the shared port must see exactly the serving
+    /// levels and latencies a private L2 gives — the MemSystem half of the
+    /// N=1 bit-identity contract (`lva-scale` pins the full-machine half).
+    #[test]
+    fn shared_port_single_core_matches_private_l2() {
+        use crate::shared::{SharedPort, SharedPortConfig};
+        let c = cfg(VpuPath::DecoupledL2 { vcache_bytes: 2048 }, false, false);
+        let mut private = MemSystem::new(c.clone());
+        let mut attached = MemSystem::new(c.clone());
+        let port = SharedPort::new(SharedPortConfig::for_line_bytes(1, c.l2.clone())).into_handle();
+        attached.attach_shared_port(port.clone(), 0);
+        assert!(attached.has_shared_port());
+        let mut t = 0u64;
+        for i in 0..500u64 {
+            attached.set_port_now(t);
+            t += 3;
+            let a = private.demand_vector((i % 96) * 64, AccessKind::Read);
+            let b = attached.demand_vector((i % 96) * 64, AccessKind::Read);
+            assert_eq!(a, b, "serving level and latency must match at access {i}");
+            let a = private.demand_scalar(0x10_0000 + (i % 33) * 64, AccessKind::Write);
+            let b = attached.demand_scalar(0x10_0000 + (i % 33) * 64, AccessKind::Write);
+            assert_eq!(a, b);
+        }
+        assert_eq!(attached.take_contention(), 0, "one core must never be charged contention");
+        let sp = private.stats();
+        let sa = attached.stats();
+        // Shared-L2 counters live on the port; everything else is per-core.
+        assert_eq!(sp.l1, sa.l1);
+        assert_eq!(sp.vcache, sa.vcache);
+        assert_eq!(sp.dram_reads, sa.dram_reads);
+        assert_eq!(sp.dram_writes, sa.dram_writes);
+        assert_eq!(sa.l2, CacheStats::default(), "private L2 array must sit cold");
+        assert_eq!(port.borrow().stats().l2, sp.l2, "port carries the L2 stats");
     }
 
     #[test]

@@ -44,13 +44,20 @@ impl Ev {
     }
 }
 
+/// Named event tracks in creation order.
+type Tracks = Vec<(String, Vec<Ev>)>;
+
 /// A growable timeline: tracks in creation order, events per track in
 /// append order.
 #[derive(Debug, Default)]
 pub struct ChromeTrace {
-    tracks: Vec<(String, Vec<Ev>)>,
+    tracks: Tracks,
     /// Free-form metadata surfaced in the file's `otherData` object.
     meta: Vec<(String, String)>,
+    /// Sub-process timelines merged via [`ChromeTrace::merge_process`]
+    /// (multi-core SoC exports: one pid per core). The root's own tracks
+    /// stay on pid 1.
+    procs: Vec<(u64, String, Tracks)>,
 }
 
 impl ChromeTrace {
@@ -95,9 +102,30 @@ impl ChromeTrace {
         self.track_mut(track).push(Ev::Counter { name: name.to_string(), ts, value });
     }
 
-    /// Number of events across all tracks.
+    /// Absorb `sub` as a separate trace-viewer *process* row: its tracks
+    /// render under their own pid with `name` as the process label, so a
+    /// multi-core SoC export shows one collapsible group per core plus the
+    /// root's shared-resource tracks (pid 1). `pid` must be ≥ 2 (1 is the
+    /// root) and unique among merged processes; `sub`'s metadata notes are
+    /// carried over with a `{name}.` key prefix. Nested sub-processes of
+    /// `sub` itself are not supported (one level of grouping).
+    ///
+    /// # Panics
+    /// Panics on a reserved/duplicate `pid` or if `sub` has sub-processes.
+    pub fn merge_process(&mut self, pid: u64, name: &str, sub: ChromeTrace) {
+        assert!(pid >= 2, "pid 1 is the root process");
+        assert!(self.procs.iter().all(|(p, ..)| *p != pid), "duplicate process pid {pid}");
+        assert!(sub.procs.is_empty(), "merge_process: sub-trace already has processes");
+        for (k, v) in sub.meta {
+            self.meta.push((format!("{name}.{k}"), v));
+        }
+        self.procs.push((pid, name.to_string(), sub.tracks));
+    }
+
+    /// Number of events across all tracks (root and merged processes).
     pub fn len(&self) -> usize {
-        self.tracks.iter().map(|(_, evs)| evs.len()).sum()
+        self.tracks.iter().map(|(_, evs)| evs.len()).sum::<usize>()
+            + self.procs.iter().flat_map(|(_, _, ts)| ts).map(|(_, evs)| evs.len()).sum::<usize>()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -110,9 +138,18 @@ impl ChromeTrace {
     /// * per track, `B`/`E` events balance: never an `E` without an open
     ///   `B`, none left open at the end, and each `E` at or after its `B`.
     ///
-    /// Returns the first violation as `Err(description)`.
+    /// Returns the first violation as `Err(description)`. Tracks of merged
+    /// sub-processes are checked under the same rules.
     pub fn validate(&self) -> Result<(), String> {
-        for (track, evs) in &self.tracks {
+        Self::validate_tracks(&self.tracks)?;
+        for (_, name, tracks) in &self.procs {
+            Self::validate_tracks(tracks).map_err(|e| format!("process {name:?}: {e}"))?;
+        }
+        Ok(())
+    }
+
+    fn validate_tracks(tracks: &[(String, Vec<Ev>)]) -> Result<(), String> {
+        for (track, evs) in tracks {
             let mut last_ts = 0u64;
             let mut open: Vec<(&str, u64)> = Vec::new();
             for (i, ev) in evs.iter().enumerate() {
@@ -155,18 +192,50 @@ impl ChromeTrace {
         Ok(())
     }
 
-    /// Serialize to the Trace Event Format JSON object form.
+    /// Serialize to the Trace Event Format JSON object form. Merged
+    /// sub-processes emit under their own pid with a `process_name`
+    /// metadata row; the root's tracks stay on pid 1 (gaining a
+    /// `process_name` row only when sub-processes exist, so single-process
+    /// exports are byte-stable).
     pub fn to_json(&self) -> Json {
         const PID: u64 = 1;
         let mut events: Vec<Json> = Vec::with_capacity(self.len() + self.tracks.len());
-        for (tid0, (track, evs)) in self.tracks.iter().enumerate() {
+        if !self.procs.is_empty() {
+            events.push(
+                Json::obj()
+                    .field("name", "process_name")
+                    .field("ph", "M")
+                    .field("pid", PID)
+                    .field("args", Json::obj().field("name", "soc")),
+            );
+        }
+        Self::emit_tracks(&mut events, PID, &self.tracks);
+        for (pid, name, tracks) in &self.procs {
+            events.push(
+                Json::obj()
+                    .field("name", "process_name")
+                    .field("ph", "M")
+                    .field("pid", *pid)
+                    .field("args", Json::obj().field("name", name.as_str())),
+            );
+            Self::emit_tracks(&mut events, *pid, tracks);
+        }
+        let mut other = Json::obj().field("time_unit", "simulated cycles (rendered as us)");
+        for (k, v) in &self.meta {
+            other = other.field(k, v.as_str());
+        }
+        Json::obj().field("traceEvents", Json::Arr(events)).field("otherData", other)
+    }
+
+    fn emit_tracks(events: &mut Vec<Json>, pid: u64, tracks: &[(String, Vec<Ev>)]) {
+        for (tid0, (track, evs)) in tracks.iter().enumerate() {
             let tid = tid0 as u64 + 1;
             // Name the thread row after the track.
             events.push(
                 Json::obj()
                     .field("name", "thread_name")
                     .field("ph", "M")
-                    .field("pid", PID)
+                    .field("pid", pid)
                     .field("tid", tid)
                     .field("args", Json::obj().field("name", track.as_str())),
             );
@@ -177,35 +246,30 @@ impl ChromeTrace {
                         .field("ph", "X")
                         .field("ts", *ts)
                         .field("dur", *dur)
-                        .field("pid", PID)
+                        .field("pid", pid)
                         .field("tid", tid),
                     Ev::Begin { name, ts } => Json::obj()
                         .field("name", name.as_str())
                         .field("ph", "B")
                         .field("ts", *ts)
-                        .field("pid", PID)
+                        .field("pid", pid)
                         .field("tid", tid),
                     Ev::End { ts } => Json::obj()
                         .field("ph", "E")
                         .field("ts", *ts)
-                        .field("pid", PID)
+                        .field("pid", pid)
                         .field("tid", tid),
                     Ev::Counter { name, ts, value } => Json::obj()
                         .field("name", name.as_str())
                         .field("ph", "C")
                         .field("ts", *ts)
-                        .field("pid", PID)
+                        .field("pid", pid)
                         .field("tid", tid)
                         .field("args", Json::obj().field(name.as_str(), *value)),
                 };
                 events.push(e);
             }
         }
-        let mut other = Json::obj().field("time_unit", "simulated cycles (rendered as us)");
-        for (k, v) in &self.meta {
-            other = other.field(k, v.as_str());
-        }
-        Json::obj().field("traceEvents", Json::Arr(events)).field("otherData", other)
     }
 
     /// Write pretty-printed JSON to `path` (e.g. `trace.json`).
@@ -297,6 +361,50 @@ mod tests {
         let mut bad = ChromeTrace::new();
         bad.counter("queue", "depth", 0, f64::NAN);
         assert!(bad.validate().unwrap_err().contains("not finite"));
+    }
+
+    #[test]
+    fn merged_processes_emit_their_own_pid_and_are_validated() {
+        let mut root = ChromeTrace::new();
+        root.counter("shared port", "queue depth", 0, 2.0);
+        let mut c0 = ChromeTrace::new();
+        c0.begin("layer", "L0 conv", 0);
+        c0.end("layer", 10);
+        c0.note("core", "0");
+        let mut c1 = ChromeTrace::new();
+        c1.complete("stall:contention", "contention", 3, 4);
+        root.merge_process(2, "core0", c0);
+        root.merge_process(3, "core1", c1);
+        assert_eq!(root.validate(), Ok(()));
+        assert_eq!(root.len(), 4);
+        let j = root.to_json();
+        let evs = j.get("traceEvents").and_then(Json::as_arr).expect("traceEvents array");
+        // Per-pid process_name rows (root + 2 cores) + 3 thread_name rows
+        // + 4 events.
+        assert_eq!(evs.len(), 10);
+        let pids: std::collections::BTreeSet<u64> = evs
+            .iter()
+            .filter_map(|e| e.get("pid").and_then(Json::as_f64))
+            .map(|p| p as u64)
+            .collect();
+        assert_eq!(pids.into_iter().collect::<Vec<_>>(), vec![1, 2, 3]);
+        let proc_names: Vec<&str> = evs
+            .iter()
+            .filter(|e| e.get("name").and_then(Json::as_str) == Some("process_name"))
+            .map(|e| e.get("args").and_then(|a| a.get("name")).and_then(Json::as_str).unwrap())
+            .collect();
+        assert_eq!(proc_names, vec!["soc", "core0", "core1"]);
+        // Sub-trace metadata is carried over, prefixed by the process name.
+        let other = j.get("otherData").expect("otherData");
+        assert_eq!(other.get("core0.core").and_then(Json::as_str), Some("0"));
+
+        // Validation reaches into sub-processes.
+        let mut bad = ChromeTrace::new();
+        let mut sub = ChromeTrace::new();
+        sub.begin("p", "x", 5);
+        bad.merge_process(2, "broken", sub);
+        let err = bad.validate().unwrap_err();
+        assert!(err.contains("broken") && err.contains("never closed"), "{err}");
     }
 
     #[test]

@@ -22,8 +22,13 @@
 
 #![forbid(unsafe_code)]
 
+pub mod scale;
 pub mod slo;
 
+pub use scale::{
+    advise, find_knee, scaling_efficiency, ScaleAdvice, ScaleCell, ScaleLever,
+    CONTENTION_BOUND_SHARE, SCALING_KNEE_EFFICIENCY,
+};
 pub use slo::{design_cost, recommend, ServingPoint, SloRecommendation};
 
 use lva_check::KernelCase;

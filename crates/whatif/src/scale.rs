@@ -1,0 +1,307 @@
+//! The scale advisor: where does a throughput-vs-cores curve bend, is the
+//! bend *contention* (the shared L2/DRAM port), and which co-design lever
+//! recovers it?
+//!
+//! The `lva-scale` SoC simulator produces, per (network, sharding,
+//! design point), a curve of throughput against core count together with
+//! the exact per-core `Contention` stall share (PR 1's attribution
+//! contract extended to the shared port) and the `infinite_shared_bw`
+//! counterfactual — the same curve with arbitration waits idealized away.
+//! This module is the pure analysis over those numbers, mirroring the
+//! single-core advisor in the crate root: dominant evidence names the
+//! bound, and the bound names the lever. Three levers are on the table,
+//! straight from the co-design space:
+//!
+//! * **grow the shared L2** — a larger capacity at the knee's core count
+//!   restores near-linear efficiency (the merged working set spilled);
+//! * **switch the sharding** — the other partition strategy moves less
+//!   data through the port at the same core count;
+//! * **stop adding cores** — neither memory capacity nor partitioning
+//!   recovers the curve; past the knee a core buys more port waits than
+//!   useful cycles.
+//!
+//! All inputs are simulated quantities; the analysis is deterministic and
+//! rendered into `BENCH_scaling.json` / `results/SCALING.md` by
+//! `lva-bench`.
+
+use lva_trace::Json;
+
+/// Parallel efficiency (throughput relative to linear scaling from the
+/// curve's first point) below which the curve counts as *bent* — the knee
+/// is the first core count under this line.
+pub const SCALING_KNEE_EFFICIENCY: f64 = 0.75;
+
+/// A knee is blamed on the shared port only when the mean per-core
+/// `Contention` stall share at the knee reaches this fraction — below it
+/// the bend has another cause and the advisor defers to the per-point
+/// single-core bound.
+pub const CONTENTION_BOUND_SHARE: f64 = 0.05;
+
+/// The other sharding strategy must beat the bent one by this factor at
+/// the knee before "switch the sharding" is worth recommending over
+/// cheaper levers.
+pub const SHARDING_GAIN_MIN: f64 = 1.02;
+
+/// One measured cell of a scaling curve (fixed network × sharding ×
+/// design point, varying core count).
+#[derive(Debug, Clone, Copy)]
+pub struct ScaleCell {
+    pub cores: u64,
+    /// Frames per kilocycle of SoC makespan.
+    pub throughput: f64,
+    /// Mean per-core `Contention` stall cycles / core cycles ∈ [0, 1].
+    pub contention_share: f64,
+    /// The same cell under the `infinite_shared_bw` counterfactual (all
+    /// arbitration waits idealized away; an upper bound on recovery).
+    pub ideal_throughput: f64,
+}
+
+impl ScaleCell {
+    /// Fraction of the counterfactual throughput lost to the shared port.
+    pub fn contention_cost_frac(&self) -> f64 {
+        if self.ideal_throughput <= 0.0 {
+            0.0
+        } else {
+            ((self.ideal_throughput - self.throughput) / self.ideal_throughput).max(0.0)
+        }
+    }
+}
+
+/// Parallel efficiency per cell: measured throughput over the linear
+/// extrapolation of the curve's first point. The first entry is 1.0 by
+/// construction (an empty input yields an empty output).
+pub fn scaling_efficiency(cells: &[ScaleCell]) -> Vec<f64> {
+    let Some(first) = cells.first() else { return Vec::new() };
+    let per_core = if first.cores == 0 { 0.0 } else { first.throughput / first.cores as f64 };
+    cells
+        .iter()
+        .map(|c| {
+            let linear = per_core * c.cores as f64;
+            if linear <= 0.0 {
+                0.0
+            } else {
+                c.throughput / linear
+            }
+        })
+        .collect()
+}
+
+/// Index of the knee: the first cell whose parallel efficiency drops
+/// under [`SCALING_KNEE_EFFICIENCY`]. `None` means the curve holds within
+/// the band across the whole ladder.
+pub fn find_knee(cells: &[ScaleCell]) -> Option<usize> {
+    scaling_efficiency(cells).iter().position(|&e| e < SCALING_KNEE_EFFICIENCY)
+}
+
+/// The co-design lever the scale advisor recommends at a contention knee.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleLever {
+    /// A larger shared L2 at the knee's core count restores efficiency.
+    GrowL2,
+    /// The alternative sharding strategy is materially faster there.
+    SwitchSharding,
+    /// Nothing on the table recovers it — stop scaling out.
+    FewerCores,
+}
+
+impl ScaleLever {
+    pub fn name(self) -> &'static str {
+        match self {
+            ScaleLever::GrowL2 => "grow_l2",
+            ScaleLever::SwitchSharding => "switch_sharding",
+            ScaleLever::FewerCores => "fewer_cores",
+        }
+    }
+}
+
+/// The advisor's verdict over one scaling curve.
+#[derive(Debug, Clone)]
+pub struct ScaleAdvice {
+    /// Core count at the knee, if the curve bends.
+    pub knee_cores: Option<u64>,
+    /// Parallel efficiency per cell (same order as the input curve).
+    pub efficiency: Vec<f64>,
+    /// The knee is attributable to shared-port contention (the stall share
+    /// clears [`CONTENTION_BOUND_SHARE`] *and* the `infinite_shared_bw`
+    /// counterfactual restores the efficiency band there).
+    pub contention_bound: bool,
+    /// The recommended lever, when the knee is contention.
+    pub lever: Option<ScaleLever>,
+    /// One-line phrasing for the report.
+    pub advice: &'static str,
+}
+
+impl ScaleAdvice {
+    /// The `scale_advice` subsection of the scaling record.
+    pub fn to_json(&self) -> Json {
+        let mut j = Json::obj();
+        if let Some(k) = self.knee_cores {
+            j = j.field("knee_cores", k);
+        }
+        j = j
+            .field(
+                "efficiency",
+                Json::Arr(self.efficiency.iter().map(|&e| Json::from(e)).collect()),
+            )
+            .field("contention_bound", self.contention_bound);
+        if let Some(l) = self.lever {
+            j = j.field("lever", l.name());
+        }
+        j.field("advice", self.advice)
+    }
+}
+
+/// Analyze one scaling curve. `l2_recovers` reports whether a larger
+/// shared L2 at the knee's core count holds the efficiency band (the
+/// caller measures it from the grid's L2 ladder); `other_sharding_gain`
+/// is the alternative strategy's throughput over this one's at the knee
+/// (1.0 when there is no alternative cell).
+///
+/// Lever priority is cheapest-first within the co-design space: capacity
+/// (an L2 sizing the sweep already prices) beats re-partitioning (a
+/// software change) beats giving up on cores.
+pub fn advise(cells: &[ScaleCell], l2_recovers: bool, other_sharding_gain: f64) -> ScaleAdvice {
+    let efficiency = scaling_efficiency(cells);
+    let Some(knee) = find_knee(cells) else {
+        return ScaleAdvice {
+            knee_cores: None,
+            efficiency,
+            contention_bound: false,
+            lever: None,
+            advice: "scales within the efficiency band across the measured ladder — the shared \
+                     port is not yet the limit",
+        };
+    };
+    let cell = &cells[knee];
+    // Contention owns the knee only if the attributed share is material
+    // AND the counterfactual confirms the port is what bent the curve.
+    let ideal_eff = {
+        let per_core = cells[0].throughput / (cells[0].cores.max(1)) as f64;
+        let linear = per_core * cell.cores as f64;
+        if linear <= 0.0 {
+            0.0
+        } else {
+            cell.ideal_throughput / linear
+        }
+    };
+    let contention_bound =
+        cell.contention_share >= CONTENTION_BOUND_SHARE && ideal_eff >= SCALING_KNEE_EFFICIENCY;
+    if !contention_bound {
+        return ScaleAdvice {
+            knee_cores: Some(cell.cores),
+            efficiency,
+            contention_bound: false,
+            lever: None,
+            advice: "the bend is not shared-port contention: per-core efficiency falls while \
+                     the counterfactual port leaves it bent — consult the per-point single-core \
+                     bound instead",
+        };
+    }
+    let (lever, advice) = if l2_recovers {
+        (
+            ScaleLever::GrowL2,
+            "grow the shared L2: the merged working set spills at this core count and every \
+             extra core amplifies port traffic (the paper's cache-capacity axis)",
+        )
+    } else if other_sharding_gain >= SHARDING_GAIN_MIN {
+        (
+            ScaleLever::SwitchSharding,
+            "switch the sharding strategy: the alternative partition moves less data through \
+             the shared port at this core count",
+        )
+    } else {
+        (
+            ScaleLever::FewerCores,
+            "stop adding cores: past this knee a core buys more port waits than useful cycles \
+             — spend the area on the memory system instead",
+        )
+    };
+    ScaleAdvice {
+        knee_cores: Some(cell.cores),
+        efficiency,
+        contention_bound: true,
+        lever: Some(lever),
+        advice,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(cores: u64, tp: f64, share: f64, ideal: f64) -> ScaleCell {
+        ScaleCell { cores, throughput: tp, contention_share: share, ideal_throughput: ideal }
+    }
+
+    #[test]
+    fn efficiency_is_relative_to_linear_scaling() {
+        let cells = [cell(1, 1.0, 0.0, 1.0), cell(2, 1.8, 0.1, 2.0), cell(4, 2.0, 0.3, 4.0)];
+        let eff = scaling_efficiency(&cells);
+        assert_eq!(eff.len(), 3);
+        assert!((eff[0] - 1.0).abs() < 1e-12);
+        assert!((eff[1] - 0.9).abs() < 1e-12);
+        assert!((eff[2] - 0.5).abs() < 1e-12);
+        assert_eq!(find_knee(&cells), Some(2), "knee where efficiency first drops under 0.75");
+        assert_eq!(scaling_efficiency(&[]), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn linear_curve_has_no_knee_and_no_lever() {
+        let cells = [cell(1, 1.0, 0.0, 1.0), cell(2, 1.9, 0.02, 2.0), cell(4, 3.6, 0.04, 4.0)];
+        assert_eq!(find_knee(&cells), None);
+        let a = advise(&cells, false, 1.0);
+        assert_eq!(a.knee_cores, None);
+        assert!(!a.contention_bound);
+        assert!(a.lever.is_none());
+        assert!(a.advice.contains("not yet the limit"));
+    }
+
+    #[test]
+    fn contention_knee_prefers_l2_then_sharding_then_fewer_cores() {
+        // Bent at 4 cores with heavy contention; the counterfactual would
+        // have held the line (ideal ≈ linear).
+        let cells = [cell(1, 1.0, 0.0, 1.0), cell(2, 1.9, 0.05, 2.0), cell(4, 2.4, 0.30, 3.9)];
+        let a = advise(&cells, true, 1.5);
+        assert_eq!(a.knee_cores, Some(4));
+        assert!(a.contention_bound);
+        assert_eq!(a.lever, Some(ScaleLever::GrowL2), "capacity beats re-partitioning");
+        let a = advise(&cells, false, 1.5);
+        assert_eq!(a.lever, Some(ScaleLever::SwitchSharding));
+        let a = advise(&cells, false, 1.0);
+        assert_eq!(a.lever, Some(ScaleLever::FewerCores));
+        assert!(a.advice.contains("stop adding cores"));
+    }
+
+    #[test]
+    fn knee_without_contention_evidence_defers_to_the_single_core_bound() {
+        // Bent, but the counterfactual is bent too (ideal ≈ real): the port
+        // did not cause this — e.g. a serial pipeline stage.
+        let cells = [cell(1, 1.0, 0.0, 1.0), cell(4, 2.0, 0.30, 2.1)];
+        let a = advise(&cells, true, 2.0);
+        assert_eq!(a.knee_cores, Some(4));
+        assert!(!a.contention_bound);
+        assert!(a.lever.is_none());
+        assert!(a.advice.contains("single-core bound"));
+        // Same shape but with a negligible attributed share: also deferred.
+        let cells = [cell(1, 1.0, 0.0, 1.0), cell(4, 2.0, 0.01, 4.0)];
+        assert!(!advise(&cells, true, 2.0).contention_bound);
+    }
+
+    #[test]
+    fn advice_serializes_for_the_scaling_record() {
+        let cells = [cell(1, 1.0, 0.0, 1.0), cell(4, 2.4, 0.30, 3.9)];
+        let j = advise(&cells, true, 1.0).to_json();
+        assert_eq!(j.get("knee_cores").and_then(Json::as_u64), Some(4));
+        assert_eq!(j.get("contention_bound").and_then(Json::as_bool), Some(true));
+        assert_eq!(j.get("lever").and_then(Json::as_str), Some("grow_l2"));
+        assert!(j.get("advice").and_then(Json::as_str).unwrap_or("").contains("shared L2"));
+        assert_eq!(j.get("efficiency").and_then(Json::as_arr).map(<[Json]>::len), Some(2));
+    }
+
+    #[test]
+    fn contention_cost_fraction_is_bounded() {
+        assert_eq!(cell(4, 2.0, 0.3, 4.0).contention_cost_frac(), 0.5);
+        assert_eq!(cell(4, 2.0, 0.3, 0.0).contention_cost_frac(), 0.0);
+        assert_eq!(cell(4, 4.0, 0.0, 2.0).contention_cost_frac(), 0.0, "clamped at zero");
+    }
+}

@@ -6,7 +6,8 @@ set -e
 cd "$(dirname "$0")"
 for exp in exp-breakdown exp-table2 exp-table3 exp-fig6 exp-fig7 exp-lanes \
            exp-headline exp-table4 exp-fig8 exp-winograd-a64fx exp-fig9 exp-fig10 \
-           exp-algos exp-tilesize exp-l2lat exp-energy exp-stream exp-resnet; do
+           exp-algos exp-tilesize exp-l2lat exp-energy exp-stream exp-resnet \
+           exp-whatif exp-serve exp-scale; do
   echo "=== $exp ==="
   cargo run --release -p lva-bench --bin "$exp" -- "$@" 2>/dev/null
   echo
